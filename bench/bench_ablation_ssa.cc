@@ -1,0 +1,73 @@
+// Ablation: SSA parameters — forwarding fraction, scheme, and ripple TTL.
+//
+// The SSA scheme has two free knobs the paper fixes implicitly: the
+// fraction of neighbours each forwarder selects, and the TTL of the
+// subscription ripple search (evaluated at 2).  This bench sweeps both and
+// also contrasts the three announcement schemes (utility SSA, random SSA,
+// NSSA) at the default fraction, exposing the trade-off frontier between
+// message load, receiving rate, and subscription success.
+#include <cstdio>
+
+#include "metrics/experiment.h"
+
+namespace {
+
+using namespace groupcast;
+
+metrics::ScenarioResult run(core::AnnouncementScheme scheme, double fraction,
+                            std::size_t ripple_ttl) {
+  metrics::ScenarioConfig config;
+  config.peer_count = 1500;
+  config.groups = 6;
+  config.seed = 77;
+  config.scheme = scheme;
+  config.forward_fraction = fraction;
+  config.ripple_ttl = ripple_ttl;
+  return metrics::run_scenario(config);
+}
+
+}  // namespace
+
+int main() {
+  using core::AnnouncementScheme;
+
+  std::printf("Ablation A: forwarding fraction (GroupCast overlay, "
+              "utility SSA, TTL=2)\n");
+  std::printf("%9s %10s %10s %12s %10s\n", "fraction", "adv msgs",
+              "sub msgs", "recv rate", "success");
+  for (const double fraction : {0.15, 0.25, 0.35, 0.5, 0.75}) {
+    const auto r = run(AnnouncementScheme::kSsaUtility, fraction, 2);
+    std::printf("%9.2f %10.0f %10.0f %11.1f%% %9.1f%%\n", fraction,
+                r.advertisement_messages, r.subscription_messages,
+                100.0 * r.receiving_rate,
+                100.0 * r.subscription_success_rate);
+  }
+
+  std::printf("\nAblation B: announcement scheme (fraction 0.35)\n");
+  std::printf("%-12s %10s %10s %12s %10s %10s\n", "scheme", "adv msgs",
+              "sub msgs", "recv rate", "success", "overload");
+  for (const auto scheme :
+       {AnnouncementScheme::kSsaUtility, AnnouncementScheme::kSsaRandom,
+        AnnouncementScheme::kNssa}) {
+    const auto r = run(scheme, 0.35, 2);
+    std::printf("%-12s %10.0f %10.0f %11.1f%% %9.1f%% %10.4f\n",
+                core::to_string(scheme), r.advertisement_messages,
+                r.subscription_messages, 100.0 * r.receiving_rate,
+                100.0 * r.subscription_success_rate, r.overload_index);
+  }
+
+  std::printf("\nAblation C: ripple-search TTL (utility SSA, fraction "
+              "0.35)\n");
+  std::printf("%5s %10s %10s %12s\n", "TTL", "sub msgs", "success",
+              "lookup ms");
+  for (const std::size_t ttl : {1u, 2u, 3u}) {
+    const auto r = run(AnnouncementScheme::kSsaUtility, 0.35, ttl);
+    std::printf("%5zu %10.0f %11.1f%% %10.1f\n", ttl,
+                r.subscription_messages,
+                100.0 * r.subscription_success_rate, r.lookup_latency_ms);
+  }
+  std::printf("\nThe paper's operating point (fraction ~0.35, TTL 2) sits "
+              "where success is ~100%%\nat a fraction of the NSSA message "
+              "load.\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 14: relative delay penalty of end-system multicast over the four
+// {overlay} x {scheme} combinations, over overlay size.
+//
+// Relative delay penalty = average ESM delay / average IP-multicast delay.
+//
+// Expected shapes (paper): ~1.5 (close to the theoretical lower bound of 1)
+// on GroupCast overlays regardless of scheme; notably higher on random
+// power-law overlays, where SSA makes a visible difference.
+#include "sweep_common.h"
+
+int main() {
+  using namespace groupcast;
+  const auto plan = bench::default_sweep_plan();
+  bench::print_sweep_header("Figure 14: relative delay penalty", plan);
+
+  std::printf("%8s %-18s %14s\n", "peers", "combo", "delay penalty");
+  for (const std::size_t n : plan.sizes) {
+    for (const auto& combo : bench::all_combos()) {
+      const auto r = bench::run_point(n, combo, plan);
+      std::printf("%8zu %-18s %14.2f\n", n, combo.label, r.delay_penalty);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 16: node stress (average number of children a non-leaf peer
+// handles in the ESM tree) over the four {overlay} x {scheme} combinations
+// and overlay sizes.
+//
+// Expected shape (paper): on GroupCast overlays node stress stays almost
+// constant as the system scales, because capacity-aware construction keeps
+// fan-out matched to node strength.
+#include "sweep_common.h"
+
+int main() {
+  using namespace groupcast;
+  const auto plan = bench::default_sweep_plan();
+  bench::print_sweep_header("Figure 16: node stress", plan);
+
+  std::printf("%8s %-18s %12s\n", "peers", "combo", "node stress");
+  for (const std::size_t n : plan.sizes) {
+    for (const auto& combo : bench::all_combos()) {
+      const auto r = bench::run_point(n, combo, plan);
+      std::printf("%8zu %-18s %12.2f\n", n, combo.label, r.node_stress);
+    }
+  }
+  return 0;
+}

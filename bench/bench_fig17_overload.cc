@@ -1,0 +1,29 @@
+// Figure 17: overload index (log scale) over the four {overlay} x {scheme}
+// combinations and overlay sizes.
+//
+// Overload index = (fraction of peers overloaded) x (average workload
+// exceeding those peers' capacities).
+//
+// Expected shapes (paper):
+//  * SSA reduces overloading on the random power-law overlay by about an
+//    order of magnitude;
+//  * GroupCast overlays cut it by one to two further orders of magnitude;
+//  * the GroupCast+NSSA and random-PL+SSA curves cross at large N —
+//    overlay-level optimization beats application-level optimization as
+//    the system grows.
+#include "sweep_common.h"
+
+int main() {
+  using namespace groupcast;
+  const auto plan = bench::default_sweep_plan();
+  bench::print_sweep_header("Figure 17: overload index (log scale)", plan);
+
+  std::printf("%8s %-18s %16s\n", "peers", "combo", "overload index");
+  for (const std::size_t n : plan.sizes) {
+    for (const auto& combo : bench::all_combos()) {
+      const auto r = bench::run_point(n, combo, plan);
+      std::printf("%8zu %-18s %16.6f\n", n, combo.label, r.overload_index);
+    }
+  }
+  return 0;
+}

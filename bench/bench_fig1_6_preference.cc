@@ -1,0 +1,121 @@
+// Figures 1–6: selection preference of low/medium/high capacity peers
+// vs. distance (Figs 1–3) and vs. capacity (Figs 4–6).
+//
+// Paper setup (Section 3.1): a candidate list of 1000 peers whose
+// capacities follow a Zipf distribution with parameter 2.0 and whose
+// distances are Unif(0ms, 400ms); the selecting peer has resource level
+// r_i in {0.05 (weak), 0.50 (medium), 0.95 (powerful)}.
+//
+// Expected shapes:
+//   r=0.05: preference falls steeply with distance; both capacity classes
+//           overlap (distance decides) — Figures 1 and 4.
+//   r=0.50: both dimensions matter — Figures 2 and 5.
+//   r=0.95: the top-20%-capacity candidates dominate at every distance;
+//           preference rises with capacity — Figures 3 and 6.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/utility.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using groupcast::core::Candidate;
+using groupcast::util::Rng;
+
+struct Sample {
+  std::vector<Candidate> candidates;
+  double capacity_top20_threshold = 0.0;
+};
+
+Sample make_candidates(Rng& rng) {
+  // Capacity = Zipf(2.0) rank over {1..1000}: small capacities common,
+  // large ones rare, spanning the paper's 10^0..10^3 x-axis.
+  groupcast::util::ZipfDistribution zipf(1000, 2.0);
+  Sample sample;
+  sample.candidates.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    sample.candidates.push_back(Candidate{
+        static_cast<double>(zipf.sample(rng)), rng.uniform(0.0, 400.0)});
+  }
+  std::vector<double> caps;
+  for (const auto& c : sample.candidates) caps.push_back(c.capacity);
+  std::sort(caps.begin(), caps.end());
+  sample.capacity_top20_threshold = caps[caps.size() * 8 / 10];
+  return sample;
+}
+
+void report_for_resource_level(double r, const Sample& sample) {
+  const auto prefs =
+      groupcast::core::selection_preferences(r, sample.candidates);
+  const auto params =
+      groupcast::core::UtilityParams::from_resource_level(r);
+  std::printf("\n-- r_i = %.2f  (alpha=%.3f beta=%.3f gamma=%.3f)\n", r,
+              params.alpha, params.beta, params.gamma);
+
+  // Figures 1-3 view: mean preference per 50ms distance bin, split into
+  // the top-20%-capacity class and the rest.
+  std::printf("   distance bin |  pref(top-20%% cap) | pref(bottom-80%%)\n");
+  for (int bin = 0; bin < 8; ++bin) {
+    const double lo = bin * 50.0, hi = lo + 50.0;
+    double top = 0.0, bottom = 0.0;
+    int n_top = 0, n_bottom = 0;
+    for (std::size_t i = 0; i < sample.candidates.size(); ++i) {
+      const auto& c = sample.candidates[i];
+      if (c.distance_ms < lo || c.distance_ms >= hi) continue;
+      if (c.capacity >= sample.capacity_top20_threshold) {
+        top += prefs[i];
+        ++n_top;
+      } else {
+        bottom += prefs[i];
+        ++n_bottom;
+      }
+    }
+    std::printf("   %3.0f-%3.0f ms   |  %12.3e (n=%3d) | %12.3e (n=%3d)\n",
+                lo, hi, n_top ? top / n_top : 0.0, n_top,
+                n_bottom ? bottom / n_bottom : 0.0, n_bottom);
+  }
+
+  // Figures 4-6 view: mean preference per capacity decade.
+  std::printf("   capacity bin |  mean preference\n");
+  for (double lo = 1.0; lo < 1000.0; lo *= 10.0) {
+    const double hi = lo * 10.0;
+    double total = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < sample.candidates.size(); ++i) {
+      const auto& c = sample.candidates[i];
+      if (c.capacity < lo || c.capacity >= hi) continue;
+      total += prefs[i];
+      ++n;
+    }
+    std::printf("   [%4.0f,%5.0f) |  %12.3e (n=%3d)\n", lo, hi,
+                n ? total / n : 0.0, n);
+  }
+
+  // The headline correlations: weak peers anti-correlate preference with
+  // distance, powerful peers correlate it with capacity.
+  std::vector<double> p(prefs.begin(), prefs.end()), d, c;
+  for (const auto& cand : sample.candidates) {
+    d.push_back(cand.distance_ms);
+    c.push_back(cand.capacity);
+  }
+  std::printf("   corr(pref, distance) = %+.3f   corr(pref, capacity) = %+.3f\n",
+              groupcast::util::pearson(p, d), groupcast::util::pearson(p, c));
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(31415);
+  const Sample sample = make_candidates(rng);
+  std::printf("Figures 1-6: selection preference vs distance / capacity\n");
+  std::printf("candidate list: 1000 peers, capacity ~ Zipf(2.0), "
+              "distance ~ Unif(0, 400ms)\n");
+  for (const double r : {0.05, 0.50, 0.95}) {
+    report_for_resource_level(r, sample);
+  }
+  return 0;
+}

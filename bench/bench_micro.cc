@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the library:
+// utility evaluation, weighted sampling, the event queue, Dijkstra routing
+// construction, the bootstrap join, and SSA announcement.
+#include <benchmark/benchmark.h>
+
+#include "baselines/chord.h"
+#include "core/advertisement.h"
+#include "core/middleware.h"
+#include "core/utility.h"
+#include "core/wire.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace groupcast;
+
+void BM_UtilityEvaluation(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<core::Candidate> list;
+  for (int i = 0; i < state.range(0); ++i) {
+    list.push_back(core::Candidate{rng.uniform(1.0, 1000.0),
+                                   rng.uniform(1.0, 400.0)});
+  }
+  for (auto _ : state) {
+    auto prefs = core::selection_preferences(0.5, list);
+    benchmark::DoNotOptimize(prefs);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_UtilityEvaluation)->Arg(8)->Arg(64)->Arg(1024);
+
+void BM_WeightedSample(benchmark::State& state) {
+  util::Rng rng(2);
+  std::vector<double> weights;
+  for (int i = 0; i < state.range(0); ++i) weights.push_back(rng.uniform());
+  for (auto _ : state) {
+    auto picks = core::weighted_sample_without_replacement(weights, 8, rng);
+    benchmark::DoNotOptimize(picks);
+  }
+}
+BENCHMARK(BM_WeightedSample)->Arg(64)->Arg(1024);
+
+void BM_EventQueue(benchmark::State& state) {
+  util::Rng rng(3);
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (int i = 0; i < state.range(0); ++i) {
+      simulator.schedule(sim::SimTime::millis(rng.uniform(0.0, 1000.0)),
+                         [] {});
+    }
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(10000);
+
+void BM_RoutingConstruction(benchmark::State& state) {
+  util::Rng rng(4);
+  net::TransitStubConfig config;
+  config.stub_domains_per_transit_router =
+      static_cast<std::uint32_t>(state.range(0));
+  const auto topo = net::generate_transit_stub(config, rng);
+  for (auto _ : state) {
+    net::IpRouting routing(topo);
+    benchmark::DoNotOptimize(routing.distance_ms(0, 1));
+  }
+  state.counters["routers"] = static_cast<double>(topo.router_count());
+}
+BENCHMARK(BM_RoutingConstruction)->Arg(2)->Arg(4);
+
+void BM_BootstrapJoinOverlay(benchmark::State& state) {
+  // Cost of building a whole GroupCast overlay of N peers.
+  for (auto _ : state) {
+    core::MiddlewareConfig config;
+    config.peer_count = static_cast<std::size_t>(state.range(0));
+    config.seed = 5;
+    core::GroupCastMiddleware middleware(config);
+    benchmark::DoNotOptimize(middleware.graph().edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BootstrapJoinOverlay)->Unit(benchmark::kMillisecond)->Arg(500);
+
+void BM_SsaAnnouncement(benchmark::State& state) {
+  core::MiddlewareConfig config;
+  config.peer_count = static_cast<std::size_t>(state.range(0));
+  config.seed = 6;
+  core::GroupCastMiddleware middleware(config);
+  core::AdvertisementEngine engine(middleware.simulator(),
+                                   middleware.population(),
+                                   middleware.graph(),
+                                   config.advertisement, middleware.rng());
+  for (auto _ : state) {
+    auto adv = engine.announce(0);
+    benchmark::DoNotOptimize(adv.messages);
+  }
+}
+BENCHMARK(BM_SsaAnnouncement)->Unit(benchmark::kMillisecond)->Arg(1000);
+
+void BM_WireRoundTrip(benchmark::State& state) {
+  const core::MessageBody body = core::DataMsg{7, 42, 0xABCDEF};
+  for (auto _ : state) {
+    const auto bytes = core::encode_message(body);
+    auto decoded = core::decode_message(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_WireRoundTrip);
+
+void BM_ChordRoute(benchmark::State& state) {
+  core::MiddlewareConfig config;
+  config.peer_count = static_cast<std::size_t>(state.range(0));
+  config.seed = 7;
+  core::GroupCastMiddleware middleware(config);
+  baselines::ChordRing ring(middleware.population());
+  util::Rng rng(8);
+  for (auto _ : state) {
+    const auto from = static_cast<overlay::PeerId>(
+        rng.uniform_index(config.peer_count));
+    auto path = ring.route(from, rng());
+    benchmark::DoNotOptimize(path);
+  }
+}
+BENCHMARK(BM_ChordRoute)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

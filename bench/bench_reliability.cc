@@ -1,0 +1,92 @@
+// Extension bench: failure resilience with backup-parent replication
+// (Section 6 + [35]) vs. the plain repair path.
+//
+// For a population of established groups, every interior relay is crashed
+// (one at a time, on a fresh copy of the tree) and the two recovery
+// strategies are compared:
+//   repair   — prune + re-subscribe orphans (ripple search / reverse path)
+//   failover — pre-arranged backup parents, one message per subtree
+#include <cstdio>
+
+#include "core/middleware.h"
+#include "core/replication.h"
+
+int main() {
+  using namespace groupcast;
+
+  core::MiddlewareConfig config;
+  config.peer_count = 1000;
+  config.seed = 555;
+  core::GroupCastMiddleware middleware(config);
+
+  std::size_t failures = 0;
+  std::size_t orphaned_total = 0;
+  std::size_t fast_recovered = 0, fast_messages = 0;
+  std::size_t slow_recovered = 0, slow_messages = 0;
+  double coverage_total = 0.0;
+
+  const int groups = 8;
+  for (int g = 0; g < groups; ++g) {
+    auto group = middleware.establish_random_group(100);
+    core::ReplicatedTree probe(middleware.population(), middleware.graph(),
+                               group.advert, group.tree);
+    coverage_total += probe.coverage() / groups;
+
+    // Crash every interior relay on fresh copies.
+    for (const auto victim : group.tree.nodes()) {
+      if (victim == group.tree.root()) continue;
+      if (group.tree.children(victim).empty()) continue;
+      ++failures;
+
+      // Fast path: replicated failover.
+      {
+        auto copy = group;
+        core::ReplicatedTree replicated(middleware.population(),
+                                        middleware.graph(), copy.advert,
+                                        copy.tree);
+        const auto report = replicated.failover(victim);
+        orphaned_total += report.orphaned_subscribers;
+        fast_recovered += report.recovered_subscribers;
+        fast_messages += report.failover_messages;
+      }
+      // Slow path: prune + re-subscribe.
+      {
+        auto copy = group;
+        const auto before = copy.stats.subscription_messages();
+        const auto report = middleware.repair_after_failure(copy, victim);
+        slow_recovered += report.resubscribed;
+        slow_messages += copy.stats.subscription_messages() - before;
+      }
+    }
+  }
+
+  std::printf("Extension: backup-parent replication vs repair "
+              "(1000 peers, 100 subscribers, %d groups, %zu relay "
+              "failures)\n\n",
+              groups, failures);
+  std::printf("backup coverage: %.0f%% of tree nodes hold a backup "
+              "parent\n\n",
+              100.0 * coverage_total);
+  std::printf("%-22s %14s %14s %16s\n", "strategy", "recovered",
+              "of orphaned", "messages spent");
+  std::printf("%-22s %14zu %13.1f%% %16zu\n", "failover (replicated)",
+              fast_recovered,
+              orphaned_total
+                  ? 100.0 * static_cast<double>(fast_recovered) /
+                        static_cast<double>(orphaned_total)
+                  : 0.0,
+              fast_messages);
+  std::printf("%-22s %14zu %13.1f%% %16zu\n", "repair (re-subscribe)",
+              slow_recovered,
+              orphaned_total
+                  ? 100.0 * static_cast<double>(slow_recovered) /
+                        static_cast<double>(orphaned_total)
+                  : 0.0,
+              slow_messages);
+  std::printf("\nFailover recovers the bulk of orphans at ~1 message per "
+              "subtree; the repair path\nrecovers everyone but pays "
+              "ripple-search traffic (orders of magnitude more\nmessages). "
+              "Production use layers both: failover first, repair for the "
+              "remainder.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Substrate bench: service lookup cost in unstructured overlays —
+// flooding vs random walks vs structured (Chord) routing.
+//
+// Reproduces the Section 1 motivation quantitatively: "flooding ... results
+// in heavy communication overheads, whereas [random walks] may generate
+// very long search paths", and shows where the DHT sits.  Two query
+// hardnesses: a common resource (capacity >= 1000x, ~5% of peers) and a
+// rare one (capacity = 10000x, 0.1% of peers).
+#include <cstdio>
+
+#include "baselines/chord.h"
+#include "core/middleware.h"
+#include "overlay/search.h"
+
+namespace {
+
+using namespace groupcast;
+
+void sweep(core::GroupCastMiddleware& middleware,
+           const baselines::ChordRing& ring, const char* label,
+           double capacity_threshold) {
+  const auto& population = middleware.population();
+  const overlay::SearchPredicate predicate =
+      [&population, capacity_threshold](overlay::PeerId p) {
+        return population.info(p).capacity >= capacity_threshold;
+      };
+
+  double flood_msgs = 0, flood_lat = 0, flood_hits = 0;
+  double walk_msgs = 0, walk_lat = 0, walk_hits = 0;
+  double chord_msgs = 0, chord_lat = 0;
+  const int trials = 60;
+  util::Rng rng(4);
+  for (int t = 0; t < trials; ++t) {
+    auto origin = static_cast<overlay::PeerId>(
+        rng.uniform_index(population.size()));
+    while (predicate(origin)) {
+      origin = static_cast<overlay::PeerId>(
+          rng.uniform_index(population.size()));
+    }
+    const auto flood = overlay::flood_search(population, middleware.graph(),
+                                             origin, 4, predicate);
+    flood_msgs += flood.messages;
+    flood_lat += flood.latency_ms;
+    flood_hits += flood.found ? 1 : 0;
+
+    const auto walk = overlay::random_walk_search(
+        population, middleware.graph(), origin, overlay::RandomWalkOptions{},
+        predicate, rng);
+    walk_msgs += walk.messages;
+    walk_lat += walk.latency_ms;
+    walk_hits += walk.found ? 1 : 0;
+
+    // Chord: route to a random key owned by a satisfying peer (a DHT would
+    // index the resource under a known key).  Cost = hop messages; latency
+    // = path latency both ways.
+    overlay::PeerId target = origin;
+    while (!predicate(target)) {
+      target = static_cast<overlay::PeerId>(
+          rng.uniform_index(population.size()));
+    }
+    const auto path = ring.route(origin, ring.id_of(target));
+    chord_msgs += static_cast<double>(path.size() - 1) + 1;  // + response
+    double lat = 0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      lat += population.latency_ms(path[i - 1], path[i]);
+    }
+    chord_lat += 2.0 * lat;
+  }
+
+  std::printf("-- %s\n", label);
+  std::printf("%-22s %10s %12s %10s\n", "mechanism", "messages",
+              "latency ms", "success");
+  std::printf("%-22s %10.0f %12.1f %9.0f%%\n", "flood (TTL=4)",
+              flood_msgs / trials, flood_lat / flood_hits,
+              100.0 * flood_hits / trials);
+  std::printf("%-22s %10.0f %12.1f %9.0f%%\n", "random walk (4x64)",
+              walk_msgs / trials, walk_hits ? walk_lat / walk_hits : 0.0,
+              100.0 * walk_hits / trials);
+  std::printf("%-22s %10.0f %12.1f %9.0f%%\n", "Chord route (indexed)",
+              chord_msgs / trials, chord_lat / trials, 100.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace groupcast;
+  core::MiddlewareConfig config;
+  config.peer_count = 2000;
+  config.seed = 31;
+  core::GroupCastMiddleware middleware(config);
+  baselines::ChordRing ring(middleware.population());
+
+  std::printf("Lookup-cost comparison on a %zu-peer GroupCast overlay\n\n",
+              config.peer_count);
+  sweep(middleware, ring, "common resource (capacity >= 1000x, ~5% hold)",
+        1000.0);
+  sweep(middleware, ring, "rare resource (capacity 10000x, 0.1% hold)",
+        10000.0);
+  std::printf("\nFlooding pays messages, walks pay latency, the DHT pays "
+              "maintenance (not shown);\nGroupCast's SSA sidesteps all "
+              "three by pre-placing group state along utility paths.\n");
+  return 0;
+}

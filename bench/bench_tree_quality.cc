@@ -1,0 +1,95 @@
+// Tree-quality comparison across the multicast-construction families of
+// Section 2.1 (ablation bench, not a numbered paper figure).
+//
+// The paper claims its decentralized scheme yields spanning trees whose
+// quality "is comparable to those built using the other three approaches".
+// This bench puts that to the test on one deployment: the same subscriber
+// sets are served by
+//   * GroupCast (utility-aware overlay + SSA, fully decentralized),
+//   * SCRIBE over a stabilized Chord ring (structured-DHT family),
+//   * a Narada-style mesh-first shortest-path tree (mesh family),
+//   * a centralized degree-bounded greedy tree (global knowledge), and
+//   * the unicast star (client/server, Skype's multi-party model),
+// and the resulting trees are scored with the paper's own metrics.
+#include <cstdio>
+
+#include "baselines/centralized.h"
+#include "baselines/narada.h"
+#include "baselines/nice.h"
+#include "baselines/scribe.h"
+#include "core/middleware.h"
+#include "metrics/esm_metrics.h"
+
+namespace {
+
+using namespace groupcast;
+
+void report(const char* label, const overlay::PeerPopulation& population,
+            const core::SpanningTree& tree, overlay::PeerId source,
+            std::size_t setup_messages) {
+  const core::GroupSession session(population, tree);
+  const auto m = metrics::evaluate_session(population, session, source);
+  std::printf("%-22s %8.2f %8.2f %8.2f %10.4f %8zu %10zu\n", label,
+              m.delay_penalty, m.link_stress, m.node_stress,
+              m.overload_index, m.tree_nodes, setup_messages);
+}
+
+}  // namespace
+
+int main() {
+  using namespace groupcast;
+
+  core::MiddlewareConfig config;
+  config.peer_count = 1500;
+  config.seed = 2007;
+  core::GroupCastMiddleware middleware(config);
+  const auto& population = middleware.population();
+
+  std::printf("Tree quality across construction families "
+              "(%zu peers, 150 subscribers, 5 groups averaged by row order)\n",
+              config.peer_count);
+  std::printf("%-22s %8s %8s %8s %10s %8s %10s\n", "scheme", "delay",
+              "lstress", "nstress", "overload", "nodes", "setup-msgs");
+
+  baselines::ChordRing ring(population);
+  util::Rng rng(42);
+
+  for (int g = 0; g < 5; ++g) {
+    // One subscriber set shared by every scheme.
+    auto group = middleware.establish_random_group(150);
+    const auto rendezvous = group.advert.rendezvous;
+    std::vector<overlay::PeerId> members(group.tree.subscribers().begin(),
+                                         group.tree.subscribers().end());
+
+    std::printf("--- group %d (rendezvous %u)\n", g, rendezvous);
+    report("GroupCast+SSA", population, group.tree, rendezvous,
+           group.advert.messages + group.report.total_messages());
+
+    const auto scribe = baselines::build_scribe_tree(
+        ring, population, baselines::ChordRing::hash_key(1000 + g), members);
+    report("SCRIBE/Chord", population, scribe.tree, scribe.root,
+           scribe.join_messages);
+
+    const auto narada = baselines::build_narada_tree(
+        population, rendezvous, members, baselines::NaradaOptions{}, rng);
+    report("Narada mesh", population, narada.tree, rendezvous,
+           narada.refresh_messages_per_round * 10);  // ~10 refresh rounds
+
+    const auto nice = baselines::build_nice_tree(
+        population, members, baselines::NiceOptions{}, rng);
+    report("NICE clusters", population, nice.tree, nice.root,
+           nice.refresh_messages_per_round * 10);
+
+    const auto central = baselines::build_degree_bounded_tree(
+        population, rendezvous, members);
+    report("centralized greedy", population, central, rendezvous, 0);
+
+    const auto star = baselines::build_unicast_star(rendezvous, members);
+    report("unicast star", population, star, rendezvous, 0);
+  }
+
+  std::printf("\nNotes: setup messages are advertising+joins (GroupCast), "
+              "DHT join hops (SCRIBE),\nand mesh refresh traffic (Narada); "
+              "centralized schemes assume free global knowledge.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Shared driver for the Figure 11–17 benches: the overlay-size sweep and
+// the {overlay} × {announcement scheme} grid of the paper's Section 4.
+//
+// Default sweep sizes are reduced so that `for b in build/bench/*; do $b;
+// done` completes in minutes; set GROUPCAST_BENCH_SCALE=2 to add the 8k/16k
+// points and =4 for the paper's full 32k sweep (plus more repetitions).
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "metrics/experiment.h"
+
+namespace groupcast::bench {
+
+struct SweepPlan {
+  std::vector<std::size_t> sizes;
+  std::size_t groups = 4;
+  std::size_t repetitions = 1;  // distinct topologies (seeds)
+};
+
+inline SweepPlan default_sweep_plan() {
+  const double scale = metrics::bench_scale();
+  SweepPlan plan;
+  plan.sizes = {1000, 2000, 4000};
+  if (scale >= 2.0) {
+    plan.sizes.push_back(8000);
+    plan.sizes.push_back(16000);
+    plan.groups = 8;
+    plan.repetitions = 3;
+  }
+  if (scale >= 4.0) {
+    plan.sizes.push_back(32000);
+    plan.groups = 10;
+    plan.repetitions = 10;
+  }
+  return plan;
+}
+
+struct Combo {
+  core::OverlayKind overlay;
+  core::AnnouncementScheme scheme;
+  const char* label;
+};
+
+/// The paper's four overlay x scheme combinations, in its plotting order.
+inline std::vector<Combo> all_combos() {
+  return {
+      {core::OverlayKind::kGroupCast, core::AnnouncementScheme::kSsaUtility,
+       "GroupCast + SSA"},
+      {core::OverlayKind::kGroupCast, core::AnnouncementScheme::kNssa,
+       "GroupCast + NSSA"},
+      {core::OverlayKind::kRandomPowerLaw,
+       core::AnnouncementScheme::kSsaUtility, "random-PL + SSA"},
+      {core::OverlayKind::kRandomPowerLaw, core::AnnouncementScheme::kNssa,
+       "random-PL + NSSA"},
+  };
+}
+
+/// SSA-only pair (Figures 12 and 13 compare the two overlays under SSA).
+inline std::vector<Combo> ssa_combos() {
+  return {
+      {core::OverlayKind::kGroupCast, core::AnnouncementScheme::kSsaUtility,
+       "GroupCast"},
+      {core::OverlayKind::kRandomPowerLaw,
+       core::AnnouncementScheme::kSsaUtility, "random-PL"},
+  };
+}
+
+inline metrics::ScenarioResult run_point(std::size_t peer_count,
+                                         const Combo& combo,
+                                         const SweepPlan& plan,
+                                         std::uint64_t seed = 1000) {
+  metrics::ScenarioConfig config;
+  config.peer_count = peer_count;
+  config.overlay = combo.overlay;
+  config.scheme = combo.scheme;
+  config.groups = plan.groups;
+  config.seed = seed;
+  return metrics::run_scenario_averaged(config, plan.repetitions);
+}
+
+inline void print_sweep_header(const char* title, const SweepPlan& plan) {
+  std::printf("%s\n", title);
+  std::printf("(groups/overlay=%zu, topologies=%zu; "
+              "GROUPCAST_BENCH_SCALE for the full paper sweep)\n",
+              plan.groups, plan.repetitions);
+}
+
+}  // namespace groupcast::bench

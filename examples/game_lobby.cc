@@ -1,0 +1,68 @@
+// Game lobby: many concurrent communication groups over one overlay.
+//
+// A multiplayer-game style workload (another of the paper's motivating
+// applications): one 1200-peer overlay hosts 12 independent match lobbies,
+// each with its own rendezvous point, spanning tree, and chat/state
+// traffic.  The example shows that groups share the overlay without
+// sharing trees, and compares aggregate load between SSA and NSSA
+// announcements on the same deployment.
+#include <cstdio>
+#include <vector>
+
+#include "core/middleware.h"
+#include "metrics/esm_metrics.h"
+
+namespace {
+
+struct LobbyRun {
+  std::size_t signalling_messages = 0;
+  double avg_delay_ms = 0.0;
+  double overload = 0.0;
+  std::size_t lobbies = 0;
+};
+
+LobbyRun run_lobbies(groupcast::core::GroupCastMiddleware& middleware,
+                     std::size_t lobby_count, std::size_t lobby_size) {
+  using namespace groupcast;
+  LobbyRun out;
+  out.lobbies = lobby_count;
+  for (std::size_t l = 0; l < lobby_count; ++l) {
+    auto group = middleware.establish_random_group(lobby_size);
+    out.signalling_messages +=
+        group.advert.messages + group.report.total_messages();
+    const auto session = middleware.session(group);
+    const auto esm = metrics::evaluate_session(
+        middleware.population(), session, group.advert.rendezvous);
+    out.avg_delay_ms += esm.esm_avg_delay_ms / lobby_count;
+    out.overload += esm.overload_index / lobby_count;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace groupcast;
+
+  for (const auto scheme : {core::AnnouncementScheme::kSsaUtility,
+                            core::AnnouncementScheme::kNssa}) {
+    core::MiddlewareConfig config;
+    config.peer_count = 1200;
+    config.seed = 1234;
+    config.overlay = core::OverlayKind::kGroupCast;
+    config.advertisement.scheme = scheme;
+    core::GroupCastMiddleware middleware(config);
+
+    const auto run = run_lobbies(middleware, 12, 30);
+    std::printf("[%s] %zu lobbies x 30 players on a %zu-peer overlay\n",
+                core::to_string(scheme), run.lobbies, config.peer_count);
+    std::printf("  total signalling: %zu messages (%.1f per lobby)\n",
+                run.signalling_messages,
+                static_cast<double>(run.signalling_messages) / run.lobbies);
+    std::printf("  avg in-lobby delay: %.1f ms, overload index %.4f\n\n",
+                run.avg_delay_ms, run.overload);
+  }
+  std::printf("SSA keeps lobby setup cheap; the same overlay serves all "
+              "lobbies concurrently.\n");
+  return 0;
+}

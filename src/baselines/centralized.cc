@@ -1,0 +1,87 @@
+#include "baselines/centralized.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/require.h"
+
+namespace groupcast::baselines {
+
+core::SpanningTree build_unicast_star(
+    overlay::PeerId source, const std::vector<overlay::PeerId>& members) {
+  core::SpanningTree tree(source);
+  for (const auto m : members) {
+    if (m == source) {
+      tree.mark_subscriber(m);
+      continue;
+    }
+    tree.attach(m, source);
+    tree.mark_subscriber(m);
+  }
+  return tree;
+}
+
+core::SpanningTree build_degree_bounded_tree(
+    const overlay::PeerPopulation& population, overlay::PeerId source,
+    const std::vector<overlay::PeerId>& members,
+    const DegreeBoundedOptions& options) {
+  GC_REQUIRE(options.min_degree >= 1);
+  GC_REQUIRE(options.max_degree >= options.min_degree);
+
+  const auto bound = [&](overlay::PeerId p) {
+    const double raw =
+        options.base * std::pow(population.info(p).capacity, options.exponent);
+    return std::clamp(static_cast<std::size_t>(std::ceil(raw)),
+                      options.min_degree, options.max_degree);
+  };
+
+  core::SpanningTree tree(source);
+  std::unordered_map<overlay::PeerId, std::size_t> degree;  // tree degree
+
+  std::vector<overlay::PeerId> outside;
+  std::unordered_set<overlay::PeerId> seen{source};
+  for (const auto m : members) {
+    if (seen.insert(m).second) outside.push_back(m);
+  }
+
+  std::vector<overlay::PeerId> inside{source};
+  while (!outside.empty()) {
+    // Cheapest (outside member, inside node with spare degree) pair.
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_out = 0;
+    overlay::PeerId best_in = overlay::kNoPeer;
+    for (std::size_t o = 0; o < outside.size(); ++o) {
+      for (const auto in : inside) {
+        if (degree[in] >= bound(in)) continue;
+        const double cost = population.latency_ms(outside[o], in);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_out = o;
+          best_in = in;
+        }
+      }
+    }
+    // All inside nodes saturated: relax by attaching to the least-loaded
+    // inside node (the greedy bound is a soft constraint, as in practice).
+    if (best_in == overlay::kNoPeer) {
+      best_in = inside.front();
+      for (const auto in : inside) {
+        if (degree[in] < degree[best_in]) best_in = in;
+      }
+      best_out = 0;
+    }
+    const auto joining = outside[best_out];
+    tree.attach(joining, best_in);
+    ++degree[best_in];
+    ++degree[joining];
+    inside.push_back(joining);
+    outside.erase(outside.begin() + static_cast<std::ptrdiff_t>(best_out));
+  }
+  for (const auto m : members) tree.mark_subscriber(m);
+  return tree;
+}
+
+}  // namespace groupcast::baselines

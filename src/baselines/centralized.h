@@ -1,0 +1,43 @@
+// Centralized reference trees.
+//
+// Section 3.2 notes that with global topology and utility knowledge "we
+// could have used one of the several optimization techniques for
+// constructing utility-aware spanning trees" — infeasible in a real P2P
+// system, but a useful quality reference in simulation.  Two references:
+//
+//  * unicast star  — the source unicasts to every member separately; this
+//    is the paper's client/server "spanning tree of height 1" and what
+//    early Skype did for multi-party calls (its scalability wall motivates
+//    the whole system);
+//  * degree-bounded greedy tree — grow the tree from the source, always
+//    attaching the cheapest (lowest-latency) outside member to an on-tree
+//    node with spare capacity-derived degree.  A strong centralized
+//    heuristic for the delay/degree-constrained spanning tree problem.
+#pragma once
+
+#include "core/spanning_tree.h"
+#include "overlay/population.h"
+
+namespace groupcast::baselines {
+
+/// Star: every member is a direct child of the source.
+core::SpanningTree build_unicast_star(
+    overlay::PeerId source, const std::vector<overlay::PeerId>& members);
+
+struct DegreeBoundedOptions {
+  /// Degree bound of a node: clamp(ceil(base * capacity^exponent), min, max)
+  /// — the same shape the GroupCast bootstrap uses, so the two are
+  /// capacity-fair.
+  double base = 1.6;
+  double exponent = 0.32;
+  std::size_t min_degree = 2;
+  std::size_t max_degree = 48;
+};
+
+/// Greedy centralized degree-bounded minimum-latency spanning tree.
+core::SpanningTree build_degree_bounded_tree(
+    const overlay::PeerPopulation& population, overlay::PeerId source,
+    const std::vector<overlay::PeerId>& members,
+    const DegreeBoundedOptions& options = {});
+
+}  // namespace groupcast::baselines

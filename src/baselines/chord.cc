@@ -1,0 +1,100 @@
+#include "baselines/chord.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace groupcast::baselines {
+
+std::uint64_t ChordRing::hash_key(std::uint64_t raw) {
+  // One splitmix64 step: a high-quality 64-bit mixer.
+  std::uint64_t state = raw;
+  return util::splitmix64(state);
+}
+
+ChordRing::ChordRing(const overlay::PeerPopulation& population)
+    : population_(&population) {
+  const std::size_t n = population.size();
+  GC_REQUIRE(n >= 2);
+  id_.resize(n);
+  ring_.reserve(n);
+  for (overlay::PeerId p = 0; p < n; ++p) {
+    // Salt the peer id so node ids are unrelated to join order.
+    id_[p] = hash_key(0x517cc1b727220a95ULL ^ p);
+    ring_.emplace_back(id_[p], p);
+  }
+  std::sort(ring_.begin(), ring_.end());
+  // 64-bit hashes over < 2^32 peers collide with negligible probability,
+  // but a collision would corrupt routing silently — check.
+  for (std::size_t i = 1; i < ring_.size(); ++i) {
+    GC_ENSURE_MSG(ring_[i].first != ring_[i - 1].first,
+                  "chord id collision");
+  }
+
+  // Finger tables: finger[k] = successor(id + 2^k).
+  finger_.resize(n);
+  for (overlay::PeerId p = 0; p < n; ++p) {
+    finger_[p].reserve(kBits);
+    for (std::size_t k = 0; k < kBits; ++k) {
+      const std::uint64_t target = id_[p] + (std::uint64_t{1} << k);
+      finger_[p].push_back(successor_of(target));
+    }
+  }
+}
+
+std::uint64_t ChordRing::id_of(overlay::PeerId peer) const {
+  GC_REQUIRE(peer < id_.size());
+  return id_[peer];
+}
+
+overlay::PeerId ChordRing::successor_of(std::uint64_t key) const {
+  // First ring entry with hash >= key, wrapping to the front.
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const auto& entry, std::uint64_t k) { return entry.first < k; });
+  return it == ring_.end() ? ring_.front().second : it->second;
+}
+
+const std::vector<overlay::PeerId>& ChordRing::fingers(
+    overlay::PeerId peer) const {
+  GC_REQUIRE(peer < finger_.size());
+  return finger_[peer];
+}
+
+bool ChordRing::in_interval(std::uint64_t x, std::uint64_t a,
+                            std::uint64_t b) {
+  // (a, b] on the ring, modular.
+  if (a < b) return x > a && x <= b;
+  if (a > b) return x > a || x <= b;
+  return true;  // a == b: the whole ring
+}
+
+std::vector<overlay::PeerId> ChordRing::route(overlay::PeerId from,
+                                              std::uint64_t key) const {
+  GC_REQUIRE(from < id_.size());
+  const overlay::PeerId owner = successor_of(key);
+  std::vector<overlay::PeerId> path{from};
+  overlay::PeerId at = from;
+  while (at != owner) {
+    // Closest preceding finger: the largest finger strictly between the
+    // current node and the key.  If none helps, jump to the owner (the
+    // successor step of the Chord protocol).
+    overlay::PeerId next = owner;
+    const auto& f = finger_[at];
+    for (std::size_t k = kBits; k-- > 0;) {
+      const overlay::PeerId candidate = f[k];
+      if (candidate == at || candidate == owner) continue;
+      if (in_interval(id_[candidate], id_[at], key)) {
+        next = candidate;
+        break;
+      }
+    }
+    at = next;
+    path.push_back(at);
+    GC_ENSURE_MSG(path.size() <= id_.size() + 1, "chord routing loop");
+  }
+  return path;
+}
+
+}  // namespace groupcast::baselines

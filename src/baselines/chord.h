@@ -1,0 +1,55 @@
+// A Chord-style structured overlay (DHT substrate for the SCRIBE baseline).
+//
+// Section 2.1 of the paper contrasts GroupCast with DHT-based multicast
+// systems (SCRIBE [11], CAN-multicast [23]) that rely on deterministic
+// key-based routing.  This class models a *stabilized* Chord ring: node
+// identifiers are hashes of the peer ids, and finger tables are computed
+// from the global ring — i.e. the best case for the DHT, before any churn
+// is charged against it.  Routing walks real peers, so hop latencies come
+// from the same underlay as every other scheme.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/population.h"
+
+namespace groupcast::baselines {
+
+class ChordRing {
+ public:
+  static constexpr std::size_t kBits = 64;
+
+  explicit ChordRing(const overlay::PeerPopulation& population);
+
+  std::size_t size() const { return ring_.size(); }
+
+  /// The node identifier (hash) of a peer.
+  std::uint64_t id_of(overlay::PeerId peer) const;
+
+  /// The peer owning `key`: the first node clockwise from the key.
+  overlay::PeerId successor_of(std::uint64_t key) const;
+
+  /// The finger table of a peer: finger[k] = successor(id + 2^k).
+  const std::vector<overlay::PeerId>& fingers(overlay::PeerId peer) const;
+
+  /// Greedy Chord routing from `from` towards `key`.  Returns the full
+  /// node path, ending at successor_of(key).  O(log n) hops w.h.p.
+  std::vector<overlay::PeerId> route(overlay::PeerId from,
+                                     std::uint64_t key) const;
+
+  /// Consistent hash for group names (so SCRIBE keys and node ids share
+  /// the identifier space).
+  static std::uint64_t hash_key(std::uint64_t raw);
+
+ private:
+  /// True iff `x` lies in the half-open ring interval (a, b].
+  static bool in_interval(std::uint64_t x, std::uint64_t a, std::uint64_t b);
+
+  const overlay::PeerPopulation* population_;
+  std::vector<std::pair<std::uint64_t, overlay::PeerId>> ring_;  // sorted
+  std::vector<std::uint64_t> id_;                     // peer -> hash
+  std::vector<std::vector<overlay::PeerId>> finger_;  // peer -> fingers
+};
+
+}  // namespace groupcast::baselines

@@ -1,0 +1,108 @@
+#include "baselines/narada.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/require.h"
+
+namespace groupcast::baselines {
+
+NaradaResult build_narada_tree(const overlay::PeerPopulation& population,
+                               overlay::PeerId source,
+                               const std::vector<overlay::PeerId>& members,
+                               const NaradaOptions& options, util::Rng& rng) {
+  GC_REQUIRE(options.near_links >= 1);
+
+  // Distinct participant list, source first.
+  std::vector<overlay::PeerId> participants{source};
+  std::unordered_set<overlay::PeerId> seen{source};
+  for (const auto m : members) {
+    if (seen.insert(m).second) participants.push_back(m);
+  }
+  const std::size_t n = participants.size();
+  NaradaResult result{core::SpanningTree(source), source, 0, 0};
+  if (n == 1) return result;
+
+  // Index map and mesh adjacency (by participant index).
+  std::unordered_map<overlay::PeerId, std::size_t> index;
+  for (std::size_t i = 0; i < n; ++i) index.emplace(participants[i], i);
+  std::vector<std::unordered_set<std::size_t>> mesh(n);
+  auto link = [&mesh, &result](std::size_t a, std::size_t b) {
+    if (a == b) return;
+    if (mesh[a].insert(b).second) {
+      mesh[b].insert(a);
+      ++result.mesh_links;
+    }
+  };
+
+  // Each member links to its nearest fellow members (Narada members probe
+  // each other and keep low-latency links) plus random robustness links.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::size_t> others;
+    others.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) others.push_back(j);
+    }
+    const std::size_t near = std::min(options.near_links, others.size());
+    std::partial_sort(
+        others.begin(), others.begin() + static_cast<std::ptrdiff_t>(near),
+        others.end(), [&](std::size_t a, std::size_t b) {
+          return population.latency_ms(participants[i], participants[a]) <
+                 population.latency_ms(participants[i], participants[b]);
+        });
+    for (std::size_t k = 0; k < near; ++k) link(i, others[k]);
+    for (std::size_t k = 0; k < options.random_links; ++k) {
+      link(i, rng.uniform_index(n));
+    }
+  }
+  result.refresh_messages_per_round = 2 * result.mesh_links;
+
+  // Shortest-path tree over the mesh from the source (Dijkstra, latency
+  // weights) — the "well-known distributed algorithms" step.
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> parent(n, n);
+  using Item = std::pair<double, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[0] = 0.0;
+  heap.emplace(0.0, 0);
+  while (!heap.empty()) {
+    const auto [d, at] = heap.top();
+    heap.pop();
+    if (d > dist[at]) continue;
+    for (const auto nbr : mesh[at]) {
+      const double cand =
+          d + population.latency_ms(participants[at], participants[nbr]);
+      if (cand < dist[nbr]) {
+        dist[nbr] = cand;
+        parent[nbr] = at;
+        heap.emplace(cand, nbr);
+      }
+    }
+  }
+
+  // The mesh is connected w.h.p. (near + random links); if a member ended
+  // up unreachable, attach it directly to the source — Narada would have
+  // repaired the partition with its refresh protocol.
+  // Attach in BFS order so parents precede children.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&dist](std::size_t a, std::size_t b) {
+              return dist[a] < dist[b];
+            });
+  for (const auto i : order) {
+    if (i == 0) continue;
+    if (parent[i] == n) {
+      result.tree.attach(participants[i], source);
+    } else {
+      result.tree.attach(participants[i], participants[parent[i]]);
+    }
+  }
+  for (const auto m : members) result.tree.mark_subscriber(m);
+  return result;
+}
+
+}  // namespace groupcast::baselines

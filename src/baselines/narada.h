@@ -1,0 +1,43 @@
+// Narada-style mesh-first multicast tree (Chu, Rao & Zhang, SIGMETRICS'00).
+//
+// The two-step baseline of Section 2.1: group members first build a
+// well-connected *mesh* among themselves (each member keeps links to its
+// closest peers plus random links for robustness), then the multicast tree
+// is the shortest-path tree over that mesh rooted at the source.  The mesh
+// requires continuous pairwise refresh traffic — the scalability cost the
+// paper holds against this family of systems — which is reported as an
+// estimated per-round message count.
+#pragma once
+
+#include "core/spanning_tree.h"
+#include "overlay/population.h"
+#include "util/rng.h"
+
+namespace groupcast::baselines {
+
+struct NaradaOptions {
+  /// Links each member keeps to its nearest fellow members.
+  std::size_t near_links = 3;
+  /// Additional random links for mesh robustness.
+  std::size_t random_links = 1;
+};
+
+struct NaradaResult {
+  core::SpanningTree tree;
+  overlay::PeerId source;
+  std::size_t mesh_links = 0;
+  /// Messages one refresh round costs: each member exchanges state with
+  /// every mesh neighbour (the O(n^2)-ish overhead Narada is known for;
+  /// with the full member-state exchanges it is per-pair, here the link
+  /// count is reported and the bench scales it by refresh rate).
+  std::size_t refresh_messages_per_round = 0;
+};
+
+/// Builds the mesh over {source} ∪ members and returns the latency
+/// shortest-path tree rooted at `source`.
+NaradaResult build_narada_tree(const overlay::PeerPopulation& population,
+                               overlay::PeerId source,
+                               const std::vector<overlay::PeerId>& members,
+                               const NaradaOptions& options, util::Rng& rng);
+
+}  // namespace groupcast::baselines

@@ -1,0 +1,151 @@
+#include "baselines/nice.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/require.h"
+
+namespace groupcast::baselines {
+
+namespace {
+
+using Cluster = std::vector<overlay::PeerId>;
+
+/// Greedy geometric clustering: repeatedly seed a cluster with an
+/// unassigned member and fill it with its nearest unassigned members
+/// until it holds `target` peers.  NICE's join protocol converges to
+/// latency-compact clusters of this kind.
+std::vector<Cluster> cluster_layer(const overlay::PeerPopulation& population,
+                                   std::vector<overlay::PeerId> members,
+                                   std::size_t k, util::Rng& rng) {
+  const std::size_t target = 2 * k;  // middle of the [k, 3k-1] band
+  rng.shuffle(members);
+  std::vector<Cluster> clusters;
+  std::vector<char> taken(members.size(), 0);
+  for (std::size_t seed = 0; seed < members.size(); ++seed) {
+    if (taken[seed]) continue;
+    Cluster cluster{members[seed]};
+    taken[seed] = 1;
+    // Fill with nearest unassigned members.
+    while (cluster.size() < target) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t pick = members.size();
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        if (taken[j]) continue;
+        const double d =
+            population.latency_ms(cluster.front(), members[j]);
+        if (d < best) {
+          best = d;
+          pick = j;
+        }
+      }
+      if (pick == members.size()) break;
+      taken[pick] = 1;
+      cluster.push_back(members[pick]);
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  // NICE merges undersized trailing clusters into their nearest sibling.
+  if (clusters.size() >= 2 && clusters.back().size() < k) {
+    auto leftovers = std::move(clusters.back());
+    clusters.pop_back();
+    for (const auto member : leftovers) {
+      std::size_t best_cluster = 0;
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < clusters.size(); ++c) {
+        const double d =
+            population.latency_ms(member, clusters[c].front());
+        if (d < best) {
+          best = d;
+          best_cluster = c;
+        }
+      }
+      clusters[best_cluster].push_back(member);
+    }
+  }
+  return clusters;
+}
+
+/// The cluster leader is its latency centre: the member minimizing the
+/// maximum distance to its cluster mates.
+overlay::PeerId elect_leader(const overlay::PeerPopulation& population,
+                             const Cluster& cluster) {
+  GC_REQUIRE(!cluster.empty());
+  overlay::PeerId leader = cluster.front();
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto candidate : cluster) {
+    double worst = 0.0;
+    for (const auto other : cluster) {
+      worst = std::max(worst, population.latency_ms(candidate, other));
+    }
+    if (worst < best) {
+      best = worst;
+      leader = candidate;
+    }
+  }
+  return leader;
+}
+
+}  // namespace
+
+NiceResult build_nice_tree(const overlay::PeerPopulation& population,
+                           const std::vector<overlay::PeerId>& members,
+                           const NiceOptions& options, util::Rng& rng) {
+  GC_REQUIRE(options.cluster_degree >= 2);
+  // Distinct member list.
+  std::vector<overlay::PeerId> layer;
+  std::unordered_set<overlay::PeerId> seen;
+  for (const auto m : members) {
+    if (seen.insert(m).second) layer.push_back(m);
+  }
+  GC_REQUIRE_MSG(!layer.empty(), "NICE needs at least one member");
+
+  // parent[x] assigned as layers are built; leaders carry upwards.
+  std::unordered_map<overlay::PeerId, overlay::PeerId> parent;
+  NiceResult result{core::SpanningTree(layer.front()), layer.front(), 0, 0,
+                    0};
+
+  while (layer.size() > 1) {
+    ++result.layers;
+    const auto clusters =
+        cluster_layer(population, layer, options.cluster_degree, rng);
+    result.clusters += clusters.size();
+    std::vector<overlay::PeerId> next_layer;
+    for (const auto& cluster : clusters) {
+      result.refresh_messages_per_round +=
+          cluster.size() * (cluster.size() - 1);  // all-pairs heartbeats
+      const auto leader = elect_leader(population, cluster);
+      next_layer.push_back(leader);
+      for (const auto member : cluster) {
+        if (member != leader) parent[member] = leader;
+      }
+    }
+    layer = std::move(next_layer);
+  }
+
+  // The last remaining leader roots the hierarchy.
+  const auto root = layer.front();
+  result.root = root;
+  result.tree = core::SpanningTree(root);
+  // Attach top-down: repeatedly add nodes whose parent is on the tree.
+  std::vector<std::pair<overlay::PeerId, overlay::PeerId>> edges(
+      parent.begin(), parent.end());
+  std::size_t attached = 1, guard = 0;
+  while (attached < seen.size()) {
+    bool progress = false;
+    for (const auto& [child, up] : edges) {
+      if (result.tree.contains(child) || !result.tree.contains(up)) continue;
+      result.tree.attach(child, up);
+      ++attached;
+      progress = true;
+    }
+    GC_ENSURE_MSG(progress, "NICE hierarchy is not a tree");
+    GC_ENSURE(++guard <= seen.size());
+  }
+  for (const auto m : seen) result.tree.mark_subscriber(m);
+  return result;
+}
+
+}  // namespace groupcast::baselines

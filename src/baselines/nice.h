@@ -1,0 +1,49 @@
+// NICE-style hierarchical cluster multicast (Banerjee, Bhattacharjee &
+// Kommareddy, SIGCOMM 2002).
+//
+// The first family in the paper's Section 2.1 taxonomy: "participants of a
+// multicast group explicitly choose their parents ... from a list of
+// candidate nodes.  Examples of such systems include NICE, Overcast, and
+// Yoid."  NICE arranges members into layers of size-bounded clusters:
+//
+//   * layer 0 contains every member, partitioned into clusters of size
+//     [k, 3k-1]; each cluster elects its latency-centre as *leader*;
+//   * layer i+1 contains exactly the layer-i leaders, clustered again,
+//     until a single top cluster remains;
+//   * the control/data topology connects every member to its cluster
+//     leader, yielding O(log n) tree depth and O(k) fan-out per leader.
+//
+// This implementation performs the clustering with the same information a
+// running NICE deployment converges to (pairwise member latencies) and
+// emits a core::SpanningTree for the metrics pipeline.
+#pragma once
+
+#include "core/spanning_tree.h"
+#include "overlay/population.h"
+#include "util/rng.h"
+
+namespace groupcast::baselines {
+
+struct NiceOptions {
+  /// Cluster size parameter k: clusters hold between k and 3k-1 members.
+  std::size_t cluster_degree = 3;
+};
+
+struct NiceResult {
+  core::SpanningTree tree;
+  overlay::PeerId root;        // leader of the top cluster
+  std::size_t layers = 0;      // hierarchy height
+  std::size_t clusters = 0;    // total clusters over all layers
+  /// Per-round control cost: every member heartbeats its cluster mates
+  /// (NICE's O(k) per-member maintenance).
+  std::size_t refresh_messages_per_round = 0;
+};
+
+/// Builds the NICE hierarchy over `members` and returns the implied
+/// data-delivery tree (members attach to their layer-0 leader, leaders to
+/// their layer-1 leader, and so on).
+NiceResult build_nice_tree(const overlay::PeerPopulation& population,
+                           const std::vector<overlay::PeerId>& members,
+                           const NiceOptions& options, util::Rng& rng);
+
+}  // namespace groupcast::baselines

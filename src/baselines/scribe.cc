@@ -1,0 +1,43 @@
+#include "baselines/scribe.h"
+
+#include "util/require.h"
+
+namespace groupcast::baselines {
+
+ScribeResult build_scribe_tree(
+    const ChordRing& ring, const overlay::PeerPopulation& population,
+    std::uint64_t group_key,
+    const std::vector<overlay::PeerId>& subscribers) {
+  const overlay::PeerId root = ring.successor_of(group_key);
+  ScribeResult result{core::SpanningTree(root), root, 0, 0.0};
+
+  for (const auto subscriber : subscribers) {
+    if (!result.tree.contains(subscriber)) {
+      // Route towards the key; the path (reversed) is the forwarding path.
+      const auto path = ring.route(subscriber, group_key);
+      GC_ENSURE(!path.empty() && path.front() == subscriber);
+      GC_ENSURE(path.back() == root);
+      // Find the first node already on the tree; the join stops there.
+      std::size_t stop = path.size() - 1;
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        result.join_messages += i == 0 ? 0 : 1;
+        if (i > 0) {
+          result.total_join_latency_ms +=
+              population.latency_ms(path[i - 1], path[i]);
+        }
+        if (result.tree.contains(path[i])) {
+          stop = i;
+          break;
+        }
+      }
+      // Attach the walked prefix, top-down: path[stop] is on the tree.
+      for (std::size_t i = stop; i-- > 0;) {
+        result.tree.attach(path[i], path[i + 1]);
+      }
+    }
+    result.tree.mark_subscriber(subscriber);
+  }
+  return result;
+}
+
+}  // namespace groupcast::baselines

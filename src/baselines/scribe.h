@@ -1,0 +1,34 @@
+// SCRIBE-style multicast tree over the Chord ring.
+//
+// The DHT-based baseline of Section 2.1: "the multicast source is mapped to
+// a well-known node serving as the rendezvous point.  Subscribers use the
+// identifier of the rendezvous point as the keyword in their subscribing
+// requests ... the reverse of this [routing] path would be used for
+// forwarding the multicast payloads down from the multicast source."
+//
+// Every subscriber routes a JOIN towards the group key; each hop becomes a
+// forwarder and the join stops at the first node already on the tree —
+// exactly the SCRIBE algorithm.  The resulting core::SpanningTree feeds the
+// same GroupSession / metrics pipeline as GroupCast trees, so tree quality
+// is directly comparable.
+#pragma once
+
+#include "baselines/chord.h"
+#include "core/spanning_tree.h"
+
+namespace groupcast::baselines {
+
+struct ScribeResult {
+  core::SpanningTree tree;
+  overlay::PeerId root;              // successor of the group key
+  std::size_t join_messages = 0;     // one per routing hop walked
+  double total_join_latency_ms = 0;  // summed hop latencies of all joins
+};
+
+/// Builds the SCRIBE tree for `group_key` with the given subscribers.
+ScribeResult build_scribe_tree(const ChordRing& ring,
+                               const overlay::PeerPopulation& population,
+                               std::uint64_t group_key,
+                               const std::vector<overlay::PeerId>& subscribers);
+
+}  // namespace groupcast::baselines

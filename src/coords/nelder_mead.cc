@@ -1,0 +1,114 @@
+#include "coords/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace groupcast::coords {
+
+namespace {
+
+std::vector<double> centroid_excluding_worst(
+    const std::vector<std::vector<double>>& simplex, std::size_t worst) {
+  const std::size_t dims = simplex.front().size();
+  std::vector<double> c(dims, 0.0);
+  for (std::size_t i = 0; i < simplex.size(); ++i) {
+    if (i == worst) continue;
+    for (std::size_t d = 0; d < dims; ++d) c[d] += simplex[i][d];
+  }
+  const double k = 1.0 / static_cast<double>(simplex.size() - 1);
+  for (auto& x : c) x *= k;
+  return c;
+}
+
+std::vector<double> affine(const std::vector<double>& origin,
+                           const std::vector<double>& towards, double t) {
+  std::vector<double> out(origin.size());
+  for (std::size_t d = 0; d < origin.size(); ++d) {
+    out[d] = origin[d] + t * (towards[d] - origin[d]);
+  }
+  return out;
+}
+
+}  // namespace
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> start, const NelderMeadOptions& options) {
+  GC_REQUIRE(!start.empty());
+  GC_REQUIRE(options.initial_step > 0.0);
+  const std::size_t dims = start.size();
+
+  // Initial simplex: the start point plus one vertex offset per axis.
+  std::vector<std::vector<double>> simplex;
+  simplex.reserve(dims + 1);
+  simplex.push_back(start);
+  for (std::size_t d = 0; d < dims; ++d) {
+    auto v = start;
+    v[d] += options.initial_step;
+    simplex.push_back(std::move(v));
+  }
+  std::vector<double> values(simplex.size());
+  for (std::size_t i = 0; i < simplex.size(); ++i) values[i] = f(simplex[i]);
+
+  std::size_t iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // Identify best, worst, second-worst.
+    std::size_t best = 0, worst = 0, second = 0;
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      if (values[i] < values[best]) best = i;
+      if (values[i] > values[worst]) worst = i;
+    }
+    second = best;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i != worst && values[i] > values[second]) second = i;
+    }
+
+    if (std::abs(values[worst] - values[best]) < options.tolerance) break;
+
+    const auto center = centroid_excluding_worst(simplex, worst);
+    const auto reflected =
+        affine(center, simplex[worst], -options.reflection);
+    const double reflected_value = f(reflected);
+
+    if (reflected_value < values[best]) {
+      const auto expanded = affine(center, simplex[worst],
+                                   -options.reflection * options.expansion);
+      const double expanded_value = f(expanded);
+      if (expanded_value < reflected_value) {
+        simplex[worst] = expanded;
+        values[worst] = expanded_value;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = reflected_value;
+      }
+    } else if (reflected_value < values[second]) {
+      simplex[worst] = reflected;
+      values[worst] = reflected_value;
+    } else {
+      const auto contracted =
+          affine(center, simplex[worst], options.contraction);
+      const double contracted_value = f(contracted);
+      if (contracted_value < values[worst]) {
+        simplex[worst] = contracted;
+        values[worst] = contracted_value;
+      } else {
+        // Shrink the whole simplex towards the best vertex.
+        for (std::size_t i = 0; i < simplex.size(); ++i) {
+          if (i == best) continue;
+          simplex[i] = affine(simplex[best], simplex[i], options.shrink);
+          values[i] = f(simplex[i]);
+        }
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] < values[best]) best = i;
+  }
+  return NelderMeadResult{simplex[best], values[best], iter};
+}
+
+}  // namespace groupcast::coords

@@ -1,0 +1,35 @@
+// Nelder–Mead downhill-simplex minimizer.
+//
+// GNP [1] computes each host's coordinate by minimizing the latency
+// embedding error with the Simplex Downhill method; this is that method,
+// kept generic over std::vector<double> so tests can exercise it on known
+// analytic functions.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace groupcast::coords {
+
+struct NelderMeadOptions {
+  std::size_t max_iterations = 400;
+  double initial_step = 50.0;   // simplex spread around the starting point
+  double tolerance = 1e-6;      // stop when the simplex f-spread drops below
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Minimizes `f` starting from `start`.
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> start, const NelderMeadOptions& options = {});
+
+}  // namespace groupcast::coords

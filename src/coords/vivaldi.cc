@@ -1,0 +1,57 @@
+#include "coords/vivaldi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace groupcast::coords {
+
+VivaldiModel::VivaldiModel(std::size_t node_count, util::Rng& rng,
+                           const VivaldiOptions& options)
+    : nodes_(node_count), options_(options), jitter_(rng.split()) {
+  GC_REQUIRE(node_count >= 2);
+  for (auto& n : nodes_) {
+    n.error = options.initial_error;
+    // Small random spread breaks the all-at-origin symmetry.
+    for (std::size_t d = 0; d < kDims; ++d) n.coord[d] = rng.uniform(-1, 1);
+  }
+}
+
+void VivaldiModel::observe(std::size_t i, std::size_t j, double rtt_ms) {
+  GC_REQUIRE(i < nodes_.size() && j < nodes_.size());
+  GC_REQUIRE(i != j);
+  GC_REQUIRE(rtt_ms >= 0.0);
+  VivaldiNode& self = nodes_[i];
+  const VivaldiNode& other = nodes_[j];
+
+  const double est = self.coord.distance_to(other.coord);
+  const double err = est - rtt_ms;
+
+  // Confidence-weighted sample weight.
+  const double denom = self.error + other.error;
+  const double w = denom > 0.0 ? self.error / denom : 0.5;
+
+  // Update local error estimate (EWMA of relative sample error).
+  const double rel = rtt_ms > 0.0 ? std::abs(err) / rtt_ms : std::abs(err);
+  const double alpha = options_.ce * w;
+  self.error = std::clamp(rel * alpha + self.error * (1.0 - alpha), 0.0, 10.0);
+
+  // Move along the unit vector away from (or towards) the neighbour.
+  Coord direction = self.coord - other.coord;
+  const double mag = direction.magnitude();
+  if (mag < 1e-9) {
+    // Coincident: pick a random direction.
+    for (std::size_t d = 0; d < kDims; ++d) {
+      direction[d] = jitter_.uniform(-1.0, 1.0);
+    }
+    const double m2 = direction.magnitude();
+    direction *= m2 > 0 ? 1.0 / m2 : 0.0;
+  } else {
+    direction *= 1.0 / mag;
+  }
+  const double delta = options_.cc * w;
+  self.coord += direction * (-err * delta);
+}
+
+}  // namespace groupcast::coords

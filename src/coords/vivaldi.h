@@ -1,0 +1,87 @@
+// Vivaldi decentralized network coordinates (Dabek et al., SIGCOMM 2004).
+//
+// The paper lists Vivaldi alongside GNP as a way to obtain peer coordinates.
+// Vivaldi needs no landmarks: each node refines its own coordinate from
+// ordinary RTT samples using a spring model with an adaptive timestep
+// weighted by both endpoints' confidence.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "coords/coord.h"
+#include "util/rng.h"
+
+namespace groupcast::coords {
+
+struct VivaldiOptions {
+  double cc = 0.25;  // timestep constant
+  double ce = 0.25;  // error-adaptation constant
+  double initial_error = 1.0;
+};
+
+/// State of one Vivaldi node.
+struct VivaldiNode {
+  Coord coord;
+  double error = 1.0;  // local confidence estimate in [0, ~1]
+};
+
+/// A population of Vivaldi nodes updated from pairwise RTT samples.
+class VivaldiModel {
+ public:
+  VivaldiModel(std::size_t node_count, util::Rng& rng,
+               const VivaldiOptions& options = {});
+
+  std::size_t size() const { return nodes_.size(); }
+  const VivaldiNode& node(std::size_t i) const { return nodes_.at(i); }
+  const Coord& coordinate(std::size_t i) const { return nodes_.at(i).coord; }
+
+  /// Applies one RTT observation measured from `i` to `j`, moving node `i`
+  /// (the standard Vivaldi asymmetric update).
+  void observe(std::size_t i, std::size_t j, double rtt_ms);
+
+  /// Runs `rounds` rounds in which every node samples a random other node
+  /// through `oracle` (true latency).  Convenience for simulations.
+  template <typename Oracle>
+  void run_rounds(std::size_t rounds, Oracle&& oracle, util::Rng& rng) {
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        std::size_t j = rng.uniform_index(nodes_.size());
+        if (j == i) j = (j + 1) % nodes_.size();
+        observe(i, j, oracle(i, j));
+      }
+    }
+  }
+
+  /// Median relative error over random sampled pairs.
+  template <typename Oracle>
+  double median_relative_error(Oracle&& oracle, util::Rng& rng,
+                               std::size_t samples = 2000) const;
+
+ private:
+  std::vector<VivaldiNode> nodes_;
+  VivaldiOptions options_;
+  util::Rng jitter_;
+};
+
+template <typename Oracle>
+double VivaldiModel::median_relative_error(Oracle&& oracle, util::Rng& rng,
+                                           std::size_t samples) const {
+  std::vector<double> errors;
+  errors.reserve(samples);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto a = rng.uniform_index(nodes_.size());
+    const auto b = rng.uniform_index(nodes_.size());
+    if (a == b) continue;
+    const double real = oracle(a, b);
+    if (real <= 0.0) continue;
+    const double est = nodes_[a].coord.distance_to(nodes_[b].coord);
+    errors.push_back(std::abs(est - real) / real);
+  }
+  if (errors.empty()) return 0.0;
+  std::sort(errors.begin(), errors.end());
+  return errors[errors.size() / 2];
+}
+
+}  // namespace groupcast::coords

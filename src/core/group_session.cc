@@ -1,0 +1,174 @@
+#include "core/group_session.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/require.h"
+
+namespace groupcast::core {
+
+GroupSession::GroupSession(const overlay::PeerPopulation& population,
+                           const SpanningTree& tree)
+    : population_(&population), tree_(&tree) {}
+
+DisseminationResult GroupSession::disseminate(overlay::PeerId source) const {
+  GC_REQUIRE_MSG(tree_->contains(source), "source must be on the tree");
+  DisseminationResult result;
+  result.source = source;
+
+  const auto& routing = population_->routing();
+
+  // BFS over the undirected tree starting at the source; each traversed
+  // edge is one payload copy.
+  struct Visit {
+    overlay::PeerId peer;
+    overlay::PeerId from;
+    double delay_ms;
+  };
+  std::queue<Visit> frontier;
+  frontier.push(Visit{source, source, 0.0});
+  std::unordered_map<overlay::PeerId, char> seen;
+  seen.emplace(source, 1);
+
+  double delay_total = 0.0;
+  std::size_t subscriber_count = 0;
+
+  while (!frontier.empty()) {
+    const Visit visit = frontier.front();
+    frontier.pop();
+
+    if (tree_->is_subscriber(visit.peer) && visit.peer != source) {
+      result.subscriber_delay_ms.emplace(visit.peer, visit.delay_ms);
+      delay_total += visit.delay_ms;
+      result.max_delay_ms = std::max(result.max_delay_ms, visit.delay_ms);
+      ++subscriber_count;
+    }
+
+    // Tree neighbours: parent plus children.
+    std::vector<overlay::PeerId> tree_neighbors = tree_->children(visit.peer);
+    if (visit.peer != tree_->root()) {
+      tree_neighbors.push_back(tree_->parent(visit.peer));
+    }
+    std::size_t fanout = 0;
+    for (const auto next : tree_neighbors) {
+      if (next == visit.from && next != visit.peer) continue;
+      if (seen.contains(next)) continue;
+      seen.emplace(next, 1);
+      ++fanout;
+      ++result.payload_messages;
+
+      // Account the IP footprint of this overlay hop.
+      const auto& a = population_->info(visit.peer);
+      const auto& b = population_->info(next);
+      ++result.access_link_load[visit.peer];
+      ++result.access_link_load[next];
+      result.ip_messages += 2;  // both access links
+      routing.for_each_path_link(a.router, b.router, [&result](net::LinkId l) {
+        ++result.router_link_load[l];
+        ++result.ip_messages;
+      });
+
+      frontier.push(Visit{next, visit.peer,
+                          visit.delay_ms +
+                              population_->latency_ms(visit.peer, next)});
+    }
+    if (fanout > 0) result.forward_fanout.emplace(visit.peer, fanout);
+  }
+
+  result.average_delay_ms =
+      subscriber_count == 0
+          ? 0.0
+          : delay_total / static_cast<double>(subscriber_count);
+  return result;
+}
+
+GroupSession::LossyResult GroupSession::disseminate_lossy(
+    overlay::PeerId source, const LossyOptions& options,
+    util::Rng& rng) const {
+  GC_REQUIRE_MSG(tree_->contains(source), "source must be on the tree");
+  GC_REQUIRE(options.stream_units > 0.0);
+  LossyResult result;
+  for (const auto s : tree_->subscribers()) {
+    if (s != source) ++result.subscribers_total;
+  }
+
+  struct Visit {
+    overlay::PeerId peer;
+    overlay::PeerId from;
+  };
+  std::queue<Visit> frontier;
+  frontier.push(Visit{source, source});
+  std::unordered_map<overlay::PeerId, char> seen;
+  seen.emplace(source, 1);
+
+  while (!frontier.empty()) {
+    const Visit visit = frontier.front();
+    frontier.pop();
+    if (tree_->is_subscriber(visit.peer) && visit.peer != source) {
+      ++result.subscribers_reached;
+    }
+    std::vector<overlay::PeerId> tree_neighbors = tree_->children(visit.peer);
+    if (visit.peer != tree_->root()) {
+      tree_neighbors.push_back(tree_->parent(visit.peer));
+    }
+    // Fan-out this relay must sustain for the current payload.
+    std::size_t fanout = 0;
+    for (const auto next : tree_neighbors) {
+      if (next != visit.from && !seen.contains(next)) ++fanout;
+    }
+    if (fanout == 0) continue;
+    const double sustainable =
+        population_->info(visit.peer).capacity / options.stream_units;
+    const double forward_probability =
+        sustainable >= static_cast<double>(fanout)
+            ? 1.0
+            : sustainable / static_cast<double>(fanout);
+    for (const auto next : tree_neighbors) {
+      if (next == visit.from || seen.contains(next)) continue;
+      seen.emplace(next, 1);  // the edge is consumed either way
+      if (!rng.chance(forward_probability)) {
+        ++result.copies_dropped;
+        // The whole subtree behind the dropped copy misses this payload.
+        continue;
+      }
+      frontier.push(Visit{next, visit.peer});
+    }
+  }
+  return result;
+}
+
+GroupSession::IpMulticastBaseline GroupSession::ip_multicast_baseline(
+    overlay::PeerId source) const {
+  GC_REQUIRE_MSG(tree_->contains(source), "source must be on the tree");
+  IpMulticastBaseline baseline;
+
+  std::vector<net::RouterId> receiver_routers;
+  std::size_t receiver_count = 0;
+  for (const auto s : tree_->subscribers()) {
+    if (s == source) continue;
+    receiver_routers.push_back(population_->info(s).router);
+    ++receiver_count;
+  }
+  if (receiver_count == 0) return baseline;
+
+  const net::IpMulticastTree mc(population_->routing(),
+                                population_->info(source).router,
+                                receiver_routers);
+
+  // Router-level delay plus both access latencies, averaged per receiver.
+  double total = 0.0;
+  for (const auto s : tree_->subscribers()) {
+    if (s == source) continue;
+    total += population_->info(source).access_latency_ms +
+             mc.delay_ms_to(population_->info(s).router) +
+             population_->info(s).access_latency_ms;
+  }
+  baseline.average_delay_ms = total / static_cast<double>(receiver_count);
+
+  // IP messages: one per tree link, one per receiver access link, one for
+  // the source's uplink.
+  baseline.ip_messages = mc.link_message_count() + receiver_count + 1;
+  return baseline;
+}
+
+}  // namespace groupcast::core

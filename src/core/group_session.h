@@ -1,0 +1,97 @@
+// Group-communication session: payload dissemination over the spanning tree
+// and the raw measurements behind Figures 14–17.
+//
+// A payload injected by any tree node propagates to every other tree node
+// along tree edges (each participant may initiate messages — group
+// communication, not single-source multicast).  For the ESM evaluation the
+// source is the rendezvous/content node, matching the paper's Section 4.3.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/spanning_tree.h"
+#include "net/multicast.h"
+#include "overlay/population.h"
+#include "util/rng.h"
+
+namespace groupcast::core {
+
+/// Result of disseminating one payload from a source tree node.
+struct DisseminationResult {
+  overlay::PeerId source = overlay::kNoPeer;
+
+  /// Overlay (end-to-end) delay to every *subscriber*, ms.
+  std::unordered_map<overlay::PeerId, double> subscriber_delay_ms;
+  double average_delay_ms = 0.0;
+  double max_delay_ms = 0.0;
+
+  /// Payload copies sent (== tree edges traversed).
+  std::size_t payload_messages = 0;
+
+  /// Load per physical router link (link id -> copies carried).
+  std::unordered_map<net::LinkId, std::size_t> router_link_load;
+  /// Copies crossing each peer's access link (forwarding load).
+  std::unordered_map<overlay::PeerId, std::size_t> access_link_load;
+  /// Total IP-level messages: every physical link traversal, access links
+  /// included.  Numerator of the link-stress ratio.
+  std::size_t ip_messages = 0;
+
+  /// Children fan-out per non-leaf node w.r.t. the dissemination
+  /// orientation (node -> copies it forwards).
+  std::unordered_map<overlay::PeerId, std::size_t> forward_fanout;
+};
+
+class GroupSession {
+ public:
+  GroupSession(const overlay::PeerPopulation& population,
+               const SpanningTree& tree);
+
+  /// Propagates one payload from `source` (must be on the tree).
+  DisseminationResult disseminate(overlay::PeerId source) const;
+
+  /// Capacity-constrained dissemination.
+  ///
+  /// Section 3.1 observes that a "mismatch between the packet-forwarding
+  /// workloads and the capacities of peers introduces bottlenecks in the
+  /// communication overlay and may result in high packet losses".  This
+  /// model makes that concrete: a relay whose tree fan-out f exceeds its
+  /// sustainable fan-out c = capacity / stream_units forwards each copy
+  /// with probability c / f (fair bandwidth sharing); a dropped copy cuts
+  /// off the whole subtree behind it for this payload.
+  struct LossyOptions {
+    /// Capacity units one payload stream consumes per forwarded copy
+    /// (capacity is in 64 kbps units; a 64 kbps audio stream = 1).
+    double stream_units = 1.0;
+  };
+  struct LossyResult {
+    std::size_t subscribers_reached = 0;
+    std::size_t subscribers_total = 0;   // excluding the source
+    std::size_t copies_dropped = 0;
+    double delivery_ratio() const {
+      return subscribers_total == 0
+                 ? 1.0
+                 : static_cast<double>(subscribers_reached) /
+                       static_cast<double>(subscribers_total);
+    }
+  };
+  LossyResult disseminate_lossy(overlay::PeerId source,
+                                const LossyOptions& options,
+                                util::Rng& rng) const;
+
+  /// The IP-multicast baseline for the same subscriber set and source:
+  /// a router-level shortest-path tree plus one access-link copy per
+  /// subscriber (and one for the source's own uplink).
+  struct IpMulticastBaseline {
+    double average_delay_ms = 0.0;
+    std::size_t ip_messages = 0;
+  };
+  IpMulticastBaseline ip_multicast_baseline(overlay::PeerId source) const;
+
+  const SpanningTree& tree() const { return *tree_; }
+
+ private:
+  const overlay::PeerPopulation* population_;
+  const SpanningTree* tree_;
+};
+
+}  // namespace groupcast::core

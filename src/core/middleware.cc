@@ -1,0 +1,281 @@
+#include "core/middleware.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/require.h"
+
+namespace groupcast::core {
+
+const char* to_string(OverlayKind kind) {
+  switch (kind) {
+    case OverlayKind::kGroupCast:
+      return "GroupCast";
+    case OverlayKind::kRandomPowerLaw:
+      return "random-power-law";
+    case OverlayKind::kSupernode:
+      return "supernode";
+  }
+  return "?";
+}
+
+GroupCastMiddleware::GroupCastMiddleware(const MiddlewareConfig& config)
+    : config_(config), rng_(config.seed) {
+  GC_REQUIRE(config_.peer_count >= 2);
+
+  switch (config_.underlay_model) {
+    case UnderlayModel::kTransitStub: {
+      const auto ts_config = net::scale_config_for_peers(
+          config_.peer_count, config_.peers_per_router);
+      underlay_ = std::make_unique<net::UnderlayTopology>(
+          net::generate_transit_stub(ts_config, rng_));
+      break;
+    }
+    case UnderlayModel::kWaxman: {
+      net::WaxmanConfig waxman;
+      waxman.routers = static_cast<std::uint32_t>(std::max<std::size_t>(
+          48, config_.peer_count / config_.peers_per_router));
+      underlay_ = std::make_unique<net::UnderlayTopology>(
+          net::generate_waxman(waxman, rng_));
+      break;
+    }
+  }
+  routing_ = std::make_unique<net::IpRouting>(*underlay_);
+
+  auto pop_config = config_.population;
+  pop_config.peer_count = config_.peer_count;
+  population_ =
+      std::make_unique<overlay::PeerPopulation>(*routing_, pop_config, rng_);
+
+  graph_ = std::make_unique<overlay::OverlayGraph>(config_.peer_count);
+  host_cache_ = std::make_unique<overlay::HostCacheServer>(
+      *population_, config_.host_cache, rng_);
+  bootstrap_ = std::make_unique<overlay::GroupCastBootstrap>(
+      *population_, *graph_, *host_cache_, config_.bootstrap, rng_);
+
+  build_overlay();
+  repair_edges_ = ensure_connected();
+}
+
+void GroupCastMiddleware::build_overlay() {
+  switch (config_.overlay) {
+    case OverlayKind::kGroupCast: {
+      // Peers join one at a time in random order, as in the paper's
+      // Section 4.1 arrival process.  (Arrival *spacing* does not affect
+      // the resulting topology when no departures are scheduled, so the
+      // joins are executed directly rather than through the simulator.)
+      std::vector<overlay::PeerId> order(config_.peer_count);
+      std::iota(order.begin(), order.end(), 0);
+      rng_.shuffle(order);
+      for (const auto peer : order) bootstrap_->join(peer);
+      break;
+    }
+    case OverlayKind::kRandomPowerLaw: {
+      overlay::generate_plod(*graph_, config_.plod, rng_);
+      // PLOD peers are still registered so host-cache-based lookups and
+      // maintenance work identically on both overlays.
+      for (overlay::PeerId p = 0; p < config_.peer_count; ++p) {
+        host_cache_->register_peer(p);
+      }
+      break;
+    }
+    case OverlayKind::kSupernode: {
+      supernode_layout_ = overlay::build_supernode_overlay(
+          *population_, *graph_, *host_cache_, config_.supernode, rng_);
+      break;
+    }
+  }
+}
+
+std::size_t GroupCastMiddleware::ensure_connected() {
+  // Components of the undirected view.
+  const std::size_t n = graph_->peer_count();
+  std::vector<std::int32_t> component(n, -1);
+  std::int32_t n_components = 0;
+  std::vector<std::size_t> component_size;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (component[start] >= 0) continue;
+    const std::int32_t c = n_components++;
+    component_size.push_back(0);
+    std::queue<overlay::PeerId> frontier;
+    frontier.push(static_cast<overlay::PeerId>(start));
+    component[start] = c;
+    while (!frontier.empty()) {
+      const auto at = frontier.front();
+      frontier.pop();
+      ++component_size[static_cast<std::size_t>(c)];
+      for (const auto nbr : graph_->neighbors(at)) {
+        if (component[nbr] < 0) {
+          component[nbr] = c;
+          frontier.push(nbr);
+        }
+      }
+    }
+  }
+  if (n_components <= 1) return 0;
+
+  // Attach every secondary component to the giant one: its most capable
+  // member links to a random giant-component member (out edge + back edge).
+  const auto giant = static_cast<std::int32_t>(
+      std::max_element(component_size.begin(), component_size.end()) -
+      component_size.begin());
+  std::vector<overlay::PeerId> giant_members;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (component[p] == giant) {
+      giant_members.push_back(static_cast<overlay::PeerId>(p));
+    }
+  }
+  std::vector<overlay::PeerId> best(static_cast<std::size_t>(n_components),
+                                    overlay::kNoPeer);
+  for (std::size_t p = 0; p < n; ++p) {
+    auto& b = best[static_cast<std::size_t>(component[p])];
+    if (b == overlay::kNoPeer ||
+        population_->info(static_cast<overlay::PeerId>(p)).capacity >
+            population_->info(b).capacity) {
+      b = static_cast<overlay::PeerId>(p);
+    }
+  }
+  std::size_t repairs = 0;
+  for (std::int32_t c = 0; c < n_components; ++c) {
+    if (c == giant) continue;
+    const auto from = best[static_cast<std::size_t>(c)];
+    const auto to = giant_members[rng_.uniform_index(giant_members.size())];
+    graph_->add_edge(from, to);
+    graph_->add_edge(to, from);
+    ++repairs;
+  }
+  return repairs;
+}
+
+overlay::PeerId GroupCastMiddleware::pick_rendezvous() {
+  // Random walk: start at a connected peer, remember the most capable
+  // peer visited.  Isolated peers (departed, or not yet joined) cannot
+  // serve as rendezvous points.
+  auto at = static_cast<overlay::PeerId>(
+      rng_.uniform_index(population_->size()));
+  for (std::size_t attempt = 0;
+       graph_->degree(at) == 0 && attempt < population_->size(); ++attempt) {
+    at = static_cast<overlay::PeerId>(rng_.uniform_index(population_->size()));
+  }
+  GC_REQUIRE_MSG(graph_->degree(at) > 0,
+                 "no connected peers to host a rendezvous point");
+  overlay::PeerId best = at;
+  for (std::size_t step = 0; step < config_.rendezvous_walk_length; ++step) {
+    const auto nbrs = graph_->neighbors(at);
+    if (nbrs.empty()) break;
+    at = nbrs[rng_.uniform_index(nbrs.size())];
+    if (population_->info(at).capacity > population_->info(best).capacity) {
+      best = at;
+    }
+  }
+  return best;
+}
+
+GroupHandle GroupCastMiddleware::establish_group(
+    overlay::PeerId rendezvous,
+    const std::vector<overlay::PeerId>& subscribers) {
+  GC_REQUIRE(rendezvous < population_->size());
+
+  AdvertisementEngine advertiser(simulator_, *population_, *graph_,
+                                 config_.advertisement, rng_);
+  GroupHandle group(AdvertisementState{}, SpanningTree(rendezvous));
+  group.advert = advertiser.announce(rendezvous, &group.stats);
+
+  SubscriptionProtocol subscription(*population_, *graph_,
+                                    config_.subscription);
+  group.report = subscription.subscribe_all(group.advert, subscribers,
+                                            group.tree, &group.stats);
+  return group;
+}
+
+SubscriptionOutcome GroupCastMiddleware::add_subscriber(
+    GroupHandle& group, overlay::PeerId peer) {
+  GC_REQUIRE(peer < population_->size());
+  SubscriptionProtocol protocol(*population_, *graph_, config_.subscription);
+  const auto outcome =
+      protocol.subscribe(group.advert, peer, group.tree, &group.stats);
+  group.report.outcomes.push_back(outcome);
+  return outcome;
+}
+
+std::size_t GroupCastMiddleware::remove_subscriber(GroupHandle& group,
+                                                   overlay::PeerId peer) {
+  group.tree.unmark_subscriber(peer);
+  // Collapse the now-useless relay chain: repeatedly prune leaf relays.
+  std::size_t pruned = 0;
+  overlay::PeerId at = peer;
+  while (at != group.tree.root() && group.tree.children(at).empty() &&
+         !group.tree.is_subscriber(at)) {
+    const auto up = group.tree.parent(at);
+    pruned += group.tree.prune(at);
+    at = up;
+  }
+  return pruned;
+}
+
+GroupCastMiddleware::RepairReport GroupCastMiddleware::repair_after_failure(
+    GroupHandle& group, overlay::PeerId failed) {
+  GC_REQUIRE_MSG(group.tree.contains(failed), "peer is not on the tree");
+  GC_REQUIRE_MSG(failed != group.tree.root(),
+                 "rendezvous failure needs a new group");
+  RepairReport report;
+
+  // Who loses connectivity?
+  auto orphans = group.tree.subtree_subscribers(failed);
+  if (group.tree.is_subscriber(failed)) {
+    // The crashed peer itself is gone for good, not an orphan to re-add.
+    orphans.erase(std::find(orphans.begin(), orphans.end(), failed));
+  }
+  report.orphaned_subscribers = orphans.size();
+  report.pruned_nodes = group.tree.prune(failed);
+
+  // Invalidate advertisement paths that pass through the failed peer:
+  // peers holding such a path would try to join through a corpse.
+  // valid[p]: 1 = chain reaches the rendezvous without `failed`,
+  // -1 = broken, 0 = unknown.
+  std::vector<std::int8_t> valid(population_->size(), 0);
+  valid[group.advert.rendezvous] = 1;
+  valid[failed] = -1;
+  for (overlay::PeerId p = 0; p < population_->size(); ++p) {
+    if (!group.advert.received(p) || valid[p] != 0) continue;
+    std::vector<overlay::PeerId> chain;
+    overlay::PeerId at = p;
+    while (valid[at] == 0) {
+      chain.push_back(at);
+      at = group.advert.parent.at(at);
+    }
+    const std::int8_t verdict = valid[at];
+    for (const auto c : chain) valid[c] = verdict;
+  }
+  for (overlay::PeerId p = 0; p < population_->size(); ++p) {
+    if (valid[p] == -1) group.advert.parent[p] = overlay::kNoPeer;
+  }
+
+  // Orphans re-subscribe through the normal protocol.
+  SubscriptionProtocol protocol(*population_, *graph_, config_.subscription);
+  for (const auto orphan : orphans) {
+    const auto outcome =
+        protocol.subscribe(group.advert, orphan, group.tree, &group.stats);
+    group.report.outcomes.push_back(outcome);
+    if (outcome.success) ++report.resubscribed;
+  }
+  return report;
+}
+
+GroupHandle GroupCastMiddleware::establish_random_group(
+    std::size_t group_size) {
+  GC_REQUIRE(group_size >= 1);
+  GC_REQUIRE(group_size <= population_->size());
+  const auto rendezvous = pick_rendezvous();
+  std::vector<overlay::PeerId> subscribers;
+  subscribers.reserve(group_size);
+  const auto picks = rng_.sample_indices(population_->size(), group_size);
+  for (const auto p : picks) {
+    const auto peer = static_cast<overlay::PeerId>(p);
+    if (peer != rendezvous) subscribers.push_back(peer);
+  }
+  return establish_group(rendezvous, subscribers);
+}
+
+}  // namespace groupcast::core

@@ -1,0 +1,157 @@
+// GroupCastMiddleware — the public façade of the library.
+//
+// One object owns a complete simulated deployment: the IP underlay, the
+// peer population with GNP coordinates and Table 1 capacities, the overlay
+// (GroupCast utility-aware or the random power-law baseline), and the
+// protocol engines.  Applications (see examples/) use it as:
+//
+//   core::MiddlewareConfig config;
+//   config.peer_count = 2000;
+//   core::GroupCastMiddleware middleware(config);
+//   auto rendezvous = middleware.pick_rendezvous();
+//   auto group = middleware.establish_group(rendezvous, subscribers);
+//   auto session = middleware.session(group);
+//   auto result = session.disseminate(rendezvous);
+#pragma once
+
+#include <memory>
+
+#include "core/advertisement.h"
+#include "core/group_session.h"
+#include "core/subscription.h"
+#include "overlay/bootstrap.h"
+#include "overlay/plod.h"
+#include "overlay/supernode.h"
+
+namespace groupcast::core {
+
+/// Overlay architectures the middleware can stand up:
+///  * kGroupCast       — the paper's flat utility-aware overlay;
+///  * kRandomPowerLaw  — the PLOD baseline;
+///  * kSupernode       — the two-tier variant of Section 6 (future work).
+enum class OverlayKind { kGroupCast, kRandomPowerLaw, kSupernode };
+
+const char* to_string(OverlayKind kind);
+
+/// IP underlay model: GT-ITM transit-stub (the paper's) or Waxman
+/// (the ablation alternative).
+enum class UnderlayModel { kTransitStub, kWaxman };
+
+struct MiddlewareConfig {
+  std::size_t peer_count = 1000;
+  std::uint64_t seed = 1;
+  OverlayKind overlay = OverlayKind::kGroupCast;
+  UnderlayModel underlay_model = UnderlayModel::kTransitStub;
+
+  /// Underlay sizing: roughly one stub router per this many peers.
+  std::size_t peers_per_router = 24;
+
+  overlay::PopulationConfig population;     // peer_count is overridden
+  overlay::HostCacheOptions host_cache;
+  overlay::BootstrapOptions bootstrap;
+  overlay::PlodOptions plod;
+  overlay::SupernodeOptions supernode;
+  AdvertisementOptions advertisement;
+  SubscriptionOptions subscription;
+
+  /// Random-walk length used by pick_rendezvous().
+  std::size_t rendezvous_walk_length = 20;
+};
+
+/// One established communication group.
+struct GroupHandle {
+  AdvertisementState advert;
+  SpanningTree tree;
+  SubscriptionReport report;
+  MessageStats stats;
+
+  GroupHandle(AdvertisementState a, SpanningTree t)
+      : advert(std::move(a)), tree(std::move(t)) {}
+};
+
+class GroupCastMiddleware {
+ public:
+  explicit GroupCastMiddleware(const MiddlewareConfig& config);
+
+  // Non-copyable (owns large immutable state); movable is unnecessary.
+  GroupCastMiddleware(const GroupCastMiddleware&) = delete;
+  GroupCastMiddleware& operator=(const GroupCastMiddleware&) = delete;
+
+  const MiddlewareConfig& config() const { return config_; }
+  const net::UnderlayTopology& underlay() const { return *underlay_; }
+  const net::IpRouting& routing() const { return *routing_; }
+  const overlay::PeerPopulation& population() const { return *population_; }
+  const overlay::OverlayGraph& graph() const { return *graph_; }
+  overlay::OverlayGraph& mutable_graph() { return *graph_; }
+  overlay::GroupCastBootstrap& bootstrap() { return *bootstrap_; }
+  overlay::HostCacheServer& host_cache() { return *host_cache_; }
+  sim::Simulator& simulator() { return simulator_; }
+  util::Rng& rng() { return rng_; }
+
+  /// Selects a rendezvous point with a random walk over the overlay,
+  /// returning the most capable peer visited (Section 2.2, Step 1).
+  overlay::PeerId pick_rendezvous();
+
+  /// Runs the full announcement + subscription pipeline for one group.
+  GroupHandle establish_group(overlay::PeerId rendezvous,
+                              const std::vector<overlay::PeerId>& subscribers);
+
+  /// Convenience: random rendezvous (via walk) + `group_size` random
+  /// distinct subscribers.
+  GroupHandle establish_random_group(std::size_t group_size);
+
+  /// A dissemination session over an established group's tree.  The handle
+  /// must outlive the session.
+  GroupSession session(const GroupHandle& group) const {
+    return GroupSession(*population_, group.tree);
+  }
+
+  /// Subscribes one more peer to an established group (late join).
+  SubscriptionOutcome add_subscriber(GroupHandle& group,
+                                     overlay::PeerId peer);
+
+  /// Removes a subscriber.  A leaf leaves the tree (and pure-relay chains
+  /// above it collapse); an interior subscriber stays on as a relay.
+  /// Returns the number of tree nodes pruned.
+  std::size_t remove_subscriber(GroupHandle& group, overlay::PeerId peer);
+
+  struct RepairReport {
+    std::size_t pruned_nodes = 0;       // subtree size of the failed relay
+    std::size_t orphaned_subscribers = 0;
+    std::size_t resubscribed = 0;       // orphans back on the tree
+  };
+
+  /// Handles the crash of a tree node: its subtree is cut off, the stale
+  /// advertisement paths through it are invalidated, and every orphaned
+  /// subscriber re-runs the subscription protocol (reverse path if its
+  /// advert chain is still valid, ripple search otherwise).
+  RepairReport repair_after_failure(GroupHandle& group,
+                                    overlay::PeerId failed);
+
+  /// Number of repair edges the constructor had to add to make the overlay
+  /// connected (0 in the common case; see DESIGN.md).
+  std::size_t connectivity_repair_edges() const { return repair_edges_; }
+
+  /// Tier assignment; only populated for OverlayKind::kSupernode.
+  const overlay::SupernodeLayout& supernode_layout() const {
+    return supernode_layout_;
+  }
+
+ private:
+  void build_overlay();
+  std::size_t ensure_connected();
+
+  MiddlewareConfig config_;
+  util::Rng rng_;
+  sim::Simulator simulator_;
+  std::unique_ptr<net::UnderlayTopology> underlay_;
+  std::unique_ptr<net::IpRouting> routing_;
+  std::unique_ptr<overlay::PeerPopulation> population_;
+  std::unique_ptr<overlay::OverlayGraph> graph_;
+  std::unique_ptr<overlay::HostCacheServer> host_cache_;
+  std::unique_ptr<overlay::GroupCastBootstrap> bootstrap_;
+  overlay::SupernodeLayout supernode_layout_;
+  std::size_t repair_edges_ = 0;
+};
+
+}  // namespace groupcast::core

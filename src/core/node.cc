@@ -1,0 +1,345 @@
+#include "core/node.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/utility.h"
+#include "util/require.h"
+
+namespace groupcast::core {
+
+namespace {
+/// Dedup key for payloads: origin in the high bits, id in the low bits.
+std::uint64_t payload_key(overlay::PeerId origin, std::uint64_t id) {
+  return (static_cast<std::uint64_t>(origin) << 40) ^ id;
+}
+}  // namespace
+
+GroupCastNode::GroupCastNode(overlay::PeerId self, Transport& transport,
+                             const overlay::OverlayGraph& graph,
+                             NodeOptions options, util::Rng& rng)
+    : self_(self),
+      transport_(&transport),
+      graph_(&graph),
+      options_(options),
+      rng_(rng.split()) {
+  GC_REQUIRE(self < transport.population().size());
+  GC_REQUIRE(options_.ripple_ttl >= 1);
+}
+
+GroupCastNode::~GroupCastNode() {
+  if (running_) stop();
+}
+
+void GroupCastNode::start() {
+  GC_REQUIRE_MSG(!running_, "node already started");
+  transport_->register_node(self_,
+                            [this](const Envelope& e) { handle(e); });
+  running_ = true;
+}
+
+void GroupCastNode::stop() {
+  GC_REQUIRE_MSG(running_, "node not running");
+  transport_->unregister_node(self_);
+  running_ = false;
+}
+
+double GroupCastNode::resource_level() {
+  if (!cached_resource_level_) {
+    cached_resource_level_ = clamp_resource_level(
+        options_.advertisement.pinned_resource_level >= 0.0
+            ? options_.advertisement.pinned_resource_level
+            : transport_->population().sampled_resource_level(
+                  self_, options_.advertisement.resource_sample, rng_));
+  }
+  return *cached_resource_level_;
+}
+
+std::vector<overlay::PeerId> GroupCastNode::select_forward_targets(
+    overlay::PeerId exclude) {
+  std::vector<overlay::PeerId> pool;
+  for (const auto n : graph_->neighbors(self_)) {
+    if (n != exclude) pool.push_back(n);
+  }
+  if (pool.empty()) return pool;
+  const auto& adv = options_.advertisement;
+  if (adv.scheme == AnnouncementScheme::kNssa) return pool;
+
+  const auto want = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(
+             adv.forward_fraction * static_cast<double>(pool.size()))));
+  if (want >= pool.size()) return pool;
+
+  if (adv.scheme == AnnouncementScheme::kSsaRandom) {
+    const auto idx = rng_.sample_indices(pool.size(), want);
+    std::vector<overlay::PeerId> out;
+    for (const auto i : idx) out.push_back(pool[i]);
+    return out;
+  }
+  const auto& population = transport_->population();
+  std::vector<Candidate> candidates;
+  candidates.reserve(pool.size());
+  for (const auto n : pool) {
+    candidates.push_back(Candidate{population.info(n).capacity,
+                                   population.coord_distance_ms(self_, n)});
+  }
+  const auto prefs = selection_preferences(resource_level(), candidates);
+  const auto idx = weighted_sample_without_replacement(prefs, want, rng_);
+  std::vector<overlay::PeerId> out;
+  for (const auto i : idx) out.push_back(pool[i]);
+  return out;
+}
+
+// ------------------------------------------------------------- public API
+
+void GroupCastNode::create_group(GroupId group) {
+  GC_REQUIRE(running_);
+  auto& state = state_of(group);
+  GC_REQUIRE_MSG(!state.has_advert, "group already created or advertised");
+  state.rendezvous = self_;
+  state.advert_parent = self_;
+  state.has_advert = true;
+  state.on_tree = true;
+  state.subscribed = true;
+  state.tree_parent = self_;
+  for (const auto target : select_forward_targets(self_)) {
+    transport_->send(
+        self_, target,
+        AdvertiseMsg{group, self_,
+                     static_cast<std::uint32_t>(
+                         options_.advertisement.ttl - 1)});
+  }
+}
+
+void GroupCastNode::subscribe(GroupId group) {
+  GC_REQUIRE(running_);
+  auto& state = state_of(group);
+  if (state.on_tree) {
+    state.subscribed = true;
+    if (subscribe_callback_) subscribe_callback_(group, true);
+    return;
+  }
+  state.subscribed = true;  // desired; effective once on the tree
+  if (state.has_advert) {
+    send_join(group, state.advert_parent);
+  } else {
+    state.search_pending = true;
+    for (const auto n : graph_->neighbors(self_)) {
+      transport_->send(
+          self_, n,
+          RippleQueryMsg{group, self_,
+                         static_cast<std::uint32_t>(options_.ripple_ttl)});
+    }
+  }
+  // Give up if nothing confirms the join within the timeout.
+  transport_->simulator().schedule(options_.subscribe_timeout,
+                                   [this, group] {
+    auto& st = state_of(group);
+    if (st.subscribed && !st.on_tree) {
+      st.subscribed = false;
+      st.join_pending = false;
+      st.search_pending = false;
+      if (subscribe_callback_) subscribe_callback_(group, false);
+    }
+  });
+}
+
+void GroupCastNode::send_join(GroupId group, overlay::PeerId attach) {
+  auto& state = state_of(group);
+  if (state.join_pending) return;
+  state.join_pending = true;
+  transport_->send(self_, attach, JoinMsg{group, self_});
+}
+
+void GroupCastNode::unsubscribe(GroupId group) {
+  GC_REQUIRE(running_);
+  auto& state = state_of(group);
+  GC_REQUIRE_MSG(state.subscribed, "not subscribed to this group");
+  state.subscribed = false;
+  if (!state.on_tree) return;
+  if (!state.children.empty() || state.tree_parent == self_) {
+    return;  // relay (or root): keep forwarding for the children
+  }
+  transport_->send(self_, state.tree_parent, LeaveMsg{group, self_});
+  state.on_tree = false;
+  state.tree_parent = overlay::kNoPeer;
+}
+
+void GroupCastNode::publish(GroupId group, std::uint64_t payload_id) {
+  GC_REQUIRE(running_);
+  const auto it = groups_.find(group);
+  GC_REQUIRE_MSG(it != groups_.end() && it->second.on_tree,
+                 "publish requires tree membership");
+  auto& state = it->second;
+  state.seen_payloads.insert(payload_key(self_, payload_id));
+  if (state.tree_parent != self_ &&
+      state.tree_parent != overlay::kNoPeer) {
+    transport_->send(self_, state.tree_parent,
+                     DataMsg{group, self_, payload_id});
+  }
+  for (const auto child : state.children) {
+    transport_->send(self_, child, DataMsg{group, self_, payload_id});
+  }
+}
+
+// ------------------------------------------------------------ inspection
+
+bool GroupCastNode::has_advertisement(GroupId group) const {
+  const auto it = groups_.find(group);
+  return it != groups_.end() && it->second.has_advert;
+}
+
+bool GroupCastNode::is_subscribed(GroupId group) const {
+  const auto it = groups_.find(group);
+  return it != groups_.end() && it->second.subscribed &&
+         it->second.on_tree;
+}
+
+bool GroupCastNode::on_tree(GroupId group) const {
+  const auto it = groups_.find(group);
+  return it != groups_.end() && it->second.on_tree;
+}
+
+overlay::PeerId GroupCastNode::tree_parent(GroupId group) const {
+  const auto it = groups_.find(group);
+  GC_REQUIRE(it != groups_.end() && it->second.on_tree);
+  return it->second.tree_parent;
+}
+
+std::vector<overlay::PeerId> GroupCastNode::tree_children(
+    GroupId group) const {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return {};
+  return it->second.children;
+}
+
+// -------------------------------------------------------------- handlers
+
+void GroupCastNode::handle(const Envelope& envelope) {
+  std::visit(
+      [this, &envelope](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, AdvertiseMsg>) {
+          handle_advertise(envelope, msg);
+        } else if constexpr (std::is_same_v<T, JoinMsg>) {
+          handle_join(envelope, msg);
+        } else if constexpr (std::is_same_v<T, JoinAckMsg>) {
+          handle_join_ack(envelope, msg);
+        } else if constexpr (std::is_same_v<T, RippleQueryMsg>) {
+          handle_ripple_query(envelope, msg);
+        } else if constexpr (std::is_same_v<T, RippleHitMsg>) {
+          handle_ripple_hit(envelope, msg);
+        } else if constexpr (std::is_same_v<T, DataMsg>) {
+          handle_data(envelope, msg);
+        } else if constexpr (std::is_same_v<T, LeaveMsg>) {
+          handle_leave(envelope, msg);
+        }
+      },
+      envelope.body);
+}
+
+void GroupCastNode::handle_advertise(const Envelope& envelope,
+                                     const AdvertiseMsg& msg) {
+  auto& state = state_of(msg.group);
+  if (state.has_advert) return;  // duplicate
+  state.has_advert = true;
+  state.rendezvous = msg.rendezvous;
+  state.advert_parent = envelope.from;
+  if (msg.ttl == 0) return;
+  for (const auto target : select_forward_targets(envelope.from)) {
+    transport_->send(self_, target,
+                     AdvertiseMsg{msg.group, msg.rendezvous, msg.ttl - 1});
+  }
+}
+
+void GroupCastNode::handle_join(const Envelope& /*envelope*/,
+                                const JoinMsg& msg) {
+  auto& state = state_of(msg.group);
+  // A join can only be honoured by a peer that can reach the tree.
+  if (!state.on_tree && !state.has_advert) return;  // stale join: ignored
+  if (std::find(state.children.begin(), state.children.end(), msg.child) ==
+      state.children.end()) {
+    state.children.push_back(msg.child);
+  }
+  transport_->send(self_, msg.child, JoinAckMsg{msg.group});
+  if (!state.on_tree) {
+    // Become a relay: join upwards along the reverse advertisement path.
+    send_join(msg.group, state.advert_parent);
+  }
+}
+
+void GroupCastNode::handle_join_ack(const Envelope& envelope,
+                                    const JoinAckMsg& msg) {
+  auto& state = state_of(msg.group);
+  if (state.on_tree) return;
+  state.on_tree = true;
+  state.join_pending = false;
+  state.search_pending = false;
+  state.tree_parent = envelope.from;
+  if (state.subscribed && subscribe_callback_) {
+    subscribe_callback_(msg.group, true);
+  }
+}
+
+void GroupCastNode::handle_ripple_query(const Envelope& envelope,
+                                        const RippleQueryMsg& msg) {
+  auto& state = state_of(msg.group);
+  if (!state.seen_queries.insert(msg.origin).second) return;  // duplicate
+  if (state.has_advert || state.on_tree) {
+    transport_->send(self_, msg.origin, RippleHitMsg{msg.group, self_});
+    return;
+  }
+  if (msg.ttl <= 1) return;
+  for (const auto n : graph_->neighbors(self_)) {
+    if (n == envelope.from || n == msg.origin) continue;
+    transport_->send(self_, n,
+                     RippleQueryMsg{msg.group, msg.origin, msg.ttl - 1});
+  }
+}
+
+void GroupCastNode::handle_ripple_hit(const Envelope& /*envelope*/,
+                                      const RippleHitMsg& msg) {
+  auto& state = state_of(msg.group);
+  if (!state.search_pending) return;  // already attached via earlier hit
+  state.search_pending = false;
+  send_join(msg.group, msg.holder);
+}
+
+void GroupCastNode::handle_data(const Envelope& envelope,
+                                const DataMsg& msg) {
+  auto& state = state_of(msg.group);
+  if (!state.on_tree) return;
+  if (!state.seen_payloads.insert(payload_key(msg.origin, msg.payload_id))
+           .second) {
+    return;  // duplicate
+  }
+  if (state.subscribed && data_callback_) {
+    data_callback_(msg.group, msg.payload_id, msg.origin);
+  }
+  // Forward along the tree, away from the sender.
+  if (state.tree_parent != self_ && state.tree_parent != envelope.from &&
+      state.tree_parent != overlay::kNoPeer) {
+    transport_->send(self_, state.tree_parent, msg);
+  }
+  for (const auto child : state.children) {
+    if (child == envelope.from) continue;
+    transport_->send(self_, child, msg);
+  }
+}
+
+void GroupCastNode::handle_leave(const Envelope& /*envelope*/,
+                                 const LeaveMsg& msg) {
+  auto& state = state_of(msg.group);
+  const auto it =
+      std::find(state.children.begin(), state.children.end(), msg.child);
+  if (it != state.children.end()) state.children.erase(it);
+  // A pure relay whose last child left can leave too.
+  if (!state.subscribed && state.on_tree && state.children.empty() &&
+      state.tree_parent != self_) {
+    transport_->send(self_, state.tree_parent, LeaveMsg{msg.group, self_});
+    state.on_tree = false;
+    state.tree_parent = overlay::kNoPeer;
+  }
+}
+
+}  // namespace groupcast::core

@@ -1,0 +1,135 @@
+// GroupCastNode — the per-peer middleware runtime.
+//
+// While AdvertisementEngine / SubscriptionProtocol compute whole-overlay
+// outcomes centrally (cheap for the Section 4 parameter sweeps), this class
+// is the *deployable* form of the same protocols: every peer runs one
+// GroupCastNode, all coordination happens through typed messages over the
+// Transport, and no node touches another node's state.  Applications sit
+// on top of exactly this API:
+//
+//   GroupCastNode node(self, transport, graph, options, rng);
+//   node.start();
+//   node.on_data([](GroupId g, std::uint64_t id, PeerId origin) { ... });
+//   node.subscribe(group);
+//   node.publish(group, payload_id);
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/advertisement.h"
+#include "core/transport.h"
+#include "overlay/graph.h"
+
+namespace groupcast::core {
+
+struct NodeOptions {
+  /// Scheme + fan-out the node uses when forwarding advertisements.
+  AdvertisementOptions advertisement;
+  /// TTL of the ripple search used when subscribing without an advert.
+  std::size_t ripple_ttl = 2;
+  /// How long a subscriber waits for a ripple hit / join ack before giving
+  /// up (the app may retry).
+  sim::SimTime subscribe_timeout = sim::SimTime::seconds(5.0);
+};
+
+class GroupCastNode {
+ public:
+  using DataCallback =
+      std::function<void(GroupId, std::uint64_t payload_id,
+                         overlay::PeerId origin)>;
+  using SubscribeCallback = std::function<void(GroupId, bool success)>;
+
+  GroupCastNode(overlay::PeerId self, Transport& transport,
+                const overlay::OverlayGraph& graph, NodeOptions options,
+                util::Rng& rng);
+  ~GroupCastNode();
+
+  GroupCastNode(const GroupCastNode&) = delete;
+  GroupCastNode& operator=(const GroupCastNode&) = delete;
+
+  /// Attaches to the transport.  Must be called before any other method.
+  void start();
+  /// Detaches; in-flight messages to this node are dropped.
+  void stop();
+  bool running() const { return running_; }
+
+  overlay::PeerId id() const { return self_; }
+
+  /// Becomes the rendezvous point of `group` and floods the advertisement.
+  void create_group(GroupId group);
+
+  /// Subscribes to `group`: reverse-path join if the advertisement is held,
+  /// ripple search otherwise.  Outcome is reported via on_subscribe_result.
+  void subscribe(GroupId group);
+
+  /// Leaves the group.  A leaf detaches from its parent; a relay with
+  /// children stays on the tree as a pure forwarder.
+  void unsubscribe(GroupId group);
+
+  /// Publishes a payload into the group's tree.  Requires being on the
+  /// tree (subscribed, or the rendezvous).
+  void publish(GroupId group, std::uint64_t payload_id);
+
+  void on_data(DataCallback callback) { data_callback_ = std::move(callback); }
+  void on_subscribe_result(SubscribeCallback callback) {
+    subscribe_callback_ = std::move(callback);
+  }
+
+  // ----------------------------------------------------------- inspection
+  bool has_advertisement(GroupId group) const;
+  bool is_subscribed(GroupId group) const;
+  bool on_tree(GroupId group) const;
+  /// Tree parent; self for the rendezvous.  Requires on_tree(group).
+  overlay::PeerId tree_parent(GroupId group) const;
+  std::vector<overlay::PeerId> tree_children(GroupId group) const;
+
+ private:
+  struct GroupState {
+    overlay::PeerId rendezvous = overlay::kNoPeer;
+    overlay::PeerId advert_parent = overlay::kNoPeer;  // self at rendezvous
+    bool has_advert = false;
+    bool subscribed = false;
+    bool on_tree = false;
+    bool join_pending = false;
+    bool search_pending = false;
+    overlay::PeerId tree_parent = overlay::kNoPeer;
+    std::vector<overlay::PeerId> children;
+    std::unordered_set<std::uint64_t> seen_payloads;
+    std::unordered_set<overlay::PeerId> seen_queries;  // ripple dedup
+  };
+
+  void handle(const Envelope& envelope);
+  void handle_advertise(const Envelope& envelope, const AdvertiseMsg& msg);
+  void handle_join(const Envelope& envelope, const JoinMsg& msg);
+  void handle_join_ack(const Envelope& envelope, const JoinAckMsg& msg);
+  void handle_ripple_query(const Envelope& envelope,
+                           const RippleQueryMsg& msg);
+  void handle_ripple_hit(const Envelope& envelope, const RippleHitMsg& msg);
+  void handle_data(const Envelope& envelope, const DataMsg& msg);
+  void handle_leave(const Envelope& envelope, const LeaveMsg& msg);
+
+  /// Joins the tree by sending a JoinMsg to `attach`; ack completes it.
+  void send_join(GroupId group, overlay::PeerId attach);
+
+  /// Forwarding subset for an advertisement, per the configured scheme.
+  std::vector<overlay::PeerId> select_forward_targets(
+      overlay::PeerId exclude);
+
+  GroupState& state_of(GroupId group) { return groups_[group]; }
+  double resource_level();
+
+  overlay::PeerId self_;
+  Transport* transport_;
+  const overlay::OverlayGraph* graph_;
+  NodeOptions options_;
+  util::Rng rng_;
+  bool running_ = false;
+  std::optional<double> cached_resource_level_;
+  std::unordered_map<GroupId, GroupState> groups_;
+  DataCallback data_callback_;
+  SubscribeCallback subscribe_callback_;
+};
+
+}  // namespace groupcast::core

@@ -1,0 +1,77 @@
+#include "core/transport.h"
+
+#include "core/wire.h"
+#include "util/require.h"
+
+namespace groupcast::core {
+
+Transport::Transport(sim::Simulator& simulator,
+                     const overlay::PeerPopulation& population,
+                     TransportOptions options, util::Rng& rng)
+    : simulator_(&simulator),
+      population_(&population),
+      options_(options),
+      rng_(rng.split()),
+      handlers_(population.size()) {
+  GC_REQUIRE(options_.loss_probability >= 0.0 &&
+             options_.loss_probability <= 1.0);
+}
+
+void Transport::register_node(overlay::PeerId peer, Handler handler) {
+  GC_REQUIRE(peer < handlers_.size());
+  GC_REQUIRE(handler != nullptr);
+  GC_REQUIRE_MSG(handlers_[peer] == nullptr, "peer already registered");
+  handlers_[peer] = std::move(handler);
+}
+
+void Transport::unregister_node(overlay::PeerId peer) {
+  GC_REQUIRE(peer < handlers_.size());
+  handlers_[peer] = nullptr;
+}
+
+bool Transport::is_registered(overlay::PeerId peer) const {
+  GC_REQUIRE(peer < handlers_.size());
+  return handlers_[peer] != nullptr;
+}
+
+MessageKind Transport::kind_of(const MessageBody& body) {
+  if (std::holds_alternative<AdvertiseMsg>(body)) {
+    return MessageKind::kAdvertisement;
+  }
+  if (std::holds_alternative<RippleQueryMsg>(body)) {
+    return MessageKind::kRippleSearch;
+  }
+  if (std::holds_alternative<RippleHitMsg>(body)) {
+    return MessageKind::kRippleResponse;
+  }
+  if (std::holds_alternative<JoinMsg>(body) ||
+      std::holds_alternative<LeaveMsg>(body)) {
+    return MessageKind::kSubscribeJoin;
+  }
+  if (std::holds_alternative<JoinAckMsg>(body)) {
+    return MessageKind::kSubscribeAck;
+  }
+  return MessageKind::kPayload;
+}
+
+void Transport::send(overlay::PeerId from, overlay::PeerId to,
+                     MessageBody body) {
+  GC_REQUIRE(from < handlers_.size() && to < handlers_.size());
+  GC_REQUIRE_MSG(from != to, "loopback sends are a protocol bug");
+  ++sent_;
+  stats_.count(kind_of(body));
+  bytes_sent_ += encoded_size(body);
+  if (rng_.chance(options_.loss_probability)) {
+    ++lost_;
+    return;
+  }
+  const auto latency =
+      sim::SimTime::millis(population_->latency_ms(from, to));
+  simulator_->schedule(latency, [this, from, to, body = std::move(body)] {
+    const auto& handler = handlers_[to];
+    if (handler == nullptr) return;  // receiver departed in flight
+    handler(Envelope{from, to, body});
+  });
+}
+
+}  // namespace groupcast::core

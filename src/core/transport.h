@@ -1,0 +1,130 @@
+// Simulated unicast transport between middleware nodes.
+//
+// GroupCastNode instances exchange typed messages only through this layer:
+// a send schedules delivery after the true end-to-end latency of the
+// peer pair, optionally dropping the message (lossy links).  This is the
+// seam where the simulation would be swapped for real sockets — the node
+// logic above it is transport-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <variant>
+#include <vector>
+
+#include "core/message.h"
+#include "overlay/population.h"
+#include "sim/simulator.h"
+
+namespace groupcast::core {
+
+using GroupId = std::uint32_t;
+
+// ---------------------------------------------------------------- payloads
+
+/// Group advertisement (SSA/NSSA), Section 2.2 step 2.
+struct AdvertiseMsg {
+  GroupId group = 0;
+  overlay::PeerId rendezvous = overlay::kNoPeer;
+  std::uint32_t ttl = 0;
+};
+
+/// Join travelling in the reverse direction of the advertisement.
+struct JoinMsg {
+  GroupId group = 0;
+  /// The peer that wants to become a child of the receiver.
+  overlay::PeerId child = overlay::kNoPeer;
+};
+
+/// Join confirmation from the attach point.
+struct JoinAckMsg {
+  GroupId group = 0;
+};
+
+/// Scoped subscription lookup (ripple search), Section 2.2 step 3.
+struct RippleQueryMsg {
+  GroupId group = 0;
+  overlay::PeerId origin = overlay::kNoPeer;
+  std::uint32_t ttl = 0;
+};
+
+/// Lookup hit travelling back to the searcher.
+struct RippleHitMsg {
+  GroupId group = 0;
+  overlay::PeerId holder = overlay::kNoPeer;
+};
+
+/// Application payload on a tree edge.
+struct DataMsg {
+  GroupId group = 0;
+  overlay::PeerId origin = overlay::kNoPeer;
+  std::uint64_t payload_id = 0;
+};
+
+/// Leave notification from a child to its tree parent.
+struct LeaveMsg {
+  GroupId group = 0;
+  overlay::PeerId child = overlay::kNoPeer;
+};
+
+using MessageBody = std::variant<AdvertiseMsg, JoinMsg, JoinAckMsg,
+                                 RippleQueryMsg, RippleHitMsg, DataMsg,
+                                 LeaveMsg>;
+
+struct Envelope {
+  overlay::PeerId from = overlay::kNoPeer;
+  overlay::PeerId to = overlay::kNoPeer;
+  MessageBody body;
+};
+
+// --------------------------------------------------------------- transport
+
+struct TransportOptions {
+  /// Independent per-message drop probability (0 = reliable).
+  double loss_probability = 0.0;
+};
+
+class Transport {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+
+  Transport(sim::Simulator& simulator,
+            const overlay::PeerPopulation& population,
+            TransportOptions options, util::Rng& rng);
+
+  /// Attaches a node; messages to `peer` are delivered to `handler`.
+  void register_node(overlay::PeerId peer, Handler handler);
+
+  /// Detaches a node; in-flight messages to it are dropped on arrival.
+  void unregister_node(overlay::PeerId peer);
+
+  bool is_registered(overlay::PeerId peer) const;
+
+  /// Sends a message; delivery is scheduled after the peers' true latency.
+  /// Every send is counted, including ones that are later lost.
+  void send(overlay::PeerId from, overlay::PeerId to, MessageBody body);
+
+  const MessageStats& stats() const { return stats_; }
+  std::size_t messages_sent() const { return sent_; }
+  std::size_t messages_lost() const { return lost_; }
+  /// Total wire bytes of every message sent (per the encoding in wire.h).
+  std::size_t bytes_sent() const { return bytes_sent_; }
+
+  sim::Simulator& simulator() { return *simulator_; }
+  const overlay::PeerPopulation& population() const { return *population_; }
+
+ private:
+  static MessageKind kind_of(const MessageBody& body);
+
+  sim::Simulator* simulator_;
+  const overlay::PeerPopulation* population_;
+  TransportOptions options_;
+  util::Rng rng_;
+  std::vector<Handler> handlers_;
+  MessageStats stats_;
+  std::size_t sent_ = 0;
+  std::size_t lost_ = 0;
+  std::size_t bytes_sent_ = 0;
+};
+
+}  // namespace groupcast::core

@@ -1,0 +1,129 @@
+#include "core/utility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace groupcast::core {
+
+namespace {
+constexpr double kMinDistance = 1e-3;  // ms; avoids division by zero
+constexpr double kMinResourceLevel = 1e-3;
+constexpr double kMaxResourceLevel = 1.0 - 1e-3;
+}  // namespace
+
+double clamp_resource_level(double r) {
+  return std::clamp(r, kMinResourceLevel, kMaxResourceLevel);
+}
+
+UtilityParams UtilityParams::from_resource_level(double resource_level) {
+  const double r = clamp_resource_level(resource_level);
+  const double ln_r = std::log(r);
+  return UtilityParams{
+      /*alpha=*/1.0 - r,
+      /*beta=*/r,
+      // r^(-ln r) = e^{-(ln r)^2}: 0 as r->0, 1 as r->1, always in (0, 1].
+      /*gamma=*/std::exp(-ln_r * ln_r),
+  };
+}
+
+std::vector<double> distance_preferences(double alpha,
+                                         std::span<const Candidate> list) {
+  GC_REQUIRE(!list.empty());
+  GC_REQUIRE_MSG(alpha < 1.0, "Eq. 1 requires alpha < 1");
+  // Normalize distances by the maximum over the list (Eq. 2), so that
+  // d in (0, 1] and 1/d - alpha >= 1 - alpha > 0 for every candidate.
+  double max_dist = kMinDistance;
+  for (const auto& c : list) {
+    max_dist = std::max(max_dist, std::max(c.distance_ms, kMinDistance));
+  }
+  std::vector<double> prefs(list.size());
+  double total = 0.0;
+  for (std::size_t j = 0; j < list.size(); ++j) {
+    const double d =
+        std::max(list[j].distance_ms, kMinDistance) / max_dist;
+    prefs[j] = 1.0 / d - alpha;
+    total += prefs[j];
+  }
+  GC_ENSURE(total > 0.0);
+  for (auto& p : prefs) p /= total;
+  return prefs;
+}
+
+std::vector<double> capacity_preferences(double beta,
+                                         std::span<const Candidate> list) {
+  GC_REQUIRE(!list.empty());
+  std::vector<double> prefs(list.size());
+  double total = 0.0;
+  for (std::size_t j = 0; j < list.size(); ++j) {
+    GC_REQUIRE_MSG(list[j].capacity > beta,
+                   "Eq. 3 requires beta below every candidate capacity");
+    prefs[j] = list[j].capacity - beta;
+    total += prefs[j];
+  }
+  GC_ENSURE(total > 0.0);
+  for (auto& p : prefs) p /= total;
+  return prefs;
+}
+
+std::vector<double> selection_preferences(const UtilityParams& params,
+                                          std::span<const Candidate> list) {
+  GC_REQUIRE(params.gamma >= 0.0 && params.gamma <= 1.0);
+  const auto dp = distance_preferences(params.alpha, list);
+  const auto cp = capacity_preferences(params.beta, list);
+  std::vector<double> out(list.size());
+  for (std::size_t j = 0; j < list.size(); ++j) {
+    out[j] = params.gamma * cp[j] + (1.0 - params.gamma) * dp[j];
+  }
+  return out;
+}
+
+std::vector<double> selection_preferences(double resource_level,
+                                          std::span<const Candidate> list) {
+  return selection_preferences(UtilityParams::from_resource_level(resource_level),
+                               list);
+}
+
+std::vector<std::size_t> weighted_sample_without_replacement(
+    std::span<const double> weights, std::size_t k, util::Rng& rng) {
+  std::size_t positive = 0;
+  for (const double w : weights) {
+    GC_REQUIRE_MSG(w >= 0.0, "weights must be non-negative");
+    if (w > 0.0) ++positive;
+  }
+  k = std::min(k, positive);
+  std::vector<std::size_t> picked;
+  picked.reserve(k);
+  std::vector<double> w(weights.begin(), weights.end());
+  double total = 0.0;
+  for (const double x : w) total += x;
+  for (std::size_t round = 0; round < k; ++round) {
+    double u = rng.uniform() * total;
+    std::size_t chosen = static_cast<std::size_t>(-1);
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      if (w[j] <= 0.0) continue;
+      if (u < w[j]) {
+        chosen = j;
+        break;
+      }
+      u -= w[j];
+    }
+    if (chosen == static_cast<std::size_t>(-1)) {
+      // Floating-point underrun at the tail: take the last positive weight.
+      for (std::size_t j = w.size(); j-- > 0;) {
+        if (w[j] > 0.0) {
+          chosen = j;
+          break;
+        }
+      }
+    }
+    GC_ENSURE(chosen != static_cast<std::size_t>(-1));
+    picked.push_back(chosen);
+    total -= w[chosen];
+    w[chosen] = 0.0;
+  }
+  return picked;
+}
+
+}  // namespace groupcast::core

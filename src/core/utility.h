@@ -1,0 +1,79 @@
+// The GroupCast utility function (Section 3.1, Equations 1–5).
+//
+// Given a candidate list L, a peer p_i with resource level r_i scores each
+// candidate p_j by a weighted blend of two preference metrics:
+//
+//   Distance Preference   DP_i(L,j) = (1/d_i(L,j) - α) / Σ_k (1/d_i(L,k) - α)
+//   normalized distance   d_i(L,j)  = D(i,j) / max_k D(i,k)          (Eq. 2)
+//   Capacity Preference   CP_i(L,j) = (C_j - β) / Σ_k (C_k - β)      (Eq. 3)
+//   Selection Preference  P_i(L,j)  = γ·CP + (1-γ)·DP                (Eq. 4)
+//
+// with the GroupCast parameterization (Eq. 5):
+//
+//   α = 1 - r_i     β = r_i     γ = r_i^(-ln r_i) = e^{-(ln r_i)²}
+//
+// r_i is the fraction of peers with less capacity than p_i, estimated by
+// sampling.  Weak peers (γ→0) select by proximity; strong peers (γ→1)
+// select by capacity and form the forwarding core.
+//
+// The same function doubles as Equation 6 (overlay bootstrap) by passing
+// candidate occurrence frequencies f_i(j) in place of capacities.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace groupcast::core {
+
+/// One entry of the candidate list L as seen by the selecting peer:
+/// a capacity-like score (node capacity C_j, or degree sample f_i(j)) and
+/// the estimated distance D(i, j) from the selector, in ms.
+struct Candidate {
+  double capacity = 1.0;
+  double distance_ms = 1.0;
+};
+
+/// The three tunables of Equation 4.
+struct UtilityParams {
+  double alpha = 0.5;  // distance skew, < 1
+  double beta = 0.5;   // capacity skew, < 1
+  double gamma = 0.5;  // capacity weight in [0, 1]
+
+  /// The paper's parameterization: α = 1-r, β = r, γ = e^{-(ln r)²}.
+  static UtilityParams from_resource_level(double resource_level);
+};
+
+/// Clamps a resource-level estimate into the open interval (0, 1) the
+/// parameterization needs; sampling can legitimately return 0 (weakest
+/// peer) or 1 (strongest).
+double clamp_resource_level(double r);
+
+/// Distance Preference (Eq. 1) over the candidate list; returns a
+/// probability vector (sums to 1).  Candidates at distance <= 0 are treated
+/// as at a small epsilon.  alpha must be < 1.
+std::vector<double> distance_preferences(double alpha,
+                                         std::span<const Candidate> list);
+
+/// Capacity Preference (Eq. 3); returns a probability vector.
+/// beta must be strictly below the smallest candidate capacity.
+/// (The paper guarantees this: β = r_i < 1 <= C_j.)
+std::vector<double> capacity_preferences(double beta,
+                                         std::span<const Candidate> list);
+
+/// Full Selection Preference (Eqs. 4–5) for a selector with the given
+/// resource level.  Returns a probability vector over `list`.
+std::vector<double> selection_preferences(double resource_level,
+                                          std::span<const Candidate> list);
+
+/// Selection Preference with explicit params (for ablation studies).
+std::vector<double> selection_preferences(const UtilityParams& params,
+                                          std::span<const Candidate> list);
+
+/// Draws `k` distinct indices with probability proportional to `weights`
+/// (without replacement).  k is clipped to the number of positive weights.
+std::vector<std::size_t> weighted_sample_without_replacement(
+    std::span<const double> weights, std::size_t k, util::Rng& rng);
+
+}  // namespace groupcast::core

@@ -1,0 +1,193 @@
+#include "core/wire.h"
+
+namespace groupcast::core {
+
+namespace wire {
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Reader::need(std::size_t n) const {
+  if (buffer_.size() - at_ < n) throw WireError("truncated message");
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return buffer_[at_++];
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(buffer_[at_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(buffer_[at_++]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace wire
+
+namespace {
+
+// Wire tags.  Stable protocol constants: append only.
+enum class Tag : std::uint8_t {
+  kAdvertise = 1,
+  kJoin = 2,
+  kJoinAck = 3,
+  kRippleQuery = 4,
+  kRippleHit = 5,
+  kData = 6,
+  kLeave = 7,
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const MessageBody& body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_size(body));
+  wire::Writer w(out);
+  std::visit(
+      [&w](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, AdvertiseMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kAdvertise));
+          w.u32(msg.group);
+          w.u32(msg.rendezvous);
+          w.u32(msg.ttl);
+        } else if constexpr (std::is_same_v<T, JoinMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kJoin));
+          w.u32(msg.group);
+          w.u32(msg.child);
+        } else if constexpr (std::is_same_v<T, JoinAckMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kJoinAck));
+          w.u32(msg.group);
+        } else if constexpr (std::is_same_v<T, RippleQueryMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kRippleQuery));
+          w.u32(msg.group);
+          w.u32(msg.origin);
+          w.u32(msg.ttl);
+        } else if constexpr (std::is_same_v<T, RippleHitMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kRippleHit));
+          w.u32(msg.group);
+          w.u32(msg.holder);
+        } else if constexpr (std::is_same_v<T, DataMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kData));
+          w.u32(msg.group);
+          w.u32(msg.origin);
+          w.u64(msg.payload_id);
+        } else if constexpr (std::is_same_v<T, LeaveMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kLeave));
+          w.u32(msg.group);
+          w.u32(msg.child);
+        }
+      },
+      body);
+  return out;
+}
+
+std::size_t encoded_size(const MessageBody& body) {
+  return std::visit(
+      [](const auto& msg) -> std::size_t {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, AdvertiseMsg>) {
+          return 1 + 4 + 4 + 4;
+        } else if constexpr (std::is_same_v<T, JoinMsg>) {
+          return 1 + 4 + 4;
+        } else if constexpr (std::is_same_v<T, JoinAckMsg>) {
+          return 1 + 4;
+        } else if constexpr (std::is_same_v<T, RippleQueryMsg>) {
+          return 1 + 4 + 4 + 4;
+        } else if constexpr (std::is_same_v<T, RippleHitMsg>) {
+          return 1 + 4 + 4;
+        } else if constexpr (std::is_same_v<T, DataMsg>) {
+          return 1 + 4 + 4 + 8;
+        } else {
+          static_assert(std::is_same_v<T, LeaveMsg>);
+          return 1 + 4 + 4;
+        }
+      },
+      body);
+}
+
+MessageBody decode_message(std::span<const std::uint8_t> buffer) {
+  wire::Reader r(buffer);
+  const auto tag = static_cast<Tag>(r.u8());
+  MessageBody body;
+  switch (tag) {
+    case Tag::kAdvertise: {
+      AdvertiseMsg msg;
+      msg.group = r.u32();
+      msg.rendezvous = r.u32();
+      msg.ttl = r.u32();
+      body = msg;
+      break;
+    }
+    case Tag::kJoin: {
+      JoinMsg msg;
+      msg.group = r.u32();
+      msg.child = r.u32();
+      body = msg;
+      break;
+    }
+    case Tag::kJoinAck: {
+      JoinAckMsg msg;
+      msg.group = r.u32();
+      body = msg;
+      break;
+    }
+    case Tag::kRippleQuery: {
+      RippleQueryMsg msg;
+      msg.group = r.u32();
+      msg.origin = r.u32();
+      msg.ttl = r.u32();
+      body = msg;
+      break;
+    }
+    case Tag::kRippleHit: {
+      RippleHitMsg msg;
+      msg.group = r.u32();
+      msg.holder = r.u32();
+      body = msg;
+      break;
+    }
+    case Tag::kData: {
+      DataMsg msg;
+      msg.group = r.u32();
+      msg.origin = r.u32();
+      msg.payload_id = r.u64();
+      body = msg;
+      break;
+    }
+    case Tag::kLeave: {
+      LeaveMsg msg;
+      msg.group = r.u32();
+      msg.child = r.u32();
+      body = msg;
+      break;
+    }
+    default:
+      throw WireError("unknown message tag");
+  }
+  if (!r.exhausted()) throw WireError("trailing bytes after message");
+  return body;
+}
+
+}  // namespace groupcast::core

@@ -1,0 +1,70 @@
+#include "metrics/esm_metrics.h"
+
+#include "util/require.h"
+
+namespace groupcast::metrics {
+
+double node_stress(const core::DisseminationResult& result) {
+  if (result.forward_fanout.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& [peer, fanout] : result.forward_fanout) {
+    total += static_cast<double>(fanout);
+  }
+  return total / static_cast<double>(result.forward_fanout.size());
+}
+
+double overload_index(const overlay::PeerPopulation& population,
+                      const core::SpanningTree& tree,
+                      const core::DisseminationResult& result,
+                      std::size_t* overloaded_count) {
+  const auto nodes = tree.nodes();
+  if (nodes.empty()) return 0.0;
+  std::size_t overloaded = 0;
+  double excess_total = 0.0;
+  for (const auto p : nodes) {
+    const auto it = result.forward_fanout.find(p);
+    const double load =
+        it == result.forward_fanout.end() ? 0.0
+                                          : static_cast<double>(it->second);
+    const double capacity = population.info(p).capacity;
+    if (load > capacity) {
+      ++overloaded;
+      excess_total += load - capacity;
+    }
+  }
+  if (overloaded_count != nullptr) *overloaded_count = overloaded;
+  if (overloaded == 0) return 0.0;
+  const double fraction =
+      static_cast<double>(overloaded) / static_cast<double>(nodes.size());
+  const double avg_excess = excess_total / static_cast<double>(overloaded);
+  return fraction * avg_excess;
+}
+
+EsmMetrics evaluate_session(const overlay::PeerPopulation& population,
+                            const core::GroupSession& session,
+                            overlay::PeerId source) {
+  EsmMetrics m;
+  const auto esm = session.disseminate(source);
+  const auto baseline = session.ip_multicast_baseline(source);
+
+  m.esm_avg_delay_ms = esm.average_delay_ms;
+  m.ip_avg_delay_ms = baseline.average_delay_ms;
+  m.delay_penalty = baseline.average_delay_ms > 0.0
+                        ? esm.average_delay_ms / baseline.average_delay_ms
+                        : 0.0;
+
+  m.esm_ip_messages = esm.ip_messages;
+  m.ip_mc_messages = baseline.ip_messages;
+  m.link_stress = baseline.ip_messages > 0
+                      ? static_cast<double>(esm.ip_messages) /
+                            static_cast<double>(baseline.ip_messages)
+                      : 0.0;
+
+  m.node_stress = node_stress(esm);
+  m.overload_index = overload_index(population, session.tree(), esm,
+                                    &m.overloaded_peers);
+  m.tree_nodes = session.tree().node_count();
+  return m;
+}
+
+}  // namespace groupcast::metrics

@@ -1,0 +1,47 @@
+// The four end-system-multicast quality metrics of Section 4.3 / 4.4:
+//
+//  * relative delay penalty — avg ESM delay / avg IP-multicast delay;
+//  * link stress            — IP messages of the ESM tree / IP messages of
+//                             the IP-multicast tree for the same receivers;
+//  * node stress            — average number of children a non-leaf peer
+//                             handles in the ESM tree;
+//  * overload index         — (fraction of peers overloaded) × (average
+//                             workload exceeding those peers' capacities).
+#pragma once
+
+#include "core/group_session.h"
+
+namespace groupcast::metrics {
+
+struct EsmMetrics {
+  double delay_penalty = 0.0;
+  double link_stress = 0.0;
+  double node_stress = 0.0;
+  double overload_index = 0.0;
+
+  // Raw inputs, kept for diagnostics.
+  double esm_avg_delay_ms = 0.0;
+  double ip_avg_delay_ms = 0.0;
+  std::size_t esm_ip_messages = 0;
+  std::size_t ip_mc_messages = 0;
+  std::size_t overloaded_peers = 0;
+  std::size_t tree_nodes = 0;
+};
+
+/// Evaluates one payload dissemination from `source` over the session's
+/// spanning tree against the IP-multicast baseline.
+EsmMetrics evaluate_session(const overlay::PeerPopulation& population,
+                            const core::GroupSession& session,
+                            overlay::PeerId source);
+
+/// Node stress alone: mean fan-out over forwarding (non-leaf) nodes.
+double node_stress(const core::DisseminationResult& result);
+
+/// Overload index alone: forwarding load vs. peer capacity over all tree
+/// nodes (leaves carry load 0 and can never be overloaded).
+double overload_index(const overlay::PeerPopulation& population,
+                      const core::SpanningTree& tree,
+                      const core::DisseminationResult& result,
+                      std::size_t* overloaded_count = nullptr);
+
+}  // namespace groupcast::metrics

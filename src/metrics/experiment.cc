@@ -1,0 +1,108 @@
+#include "metrics/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/require.h"
+#include "util/stats.h"
+
+namespace groupcast::metrics {
+
+std::size_t ScenarioConfig::effective_group_size() const {
+  if (group_size > 0) return std::min(group_size, peer_count);
+  return std::max<std::size_t>(16, peer_count / 10);
+}
+
+core::MiddlewareConfig ScenarioConfig::middleware_config() const {
+  core::MiddlewareConfig mw;
+  mw.peer_count = peer_count;
+  mw.seed = seed;
+  mw.overlay = overlay;
+  mw.advertisement.scheme = scheme;
+  mw.advertisement.forward_fraction = forward_fraction;
+  mw.advertisement.ttl = advertisement_ttl;
+  mw.subscription.ripple_ttl = ripple_ttl;
+  return mw;
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  GC_REQUIRE(config.groups >= 1);
+  ScenarioResult result;
+  result.config = config;
+
+  core::GroupCastMiddleware middleware(config.middleware_config());
+  result.repair_edges = middleware.connectivity_repair_edges();
+
+  const std::size_t group_size = config.effective_group_size();
+  const double n_groups = static_cast<double>(config.groups);
+
+  for (std::size_t g = 0; g < config.groups; ++g) {
+    auto group = middleware.establish_random_group(group_size);
+
+    result.advertisement_messages +=
+        static_cast<double>(group.advert.messages) / n_groups;
+    result.subscription_messages +=
+        static_cast<double>(group.report.total_messages()) / n_groups;
+    result.receiving_rate += group.advert.receiving_rate() / n_groups;
+    result.subscription_success_rate +=
+        group.report.success_rate() / n_groups;
+    result.lookup_latency_ms +=
+        group.report.average_response_time_ms() / n_groups;
+
+    const auto session = middleware.session(group);
+    const auto esm = evaluate_session(middleware.population(), session,
+                                      group.advert.rendezvous);
+    result.delay_penalty += esm.delay_penalty / n_groups;
+    result.link_stress += esm.link_stress / n_groups;
+    result.node_stress += esm.node_stress / n_groups;
+    result.overload_index += esm.overload_index / n_groups;
+
+    result.avg_tree_depth +=
+        static_cast<double>(group.tree.max_depth()) / n_groups;
+    result.avg_tree_nodes +=
+        static_cast<double>(group.tree.node_count()) / n_groups;
+  }
+  return result;
+}
+
+ScenarioResult run_scenario_averaged(ScenarioConfig config,
+                                     std::size_t repetitions) {
+  GC_REQUIRE(repetitions >= 1);
+  ScenarioResult total;
+  total.config = config;
+  const double k = static_cast<double>(repetitions);
+  util::Summary delay_samples, overload_samples, link_samples;
+  for (std::size_t r = 0; r < repetitions; ++r) {
+    ScenarioConfig rep = config;
+    rep.seed = config.seed + r;
+    const auto one = run_scenario(rep);
+    delay_samples.add(one.delay_penalty);
+    overload_samples.add(one.overload_index);
+    link_samples.add(one.link_stress);
+    total.advertisement_messages += one.advertisement_messages / k;
+    total.subscription_messages += one.subscription_messages / k;
+    total.receiving_rate += one.receiving_rate / k;
+    total.subscription_success_rate += one.subscription_success_rate / k;
+    total.lookup_latency_ms += one.lookup_latency_ms / k;
+    total.delay_penalty += one.delay_penalty / k;
+    total.link_stress += one.link_stress / k;
+    total.node_stress += one.node_stress / k;
+    total.overload_index += one.overload_index / k;
+    total.avg_tree_depth += one.avg_tree_depth / k;
+    total.avg_tree_nodes += one.avg_tree_nodes / k;
+    total.repair_edges += one.repair_edges;
+  }
+  total.delay_penalty_stddev = delay_samples.stddev();
+  total.overload_index_stddev = overload_samples.stddev();
+  total.link_stress_stddev = link_samples.stddev();
+  return total;
+}
+
+double bench_scale() {
+  const char* raw = std::getenv("GROUPCAST_BENCH_SCALE");
+  if (raw == nullptr) return 1.0;
+  const double value = std::atof(raw);
+  return value > 0.0 ? value : 1.0;
+}
+
+}  // namespace groupcast::metrics

@@ -1,0 +1,78 @@
+// Shared experiment harness for the Figure 11–17 sweeps: builds a
+// deployment, establishes communication groups, and aggregates the paper's
+// metrics.  Each bench binary drives this with its own parameter grid.
+#pragma once
+
+#include <string>
+
+#include "core/middleware.h"
+#include "metrics/esm_metrics.h"
+
+namespace groupcast::metrics {
+
+struct ScenarioConfig {
+  std::size_t peer_count = 1000;
+  core::OverlayKind overlay = core::OverlayKind::kGroupCast;
+  core::AnnouncementScheme scheme = core::AnnouncementScheme::kSsaUtility;
+  /// Communication groups per overlay (paper: 10).
+  std::size_t groups = 10;
+  /// Subscribers per group; 0 means peer_count / 10 (min 16).
+  std::size_t group_size = 0;
+  std::uint64_t seed = 1;
+  /// Forwarded to the middleware's advertisement options.
+  double forward_fraction = 0.35;
+  std::size_t advertisement_ttl = 8;
+  std::size_t ripple_ttl = 2;
+
+  std::size_t effective_group_size() const;
+  core::MiddlewareConfig middleware_config() const;
+};
+
+/// Aggregated over all groups of one scenario run.
+struct ScenarioResult {
+  ScenarioConfig config;
+
+  // Figure 11: message loads.
+  double advertisement_messages = 0.0;   // mean per group
+  double subscription_messages = 0.0;    // mean per group
+
+  // Figure 12: rates.
+  double receiving_rate = 0.0;           // mean fraction reached by advert
+  double subscription_success_rate = 0.0;
+
+  // Figure 13: lookup latency.
+  double lookup_latency_ms = 0.0;
+
+  // Figures 14–17, averaged over groups.
+  double delay_penalty = 0.0;
+  double link_stress = 0.0;
+  double node_stress = 0.0;
+  double overload_index = 0.0;
+
+  // Diagnostics.
+  double avg_tree_depth = 0.0;
+  double avg_tree_nodes = 0.0;
+  std::size_t repair_edges = 0;
+
+  // Dispersion across topologies — only populated by
+  // run_scenario_averaged with repetitions >= 2 (sample stddev).
+  double delay_penalty_stddev = 0.0;
+  double overload_index_stddev = 0.0;
+  double link_stress_stddev = 0.0;
+};
+
+/// Builds one deployment and runs `config.groups` groups over it.
+ScenarioResult run_scenario(const ScenarioConfig& config);
+
+/// Runs the scenario over `repetitions` seeds (seed, seed+1, ...) and
+/// averages every field — the paper's "repeated over 10 IP network
+/// topologies".
+ScenarioResult run_scenario_averaged(ScenarioConfig config,
+                                     std::size_t repetitions);
+
+/// Reads a positive scaling factor from the GROUPCAST_BENCH_SCALE
+/// environment variable (default 1).  Benches use it to move between the
+/// fast default configuration and the paper's full experiment sizes.
+double bench_scale();
+
+}  // namespace groupcast::metrics

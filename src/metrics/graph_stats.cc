@@ -1,0 +1,37 @@
+#include "metrics/graph_stats.h"
+
+namespace groupcast::metrics {
+
+util::FrequencyCount degree_distribution(const overlay::OverlayGraph& graph) {
+  util::FrequencyCount counts;
+  for (overlay::PeerId p = 0; p < graph.peer_count(); ++p) {
+    counts.add(graph.degree(p));
+  }
+  return counts;
+}
+
+std::vector<double> per_peer_neighbor_distance(
+    const overlay::PeerPopulation& population,
+    const overlay::OverlayGraph& graph) {
+  std::vector<double> out(population.size(), -1.0);
+  for (overlay::PeerId p = 0; p < population.size(); ++p) {
+    const auto nbrs = graph.neighbors(p);
+    if (nbrs.empty()) continue;
+    double total = 0.0;
+    for (const auto n : nbrs) total += population.latency_ms(p, n);
+    out[p] = total / static_cast<double>(nbrs.size());
+  }
+  return out;
+}
+
+util::Summary neighbor_distance_summary(
+    const overlay::PeerPopulation& population,
+    const overlay::OverlayGraph& graph) {
+  util::Summary summary;
+  for (const double d : per_peer_neighbor_distance(population, graph)) {
+    if (d >= 0.0) summary.add(d);
+  }
+  return summary;
+}
+
+}  // namespace groupcast::metrics

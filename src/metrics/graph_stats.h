@@ -1,0 +1,27 @@
+// Overlay graph statistics behind Figures 7–10: degree distributions and
+// neighbour proximity.
+#pragma once
+
+#include "overlay/graph.h"
+#include "overlay/population.h"
+#include "util/stats.h"
+
+namespace groupcast::metrics {
+
+/// Degree (distinct-neighbour count) histogram of the overlay.
+util::FrequencyCount degree_distribution(const overlay::OverlayGraph& graph);
+
+/// Average *true* latency from each peer to its overlay neighbours —
+/// the quantity plotted per peer in Figures 9 and 10.  Peers without
+/// neighbours are skipped.
+util::Summary neighbor_distance_summary(
+    const overlay::PeerPopulation& population,
+    const overlay::OverlayGraph& graph);
+
+/// Per-peer average neighbour distance, indexed by peer; NaN-free: peers
+/// without neighbours get -1.
+std::vector<double> per_peer_neighbor_distance(
+    const overlay::PeerPopulation& population,
+    const overlay::OverlayGraph& graph);
+
+}  // namespace groupcast::metrics

@@ -1,0 +1,50 @@
+// IP multicast baseline.
+//
+// The paper simulates IP multicast "by merging the unicast routes into
+// shortest path trees" and uses it as the reference point for the relative
+// delay penalty and link stress metrics (Section 4.3).  This class performs
+// that merge at the router level; peer access links are accounted for by the
+// metrics layer on top.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "net/routing.h"
+
+namespace groupcast::net {
+
+/// Shortest-path multicast tree from one source router to a set of receiver
+/// routers, derived by merging unicast shortest paths.
+class IpMulticastTree {
+ public:
+  /// Receivers may contain duplicates (several peers behind one router);
+  /// the link union is computed over distinct routers.
+  IpMulticastTree(const IpRouting& routing, RouterId source,
+                  const std::vector<RouterId>& receivers);
+
+  RouterId source() const { return source_; }
+
+  /// Delay from the source to `receiver`; equals the unicast shortest path
+  /// (property of a shortest-path tree).
+  double delay_ms_to(RouterId receiver) const;
+
+  /// Mean delay over the receiver list given at construction (counting
+  /// duplicates once per entry, i.e. per peer).
+  double average_delay_ms() const { return average_delay_ms_; }
+
+  /// Number of distinct physical links in the tree == number of IP messages
+  /// one multicast packet generates at the router level.
+  std::size_t link_message_count() const { return links_.size(); }
+
+  /// True if the given physical link is part of the tree.
+  bool uses_link(LinkId link) const { return links_.contains(link); }
+
+ private:
+  const IpRouting* routing_;
+  RouterId source_;
+  double average_delay_ms_ = 0.0;
+  std::unordered_set<LinkId> links_;
+};
+
+}  // namespace groupcast::net

@@ -1,0 +1,107 @@
+// Utility-aware overlay construction (Section 3.3).
+//
+// The join protocol of a peer p_i:
+//   1. obtain bootstrap peers B_i from the host cache (closest + random);
+//   2. probe each peer in B_i; each probe response carries the responder's
+//      neighbour list.  The union forms the candidate list LC_i, in which
+//      the occurrence frequency f_i(j) of a peer j samples j's degree;
+//   3. score every candidate with Equation 6 — the utility function with
+//      f_i(j) substituted for capacity — and pick out-neighbours with
+//      probability proportional to utility (count scaled by own capacity);
+//   4. request a back link from every chosen neighbour k, which accepts
+//      with probability
+//        PB_k = rc_k(Nbr_k)² · rc_i(Nbr_k) + (1 − rc_k(Nbr_k)²) · rd_i(Nbr_k)
+//      and otherwise still accepts with probability p_b = 0.5.
+//
+// Preferential attachment through f_i(j) yields a power-law degree
+// distribution (Figure 7); the distance term keeps neighbours close
+// (Figure 9).
+#pragma once
+
+#include "overlay/graph.h"
+#include "overlay/host_cache.h"
+#include "overlay/population.h"
+
+namespace groupcast::overlay {
+
+struct BootstrapOptions {
+  /// Out-degree target: clamp(ceil(base * capacity^exponent), min, max).
+  /// Scales connection count with capacity so powerful peers become hubs.
+  double degree_base = 1.6;
+  double degree_exponent = 0.32;
+  std::size_t degree_min = 2;
+  std::size_t degree_max = 48;
+
+  /// p_b: probability of accepting a back link that failed the PB test.
+  double fallback_back_link_prob = 0.5;
+
+  /// Peers sampled to estimate the joiner's resource level r_i.
+  std::size_t resource_sample = 32;
+
+  /// Ablation hook: when >= 0, every peer uses this fixed resource level
+  /// instead of the sampled estimate (pinning the utility blend: r -> 0
+  /// gives distance-only selection, r -> 1 capacity-only).  < 0 = paper
+  /// behaviour.
+  double pinned_resource_level = -1.0;
+};
+
+/// Per-join protocol cost accounting.
+struct JoinStats {
+  std::size_t probe_messages = 0;       // probes + probe responses
+  std::size_t back_link_requests = 0;
+  std::size_t back_links_accepted = 0;  // via PB or the p_b fallback
+  std::size_t out_links_created = 0;
+  std::size_t candidates_seen = 0;      // |LC_i| (distinct)
+};
+
+class GroupCastBootstrap {
+ public:
+  GroupCastBootstrap(const PeerPopulation& population, OverlayGraph& graph,
+                     HostCacheServer& host_cache, BootstrapOptions options,
+                     util::Rng& rng);
+
+  /// Executes the full join protocol for `peer` and registers it with the
+  /// host cache.  Idempotent joins are a precondition violation (a peer
+  /// must leave before rejoining).
+  JoinStats join(PeerId peer);
+
+  /// Graceful departure: drops the peer's links and host-cache entry.
+  void leave(PeerId peer);
+
+  /// Ungraceful failure: drops the links but leaves the (now stale)
+  /// host-cache entry behind, as a crash would.
+  void fail(PeerId peer);
+
+  /// Epoch repair for an already-joined peer whose out-degree fell below
+  /// target (neighbour failures): reruns the candidate-gathering and
+  /// utility selection to top the neighbour list back up.  Returns the
+  /// number of new out links.  (Section 3.3, "Neighborhood Link
+  /// Maintenance".)
+  std::size_t refill(PeerId peer);
+
+  bool is_joined(PeerId peer) const { return joined_.at(peer) != 0; }
+
+  /// Called by maintenance when heartbeats expose a crashed peer: purges
+  /// the stale host-cache entry so later joins stop being pointed at it.
+  void report_failure(PeerId dead);
+
+  /// Out-degree target for a peer of the given capacity.
+  std::size_t target_degree(double capacity) const;
+
+  /// The back-link acceptance probability PB_k(Nbr(p_k), p_i) — exposed for
+  /// tests.  `nbrs` is k's current neighbour set.
+  double back_link_probability(PeerId k, PeerId i,
+                               const std::vector<PeerId>& nbrs) const;
+
+  const BootstrapOptions& options() const { return options_; }
+
+ private:
+  const PeerPopulation* population_;
+  OverlayGraph* graph_;
+  HostCacheServer* host_cache_;
+  BootstrapOptions options_;
+  util::Rng rng_;
+  std::vector<char> joined_;
+};
+
+}  // namespace groupcast::overlay

@@ -1,0 +1,77 @@
+// Directed overlay graph.
+//
+// GroupCast's bootstrap creates *forwarding* (outgoing) edges chosen by the
+// joiner and *back links* (incoming edges) accepted probabilistically by the
+// target (Section 3.3).  Messages flow over the union of both directions —
+// the links are long-lived transport connections, as in Gnutella — but the
+// distinction matters for how the topology forms, so the graph keeps it.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "overlay/peer.h"
+
+namespace groupcast::overlay {
+
+class OverlayGraph {
+ public:
+  explicit OverlayGraph(std::size_t peer_count);
+
+  std::size_t peer_count() const { return out_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Adds a directed edge from -> to.  Returns false (no-op) if it already
+  /// exists.  Self-edges are a precondition violation.
+  bool add_edge(PeerId from, PeerId to);
+
+  /// Removes a directed edge; returns false if absent.
+  bool remove_edge(PeerId from, PeerId to);
+
+  /// Drops all edges incident to `peer` in either direction (peer failure).
+  void isolate(PeerId peer);
+
+  bool has_edge(PeerId from, PeerId to) const;
+
+  /// True if a link exists in either direction.
+  bool connected(PeerId a, PeerId b) const {
+    return has_edge(a, b) || has_edge(b, a);
+  }
+
+  const std::vector<PeerId>& out_neighbors(PeerId p) const {
+    return out_.at(p);
+  }
+  const std::vector<PeerId>& in_neighbors(PeerId p) const { return in_.at(p); }
+
+  /// All peers connected to `p` in either direction, deduplicated.
+  /// This is Nbr(p) in the paper: the set messages can be exchanged with.
+  std::vector<PeerId> neighbors(PeerId p) const;
+
+  /// |neighbors(p)| without materializing the vector.
+  std::size_t degree(PeerId p) const;
+
+  /// True if the union (undirected view) of the graph is connected over
+  /// the peers that have at least one edge; isolated peers are reported via
+  /// the second member.
+  struct Connectivity {
+    bool connected = false;
+    std::size_t isolated_peers = 0;
+    std::size_t largest_component = 0;
+  };
+  Connectivity connectivity() const;
+
+  /// Mean shortest-path hop distance over sampled peer pairs (undirected
+  /// view); used by the low-diameter claims.  Unreachable pairs excluded.
+  double average_hop_distance(util::Rng& rng, std::size_t samples = 200) const;
+
+  /// Watts–Strogatz clustering coefficient (undirected view), averaged over
+  /// peers with degree >= 2.
+  double clustering_coefficient() const;
+
+ private:
+  std::vector<std::vector<PeerId>> out_;
+  std::vector<std::vector<PeerId>> in_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace groupcast::overlay

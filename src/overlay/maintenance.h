@@ -1,0 +1,72 @@
+// Epoch-based neighbourhood link maintenance (Section 3.3).
+//
+// "Peers regularly exchange heartbeat messages with their neighbors ...
+// A neighbor that has failed to respond to two consecutive heartbeat
+// messages is assumed to have failed. ... At the end of the epoch, the
+// peer attempts to repair its neighbor list [and] establish a set of new
+// links to peers that are currently not its neighbors.  New peers are
+// chosen according to their utility values."
+//
+// Implementation note: heartbeats are accounted analytically per epoch
+// (2 messages per link per heartbeat interval) instead of as millions of
+// simulator events; failure *detection* still honours the two-miss rule by
+// only declaring a neighbour dead once it has been unresponsive for two
+// heartbeat intervals of simulated time.
+#pragma once
+
+#include <unordered_map>
+
+#include "overlay/bootstrap.h"
+#include "sim/simulator.h"
+
+namespace groupcast::overlay {
+
+struct MaintenanceOptions {
+  sim::SimTime heartbeat_interval = sim::SimTime::seconds(30.0);
+  sim::SimTime epoch = sim::SimTime::seconds(120.0);
+  std::size_t missed_heartbeats_to_fail = 2;
+  /// The epoch adapts to churn: it shrinks towards `min_epoch` when many
+  /// failures are detected and relaxes back towards `epoch` when quiet.
+  sim::SimTime min_epoch = sim::SimTime::seconds(30.0);
+  /// Failures per epoch (across the overlay) above which the epoch halves.
+  std::size_t churn_high_watermark = 8;
+};
+
+struct MaintenanceStats {
+  std::size_t epochs = 0;
+  std::size_t heartbeat_messages = 0;
+  std::size_t dead_links_removed = 0;
+  std::size_t links_repaired = 0;
+};
+
+/// Runs maintenance epochs over the whole overlay.  Peers that have left or
+/// failed are recognized through GroupCastBootstrap::is_joined.
+class MaintenanceProtocol {
+ public:
+  MaintenanceProtocol(sim::Simulator& simulator,
+                      const PeerPopulation& population,
+                      OverlayGraph& graph, GroupCastBootstrap& bootstrap,
+                      MaintenanceOptions options);
+
+  /// Schedules the first epoch; subsequent epochs self-schedule with the
+  /// churn-adapted interval.  `horizon` bounds the last epoch's start time.
+  void start(sim::SimTime horizon);
+
+  const MaintenanceStats& stats() const { return stats_; }
+  sim::SimTime current_epoch_length() const { return current_epoch_; }
+
+ private:
+  void run_epoch(sim::SimTime horizon);
+
+  sim::Simulator* simulator_;
+  const PeerPopulation* population_;
+  OverlayGraph* graph_;
+  GroupCastBootstrap* bootstrap_;
+  MaintenanceOptions options_;
+  sim::SimTime current_epoch_;
+  MaintenanceStats stats_;
+  /// Simulated time at which each peer was last seen alive by neighbours.
+  std::unordered_map<PeerId, sim::SimTime> last_seen_down_;
+};
+
+}  // namespace groupcast::overlay

@@ -1,0 +1,35 @@
+#include "overlay/peer.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace groupcast::overlay {
+
+CapacityDistribution::CapacityDistribution()
+    : CapacityDistribution({1.0, 10.0, 100.0, 1000.0, 10000.0},
+                           {0.20, 0.45, 0.30, 0.049, 0.001}) {}
+
+CapacityDistribution::CapacityDistribution(std::vector<double> levels,
+                                           std::vector<double> weights)
+    : levels_(std::move(levels)), categorical_(std::move(weights)) {
+  GC_REQUIRE(levels_.size() == categorical_.size());
+  GC_REQUIRE(!levels_.empty());
+  GC_REQUIRE_MSG(std::is_sorted(levels_.begin(), levels_.end()),
+                 "capacity levels must be ascending");
+  for (double level : levels_) GC_REQUIRE(level > 0.0);
+}
+
+double CapacityDistribution::sample(util::Rng& rng) const {
+  return levels_[categorical_.sample(rng)];
+}
+
+double CapacityDistribution::resource_level(double capacity) const {
+  double below = 0.0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i] < capacity) below += categorical_.probability(i);
+  }
+  return below;
+}
+
+}  // namespace groupcast::overlay

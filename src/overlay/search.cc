@@ -1,0 +1,121 @@
+#include "overlay/search.h"
+
+#include <limits>
+#include <unordered_map>
+
+#include "util/require.h"
+
+namespace groupcast::overlay {
+
+SearchResult flood_search(const PeerPopulation& population,
+                          const OverlayGraph& graph, PeerId origin,
+                          std::size_t ttl,
+                          const SearchPredicate& predicate) {
+  GC_REQUIRE(origin < graph.peer_count());
+  GC_REQUIRE(predicate != nullptr);
+  SearchResult result;
+
+  if (predicate(origin)) {
+    // Local hit: zero network cost.
+    result.found = true;
+    result.hit = origin;
+    result.peers_probed = 1;
+    return result;
+  }
+
+  std::unordered_map<PeerId, double> arrival{{origin, 0.0}};
+  std::vector<PeerId> frontier{origin};
+  result.peers_probed = 1;
+  double best_hit_time = std::numeric_limits<double>::infinity();
+
+  for (std::size_t level = 0; level < ttl && !frontier.empty(); ++level) {
+    std::vector<PeerId> next;
+    for (const auto from : frontier) {
+      const double t_from = arrival.at(from);
+      for (const auto to : graph.neighbors(from)) {
+        ++result.messages;
+        const double t_to = t_from + population.latency_ms(from, to);
+        const auto [it, inserted] = arrival.try_emplace(to, t_to);
+        if (!inserted) {
+          it->second = std::min(it->second, t_to);
+          continue;  // duplicate copy dropped by the receiver
+        }
+        ++result.peers_probed;
+        if (predicate(to)) {
+          if (t_to < best_hit_time) {
+            best_hit_time = t_to;
+            result.hit = to;
+          }
+          continue;  // hits respond; they do not forward
+        }
+        next.push_back(to);
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (result.hit != kNoPeer) {
+    result.found = true;
+    ++result.messages;  // the response
+    result.latency_ms = 2.0 * best_hit_time;
+  }
+  return result;
+}
+
+SearchResult random_walk_search(const PeerPopulation& population,
+                                const OverlayGraph& graph, PeerId origin,
+                                const RandomWalkOptions& options,
+                                const SearchPredicate& predicate,
+                                util::Rng& rng) {
+  GC_REQUIRE(origin < graph.peer_count());
+  GC_REQUIRE(predicate != nullptr);
+  GC_REQUIRE(options.walkers >= 1);
+  GC_REQUIRE(options.max_steps >= 1);
+  SearchResult result;
+
+  if (predicate(origin)) {
+    result.found = true;
+    result.hit = origin;
+    result.peers_probed = 1;
+    return result;
+  }
+
+  double best_hit_time = std::numeric_limits<double>::infinity();
+  std::unordered_map<PeerId, char> probed{{origin, 1}};
+
+  for (std::size_t w = 0; w < options.walkers; ++w) {
+    PeerId at = origin;
+    PeerId came_from = origin;
+    double elapsed = 0.0;
+    for (std::size_t step = 0; step < options.max_steps; ++step) {
+      const auto nbrs = graph.neighbors(at);
+      if (nbrs.empty()) break;
+      // Candidate pool, optionally excluding the immediate previous hop.
+      PeerId next = nbrs[rng.uniform_index(nbrs.size())];
+      if (options.avoid_backtrack && nbrs.size() > 1) {
+        while (next == came_from) {
+          next = nbrs[rng.uniform_index(nbrs.size())];
+        }
+      }
+      ++result.messages;
+      elapsed += population.latency_ms(at, next);
+      came_from = at;
+      at = next;
+      if (probed.try_emplace(at, 1).second) ++result.peers_probed;
+      if (predicate(at)) {
+        if (elapsed < best_hit_time) {
+          best_hit_time = elapsed;
+          result.hit = at;
+        }
+        break;  // this walker is done
+      }
+    }
+  }
+  if (result.hit != kNoPeer) {
+    result.found = true;
+    ++result.messages;  // the response
+    result.latency_ms = 2.0 * best_hit_time;
+  }
+  return result;
+}
+
+}  // namespace groupcast::overlay

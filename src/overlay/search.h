@@ -1,0 +1,56 @@
+// Unstructured-overlay search primitives.
+//
+// Section 1 motivates GroupCast with the cost profile of service lookup in
+// unstructured P2P networks: "searching has to be carried out either by
+// flooding the request or through random walks.  The former approach
+// results in heavy communication overheads, whereas the latter may
+// generate very long search paths."  These are those two primitives, in
+// their standard Gnutella forms, with full cost accounting — used by the
+// lookup benchmarks and available to applications that need generic
+// resource discovery on the overlay.
+#pragma once
+
+#include <functional>
+
+#include "overlay/graph.h"
+#include "overlay/population.h"
+
+namespace groupcast::overlay {
+
+/// Decides whether a probed peer satisfies the query.
+using SearchPredicate = std::function<bool(PeerId)>;
+
+struct SearchResult {
+  bool found = false;
+  PeerId hit = kNoPeer;          // first (lowest-latency) satisfying peer
+  std::size_t messages = 0;      // every query transmission
+  std::size_t peers_probed = 0;  // distinct peers that evaluated the query
+  double latency_ms = 0.0;       // query propagation time to the hit,
+                                 // round trip (hit response included)
+};
+
+/// Scoped flood (Gnutella QUERY): every peer forwards the query to all of
+/// its neighbours on first receipt, TTL-bounded.  Finds the hit with the
+/// earliest arrival time; message count includes duplicates.
+SearchResult flood_search(const PeerPopulation& population,
+                          const OverlayGraph& graph, PeerId origin,
+                          std::size_t ttl, const SearchPredicate& predicate);
+
+struct RandomWalkOptions {
+  std::size_t walkers = 4;       // parallel walkers launched by the origin
+  std::size_t max_steps = 64;    // per-walker TTL
+  /// Walkers avoid stepping straight back where they came from when the
+  /// node has another neighbour.
+  bool avoid_backtrack = true;
+};
+
+/// k-walker random walk (Gnutella "modified random walk").  Each walker
+/// steps independently; the result reports the cheapest successful walker
+/// by arrival latency.  Deterministic for a given rng state.
+SearchResult random_walk_search(const PeerPopulation& population,
+                                const OverlayGraph& graph, PeerId origin,
+                                const RandomWalkOptions& options,
+                                const SearchPredicate& predicate,
+                                util::Rng& rng);
+
+}  // namespace groupcast::overlay

@@ -1,0 +1,56 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/require.h"
+
+namespace groupcast::sim {
+
+void Simulator::schedule(SimTime delay, Action action) {
+  GC_REQUIRE_MSG(delay >= SimTime::zero(), "cannot schedule into the past");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Simulator::schedule_at(SimTime when, Action action) {
+  GC_REQUIRE_MSG(when >= now_, "cannot schedule into the past");
+  GC_REQUIRE(action != nullptr);
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+std::size_t Simulator::run() {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the action must be moved out before
+    // pop, so copy the small parts and move the closure via const_cast —
+    // confined to this one spot.
+    auto& top = const_cast<Event&>(queue_.top());
+    const SimTime when = top.when;
+    Action action = std::move(top.action);
+    queue_.pop();
+    now_ = when;
+    action();
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    auto& top = const_cast<Event&>(queue_.top());
+    const SimTime when = top.when;
+    Action action = std::move(top.action);
+    queue_.pop();
+    now_ = when;
+    action();
+    ++fired;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace groupcast::sim

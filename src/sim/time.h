@@ -1,0 +1,63 @@
+// Simulated time.
+//
+// Time is an integer count of microseconds wrapped in a strong type so that
+// durations and instants cannot be confused with plain integers, and so the
+// event queue never suffers floating-point comparison drift.  Latencies in
+// the network substrate are expressed in (double) milliseconds and converted
+// at this boundary.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace groupcast::sim {
+
+/// A duration or an instant on the simulation clock, in microseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime micros(std::int64_t us) { return SimTime{us}; }
+  static constexpr SimTime millis(double ms) {
+    return SimTime{static_cast<std::int64_t>(ms * 1000.0)};
+  }
+  static constexpr SimTime seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1'000'000.0)};
+  }
+  static constexpr SimTime zero() { return SimTime{0}; }
+
+  constexpr std::int64_t as_micros() const { return us_; }
+  constexpr double as_millis() const {
+    return static_cast<double>(us_) / 1000.0;
+  }
+  constexpr double as_seconds() const {
+    return static_cast<double>(us_) / 1'000'000.0;
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.us_ + b.us_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.us_ - b.us_};
+  }
+  constexpr SimTime& operator+=(SimTime other) {
+    us_ += other.us_;
+    return *this;
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime{a.us_ * k};
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.as_millis() << "ms";
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace groupcast::sim

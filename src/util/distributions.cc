@@ -1,0 +1,65 @@
+#include "util/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace groupcast::util {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) : s_(s) {
+  GC_REQUIRE(n >= 1);
+  GC_REQUIRE(s > 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    total += std::pow(static_cast<double>(k), -s);
+    cdf_[k - 1] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against FP round-down
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::pmf(std::size_t rank) const {
+  GC_REQUIRE(rank >= 1 && rank <= cdf_.size());
+  const double lo = rank == 1 ? 0.0 : cdf_[rank - 2];
+  return cdf_[rank - 1] - lo;
+}
+
+Categorical::Categorical(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  GC_REQUIRE(!weights_.empty());
+  double total = 0.0;
+  for (double w : weights_) {
+    GC_REQUIRE_MSG(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  GC_REQUIRE_MSG(total > 0.0, "categorical weights must not all be zero");
+  cdf_.resize(weights_.size());
+  double run = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] /= total;
+    run += weights_[i];
+    cdf_[i] = run;
+  }
+  cdf_.back() = 1.0;
+}
+
+std::size_t Categorical::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double Categorical::probability(std::size_t index) const {
+  GC_REQUIRE(index < weights_.size());
+  return weights_[index];
+}
+
+}  // namespace groupcast::util

@@ -1,0 +1,108 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace groupcast::util {
+
+void Flags::declare(const std::string& name, const std::string& description,
+                    const std::string& default_value) {
+  GC_REQUIRE_MSG(!name.empty() && name[0] != '-',
+                 "declare flags without leading dashes");
+  GC_REQUIRE_MSG(!declared_.contains(name), "flag declared twice");
+  declared_.emplace(name, Declared{description, default_value, std::nullopt});
+}
+
+bool Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const auto it = declared_.find(name);
+    if (it == declared_.end()) {
+      error_ = "unknown flag: --" + name;
+      return false;
+    }
+    if (!value) {
+      // --name value form; booleans may omit the value.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = *value;
+  }
+  return true;
+}
+
+std::string Flags::help(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, decl] : declared_) {
+    os << "  --" << name;
+    if (!decl.default_value.empty()) {
+      os << " (default: " << decl.default_value << ")";
+    }
+    os << "\n      " << decl.description << "\n";
+  }
+  return os.str();
+}
+
+const Flags::Declared& Flags::find(const std::string& name) const {
+  const auto it = declared_.find(name);
+  GC_REQUIRE_MSG(it != declared_.end(), "flag was never declared");
+  return it->second;
+}
+
+bool Flags::provided(const std::string& name) const {
+  return find(name).value.has_value();
+}
+
+std::string Flags::get_string(const std::string& name) const {
+  const auto& decl = find(name);
+  return decl.value.value_or(decl.default_value);
+}
+
+std::int64_t Flags::get_int(const std::string& name) const {
+  const auto raw = get_string(name);
+  char* end = nullptr;
+  const auto v = std::strtoll(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0') {
+    const auto fallback = find(name).default_value;
+    return fallback.empty() ? 0 : std::strtoll(fallback.c_str(), nullptr, 10);
+  }
+  return v;
+}
+
+double Flags::get_double(const std::string& name) const {
+  const auto raw = get_string(name);
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') {
+    const auto fallback = find(name).default_value;
+    return fallback.empty() ? 0.0 : std::strtod(fallback.c_str(), nullptr);
+  }
+  return v;
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  const auto raw = get_string(name);
+  return raw == "true" || raw == "1" || raw == "yes" || raw == "on";
+}
+
+}  // namespace groupcast::util

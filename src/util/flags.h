@@ -1,0 +1,60 @@
+// Minimal command-line flag parsing for the example drivers and benches.
+//
+// Supports --name=value and --name value forms, typed accessors with
+// defaults, `--help` text generation, and strict rejection of unknown
+// flags (typos should fail loudly in experiment scripts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace groupcast::util {
+
+class Flags {
+ public:
+  /// Declares a flag before parsing; `description` feeds help().
+  void declare(const std::string& name, const std::string& description,
+               const std::string& default_value = "");
+
+  /// Parses argv.  Returns false (and fills error()) on unknown flags,
+  /// missing values, or malformed input.  `--help` sets help_requested().
+  bool parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_requested_; }
+  const std::string& error() const { return error_; }
+
+  /// Rendered help text (program name + declared flags).
+  std::string help(const std::string& program) const;
+
+  // Typed accessors; fall back to the declared default.  A flag must have
+  // been declared (throws PreconditionError otherwise); a value that does
+  // not parse as the requested type reports the default.
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// True if the flag was explicitly provided on the command line.
+  bool provided(const std::string& name) const;
+
+  /// Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  struct Declared {
+    std::string description;
+    std::string default_value;
+    std::optional<std::string> value;
+  };
+  const Declared& find(const std::string& name) const;
+
+  std::map<std::string, Declared> declared_;
+  std::vector<std::string> positional_;
+  std::string error_;
+  bool help_requested_ = false;
+};
+
+}  // namespace groupcast::util

@@ -1,0 +1,77 @@
+// Precondition / invariant checking helpers.
+//
+// The GroupCast libraries use exceptions for recoverable, caller-visible
+// errors (bad arguments, protocol violations) and these macros to state
+// contracts at API boundaries.  They always fire, including in release
+// builds: simulation results that silently violate an invariant are worse
+// than a crash.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace groupcast {
+
+/// Thrown when a stated precondition is violated by a caller.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is found broken (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace groupcast
+
+/// Check a caller-facing precondition; throws groupcast::PreconditionError.
+#define GC_REQUIRE(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::groupcast::detail::throw_precondition(#expr, __FILE__, __LINE__,  \
+                                              std::string{});             \
+  } while (false)
+
+/// Same as GC_REQUIRE with an explanatory message.
+#define GC_REQUIRE_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::groupcast::detail::throw_precondition(#expr, __FILE__, __LINE__,  \
+                                              (msg));                     \
+  } while (false)
+
+/// Check an internal invariant; throws groupcast::InvariantError.
+#define GC_ENSURE(expr)                                                   \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::groupcast::detail::throw_invariant(#expr, __FILE__, __LINE__,     \
+                                           std::string{});                \
+  } while (false)
+
+#define GC_ENSURE_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::groupcast::detail::throw_invariant(#expr, __FILE__, __LINE__,     \
+                                           (msg));                        \
+  } while (false)

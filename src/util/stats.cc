@@ -1,0 +1,100 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace groupcast::util {
+
+void Summary::add(double x) {
+  values_.push_back(x);
+  sum_ += x;
+}
+
+double Summary::mean() const {
+  GC_REQUIRE(!values_.empty());
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double Summary::min() const {
+  GC_REQUIRE(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::max() const {
+  GC_REQUIRE(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Summary::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Summary::percentile(double p) const {
+  GC_REQUIRE(!values_.empty());
+  GC_REQUIRE(p >= 0.0 && p <= 1.0);
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+void FrequencyCount::add(std::size_t value, std::size_t times) {
+  counts_[value] += times;
+  total_ += times;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> FrequencyCount::items()
+    const {
+  return {counts_.begin(), counts_.end()};
+}
+
+double FrequencyCount::log_log_slope() const {
+  // Ordinary least squares on (log10 value, log10 count), value > 0.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (const auto& [value, count] : counts_) {
+    if (value == 0) continue;
+    const double x = std::log10(static_cast<double>(value));
+    const double y = std::log10(static_cast<double>(count));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (dn * sxy - sx * sy) / denom;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  GC_REQUIRE(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace groupcast::util

@@ -1,0 +1,157 @@
+// Parameterized invariant sweeps over the announcement engine: forwarding
+// fraction, TTL, and scheme interactions, plus join-protocol accounting.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/advertisement.h"
+#include "overlay/bootstrap.h"
+#include "overlay/host_cache.h"
+#include "test_helpers.h"
+
+namespace groupcast::core {
+namespace {
+
+using overlay::PeerId;
+
+/// One joined overlay shared by a test body (rebuilt per test for
+/// isolation; 100 peers keeps each instantiation fast).
+struct SweepFixture {
+  testing::SmallWorld world;
+  overlay::OverlayGraph graph;
+  sim::Simulator simulator;
+
+  explicit SweepFixture(std::uint64_t seed)
+      : world(100, seed), graph(100) {
+    overlay::HostCacheServer cache(*world.population,
+                                   overlay::HostCacheOptions{}, world.rng);
+    overlay::GroupCastBootstrap bootstrap(*world.population, graph, cache,
+                                          overlay::BootstrapOptions{},
+                                          world.rng);
+    for (PeerId p = 0; p < 100; ++p) bootstrap.join(p);
+  }
+
+  AdvertisementState announce(AnnouncementScheme scheme, double fraction,
+                              std::size_t ttl) {
+    AdvertisementOptions options;
+    options.scheme = scheme;
+    options.forward_fraction = fraction;
+    options.ttl = ttl;
+    AdvertisementEngine engine(simulator, *world.population, graph, options,
+                               world.rng);
+    return engine.announce(0);
+  }
+};
+
+class FractionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FractionSweep, ReceivingRateGrowsWithFraction) {
+  SweepFixture f(GetParam());
+  double previous = -1.0;
+  for (const double fraction : {0.15, 0.35, 0.6, 1.0}) {
+    const auto advert =
+        f.announce(AnnouncementScheme::kSsaUtility, fraction, 8);
+    // Monotone up to sampling noise: allow a small dip.
+    EXPECT_GT(advert.receiving_rate(), previous - 0.05)
+        << "fraction " << fraction;
+    previous = advert.receiving_rate();
+  }
+  // Fraction 1.0 degenerates to NSSA-like full forwarding.
+  EXPECT_GT(previous, 0.95);
+}
+
+TEST_P(FractionSweep, MessagesGrowWithFraction) {
+  SweepFixture f(GetParam());
+  std::size_t previous = 0;
+  for (const double fraction : {0.15, 0.35, 0.6, 1.0}) {
+    const auto advert =
+        f.announce(AnnouncementScheme::kSsaUtility, fraction, 8);
+    EXPECT_GE(advert.messages + advert.messages / 4 + 8, previous)
+        << "fraction " << fraction;
+    previous = advert.messages;
+  }
+}
+
+TEST_P(FractionSweep, ReceivingRateGrowsWithTtl) {
+  SweepFixture f(GetParam());
+  double previous = -1.0;
+  for (const std::size_t ttl : {1u, 2u, 4u, 8u}) {
+    const auto advert =
+        f.announce(AnnouncementScheme::kSsaUtility, 0.35, ttl);
+    EXPECT_GE(advert.receiving_rate(), previous - 1e-12) << "ttl " << ttl;
+    previous = advert.receiving_rate();
+  }
+}
+
+TEST_P(FractionSweep, SchemesAgreeAtFullFraction) {
+  // At fraction 1.0 utility and random SSA both forward to everyone, so
+  // all three schemes must reach identical peer sets.
+  SweepFixture f(GetParam());
+  const auto nssa = f.announce(AnnouncementScheme::kNssa, 1.0, 8);
+  const auto ssa_u = f.announce(AnnouncementScheme::kSsaUtility, 1.0, 8);
+  const auto ssa_r = f.announce(AnnouncementScheme::kSsaRandom, 1.0, 8);
+  for (PeerId p = 0; p < 100; ++p) {
+    EXPECT_EQ(nssa.received(p), ssa_u.received(p)) << p;
+    EXPECT_EQ(nssa.received(p), ssa_r.received(p)) << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FractionSweep,
+                         ::testing::Values(21u, 22u, 23u));
+
+// ------------------------------------------------------- join accounting
+
+class JoinAccounting : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JoinAccounting, StatsInternallyConsistent) {
+  testing::SmallWorld world(120, GetParam());
+  overlay::OverlayGraph graph(120);
+  overlay::HostCacheServer cache(*world.population,
+                                 overlay::HostCacheOptions{}, world.rng);
+  overlay::GroupCastBootstrap bootstrap(*world.population, graph, cache,
+                                        overlay::BootstrapOptions{},
+                                        world.rng);
+  for (PeerId p = 0; p < 120; ++p) {
+    const auto stats = bootstrap.join(p);
+    // Probes: 2 messages (request + response) per bootstrap candidate,
+    // |B| in [5, 8] once the cache has enough entries.
+    EXPECT_EQ(stats.probe_messages % 2, 0u);
+    if (p >= 9) {
+      EXPECT_GE(stats.probe_messages, 2u * 5u);
+      EXPECT_LE(stats.probe_messages, 2u * 8u);
+    }
+    // The utility selection never requests more back links than the
+    // out-degree target, and acceptances never exceed requests.
+    const auto target =
+        bootstrap.target_degree(world.population->info(p).capacity);
+    EXPECT_LE(stats.out_links_created, target);
+    EXPECT_LE(stats.back_link_requests, target);
+    EXPECT_LE(stats.back_links_accepted, stats.back_link_requests);
+    // Candidates include at least the probed peers themselves.
+    if (stats.probe_messages > 0) {
+      EXPECT_GE(stats.candidates_seen, stats.probe_messages / 2);
+    }
+  }
+}
+
+TEST_P(JoinAccounting, EveryLateJoinerIsConnected) {
+  testing::SmallWorld world(120, GetParam() + 50);
+  overlay::OverlayGraph graph(120);
+  overlay::HostCacheServer cache(*world.population,
+                                 overlay::HostCacheOptions{}, world.rng);
+  overlay::GroupCastBootstrap bootstrap(*world.population, graph, cache,
+                                        overlay::BootstrapOptions{},
+                                        world.rng);
+  for (PeerId p = 0; p < 120; ++p) {
+    bootstrap.join(p);
+    if (p >= 5) {
+      EXPECT_GT(graph.degree(p), 0u) << "joiner " << p << " isolated";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinAccounting,
+                         ::testing::Values(31u, 32u, 33u, 34u));
+
+}  // namespace
+}  // namespace groupcast::core

@@ -1,0 +1,84 @@
+// Cross-feature configuration matrix: every combination of underlay model,
+// coordinate system, and overlay architecture must produce a working
+// deployment with sane group communication.  Catches integration breakage
+// between independently developed options.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/middleware.h"
+#include "metrics/esm_metrics.h"
+
+namespace groupcast::core {
+namespace {
+
+class ConfigMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<UnderlayModel, overlay::CoordinateSystem, OverlayKind>> {
+ protected:
+  MiddlewareConfig config() const {
+    MiddlewareConfig c;
+    c.peer_count = 150;
+    c.seed = 99;
+    c.underlay_model = std::get<0>(GetParam());
+    c.population.coordinates = std::get<1>(GetParam());
+    c.overlay = std::get<2>(GetParam());
+    return c;
+  }
+};
+
+TEST_P(ConfigMatrix, DeploymentWorksEndToEnd) {
+  GroupCastMiddleware middleware(config());
+  EXPECT_TRUE(middleware.graph().connectivity().connected);
+
+  auto group = middleware.establish_random_group(25);
+  EXPECT_TRUE(group.tree.is_consistent());
+  EXPECT_GT(group.report.success_rate(), 0.85);
+
+  const auto session = middleware.session(group);
+  const auto m = metrics::evaluate_session(middleware.population(), session,
+                                           group.advert.rendezvous);
+  EXPECT_GE(m.delay_penalty, 1.0 - 1e-9);
+  EXPECT_GT(m.esm_avg_delay_ms, 0.0);
+  EXPECT_GE(m.link_stress, 1.0 - 1e-9);
+}
+
+TEST_P(ConfigMatrix, MembershipChurnSurvives) {
+  GroupCastMiddleware middleware(config());
+  auto group = middleware.establish_random_group(20);
+  // One late join, one removal, one relay failure.
+  for (overlay::PeerId p = 0; p < 150; ++p) {
+    if (!group.tree.is_subscriber(p)) {
+      middleware.add_subscriber(group, p);
+      break;
+    }
+  }
+  for (const auto node : group.tree.nodes()) {
+    if (node != group.tree.root() && group.tree.is_subscriber(node) &&
+        group.tree.children(node).empty()) {
+      middleware.remove_subscriber(group, node);
+      break;
+    }
+  }
+  for (const auto node : group.tree.nodes()) {
+    if (node != group.tree.root() && !group.tree.children(node).empty()) {
+      middleware.repair_after_failure(group, node);
+      break;
+    }
+  }
+  EXPECT_TRUE(group.tree.is_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ConfigMatrix,
+    ::testing::Combine(
+        ::testing::Values(UnderlayModel::kTransitStub,
+                          UnderlayModel::kWaxman),
+        ::testing::Values(overlay::CoordinateSystem::kGnp,
+                          overlay::CoordinateSystem::kVivaldi),
+        ::testing::Values(OverlayKind::kGroupCast,
+                          OverlayKind::kRandomPowerLaw,
+                          OverlayKind::kSupernode)));
+
+}  // namespace
+}  // namespace groupcast::core

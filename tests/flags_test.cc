@@ -1,0 +1,115 @@
+// Tests for the command-line flag parser.
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+#include "util/require.h"
+
+namespace groupcast::util {
+namespace {
+
+Flags declared() {
+  Flags flags;
+  flags.declare("peers", "overlay size", "1000");
+  flags.declare("overlay", "which overlay", "groupcast");
+  flags.declare("fraction", "SSA fraction", "0.35");
+  flags.declare("csv", "emit csv", "false");
+  return flags;
+}
+
+bool parse(Flags& flags, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return flags.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, DefaultsApplyWhenUnset) {
+  auto flags = declared();
+  ASSERT_TRUE(parse(flags, {}));
+  EXPECT_EQ(flags.get_int("peers"), 1000);
+  EXPECT_EQ(flags.get_string("overlay"), "groupcast");
+  EXPECT_DOUBLE_EQ(flags.get_double("fraction"), 0.35);
+  EXPECT_FALSE(flags.get_bool("csv"));
+  EXPECT_FALSE(flags.provided("peers"));
+}
+
+TEST(Flags, EqualsFormParses) {
+  auto flags = declared();
+  ASSERT_TRUE(parse(flags, {"--peers=4000", "--fraction=0.5"}));
+  EXPECT_EQ(flags.get_int("peers"), 4000);
+  EXPECT_DOUBLE_EQ(flags.get_double("fraction"), 0.5);
+  EXPECT_TRUE(flags.provided("peers"));
+}
+
+TEST(Flags, SpaceFormParses) {
+  auto flags = declared();
+  ASSERT_TRUE(parse(flags, {"--peers", "250", "--overlay", "random"}));
+  EXPECT_EQ(flags.get_int("peers"), 250);
+  EXPECT_EQ(flags.get_string("overlay"), "random");
+}
+
+TEST(Flags, BareBooleanIsTrue) {
+  auto flags = declared();
+  ASSERT_TRUE(parse(flags, {"--csv"}));
+  EXPECT_TRUE(flags.get_bool("csv"));
+}
+
+TEST(Flags, BooleanSpellings) {
+  for (const char* spelling : {"true", "1", "yes", "on"}) {
+    auto flags = declared();
+    const std::string arg = std::string("--csv=") + spelling;
+    ASSERT_TRUE(parse(flags, {arg.c_str()}));
+    EXPECT_TRUE(flags.get_bool("csv")) << spelling;
+  }
+  auto flags = declared();
+  ASSERT_TRUE(parse(flags, {"--csv=false"}));
+  EXPECT_FALSE(flags.get_bool("csv"));
+}
+
+TEST(Flags, UnknownFlagFails) {
+  auto flags = declared();
+  EXPECT_FALSE(parse(flags, {"--nonsense=1"}));
+  EXPECT_NE(flags.error().find("nonsense"), std::string::npos);
+}
+
+TEST(Flags, HelpRequested) {
+  auto flags = declared();
+  ASSERT_TRUE(parse(flags, {"--help"}));
+  EXPECT_TRUE(flags.help_requested());
+  const auto text = flags.help("prog");
+  EXPECT_NE(text.find("--peers"), std::string::npos);
+  EXPECT_NE(text.find("overlay size"), std::string::npos);
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  auto flags = declared();
+  ASSERT_TRUE(parse(flags, {"input.txt", "--peers=10", "more"}));
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.txt", "more"}));
+}
+
+TEST(Flags, MalformedNumberFallsBackToDefault) {
+  auto flags = declared();
+  ASSERT_TRUE(parse(flags, {"--peers=abc"}));
+  EXPECT_EQ(flags.get_int("peers"), 1000);
+}
+
+TEST(Flags, UndeclaredAccessThrows) {
+  auto flags = declared();
+  ASSERT_TRUE(parse(flags, {}));
+  EXPECT_THROW(flags.get_string("missing"), PreconditionError);
+}
+
+TEST(Flags, DeclareValidation) {
+  Flags flags;
+  EXPECT_THROW(flags.declare("--bad", "leading dashes"), PreconditionError);
+  flags.declare("x", "first");
+  EXPECT_THROW(flags.declare("x", "again"), PreconditionError);
+}
+
+TEST(Flags, LastValueWins) {
+  auto flags = declared();
+  ASSERT_TRUE(parse(flags, {"--peers=1", "--peers=2"}));
+  EXPECT_EQ(flags.get_int("peers"), 2);
+}
+
+}  // namespace
+}  // namespace groupcast::util

@@ -1,0 +1,153 @@
+// Tests for dynamic group membership at the middleware level: late joins,
+// unsubscribes with relay-chain collapse, and repair after relay failure.
+#include <gtest/gtest.h>
+
+#include "core/middleware.h"
+#include "util/require.h"
+
+namespace groupcast::core {
+namespace {
+
+using overlay::PeerId;
+
+MiddlewareConfig config_for(std::uint64_t seed) {
+  MiddlewareConfig config;
+  config.peer_count = 200;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Membership, LateJoinAddsSubscriber) {
+  GroupCastMiddleware middleware(config_for(3));
+  auto group = middleware.establish_random_group(20);
+  const auto before = group.tree.subscriber_count();
+  // Find a peer not yet subscribed.
+  for (PeerId p = 0; p < 200; ++p) {
+    if (group.tree.is_subscriber(p)) continue;
+    const auto outcome = middleware.add_subscriber(group, p);
+    EXPECT_TRUE(outcome.success);
+    EXPECT_TRUE(group.tree.is_subscriber(p));
+    EXPECT_EQ(group.tree.subscriber_count(), before + 1);
+    EXPECT_TRUE(group.tree.is_consistent());
+    return;
+  }
+  FAIL() << "no unsubscribed peer found";
+}
+
+TEST(Membership, RemoveLeafCollapsesRelayChain) {
+  GroupCastMiddleware middleware(config_for(5));
+  auto group = middleware.establish_random_group(15);
+  // Find a leaf subscriber with a pure-relay parent chain.
+  for (const auto node : group.tree.nodes()) {
+    if (!group.tree.is_subscriber(node)) continue;
+    if (node == group.tree.root()) continue;
+    if (!group.tree.children(node).empty()) continue;
+    const auto node_count_before = group.tree.node_count();
+    const auto pruned = middleware.remove_subscriber(group, node);
+    EXPECT_GE(pruned, 1u);
+    EXPECT_FALSE(group.tree.contains(node));
+    EXPECT_EQ(group.tree.node_count(), node_count_before - pruned);
+    EXPECT_TRUE(group.tree.is_consistent());
+    return;
+  }
+  GTEST_SKIP() << "no leaf subscriber in this instance";
+}
+
+TEST(Membership, RemoveInteriorSubscriberKeepsRelay) {
+  GroupCastMiddleware middleware(config_for(7));
+  auto group = middleware.establish_random_group(40);
+  for (const auto node : group.tree.nodes()) {
+    if (!group.tree.is_subscriber(node)) continue;
+    if (group.tree.children(node).empty()) continue;
+    const auto pruned = middleware.remove_subscriber(group, node);
+    EXPECT_EQ(pruned, 0u);
+    EXPECT_TRUE(group.tree.contains(node));  // still relaying
+    EXPECT_FALSE(group.tree.is_subscriber(node));
+    return;
+  }
+  GTEST_SKIP() << "no interior subscriber in this instance";
+}
+
+TEST(Membership, RemoveRequiresSubscriber) {
+  GroupCastMiddleware middleware(config_for(9));
+  auto group = middleware.establish_random_group(10);
+  for (const auto node : group.tree.nodes()) {
+    if (!group.tree.is_subscriber(node)) {
+      EXPECT_THROW(middleware.remove_subscriber(group, node),
+                   PreconditionError);
+      return;
+    }
+  }
+  GTEST_SKIP() << "tree has no pure relay";
+}
+
+TEST(Membership, RepairAfterRelayFailureRestoresSubscribers) {
+  GroupCastMiddleware middleware(config_for(11));
+  auto group = middleware.establish_random_group(40);
+  // Pick the relay with the largest subscriber subtree (excluding root).
+  PeerId victim = overlay::kNoPeer;
+  std::size_t victim_orphans = 0;
+  for (const auto node : group.tree.nodes()) {
+    if (node == group.tree.root()) continue;
+    const auto subs = group.tree.subtree_subscribers(node).size();
+    if (subs > victim_orphans) {
+      victim_orphans = subs;
+      victim = node;
+    }
+  }
+  ASSERT_NE(victim, overlay::kNoPeer);
+  const auto subscribers_before = group.tree.subscriber_count();
+  const bool victim_subscribed = group.tree.is_subscriber(victim);
+
+  const auto report = middleware.repair_after_failure(group, victim);
+  EXPECT_GT(report.pruned_nodes, 0u);
+  EXPECT_TRUE(group.tree.is_consistent());
+  EXPECT_FALSE(group.tree.contains(victim));
+  EXPECT_EQ(report.resubscribed, report.orphaned_subscribers);
+  // Everyone except the crashed peer itself is back.
+  EXPECT_EQ(group.tree.subscriber_count(),
+            subscribers_before - (victim_subscribed ? 1 : 0));
+  // The advertisement no longer names the corpse as anyone's parent.
+  for (PeerId p = 0; p < 200; ++p) {
+    EXPECT_NE(group.advert.parent[p],
+              victim == p ? overlay::kNoPeer - 1 : victim);
+  }
+}
+
+TEST(Membership, RepairRejectsRootFailure) {
+  GroupCastMiddleware middleware(config_for(13));
+  auto group = middleware.establish_random_group(10);
+  EXPECT_THROW(middleware.repair_after_failure(group, group.tree.root()),
+               PreconditionError);
+}
+
+TEST(Membership, DisseminationWorksAfterChurnedMembership) {
+  GroupCastMiddleware middleware(config_for(17));
+  auto group = middleware.establish_random_group(30);
+  // Remove a third of the subscribers, add some new ones, crash a relay.
+  std::vector<PeerId> current(group.tree.subscribers().begin(),
+                              group.tree.subscribers().end());
+  for (std::size_t i = 0; i < current.size(); i += 3) {
+    if (current[i] != group.tree.root()) {
+      middleware.remove_subscriber(group, current[i]);
+    }
+  }
+  for (PeerId p = 0; p < 200 && group.tree.subscriber_count() < 40; p += 13) {
+    if (!group.tree.is_subscriber(p)) middleware.add_subscriber(group, p);
+  }
+  for (const auto node : group.tree.nodes()) {
+    if (node != group.tree.root() && !group.tree.children(node).empty()) {
+      middleware.repair_after_failure(group, node);
+      break;
+    }
+  }
+  ASSERT_TRUE(group.tree.is_consistent());
+  const auto session = middleware.session(group);
+  const auto result = session.disseminate(group.tree.root());
+  std::size_t expected = group.tree.subscriber_count();
+  if (group.tree.is_subscriber(group.tree.root())) --expected;
+  EXPECT_EQ(result.subscriber_delay_ms.size(), expected);
+}
+
+}  // namespace
+}  // namespace groupcast::core

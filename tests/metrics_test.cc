@@ -1,0 +1,113 @@
+// Tests for the metrics layer odds and ends: message-stat accounting,
+// graph statistics, scenario dispersion, and the bench-scale knob.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/message.h"
+#include "metrics/experiment.h"
+#include "metrics/graph_stats.h"
+#include "test_helpers.h"
+
+namespace groupcast::metrics {
+namespace {
+
+using overlay::PeerId;
+
+TEST(MessageStats, CountsAndAggregates) {
+  core::MessageStats stats;
+  stats.count(core::MessageKind::kAdvertisement, 5);
+  stats.count(core::MessageKind::kRippleSearch, 2);
+  stats.count(core::MessageKind::kSubscribeJoin);
+  EXPECT_EQ(stats.advertisement_messages(), 5u);
+  EXPECT_EQ(stats.subscription_messages(), 3u);
+  EXPECT_EQ(stats.total(), 8u);
+}
+
+TEST(MessageStats, PlusEqualsMerges) {
+  core::MessageStats a, b;
+  a.count(core::MessageKind::kPayload, 3);
+  b.count(core::MessageKind::kPayload, 4);
+  b.count(core::MessageKind::kSubscribeAck, 1);
+  a += b;
+  EXPECT_EQ(a.of(core::MessageKind::kPayload), 7u);
+  EXPECT_EQ(a.of(core::MessageKind::kSubscribeAck), 1u);
+  EXPECT_EQ(a.total(), 8u);
+}
+
+TEST(GraphStats, DegreeDistributionCoversAllPeers) {
+  overlay::OverlayGraph graph(5);
+  graph.add_edge(0, 1);
+  graph.add_edge(1, 2);
+  const auto dist = degree_distribution(graph);
+  EXPECT_EQ(dist.total(), 5u);
+  const auto items = dist.items();
+  // Degrees: 0:1, 1:2, 2:1, others 0 -> counts {0:2, 1:2, 2:1}.
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], (std::pair<std::size_t, std::size_t>{0, 2}));
+  EXPECT_EQ(items[1], (std::pair<std::size_t, std::size_t>{1, 2}));
+  EXPECT_EQ(items[2], (std::pair<std::size_t, std::size_t>{2, 1}));
+}
+
+TEST(GraphStats, PerPeerNeighborDistanceMatchesManualAverage) {
+  testing::SmallWorld world(8, 5);
+  overlay::OverlayGraph graph(8);
+  graph.add_edge(0, 1);
+  graph.add_edge(0, 2);
+  const auto per_peer = per_peer_neighbor_distance(*world.population, graph);
+  const double expected = (world.population->latency_ms(0, 1) +
+                           world.population->latency_ms(0, 2)) /
+                          2.0;
+  EXPECT_NEAR(per_peer[0], expected, 1e-9);
+  EXPECT_LT(per_peer[5], 0.0);  // isolated peers are marked -1
+  const auto summary = neighbor_distance_summary(*world.population, graph);
+  EXPECT_EQ(summary.count(), 3u);  // peers 0, 1, 2 have neighbours
+}
+
+TEST(Experiment, DispersionZeroForSingleTopology) {
+  ScenarioConfig config;
+  config.peer_count = 120;
+  config.groups = 2;
+  config.seed = 5;
+  const auto r = run_scenario_averaged(config, 1);
+  EXPECT_DOUBLE_EQ(r.delay_penalty_stddev, 0.0);
+  EXPECT_DOUBLE_EQ(r.overload_index_stddev, 0.0);
+}
+
+TEST(Experiment, DispersionPopulatedAcrossTopologies) {
+  ScenarioConfig config;
+  config.peer_count = 120;
+  config.groups = 2;
+  config.seed = 5;
+  const auto r = run_scenario_averaged(config, 3);
+  // Different topologies virtually never coincide exactly.
+  EXPECT_GT(r.delay_penalty_stddev, 0.0);
+  EXPECT_GE(r.link_stress_stddev, 0.0);
+}
+
+TEST(Experiment, BenchScaleReadsEnvironment) {
+  unsetenv("GROUPCAST_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(bench_scale(), 1.0);
+  setenv("GROUPCAST_BENCH_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(bench_scale(), 2.5);
+  setenv("GROUPCAST_BENCH_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(bench_scale(), 1.0);
+  setenv("GROUPCAST_BENCH_SCALE", "-3", 1);
+  EXPECT_DOUBLE_EQ(bench_scale(), 1.0);
+  unsetenv("GROUPCAST_BENCH_SCALE");
+}
+
+TEST(Multicast, UsesLinkReportsTreeMembership) {
+  const auto topo = testing::line_topology(5);
+  const net::IpRouting routing(topo);
+  const net::IpMulticastTree tree(routing, 0, {2});
+  // Links 0-1 and 1-2 are on the tree; 2-3 and 3-4 are not.
+  std::size_t used = 0;
+  for (net::LinkId l = 0; l < topo.link_count(); ++l) {
+    if (tree.uses_link(l)) ++used;
+  }
+  EXPECT_EQ(used, 2u);
+}
+
+}  // namespace
+}  // namespace groupcast::metrics

@@ -1,0 +1,134 @@
+// Tests for the NICE-style hierarchical cluster baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/nice.h"
+#include "test_helpers.h"
+#include "util/require.h"
+
+namespace groupcast::baselines {
+namespace {
+
+using overlay::PeerId;
+
+std::vector<PeerId> members_range(PeerId from, PeerId to, PeerId step = 1) {
+  std::vector<PeerId> out;
+  for (PeerId p = from; p < to; p += step) out.push_back(p);
+  return out;
+}
+
+TEST(Nice, TreeSpansAllMembers) {
+  testing::SmallWorld world(96, 3);
+  util::Rng rng(1);
+  const auto members = members_range(0, 96, 2);
+  const auto result =
+      build_nice_tree(*world.population, members, NiceOptions{}, rng);
+  EXPECT_TRUE(result.tree.is_consistent());
+  EXPECT_EQ(result.tree.node_count(), members.size());
+  for (const auto m : members) {
+    EXPECT_TRUE(result.tree.contains(m));
+    EXPECT_TRUE(result.tree.is_subscriber(m));
+  }
+  EXPECT_EQ(result.tree.root(), result.root);
+}
+
+TEST(Nice, DepthIsLogarithmic) {
+  testing::SmallWorld world(128, 5);
+  util::Rng rng(2);
+  const auto members = members_range(0, 128);
+  NiceOptions options;
+  options.cluster_degree = 3;
+  const auto result =
+      build_nice_tree(*world.population, members, options, rng);
+  // Clusters hold ~2k members, so depth ~ log_{2k}(n) plus slack.
+  const double expected =
+      std::log(128.0) / std::log(2.0 * options.cluster_degree);
+  EXPECT_LE(result.tree.max_depth(),
+            static_cast<std::size_t>(std::ceil(expected)) + 2);
+  EXPECT_GE(result.layers, 2u);
+}
+
+TEST(Nice, FanoutBoundedByClusterSize) {
+  testing::SmallWorld world(96, 7);
+  util::Rng rng(3);
+  NiceOptions options;
+  options.cluster_degree = 3;
+  const auto result = build_nice_tree(*world.population,
+                                      members_range(0, 96), options, rng);
+  // A leader serves at most one cluster per layer it leads; with merges a
+  // cluster can reach ~4k members.  Fan-out must stay O(k · layers).
+  for (const auto node : result.tree.nodes()) {
+    EXPECT_LE(result.tree.children(node).size(),
+              4 * options.cluster_degree * result.layers);
+  }
+}
+
+TEST(Nice, SingleAndTinyGroups) {
+  testing::SmallWorld world(16, 9);
+  util::Rng rng(4);
+  const auto solo =
+      build_nice_tree(*world.population, {5}, NiceOptions{}, rng);
+  EXPECT_EQ(solo.tree.node_count(), 1u);
+  EXPECT_EQ(solo.root, 5u);
+  EXPECT_EQ(solo.layers, 0u);
+
+  const auto pair =
+      build_nice_tree(*world.population, {3, 9}, NiceOptions{}, rng);
+  EXPECT_EQ(pair.tree.node_count(), 2u);
+  EXPECT_TRUE(pair.tree.is_consistent());
+}
+
+TEST(Nice, DuplicateMembersDeduplicated) {
+  testing::SmallWorld world(32, 11);
+  util::Rng rng(5);
+  const auto result = build_nice_tree(*world.population, {1, 2, 1, 2, 3},
+                                      NiceOptions{}, rng);
+  EXPECT_EQ(result.tree.node_count(), 3u);
+}
+
+TEST(Nice, LeadersAreLatencyCentres) {
+  // The root must not be a latency outlier: its mean distance to members
+  // should not exceed the population mean among members.
+  testing::SmallWorld world(96, 13);
+  util::Rng rng(6);
+  const auto members = members_range(0, 96, 3);
+  const auto result =
+      build_nice_tree(*world.population, members, NiceOptions{}, rng);
+  auto mean_dist = [&](PeerId from) {
+    double total = 0;
+    for (const auto m : members) total += world.population->latency_ms(from, m);
+    return total / static_cast<double>(members.size());
+  };
+  double population_mean = 0;
+  for (const auto m : members) population_mean += mean_dist(m);
+  population_mean /= static_cast<double>(members.size());
+  EXPECT_LE(mean_dist(result.root), population_mean * 1.25);
+}
+
+TEST(Nice, RefreshCostQuadraticInClusterNotGroup) {
+  testing::SmallWorld world(128, 17);
+  util::Rng rng(7);
+  const auto members = members_range(0, 128);
+  NiceOptions options;
+  options.cluster_degree = 3;
+  const auto result =
+      build_nice_tree(*world.population, members, options, rng);
+  // Far below the all-pairs n*(n-1) a Narada-style full mesh would cost.
+  EXPECT_LT(result.refresh_messages_per_round, 128u * 127u / 4u);
+  EXPECT_GT(result.refresh_messages_per_round, 0u);
+}
+
+TEST(Nice, RejectsDegenerateOptions) {
+  testing::SmallWorld world(16, 19);
+  util::Rng rng(8);
+  NiceOptions bad;
+  bad.cluster_degree = 1;
+  EXPECT_THROW(build_nice_tree(*world.population, {1, 2, 3}, bad, rng),
+               PreconditionError);
+  EXPECT_THROW(build_nice_tree(*world.population, {}, NiceOptions{}, rng),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace groupcast::baselines

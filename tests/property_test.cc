@@ -1,0 +1,172 @@
+// Cross-module property suites (parameterized sweeps): invariants that must
+// hold for every seed, overlay kind, and announcement scheme.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/middleware.h"
+#include "metrics/esm_metrics.h"
+#include "metrics/graph_stats.h"
+
+namespace groupcast {
+namespace {
+
+using core::AnnouncementScheme;
+using core::GroupCastMiddleware;
+using core::MiddlewareConfig;
+using core::OverlayKind;
+using overlay::PeerId;
+
+// ------------------------------------------------- full-pipeline invariants
+
+class PipelineProperty
+    : public ::testing::TestWithParam<
+          std::tuple<OverlayKind, AnnouncementScheme, std::uint64_t>> {
+ protected:
+  MiddlewareConfig config() const {
+    MiddlewareConfig c;
+    c.peer_count = 120;
+    c.overlay = std::get<0>(GetParam());
+    c.advertisement.scheme = std::get<1>(GetParam());
+    c.seed = std::get<2>(GetParam());
+    return c;
+  }
+};
+
+TEST_P(PipelineProperty, OverlayIsConnectedAndFinite) {
+  GroupCastMiddleware middleware(config());
+  EXPECT_TRUE(middleware.graph().connectivity().connected);
+  for (PeerId p = 0; p < 120; ++p) {
+    EXPECT_LT(middleware.graph().degree(p), 120u);
+  }
+}
+
+TEST_P(PipelineProperty, GroupEstablishmentInvariants) {
+  GroupCastMiddleware middleware(config());
+  auto group = middleware.establish_random_group(24);
+
+  // Tree invariants.
+  EXPECT_TRUE(group.tree.is_consistent());
+  EXPECT_LE(group.tree.subscriber_count(), 24u + 1u);
+  EXPECT_GE(group.tree.node_count(), group.tree.subscriber_count());
+
+  // Every tree edge is an overlay link or a search-created attachment to a
+  // peer at most ripple_ttl hops away; in both cases parent and child must
+  // know each other, i.e. the parent is on the tree before the child.
+  for (const auto node : group.tree.nodes()) {
+    if (node == group.tree.root()) continue;
+    EXPECT_TRUE(group.tree.contains(group.tree.parent(node)));
+  }
+
+  // Advertisement bookkeeping.
+  const auto rate = group.advert.receiving_rate();
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+  EXPECT_GT(group.advert.messages, 0u);
+
+  // Subscription accounting is within bounds.
+  for (const auto& outcome : group.report.outcomes) {
+    if (outcome.had_advertisement) {
+      EXPECT_EQ(outcome.search_messages, 0u);
+    }
+    if (outcome.success) {
+      EXPECT_GE(outcome.response_time_ms, 0.0);
+      EXPECT_NE(outcome.attach_point, overlay::kNoPeer);
+    }
+  }
+}
+
+TEST_P(PipelineProperty, DisseminationReachesAllSubscribersExactlyOnce) {
+  GroupCastMiddleware middleware(config());
+  auto group = middleware.establish_random_group(24);
+  const auto session = middleware.session(group);
+  const auto result = session.disseminate(group.advert.rendezvous);
+  std::size_t expected = group.tree.subscriber_count();
+  if (group.tree.is_subscriber(group.advert.rendezvous)) --expected;
+  EXPECT_EQ(result.subscriber_delay_ms.size(), expected);
+  EXPECT_EQ(result.payload_messages, group.tree.node_count() - 1);
+}
+
+TEST_P(PipelineProperty, EsmMetricsBoundedBelowByBaseline) {
+  GroupCastMiddleware middleware(config());
+  auto group = middleware.establish_random_group(24);
+  if (group.tree.subscriber_count() < 2) GTEST_SKIP();
+  const auto session = middleware.session(group);
+  const auto m = metrics::evaluate_session(middleware.population(), session,
+                                           group.advert.rendezvous);
+  EXPECT_GE(m.delay_penalty, 1.0 - 1e-9);
+  EXPECT_GE(m.link_stress, 1.0 - 1e-9);
+  EXPECT_GE(m.overload_index, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PipelineProperty,
+    ::testing::Combine(
+        ::testing::Values(OverlayKind::kGroupCast,
+                          OverlayKind::kRandomPowerLaw,
+                          OverlayKind::kSupernode),
+        ::testing::Values(AnnouncementScheme::kSsaUtility,
+                          AnnouncementScheme::kSsaRandom,
+                          AnnouncementScheme::kNssa),
+        ::testing::Values(1u, 2u, 3u)));
+
+// ------------------------------------------------ headline paper contrasts
+
+class HeadlineContrast : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeadlineContrast, GroupCastBeatsRandomOnProximity) {
+  MiddlewareConfig gc_config, pl_config;
+  gc_config.peer_count = pl_config.peer_count = 200;
+  gc_config.seed = pl_config.seed = GetParam();
+  pl_config.overlay = OverlayKind::kRandomPowerLaw;
+  GroupCastMiddleware gc(gc_config), pl(pl_config);
+  const auto gc_prox =
+      metrics::neighbor_distance_summary(gc.population(), gc.graph());
+  const auto pl_prox =
+      metrics::neighbor_distance_summary(pl.population(), pl.graph());
+  EXPECT_LT(gc_prox.mean(), 0.8 * pl_prox.mean());
+}
+
+TEST_P(HeadlineContrast, SsaCheaperThanNssaOnBothOverlays) {
+  for (const auto kind :
+       {OverlayKind::kGroupCast, OverlayKind::kRandomPowerLaw}) {
+    MiddlewareConfig config;
+    config.peer_count = 200;
+    config.seed = GetParam();
+    config.overlay = kind;
+    config.advertisement.scheme = AnnouncementScheme::kSsaUtility;
+    GroupCastMiddleware ssa(config);
+    auto ssa_group = ssa.establish_random_group(20);
+    config.advertisement.scheme = AnnouncementScheme::kNssa;
+    GroupCastMiddleware nssa(config);
+    auto nssa_group = nssa.establish_random_group(20);
+    EXPECT_LT(ssa_group.advert.messages, nssa_group.advert.messages)
+        << core::to_string(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeadlineContrast,
+                         ::testing::Values(101, 202, 303));
+
+// ------------------------------------------------------ degree law sweeps
+
+class DegreeLaw : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DegreeLaw, BothOverlaysShowDecayingDegreeTail) {
+  for (const auto kind :
+       {OverlayKind::kGroupCast, OverlayKind::kRandomPowerLaw}) {
+    MiddlewareConfig config;
+    config.peer_count = 400;
+    config.seed = GetParam();
+    config.overlay = kind;
+    GroupCastMiddleware middleware(config);
+    const auto dist = metrics::degree_distribution(middleware.graph());
+    EXPECT_LT(dist.log_log_slope(), -0.5) << core::to_string(kind);
+    EXPECT_EQ(dist.total(), 400u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DegreeLaw, ::testing::Values(7, 8));
+
+}  // namespace
+}  // namespace groupcast

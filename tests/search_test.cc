@@ -1,0 +1,207 @@
+// Tests for the unstructured search primitives (flooding + random walks).
+#include <gtest/gtest.h>
+
+#include "overlay/search.h"
+#include "test_helpers.h"
+#include "util/require.h"
+
+namespace groupcast::overlay {
+namespace {
+
+/// A line overlay 0-1-2-...-(n-1) over a small world population.
+struct LineFixture {
+  testing::SmallWorld world;
+  OverlayGraph graph;
+
+  explicit LineFixture(std::size_t n = 12, std::uint64_t seed = 3)
+      : world(n, seed), graph(n) {
+    for (PeerId p = 0; p + 1 < n; ++p) {
+      graph.add_edge(p, p + 1);
+      graph.add_edge(p + 1, p);
+    }
+  }
+};
+
+TEST(FloodSearch, FindsTargetWithinTtl) {
+  LineFixture f;
+  const auto hit_3 = [](PeerId p) { return p == 3; };
+  const auto result =
+      flood_search(*f.world.population, f.graph, 0, 3, hit_3);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.hit, 3u);
+  EXPECT_GT(result.messages, 0u);
+  EXPECT_GT(result.latency_ms, 0.0);
+}
+
+TEST(FloodSearch, MissesTargetBeyondTtl) {
+  LineFixture f;
+  const auto hit_9 = [](PeerId p) { return p == 9; };
+  const auto result =
+      flood_search(*f.world.population, f.graph, 0, 3, hit_9);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.hit, kNoPeer);
+  EXPECT_DOUBLE_EQ(result.latency_ms, 0.0);
+}
+
+TEST(FloodSearch, LocalHitIsFree) {
+  LineFixture f;
+  const auto result = flood_search(*f.world.population, f.graph, 4, 3,
+                                   [](PeerId p) { return p == 4; });
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.messages, 0u);
+  EXPECT_EQ(result.peers_probed, 1u);
+}
+
+TEST(FloodSearch, LatencyIsRoundTripAlongLine) {
+  LineFixture f;
+  const auto result = flood_search(*f.world.population, f.graph, 0, 2,
+                                   [](PeerId p) { return p == 2; });
+  ASSERT_TRUE(result.found);
+  const double one_way = f.world.population->latency_ms(0, 1) +
+                         f.world.population->latency_ms(1, 2);
+  EXPECT_NEAR(result.latency_ms, 2.0 * one_way, 1e-9);
+}
+
+TEST(FloodSearch, MessageCountOnLineIsExact) {
+  // On the line from node 0 with TTL 2 and no hit: level 1 sends 1 msg
+  // (0->1); level 2 sends 2 (1->0 dup, 1->2); plus... node 0 forwards only
+  // to 1; node 1 forwards to 0 and 2.  Total 3 transmissions.
+  LineFixture f;
+  const auto result = flood_search(*f.world.population, f.graph, 0, 2,
+                                   [](PeerId) { return false; });
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.messages, 3u);
+  EXPECT_EQ(result.peers_probed, 3u);  // 0, 1, 2
+}
+
+TEST(FloodSearch, ProbesWholeComponentWithLargeTtl) {
+  testing::SmallWorld world(40, 7);
+  OverlayGraph graph(40);
+  // A random connected graph.
+  for (PeerId p = 1; p < 40; ++p) {
+    const auto q = static_cast<PeerId>(world.rng.uniform_index(p));
+    graph.add_edge(p, q);
+    graph.add_edge(q, p);
+  }
+  const auto result = flood_search(*world.population, graph, 0, 40,
+                                   [](PeerId) { return false; });
+  EXPECT_EQ(result.peers_probed, 40u);
+}
+
+TEST(RandomWalk, FindsNearbyTarget) {
+  LineFixture f;
+  util::Rng rng(5);
+  RandomWalkOptions options;
+  options.walkers = 4;
+  options.max_steps = 30;
+  const auto result =
+      random_walk_search(*f.world.population, f.graph, 0, options,
+                         [](PeerId p) { return p == 5; }, rng);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.hit, 5u);
+  EXPECT_GT(result.latency_ms, 0.0);
+}
+
+TEST(RandomWalk, RespectsStepBudget) {
+  LineFixture f;
+  util::Rng rng(7);
+  RandomWalkOptions options;
+  options.walkers = 2;
+  options.max_steps = 3;
+  const auto result =
+      random_walk_search(*f.world.population, f.graph, 0, options,
+                         [](PeerId p) { return p == 11; }, rng);
+  EXPECT_FALSE(result.found);
+  EXPECT_LE(result.messages, options.walkers * options.max_steps);
+}
+
+TEST(RandomWalk, BacktrackAvoidanceWalksStraightOnLine) {
+  // With backtrack avoidance, a single walker on a line must march
+  // monotonically away from the origin.
+  LineFixture f;
+  util::Rng rng(9);
+  RandomWalkOptions options;
+  options.walkers = 1;
+  options.max_steps = 11;
+  const auto result =
+      random_walk_search(*f.world.population, f.graph, 0, options,
+                         [](PeerId p) { return p == 11; }, rng);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.messages, 11u + 1u);  // 11 steps + response
+}
+
+TEST(RandomWalk, LocalHitIsFree) {
+  LineFixture f;
+  util::Rng rng(11);
+  const auto result =
+      random_walk_search(*f.world.population, f.graph, 6,
+                         RandomWalkOptions{},
+                         [](PeerId p) { return p == 6; }, rng);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.messages, 0u);
+}
+
+TEST(RandomWalk, IsolatedOriginFindsNothing) {
+  testing::SmallWorld world(8, 13);
+  OverlayGraph graph(8);  // no edges
+  util::Rng rng(13);
+  const auto result =
+      random_walk_search(*world.population, graph, 0, RandomWalkOptions{},
+                         [](PeerId p) { return p == 5; }, rng);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.messages, 0u);
+}
+
+TEST(SearchContracts, RejectBadArguments) {
+  LineFixture f;
+  util::Rng rng(15);
+  EXPECT_THROW(flood_search(*f.world.population, f.graph, 99, 2,
+                            [](PeerId) { return false; }),
+               PreconditionError);
+  EXPECT_THROW(flood_search(*f.world.population, f.graph, 0, 2, nullptr),
+               PreconditionError);
+  RandomWalkOptions bad;
+  bad.walkers = 0;
+  EXPECT_THROW(random_walk_search(*f.world.population, f.graph, 0, bad,
+                                  [](PeerId) { return false; }, rng),
+               PreconditionError);
+}
+
+TEST(SearchComparison, FloodCostsMoreMessagesWalkCostsMoreLatency) {
+  // The Section 1 claim, as a property over seeds.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    testing::SmallWorld world(80, seed);
+    OverlayGraph graph(80);
+    util::Rng rng(seed);
+    for (PeerId p = 1; p < 80; ++p) {
+      const auto q = static_cast<PeerId>(rng.uniform_index(p));
+      graph.add_edge(p, q);
+      graph.add_edge(q, p);
+      if (p > 2) {
+        const auto extra = static_cast<PeerId>(rng.uniform_index(p));
+        if (extra != q) {
+          graph.add_edge(p, extra);
+          graph.add_edge(extra, p);
+        }
+      }
+    }
+    // Target: a specific far-ish peer.
+    const auto predicate = [](PeerId p) { return p == 79; };
+    const auto flood =
+        flood_search(*world.population, graph, 0, 6, predicate);
+    RandomWalkOptions options;
+    options.walkers = 2;
+    options.max_steps = 200;
+    const auto walk = random_walk_search(*world.population, graph, 0,
+                                         options, predicate, rng);
+    if (flood.found && walk.found) {
+      EXPECT_GT(flood.messages, walk.messages / 4)
+          << "flooding should not be cheap";
+      EXPECT_GE(walk.latency_ms, flood.latency_ms * 0.9)
+          << "walks should not be faster than floods";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace groupcast::overlay

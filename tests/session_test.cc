@@ -1,0 +1,175 @@
+// Tests for group sessions (payload dissemination) and the ESM metrics.
+#include <gtest/gtest.h>
+
+#include "core/group_session.h"
+#include "metrics/esm_metrics.h"
+#include "test_helpers.h"
+#include "util/require.h"
+
+namespace groupcast::core {
+namespace {
+
+using overlay::PeerId;
+
+/// Fixture: a small population plus a hand-built spanning tree
+///     0 (root)
+///     ├── 1
+///     │   ├── 3
+///     │   └── 4
+///     └── 2
+/// Subscribers: 2, 3, 4.
+struct SessionFixture {
+  testing::SmallWorld world;
+  SpanningTree tree;
+
+  SessionFixture() : world(8, 3), tree(0) {
+    tree.attach(1, 0);
+    tree.attach(2, 0);
+    tree.attach(3, 1);
+    tree.attach(4, 1);
+    tree.mark_subscriber(2);
+    tree.mark_subscriber(3);
+    tree.mark_subscriber(4);
+  }
+};
+
+TEST(GroupSession, DelaysArePathSumsFromRoot) {
+  SessionFixture f;
+  const GroupSession session(*f.world.population, f.tree);
+  const auto result = session.disseminate(0);
+  const auto& pop = *f.world.population;
+  EXPECT_NEAR(result.subscriber_delay_ms.at(2), pop.latency_ms(0, 2), 1e-9);
+  EXPECT_NEAR(result.subscriber_delay_ms.at(3),
+              pop.latency_ms(0, 1) + pop.latency_ms(1, 3), 1e-9);
+  EXPECT_NEAR(result.subscriber_delay_ms.at(4),
+              pop.latency_ms(0, 1) + pop.latency_ms(1, 4), 1e-9);
+}
+
+TEST(GroupSession, PayloadMessagesEqualTreeEdges) {
+  SessionFixture f;
+  const GroupSession session(*f.world.population, f.tree);
+  const auto result = session.disseminate(0);
+  EXPECT_EQ(result.payload_messages, f.tree.node_count() - 1);
+}
+
+TEST(GroupSession, DisseminationFromLeafTravelsUpAndDown) {
+  SessionFixture f;
+  const GroupSession session(*f.world.population, f.tree);
+  const auto result = session.disseminate(3);
+  const auto& pop = *f.world.population;
+  // Delay to 4: up to 1, down to 4.
+  EXPECT_NEAR(result.subscriber_delay_ms.at(4),
+              pop.latency_ms(3, 1) + pop.latency_ms(1, 4), 1e-9);
+  // Delay to 2: 3 -> 1 -> 0 -> 2.
+  EXPECT_NEAR(result.subscriber_delay_ms.at(2),
+              pop.latency_ms(3, 1) + pop.latency_ms(1, 0) +
+                  pop.latency_ms(0, 2),
+              1e-9);
+  // Source is not its own listener.
+  EXPECT_FALSE(result.subscriber_delay_ms.contains(3));
+  // Every edge still used exactly once.
+  EXPECT_EQ(result.payload_messages, f.tree.node_count() - 1);
+}
+
+TEST(GroupSession, FanoutCountsForwardedCopies) {
+  SessionFixture f;
+  const GroupSession session(*f.world.population, f.tree);
+  const auto from_root = session.disseminate(0);
+  EXPECT_EQ(from_root.forward_fanout.at(0), 2u);  // to 1 and 2
+  EXPECT_EQ(from_root.forward_fanout.at(1), 2u);  // to 3 and 4
+  EXPECT_FALSE(from_root.forward_fanout.contains(3));  // leaf
+  const auto from_leaf = session.disseminate(3);
+  EXPECT_EQ(from_leaf.forward_fanout.at(3), 1u);  // up to 1
+  EXPECT_EQ(from_leaf.forward_fanout.at(1), 2u);  // to 4 and up to 0
+}
+
+TEST(GroupSession, IpFootprintCountsAccessAndRouterLinks) {
+  SessionFixture f;
+  const GroupSession session(*f.world.population, f.tree);
+  const auto result = session.disseminate(0);
+  // Each overlay hop contributes 2 access-link crossings plus its router
+  // path; totals must be consistent.
+  std::size_t router_total = 0;
+  for (const auto& [link, load] : result.router_link_load) {
+    router_total += load;
+  }
+  std::size_t access_total = 0;
+  for (const auto& [peer, load] : result.access_link_load) {
+    access_total += load;
+  }
+  EXPECT_EQ(access_total, 2 * result.payload_messages);
+  EXPECT_EQ(result.ip_messages, router_total + access_total);
+}
+
+TEST(GroupSession, RequiresSourceOnTree) {
+  SessionFixture f;
+  const GroupSession session(*f.world.population, f.tree);
+  EXPECT_THROW(session.disseminate(7), PreconditionError);
+}
+
+TEST(GroupSession, IpMulticastBaselineSaneAndCheaper) {
+  SessionFixture f;
+  const GroupSession session(*f.world.population, f.tree);
+  const auto esm = session.disseminate(0);
+  const auto baseline = session.ip_multicast_baseline(0);
+  EXPECT_GT(baseline.average_delay_ms, 0.0);
+  EXPECT_GT(baseline.ip_messages, 0u);
+  // IP multicast is a lower bound on both metrics.
+  EXPECT_LE(baseline.average_delay_ms, esm.average_delay_ms + 1e-9);
+  EXPECT_LE(baseline.ip_messages, esm.ip_messages);
+}
+
+TEST(GroupSession, BaselineWithNoReceiversIsEmpty) {
+  testing::SmallWorld world(4, 5);
+  SpanningTree tree(0);
+  const GroupSession session(*world.population, tree);
+  const auto baseline = session.ip_multicast_baseline(0);
+  EXPECT_EQ(baseline.ip_messages, 0u);
+  EXPECT_DOUBLE_EQ(baseline.average_delay_ms, 0.0);
+}
+
+// ------------------------------------------------------------ ESM metrics
+
+TEST(EsmMetrics, NodeStressAveragesFanout) {
+  DisseminationResult result;
+  result.forward_fanout = {{0, 2}, {1, 4}};
+  EXPECT_DOUBLE_EQ(metrics::node_stress(result), 3.0);
+  DisseminationResult empty;
+  EXPECT_DOUBLE_EQ(metrics::node_stress(empty), 0.0);
+}
+
+TEST(EsmMetrics, OverloadIndexDefinition) {
+  SessionFixture f;
+  DisseminationResult result;
+  // Give node 1 a fanout far above any capacity class and keep others idle.
+  result.forward_fanout = {{1, 20000}};
+  std::size_t overloaded = 0;
+  const double index = metrics::overload_index(*f.world.population, f.tree,
+                                               result, &overloaded);
+  EXPECT_EQ(overloaded, 1u);
+  const double capacity = f.world.population->info(1).capacity;
+  // fraction (1/5) * excess (20000 - capacity)
+  EXPECT_NEAR(index, (20000.0 - capacity) / 5.0, 1e-9);
+}
+
+TEST(EsmMetrics, NoOverloadGivesZeroIndex) {
+  SessionFixture f;
+  DisseminationResult result;
+  result.forward_fanout = {{0, 1}};  // load 1 <= every capacity class
+  EXPECT_DOUBLE_EQ(
+      metrics::overload_index(*f.world.population, f.tree, result), 0.0);
+}
+
+TEST(EsmMetrics, EvaluateSessionProducesConsistentBundle) {
+  SessionFixture f;
+  const GroupSession session(*f.world.population, f.tree);
+  const auto m = metrics::evaluate_session(*f.world.population, session, 0);
+  EXPECT_GE(m.delay_penalty, 1.0 - 1e-9);
+  EXPECT_GE(m.link_stress, 1.0 - 1e-9);
+  EXPECT_GT(m.node_stress, 0.0);
+  EXPECT_EQ(m.tree_nodes, 5u);
+  EXPECT_NEAR(m.delay_penalty, m.esm_avg_delay_ms / m.ip_avg_delay_ms, 1e-9);
+}
+
+}  // namespace
+}  // namespace groupcast::core

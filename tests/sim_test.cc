@@ -1,0 +1,152 @@
+// Tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace groupcast::sim {
+namespace {
+
+TEST(SimTime, ConversionsRoundTrip) {
+  EXPECT_EQ(SimTime::millis(2.5).as_micros(), 2500);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(1.5).as_millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(SimTime::micros(250).as_seconds(), 0.00025);
+}
+
+TEST(SimTime, Arithmetic) {
+  const auto a = SimTime::millis(3), b = SimTime::millis(2);
+  EXPECT_EQ((a + b).as_micros(), 5000);
+  EXPECT_EQ((a - b).as_micros(), 1000);
+  EXPECT_EQ((b * 4).as_micros(), 8000);
+  auto c = a;
+  c += b;
+  EXPECT_EQ(c, SimTime::millis(5));
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::millis(1), SimTime::millis(2));
+  EXPECT_EQ(SimTime::zero(), SimTime::micros(0));
+  EXPECT_GT(SimTime::seconds(1), SimTime::millis(999));
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule(SimTime::millis(30), [&] { order.push_back(3); });
+  simulator.schedule(SimTime::millis(10), [&] { order.push_back(1); });
+  simulator.schedule(SimTime::millis(20), [&] { order.push_back(2); });
+  EXPECT_EQ(simulator.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, FifoTieBreakAtSameInstant) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.schedule(SimTime::millis(5), [&order, i] { order.push_back(i); });
+  }
+  simulator.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, NowAdvancesWithEvents) {
+  Simulator simulator;
+  SimTime seen = SimTime::zero();
+  simulator.schedule(SimTime::millis(42), [&] { seen = simulator.now(); });
+  simulator.run();
+  EXPECT_EQ(seen, SimTime::millis(42));
+  EXPECT_EQ(simulator.now(), SimTime::millis(42));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator simulator;
+  int fired = 0;
+  std::function<void(int)> chain = [&](int depth) {
+    ++fired;
+    if (depth > 0) {
+      simulator.schedule(SimTime::millis(1),
+                         [&chain, depth] { chain(depth - 1); });
+    }
+  };
+  simulator.schedule(SimTime::zero(), [&chain] { chain(4); });
+  EXPECT_EQ(simulator.run(), 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(simulator.now(), SimTime::millis(4));
+}
+
+TEST(Simulator, RelativeDelayIsFromCurrentTime) {
+  Simulator simulator;
+  SimTime inner_fired = SimTime::zero();
+  simulator.schedule(SimTime::millis(10), [&] {
+    simulator.schedule(SimTime::millis(5),
+                       [&] { inner_fired = simulator.now(); });
+  });
+  simulator.run();
+  EXPECT_EQ(inner_fired, SimTime::millis(15));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule(SimTime::millis(10), [&] { ++fired; });
+  simulator.schedule(SimTime::millis(20), [&] { ++fired; });
+  simulator.schedule(SimTime::millis(30), [&] { ++fired; });
+  EXPECT_EQ(simulator.run_until(SimTime::millis(20)), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(simulator.pending(), 1u);
+  EXPECT_EQ(simulator.now(), SimTime::millis(20));
+  // The rest still runs afterwards.
+  EXPECT_EQ(simulator.run(), 1u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToDeadlineWhenIdle) {
+  Simulator simulator;
+  simulator.run_until(SimTime::seconds(5));
+  EXPECT_EQ(simulator.now(), SimTime::seconds(5));
+}
+
+TEST(Simulator, ClearDropsPendingEvents) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule(SimTime::millis(1), [&] { ++fired; });
+  simulator.clear();
+  EXPECT_EQ(simulator.pending(), 0u);
+  EXPECT_EQ(simulator.run(), 0u);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, RejectsPastAndNullActions) {
+  Simulator simulator;
+  EXPECT_THROW(simulator.schedule(SimTime::millis(-1), [] {}),
+               PreconditionError);
+  EXPECT_THROW(simulator.schedule_at(SimTime::millis(1), nullptr),
+               PreconditionError);
+  simulator.schedule(SimTime::millis(10), [&] {
+    // Scheduling before `now` from within an event must throw too.
+    EXPECT_THROW(simulator.schedule_at(SimTime::millis(5), [] {}),
+                 PreconditionError);
+  });
+  simulator.run();
+}
+
+TEST(Simulator, ManyEventsStaySorted) {
+  Simulator simulator;
+  util::Rng rng(5);
+  SimTime last = SimTime::zero();
+  bool monotonic = true;
+  for (int i = 0; i < 5000; ++i) {
+    simulator.schedule(SimTime::micros(
+                           static_cast<std::int64_t>(rng.uniform_index(1000000))),
+                       [&] {
+                         if (simulator.now() < last) monotonic = false;
+                         last = simulator.now();
+                       });
+  }
+  EXPECT_EQ(simulator.run(), 5000u);
+  EXPECT_TRUE(monotonic);
+}
+
+}  // namespace
+}  // namespace groupcast::sim

@@ -1,0 +1,276 @@
+// Unit tests for util: RNG determinism and statistics, distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/distributions.h"
+#include "util/require.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace groupcast::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_index(0), PreconditionError);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_FALSE(rng.chance(-0.5));
+  EXPECT_TRUE(rng.chance(1.5));
+}
+
+TEST(Rng, ChanceProbabilityApproximate) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(23);
+  double total = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) total += rng.exponential(2.5);
+  EXPECT_NEAR(total / n, 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), PreconditionError);
+  EXPECT_THROW(rng.exponential(-1.0), PreconditionError);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(29);
+  Summary s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(31);
+  const auto picks = rng.sample_indices(50, 20);
+  ASSERT_EQ(picks.size(), 20u);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const auto p : picks) EXPECT_LT(p, 50u);
+}
+
+TEST(Rng, SampleIndicesFullSet) {
+  Rng rng(37);
+  const auto picks = rng.sample_indices(8, 8);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng rng(37);
+  EXPECT_THROW(rng.sample_indices(3, 4), PreconditionError);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(43);
+  Rng child = a.split();
+  // The child stream should not replay the parent stream.
+  Rng b(43);
+  (void)b.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 2.0);
+  double total = 0.0;
+  for (std::size_t k = 1; k <= 100; ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankOneMostProbable) {
+  ZipfDistribution zipf(50, 1.5);
+  for (std::size_t k = 2; k <= 50; ++k) {
+    EXPECT_GT(zipf.pmf(1), zipf.pmf(k));
+  }
+}
+
+TEST(Zipf, EmpiricalMatchesPmf) {
+  ZipfDistribution zipf(10, 2.0);
+  Rng rng(47);
+  std::vector<int> counts(11, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.pmf(k), 0.01)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfDistribution(0, 2.0), PreconditionError);
+  EXPECT_THROW(ZipfDistribution(10, 0.0), PreconditionError);
+}
+
+TEST(Categorical, NormalizesWeights) {
+  Categorical c({2.0, 6.0, 2.0});
+  EXPECT_NEAR(c.probability(0), 0.2, 1e-12);
+  EXPECT_NEAR(c.probability(1), 0.6, 1e-12);
+  EXPECT_NEAR(c.probability(2), 0.2, 1e-12);
+}
+
+TEST(Categorical, SamplingMatchesWeights) {
+  Categorical c({1.0, 3.0});
+  Rng rng(53);
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += c.sample(rng) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+TEST(Categorical, RejectsInvalidWeights) {
+  EXPECT_THROW(Categorical({}), PreconditionError);
+  EXPECT_THROW(Categorical({-1.0, 2.0}), PreconditionError);
+  EXPECT_THROW(Categorical({0.0, 0.0}), PreconditionError);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Summary, Percentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.median(), 50.0, 1.0);
+  EXPECT_NEAR(s.percentile(0.9), 90.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
+TEST(Summary, EmptyGuards) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), PreconditionError);
+  EXPECT_THROW(s.percentile(0.5), PreconditionError);
+}
+
+TEST(FrequencyCount, ItemsSortedAndTotals) {
+  FrequencyCount f;
+  f.add(3);
+  f.add(1, 2);
+  f.add(3);
+  const auto items = f.items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0], (std::pair<std::size_t, std::size_t>{1, 2}));
+  EXPECT_EQ(items[1], (std::pair<std::size_t, std::size_t>{3, 2}));
+  EXPECT_EQ(f.total(), 4u);
+}
+
+TEST(FrequencyCount, LogLogSlopeOfPerfectPowerLaw) {
+  // count(d) = 1024 * d^-2 -> slope -2 exactly in log-log space (all the
+  // counts are exact integers for d a power of two).
+  FrequencyCount f;
+  for (std::size_t d = 1; d <= 16; d *= 2) {
+    f.add(d, 1024 / (d * d));
+  }
+  EXPECT_NEAR(f.log_log_slope(), -2.0, 1e-9);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> x{1, 2, 3, 4}, y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> z{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateSeriesGiveZero) {
+  std::vector<double> x{1, 1, 1}, y{1, 2, 3};
+  EXPECT_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Require, MacrosThrowTypedErrors) {
+  EXPECT_THROW(GC_REQUIRE(false), PreconditionError);
+  EXPECT_THROW(GC_ENSURE(false), InvariantError);
+  EXPECT_NO_THROW(GC_REQUIRE(true));
+  EXPECT_NO_THROW(GC_ENSURE(true));
+}
+
+}  // namespace
+}  // namespace groupcast::util

@@ -1,0 +1,281 @@
+// Tests for the utility function (Equations 1–6): the heart of the paper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/utility.h"
+#include "util/require.h"
+
+namespace groupcast::core {
+namespace {
+
+std::vector<Candidate> uniform_candidates(std::size_t n, double capacity,
+                                          double distance) {
+  return std::vector<Candidate>(n, Candidate{capacity, distance});
+}
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+// ------------------------------------------------------------- parameters
+
+TEST(UtilityParams, PaperParameterization) {
+  // α = 1 - r, β = r, γ = e^{-(ln r)^2}.
+  const auto p = UtilityParams::from_resource_level(0.5);
+  EXPECT_DOUBLE_EQ(p.alpha, 0.5);
+  EXPECT_DOUBLE_EQ(p.beta, 0.5);
+  EXPECT_NEAR(p.gamma, std::exp(-std::log(0.5) * std::log(0.5)), 1e-12);
+}
+
+TEST(UtilityParams, GammaLimits) {
+  // Weak peer: gamma -> 0 (distance rules); strong peer: gamma -> 1.
+  EXPECT_LT(UtilityParams::from_resource_level(0.001).gamma, 0.01);
+  EXPECT_GT(UtilityParams::from_resource_level(0.999).gamma, 0.99);
+  // Gamma is always a valid weight.
+  for (double r = 0.01; r < 1.0; r += 0.07) {
+    const auto p = UtilityParams::from_resource_level(r);
+    EXPECT_GE(p.gamma, 0.0);
+    EXPECT_LE(p.gamma, 1.0);
+    EXPECT_LT(p.alpha, 1.0);
+    EXPECT_LT(p.beta, 1.0);
+  }
+}
+
+TEST(UtilityParams, ClampHandlesDegenerateEstimates) {
+  EXPECT_GT(clamp_resource_level(0.0), 0.0);
+  EXPECT_LT(clamp_resource_level(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp_resource_level(0.4), 0.4);
+  // from_resource_level must not blow up at the boundaries.
+  EXPECT_NO_THROW(UtilityParams::from_resource_level(0.0));
+  EXPECT_NO_THROW(UtilityParams::from_resource_level(1.0));
+}
+
+// ---------------------------------------------------- distance preference
+
+TEST(DistancePreference, IsProbabilityVector) {
+  util::Rng rng(1);
+  std::vector<Candidate> list;
+  for (int i = 0; i < 50; ++i) {
+    list.push_back(Candidate{1.0, rng.uniform(1.0, 400.0)});
+  }
+  const auto dp = distance_preferences(0.7, list);
+  EXPECT_NEAR(sum(dp), 1.0, 1e-9);
+  for (const double p : dp) EXPECT_GT(p, 0.0);
+}
+
+TEST(DistancePreference, CloserIsPreferred) {
+  const std::vector<Candidate> list{{1.0, 10.0}, {1.0, 100.0}, {1.0, 400.0}};
+  const auto dp = distance_preferences(0.5, list);
+  EXPECT_GT(dp[0], dp[1]);
+  EXPECT_GT(dp[1], dp[2]);
+}
+
+TEST(DistancePreference, HigherAlphaSharpensCloseness) {
+  const std::vector<Candidate> list{{1.0, 10.0}, {1.0, 400.0}};
+  const auto mild = distance_preferences(0.0, list);
+  const auto sharp = distance_preferences(0.95, list);
+  EXPECT_GT(sharp[0], mild[0]);
+  EXPECT_LT(sharp[1], mild[1]);
+}
+
+TEST(DistancePreference, EqualDistancesAreUniform) {
+  const auto dp = distance_preferences(0.5, uniform_candidates(4, 1.0, 50.0));
+  for (const double p : dp) EXPECT_NEAR(p, 0.25, 1e-9);
+}
+
+TEST(DistancePreference, ZeroDistanceHandled) {
+  const std::vector<Candidate> list{{1.0, 0.0}, {1.0, 100.0}};
+  const auto dp = distance_preferences(0.5, list);
+  EXPECT_GT(dp[0], dp[1]);
+  EXPECT_NEAR(sum(dp), 1.0, 1e-9);
+}
+
+TEST(DistancePreference, RejectsBadInput) {
+  EXPECT_THROW(distance_preferences(0.5, {}), PreconditionError);
+  const auto list = uniform_candidates(2, 1.0, 10.0);
+  EXPECT_THROW(distance_preferences(1.0, list), PreconditionError);
+}
+
+// ---------------------------------------------------- capacity preference
+
+TEST(CapacityPreference, ExactProportionality) {
+  // With beta = 0, CP is exactly capacity / total.
+  const std::vector<Candidate> list{{1.0, 1.0}, {3.0, 1.0}, {6.0, 1.0}};
+  const auto cp = capacity_preferences(0.0, list);
+  EXPECT_NEAR(cp[0], 0.1, 1e-12);
+  EXPECT_NEAR(cp[1], 0.3, 1e-12);
+  EXPECT_NEAR(cp[2], 0.6, 1e-12);
+}
+
+TEST(CapacityPreference, BetaBoostsContrast) {
+  const std::vector<Candidate> list{{1.0, 1.0}, {2.0, 1.0}};
+  const auto flat = capacity_preferences(0.0, list);
+  const auto sharp = capacity_preferences(0.9, list);
+  EXPECT_GT(sharp[1] - sharp[0], flat[1] - flat[0]);
+}
+
+TEST(CapacityPreference, RejectsBetaAboveCapacity) {
+  const std::vector<Candidate> list{{0.5, 1.0}};
+  EXPECT_THROW(capacity_preferences(0.7, list), PreconditionError);
+}
+
+// --------------------------------------------------- selection preference
+
+TEST(SelectionPreference, IsProbabilityVector) {
+  util::Rng rng(2);
+  std::vector<Candidate> list;
+  for (int i = 0; i < 100; ++i) {
+    list.push_back(
+        Candidate{rng.uniform(1.0, 1000.0), rng.uniform(1.0, 400.0)});
+  }
+  for (const double r : {0.05, 0.3, 0.5, 0.7, 0.95}) {
+    const auto p = selection_preferences(r, list);
+    EXPECT_NEAR(sum(p), 1.0, 1e-9) << "r=" << r;
+    for (const double x : p) EXPECT_GE(x, 0.0);
+  }
+}
+
+TEST(SelectionPreference, WeakPeerFollowsDistance) {
+  // Candidate 0: close but weak.  Candidate 1: far but powerful.
+  const std::vector<Candidate> list{{1.0, 5.0}, {1000.0, 350.0}};
+  const auto weak = selection_preferences(0.02, list);
+  EXPECT_GT(weak[0], weak[1]);
+}
+
+TEST(SelectionPreference, StrongPeerFollowsCapacity) {
+  const std::vector<Candidate> list{{1.0, 5.0}, {1000.0, 350.0}};
+  const auto strong = selection_preferences(0.98, list);
+  EXPECT_GT(strong[1], strong[0]);
+}
+
+TEST(SelectionPreference, GammaZeroEqualsDistancePreference) {
+  const std::vector<Candidate> list{{7.0, 10.0}, {2.0, 40.0}, {9.0, 200.0}};
+  UtilityParams params{0.5, 0.5, 0.0};
+  const auto sel = selection_preferences(params, list);
+  const auto dp = distance_preferences(0.5, list);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    EXPECT_NEAR(sel[i], dp[i], 1e-12);
+  }
+}
+
+TEST(SelectionPreference, GammaOneEqualsCapacityPreference) {
+  const std::vector<Candidate> list{{7.0, 10.0}, {2.0, 40.0}, {9.0, 200.0}};
+  UtilityParams params{0.5, 0.5, 1.0};
+  const auto sel = selection_preferences(params, list);
+  const auto cp = capacity_preferences(0.5, list);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    EXPECT_NEAR(sel[i], cp[i], 1e-12);
+  }
+}
+
+TEST(SelectionPreference, SingleCandidateGetsEverything) {
+  const std::vector<Candidate> list{{5.0, 100.0}};
+  const auto p = selection_preferences(0.5, list);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+}
+
+// A property sweep over the resource-level grid: the expected capacity of
+// the selected candidate must increase with the selector's resource level
+// (the paper's design rationale, Section 3.1).
+class PreferenceMonotonicityTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PreferenceMonotonicityTest, ExpectedCapacityRisesWithResourceLevel) {
+  util::Rng rng(GetParam());
+  std::vector<Candidate> list;
+  for (int i = 0; i < 200; ++i) {
+    list.push_back(
+        Candidate{rng.uniform(1.0, 1000.0), rng.uniform(1.0, 400.0)});
+  }
+  double previous = -1.0;
+  for (const double r : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const auto p = selection_preferences(r, list);
+    double expected_capacity = 0.0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      expected_capacity += p[i] * list[i].capacity;
+    }
+    EXPECT_GT(expected_capacity, previous) << "r=" << r;
+    previous = expected_capacity;
+  }
+}
+
+TEST_P(PreferenceMonotonicityTest, ExpectedDistanceFallsAsGammaDrops) {
+  util::Rng rng(GetParam() + 100);
+  std::vector<Candidate> list;
+  for (int i = 0; i < 200; ++i) {
+    list.push_back(
+        Candidate{rng.uniform(1.0, 1000.0), rng.uniform(1.0, 400.0)});
+  }
+  const auto weak = selection_preferences(0.05, list);
+  const auto strong = selection_preferences(0.95, list);
+  double weak_dist = 0.0, strong_dist = 0.0;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    weak_dist += weak[i] * list[i].distance_ms;
+    strong_dist += strong[i] * list[i].distance_ms;
+  }
+  EXPECT_LT(weak_dist, strong_dist);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreferenceMonotonicityTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ------------------------------------------------------ weighted sampling
+
+TEST(WeightedSample, DistinctIndicesWithinRange) {
+  util::Rng rng(3);
+  const std::vector<double> weights{1, 2, 3, 4, 5, 6};
+  const auto picks = weighted_sample_without_replacement(weights, 4, rng);
+  ASSERT_EQ(picks.size(), 4u);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 4u);
+  for (const auto p : picks) EXPECT_LT(p, weights.size());
+}
+
+TEST(WeightedSample, SkipsZeroWeights) {
+  util::Rng rng(5);
+  const std::vector<double> weights{0.0, 1.0, 0.0, 1.0};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto picks = weighted_sample_without_replacement(weights, 2, rng);
+    for (const auto p : picks) EXPECT_TRUE(p == 1 || p == 3);
+  }
+}
+
+TEST(WeightedSample, ClipsKToPositiveWeights) {
+  util::Rng rng(7);
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  const auto picks = weighted_sample_without_replacement(weights, 3, rng);
+  EXPECT_EQ(picks.size(), 1u);
+  EXPECT_EQ(picks[0], 1u);
+}
+
+TEST(WeightedSample, FirstPickFollowsWeights) {
+  util::Rng rng(9);
+  const std::vector<double> weights{1.0, 9.0};
+  int picked_heavy = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto picks = weighted_sample_without_replacement(weights, 1, rng);
+    picked_heavy += picks[0] == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(picked_heavy / static_cast<double>(n), 0.9, 0.01);
+}
+
+TEST(WeightedSample, RejectsNegativeWeights) {
+  util::Rng rng(11);
+  const std::vector<double> weights{1.0, -0.5};
+  EXPECT_THROW(weighted_sample_without_replacement(weights, 1, rng),
+               PreconditionError);
+}
+
+TEST(WeightedSample, KZeroGivesEmpty) {
+  util::Rng rng(13);
+  const std::vector<double> weights{1.0, 2.0};
+  EXPECT_TRUE(weighted_sample_without_replacement(weights, 0, rng).empty());
+}
+
+}  // namespace
+}  // namespace groupcast::core

@@ -1,0 +1,105 @@
+// Tests for the binary wire format: round-trips, size accounting, and
+// rejection of malformed input.
+#include <gtest/gtest.h>
+
+#include "core/wire.h"
+#include "test_helpers.h"
+
+namespace groupcast::core {
+namespace {
+
+std::vector<MessageBody> all_message_kinds() {
+  return {
+      AdvertiseMsg{7, 42, 8},
+      JoinMsg{7, 1001},
+      JoinAckMsg{7},
+      RippleQueryMsg{7, 2002, 2},
+      RippleHitMsg{7, 3003},
+      DataMsg{7, 4004, 0xDEADBEEFCAFEF00DULL},
+      LeaveMsg{7, 5005},
+  };
+}
+
+TEST(Wire, RoundTripsEveryMessageKind) {
+  for (const auto& original : all_message_kinds()) {
+    const auto bytes = encode_message(original);
+    const auto decoded = decode_message(bytes);
+    ASSERT_EQ(decoded.index(), original.index());
+    // Re-encoding must be byte-identical (canonical encoding).
+    EXPECT_EQ(encode_message(decoded), bytes);
+  }
+}
+
+TEST(Wire, FieldValuesSurviveRoundTrip) {
+  const auto bytes = encode_message(DataMsg{9, 77, 123456789ULL});
+  const auto decoded = std::get<DataMsg>(decode_message(bytes));
+  EXPECT_EQ(decoded.group, 9u);
+  EXPECT_EQ(decoded.origin, 77u);
+  EXPECT_EQ(decoded.payload_id, 123456789ULL);
+
+  const auto adv_bytes = encode_message(AdvertiseMsg{1, 2, 3});
+  const auto adv = std::get<AdvertiseMsg>(decode_message(adv_bytes));
+  EXPECT_EQ(adv.group, 1u);
+  EXPECT_EQ(adv.rendezvous, 2u);
+  EXPECT_EQ(adv.ttl, 3u);
+}
+
+TEST(Wire, EncodedSizeMatchesActualEncoding) {
+  for (const auto& body : all_message_kinds()) {
+    EXPECT_EQ(encode_message(body).size(), encoded_size(body));
+  }
+}
+
+TEST(Wire, ExtremeValuesRoundTrip) {
+  const auto bytes = encode_message(
+      DataMsg{0xFFFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFFFFFFFFFULL});
+  const auto decoded = std::get<DataMsg>(decode_message(bytes));
+  EXPECT_EQ(decoded.group, 0xFFFFFFFFu);
+  EXPECT_EQ(decoded.payload_id, 0xFFFFFFFFFFFFFFFFULL);
+}
+
+TEST(Wire, RejectsTruncatedBuffers) {
+  for (const auto& body : all_message_kinds()) {
+    const auto bytes = encode_message(body);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      const std::span<const std::uint8_t> truncated(bytes.data(), cut);
+      EXPECT_THROW(decode_message(truncated), WireError)
+          << "cut at " << cut << " of " << bytes.size();
+    }
+  }
+}
+
+TEST(Wire, RejectsTrailingGarbage) {
+  auto bytes = encode_message(JoinAckMsg{1});
+  bytes.push_back(0x00);
+  EXPECT_THROW(decode_message(bytes), WireError);
+}
+
+TEST(Wire, RejectsUnknownTag) {
+  const std::vector<std::uint8_t> bogus{0xEE, 0, 0, 0, 0};
+  EXPECT_THROW(decode_message(bogus), WireError);
+}
+
+TEST(Wire, LittleEndianLayoutIsStable) {
+  // Protocol stability check: the byte layout must never silently change.
+  const auto bytes = encode_message(JoinMsg{0x01020304u, 0x0A0B0C0Du});
+  const std::vector<std::uint8_t> expected{
+      0x02,                     // Tag::kJoin
+      0x04, 0x03, 0x02, 0x01,   // group, little-endian
+      0x0D, 0x0C, 0x0B, 0x0A};  // child, little-endian
+  EXPECT_EQ(bytes, expected);
+}
+
+TEST(Wire, TransportAccountsBytes) {
+  testing::SmallWorld world(8, 3);
+  sim::Simulator simulator;
+  util::Rng rng(1);
+  Transport transport(simulator, *world.population, TransportOptions{}, rng);
+  transport.send(0, 1, JoinAckMsg{1});        // 5 bytes
+  transport.send(0, 1, DataMsg{1, 2, 3});     // 17 bytes
+  EXPECT_EQ(transport.bytes_sent(), 22u);
+  simulator.run();
+}
+
+}  // namespace
+}  // namespace groupcast::core
