@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ssa.dir/bench_ablation_ssa.cc.o"
+  "CMakeFiles/bench_ablation_ssa.dir/bench_ablation_ssa.cc.o.d"
+  "bench_ablation_ssa"
+  "bench_ablation_ssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_underlay.dir/bench_ablation_underlay.cc.o"
+  "CMakeFiles/bench_ablation_underlay.dir/bench_ablation_underlay.cc.o.d"
+  "bench_ablation_underlay"
+  "bench_ablation_underlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_underlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

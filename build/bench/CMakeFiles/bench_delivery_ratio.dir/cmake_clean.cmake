@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delivery_ratio.dir/bench_delivery_ratio.cc.o"
+  "CMakeFiles/bench_delivery_ratio.dir/bench_delivery_ratio.cc.o.d"
+  "bench_delivery_ratio"
+  "bench_delivery_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delivery_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

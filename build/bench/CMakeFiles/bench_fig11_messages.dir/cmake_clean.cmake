@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_messages.dir/bench_fig11_messages.cc.o"
+  "CMakeFiles/bench_fig11_messages.dir/bench_fig11_messages.cc.o.d"
+  "bench_fig11_messages"
+  "bench_fig11_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

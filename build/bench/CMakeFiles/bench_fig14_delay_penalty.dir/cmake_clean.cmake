@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_delay_penalty.dir/bench_fig14_delay_penalty.cc.o"
+  "CMakeFiles/bench_fig14_delay_penalty.dir/bench_fig14_delay_penalty.cc.o.d"
+  "bench_fig14_delay_penalty"
+  "bench_fig14_delay_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_delay_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig15_link_stress.cc" "bench/CMakeFiles/bench_fig15_link_stress.dir/bench_fig15_link_stress.cc.o" "gcc" "bench/CMakeFiles/bench_fig15_link_stress.dir/bench_fig15_link_stress.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/groupcast_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/groupcast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/groupcast_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/groupcast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/coords/CMakeFiles/groupcast_coords.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/groupcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/groupcast_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/groupcast_utility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

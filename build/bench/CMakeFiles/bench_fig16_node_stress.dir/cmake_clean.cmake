@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_node_stress.dir/bench_fig16_node_stress.cc.o"
+  "CMakeFiles/bench_fig16_node_stress.dir/bench_fig16_node_stress.cc.o.d"
+  "bench_fig16_node_stress"
+  "bench_fig16_node_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_node_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

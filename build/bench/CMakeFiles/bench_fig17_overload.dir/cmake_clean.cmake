@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_overload.dir/bench_fig17_overload.cc.o"
+  "CMakeFiles/bench_fig17_overload.dir/bench_fig17_overload.cc.o.d"
+  "bench_fig17_overload"
+  "bench_fig17_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_node_runtime.dir/bench_node_runtime.cc.o"
+  "CMakeFiles/bench_node_runtime.dir/bench_node_runtime.cc.o.d"
+  "bench_node_runtime"
+  "bench_node_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_node_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_supernode.dir/bench_supernode.cc.o"
+  "CMakeFiles/bench_supernode.dir/bench_supernode.cc.o.d"
+  "bench_supernode"
+  "bench_supernode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_supernode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

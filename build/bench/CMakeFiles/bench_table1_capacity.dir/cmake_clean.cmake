@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_capacity.dir/bench_table1_capacity.cc.o"
+  "CMakeFiles/bench_table1_capacity.dir/bench_table1_capacity.cc.o.d"
+  "bench_table1_capacity"
+  "bench_table1_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

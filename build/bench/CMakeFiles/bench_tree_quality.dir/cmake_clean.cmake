@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_quality.dir/bench_tree_quality.cc.o"
+  "CMakeFiles/bench_tree_quality.dir/bench_tree_quality.cc.o.d"
+  "bench_tree_quality"
+  "bench_tree_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

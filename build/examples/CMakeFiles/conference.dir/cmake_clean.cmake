@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conference.dir/conference.cc.o"
+  "CMakeFiles/conference.dir/conference.cc.o.d"
+  "conference"
+  "conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

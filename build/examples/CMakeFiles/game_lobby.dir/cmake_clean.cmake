@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_lobby.dir/game_lobby.cc.o"
+  "CMakeFiles/game_lobby.dir/game_lobby.cc.o.d"
+  "game_lobby"
+  "game_lobby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_lobby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for game_lobby.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupcast_baselines.dir/centralized.cc.o"
+  "CMakeFiles/groupcast_baselines.dir/centralized.cc.o.d"
+  "CMakeFiles/groupcast_baselines.dir/chord.cc.o"
+  "CMakeFiles/groupcast_baselines.dir/chord.cc.o.d"
+  "CMakeFiles/groupcast_baselines.dir/narada.cc.o"
+  "CMakeFiles/groupcast_baselines.dir/narada.cc.o.d"
+  "CMakeFiles/groupcast_baselines.dir/nice.cc.o"
+  "CMakeFiles/groupcast_baselines.dir/nice.cc.o.d"
+  "CMakeFiles/groupcast_baselines.dir/scribe.cc.o"
+  "CMakeFiles/groupcast_baselines.dir/scribe.cc.o.d"
+  "libgroupcast_baselines.a"
+  "libgroupcast_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupcast_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

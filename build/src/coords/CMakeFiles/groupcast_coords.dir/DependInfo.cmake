@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coords/coord.cc" "src/coords/CMakeFiles/groupcast_coords.dir/coord.cc.o" "gcc" "src/coords/CMakeFiles/groupcast_coords.dir/coord.cc.o.d"
+  "/root/repo/src/coords/gnp.cc" "src/coords/CMakeFiles/groupcast_coords.dir/gnp.cc.o" "gcc" "src/coords/CMakeFiles/groupcast_coords.dir/gnp.cc.o.d"
+  "/root/repo/src/coords/nelder_mead.cc" "src/coords/CMakeFiles/groupcast_coords.dir/nelder_mead.cc.o" "gcc" "src/coords/CMakeFiles/groupcast_coords.dir/nelder_mead.cc.o.d"
+  "/root/repo/src/coords/vivaldi.cc" "src/coords/CMakeFiles/groupcast_coords.dir/vivaldi.cc.o" "gcc" "src/coords/CMakeFiles/groupcast_coords.dir/vivaldi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/groupcast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupcast_coords.dir/coord.cc.o"
+  "CMakeFiles/groupcast_coords.dir/coord.cc.o.d"
+  "CMakeFiles/groupcast_coords.dir/gnp.cc.o"
+  "CMakeFiles/groupcast_coords.dir/gnp.cc.o.d"
+  "CMakeFiles/groupcast_coords.dir/nelder_mead.cc.o"
+  "CMakeFiles/groupcast_coords.dir/nelder_mead.cc.o.d"
+  "CMakeFiles/groupcast_coords.dir/vivaldi.cc.o"
+  "CMakeFiles/groupcast_coords.dir/vivaldi.cc.o.d"
+  "libgroupcast_coords.a"
+  "libgroupcast_coords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupcast_coords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

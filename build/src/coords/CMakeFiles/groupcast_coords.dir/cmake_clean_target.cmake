@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgroupcast_coords.a"
+)

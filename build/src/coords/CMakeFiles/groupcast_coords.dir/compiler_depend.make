@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for groupcast_coords.
+# This may be replaced when dependencies are built.

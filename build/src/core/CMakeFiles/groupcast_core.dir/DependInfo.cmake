@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advertisement.cc" "src/core/CMakeFiles/groupcast_core.dir/advertisement.cc.o" "gcc" "src/core/CMakeFiles/groupcast_core.dir/advertisement.cc.o.d"
+  "/root/repo/src/core/group_session.cc" "src/core/CMakeFiles/groupcast_core.dir/group_session.cc.o" "gcc" "src/core/CMakeFiles/groupcast_core.dir/group_session.cc.o.d"
+  "/root/repo/src/core/middleware.cc" "src/core/CMakeFiles/groupcast_core.dir/middleware.cc.o" "gcc" "src/core/CMakeFiles/groupcast_core.dir/middleware.cc.o.d"
+  "/root/repo/src/core/node.cc" "src/core/CMakeFiles/groupcast_core.dir/node.cc.o" "gcc" "src/core/CMakeFiles/groupcast_core.dir/node.cc.o.d"
+  "/root/repo/src/core/replication.cc" "src/core/CMakeFiles/groupcast_core.dir/replication.cc.o" "gcc" "src/core/CMakeFiles/groupcast_core.dir/replication.cc.o.d"
+  "/root/repo/src/core/spanning_tree.cc" "src/core/CMakeFiles/groupcast_core.dir/spanning_tree.cc.o" "gcc" "src/core/CMakeFiles/groupcast_core.dir/spanning_tree.cc.o.d"
+  "/root/repo/src/core/subscription.cc" "src/core/CMakeFiles/groupcast_core.dir/subscription.cc.o" "gcc" "src/core/CMakeFiles/groupcast_core.dir/subscription.cc.o.d"
+  "/root/repo/src/core/transport.cc" "src/core/CMakeFiles/groupcast_core.dir/transport.cc.o" "gcc" "src/core/CMakeFiles/groupcast_core.dir/transport.cc.o.d"
+  "/root/repo/src/core/wire.cc" "src/core/CMakeFiles/groupcast_core.dir/wire.cc.o" "gcc" "src/core/CMakeFiles/groupcast_core.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/groupcast_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/groupcast_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/groupcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/groupcast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/coords/CMakeFiles/groupcast_coords.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/groupcast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupcast_core.dir/advertisement.cc.o"
+  "CMakeFiles/groupcast_core.dir/advertisement.cc.o.d"
+  "CMakeFiles/groupcast_core.dir/group_session.cc.o"
+  "CMakeFiles/groupcast_core.dir/group_session.cc.o.d"
+  "CMakeFiles/groupcast_core.dir/middleware.cc.o"
+  "CMakeFiles/groupcast_core.dir/middleware.cc.o.d"
+  "CMakeFiles/groupcast_core.dir/node.cc.o"
+  "CMakeFiles/groupcast_core.dir/node.cc.o.d"
+  "CMakeFiles/groupcast_core.dir/replication.cc.o"
+  "CMakeFiles/groupcast_core.dir/replication.cc.o.d"
+  "CMakeFiles/groupcast_core.dir/spanning_tree.cc.o"
+  "CMakeFiles/groupcast_core.dir/spanning_tree.cc.o.d"
+  "CMakeFiles/groupcast_core.dir/subscription.cc.o"
+  "CMakeFiles/groupcast_core.dir/subscription.cc.o.d"
+  "CMakeFiles/groupcast_core.dir/transport.cc.o"
+  "CMakeFiles/groupcast_core.dir/transport.cc.o.d"
+  "CMakeFiles/groupcast_core.dir/wire.cc.o"
+  "CMakeFiles/groupcast_core.dir/wire.cc.o.d"
+  "libgroupcast_core.a"
+  "libgroupcast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupcast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

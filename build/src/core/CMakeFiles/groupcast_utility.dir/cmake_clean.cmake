@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupcast_utility.dir/utility.cc.o"
+  "CMakeFiles/groupcast_utility.dir/utility.cc.o.d"
+  "libgroupcast_utility.a"
+  "libgroupcast_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupcast_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupcast_metrics.dir/esm_metrics.cc.o"
+  "CMakeFiles/groupcast_metrics.dir/esm_metrics.cc.o.d"
+  "CMakeFiles/groupcast_metrics.dir/experiment.cc.o"
+  "CMakeFiles/groupcast_metrics.dir/experiment.cc.o.d"
+  "CMakeFiles/groupcast_metrics.dir/graph_stats.cc.o"
+  "CMakeFiles/groupcast_metrics.dir/graph_stats.cc.o.d"
+  "libgroupcast_metrics.a"
+  "libgroupcast_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupcast_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupcast_net.dir/multicast.cc.o"
+  "CMakeFiles/groupcast_net.dir/multicast.cc.o.d"
+  "CMakeFiles/groupcast_net.dir/routing.cc.o"
+  "CMakeFiles/groupcast_net.dir/routing.cc.o.d"
+  "CMakeFiles/groupcast_net.dir/topology.cc.o"
+  "CMakeFiles/groupcast_net.dir/topology.cc.o.d"
+  "libgroupcast_net.a"
+  "libgroupcast_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupcast_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/bootstrap.cc" "src/overlay/CMakeFiles/groupcast_overlay.dir/bootstrap.cc.o" "gcc" "src/overlay/CMakeFiles/groupcast_overlay.dir/bootstrap.cc.o.d"
+  "/root/repo/src/overlay/churn.cc" "src/overlay/CMakeFiles/groupcast_overlay.dir/churn.cc.o" "gcc" "src/overlay/CMakeFiles/groupcast_overlay.dir/churn.cc.o.d"
+  "/root/repo/src/overlay/graph.cc" "src/overlay/CMakeFiles/groupcast_overlay.dir/graph.cc.o" "gcc" "src/overlay/CMakeFiles/groupcast_overlay.dir/graph.cc.o.d"
+  "/root/repo/src/overlay/host_cache.cc" "src/overlay/CMakeFiles/groupcast_overlay.dir/host_cache.cc.o" "gcc" "src/overlay/CMakeFiles/groupcast_overlay.dir/host_cache.cc.o.d"
+  "/root/repo/src/overlay/maintenance.cc" "src/overlay/CMakeFiles/groupcast_overlay.dir/maintenance.cc.o" "gcc" "src/overlay/CMakeFiles/groupcast_overlay.dir/maintenance.cc.o.d"
+  "/root/repo/src/overlay/peer.cc" "src/overlay/CMakeFiles/groupcast_overlay.dir/peer.cc.o" "gcc" "src/overlay/CMakeFiles/groupcast_overlay.dir/peer.cc.o.d"
+  "/root/repo/src/overlay/plod.cc" "src/overlay/CMakeFiles/groupcast_overlay.dir/plod.cc.o" "gcc" "src/overlay/CMakeFiles/groupcast_overlay.dir/plod.cc.o.d"
+  "/root/repo/src/overlay/population.cc" "src/overlay/CMakeFiles/groupcast_overlay.dir/population.cc.o" "gcc" "src/overlay/CMakeFiles/groupcast_overlay.dir/population.cc.o.d"
+  "/root/repo/src/overlay/search.cc" "src/overlay/CMakeFiles/groupcast_overlay.dir/search.cc.o" "gcc" "src/overlay/CMakeFiles/groupcast_overlay.dir/search.cc.o.d"
+  "/root/repo/src/overlay/supernode.cc" "src/overlay/CMakeFiles/groupcast_overlay.dir/supernode.cc.o" "gcc" "src/overlay/CMakeFiles/groupcast_overlay.dir/supernode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/groupcast_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/groupcast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/coords/CMakeFiles/groupcast_coords.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/groupcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/groupcast_utility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

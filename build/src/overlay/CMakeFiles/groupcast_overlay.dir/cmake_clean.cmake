@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupcast_overlay.dir/bootstrap.cc.o"
+  "CMakeFiles/groupcast_overlay.dir/bootstrap.cc.o.d"
+  "CMakeFiles/groupcast_overlay.dir/churn.cc.o"
+  "CMakeFiles/groupcast_overlay.dir/churn.cc.o.d"
+  "CMakeFiles/groupcast_overlay.dir/graph.cc.o"
+  "CMakeFiles/groupcast_overlay.dir/graph.cc.o.d"
+  "CMakeFiles/groupcast_overlay.dir/host_cache.cc.o"
+  "CMakeFiles/groupcast_overlay.dir/host_cache.cc.o.d"
+  "CMakeFiles/groupcast_overlay.dir/maintenance.cc.o"
+  "CMakeFiles/groupcast_overlay.dir/maintenance.cc.o.d"
+  "CMakeFiles/groupcast_overlay.dir/peer.cc.o"
+  "CMakeFiles/groupcast_overlay.dir/peer.cc.o.d"
+  "CMakeFiles/groupcast_overlay.dir/plod.cc.o"
+  "CMakeFiles/groupcast_overlay.dir/plod.cc.o.d"
+  "CMakeFiles/groupcast_overlay.dir/population.cc.o"
+  "CMakeFiles/groupcast_overlay.dir/population.cc.o.d"
+  "CMakeFiles/groupcast_overlay.dir/search.cc.o"
+  "CMakeFiles/groupcast_overlay.dir/search.cc.o.d"
+  "CMakeFiles/groupcast_overlay.dir/supernode.cc.o"
+  "CMakeFiles/groupcast_overlay.dir/supernode.cc.o.d"
+  "libgroupcast_overlay.a"
+  "libgroupcast_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupcast_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

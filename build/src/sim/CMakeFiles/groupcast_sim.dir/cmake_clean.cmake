@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupcast_sim.dir/simulator.cc.o"
+  "CMakeFiles/groupcast_sim.dir/simulator.cc.o.d"
+  "libgroupcast_sim.a"
+  "libgroupcast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupcast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

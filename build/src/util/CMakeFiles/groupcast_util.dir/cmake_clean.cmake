@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupcast_util.dir/distributions.cc.o"
+  "CMakeFiles/groupcast_util.dir/distributions.cc.o.d"
+  "CMakeFiles/groupcast_util.dir/flags.cc.o"
+  "CMakeFiles/groupcast_util.dir/flags.cc.o.d"
+  "CMakeFiles/groupcast_util.dir/rng.cc.o"
+  "CMakeFiles/groupcast_util.dir/rng.cc.o.d"
+  "CMakeFiles/groupcast_util.dir/stats.cc.o"
+  "CMakeFiles/groupcast_util.dir/stats.cc.o.d"
+  "libgroupcast_util.a"
+  "libgroupcast_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupcast_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/advertisement_sweep_test.cc" "tests/CMakeFiles/groupcast_tests.dir/advertisement_sweep_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/advertisement_sweep_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/groupcast_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/config_matrix_test.cc" "tests/CMakeFiles/groupcast_tests.dir/config_matrix_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/config_matrix_test.cc.o.d"
+  "/root/repo/tests/coordinate_systems_test.cc" "tests/CMakeFiles/groupcast_tests.dir/coordinate_systems_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/coordinate_systems_test.cc.o.d"
+  "/root/repo/tests/coords_test.cc" "tests/CMakeFiles/groupcast_tests.dir/coords_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/coords_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/groupcast_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/lossy_session_test.cc" "tests/CMakeFiles/groupcast_tests.dir/lossy_session_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/lossy_session_test.cc.o.d"
+  "/root/repo/tests/membership_test.cc" "tests/CMakeFiles/groupcast_tests.dir/membership_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/membership_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/groupcast_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/middleware_test.cc" "tests/CMakeFiles/groupcast_tests.dir/middleware_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/middleware_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/groupcast_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/nice_test.cc" "tests/CMakeFiles/groupcast_tests.dir/nice_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/nice_test.cc.o.d"
+  "/root/repo/tests/node_test.cc" "tests/CMakeFiles/groupcast_tests.dir/node_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/node_test.cc.o.d"
+  "/root/repo/tests/overlay_test.cc" "tests/CMakeFiles/groupcast_tests.dir/overlay_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/overlay_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/groupcast_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/protocol_test.cc" "tests/CMakeFiles/groupcast_tests.dir/protocol_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/protocol_test.cc.o.d"
+  "/root/repo/tests/regression_test.cc" "tests/CMakeFiles/groupcast_tests.dir/regression_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/regression_test.cc.o.d"
+  "/root/repo/tests/replication_test.cc" "tests/CMakeFiles/groupcast_tests.dir/replication_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/replication_test.cc.o.d"
+  "/root/repo/tests/search_test.cc" "tests/CMakeFiles/groupcast_tests.dir/search_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/search_test.cc.o.d"
+  "/root/repo/tests/session_test.cc" "tests/CMakeFiles/groupcast_tests.dir/session_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/session_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/groupcast_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/supernode_test.cc" "tests/CMakeFiles/groupcast_tests.dir/supernode_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/supernode_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/groupcast_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/utility_test.cc" "tests/CMakeFiles/groupcast_tests.dir/utility_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/utility_test.cc.o.d"
+  "/root/repo/tests/waxman_test.cc" "tests/CMakeFiles/groupcast_tests.dir/waxman_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/waxman_test.cc.o.d"
+  "/root/repo/tests/wire_test.cc" "tests/CMakeFiles/groupcast_tests.dir/wire_test.cc.o" "gcc" "tests/CMakeFiles/groupcast_tests.dir/wire_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/groupcast_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/groupcast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/groupcast_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/groupcast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/coords/CMakeFiles/groupcast_coords.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/groupcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/groupcast_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/groupcast_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/groupcast_utility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
