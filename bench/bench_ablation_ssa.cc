@@ -10,6 +10,8 @@
 
 #include "metrics/experiment.h"
 
+#include "trace/cli.h"
+
 namespace {
 
 using namespace groupcast;
@@ -28,7 +30,8 @@ metrics::ScenarioResult run(core::AnnouncementScheme scheme, double fraction,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   using core::AnnouncementScheme;
 
   std::printf("Ablation A: forwarding fraction (GroupCast overlay, "

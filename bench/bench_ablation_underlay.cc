@@ -11,6 +11,8 @@
 #include "metrics/esm_metrics.h"
 #include "metrics/graph_stats.h"
 
+#include "trace/cli.h"
+
 namespace {
 
 using namespace groupcast;
@@ -64,7 +66,8 @@ void print_block(const char* title, core::UnderlayModel underlay) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   std::printf("Ablation: underlay terrain (1200 peers, 120 subscribers, "
               "SSA)\n\n");
   print_block("GT-ITM transit-stub (paper)",

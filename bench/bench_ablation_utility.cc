@@ -20,6 +20,8 @@
 #include "metrics/esm_metrics.h"
 #include "metrics/graph_stats.h"
 
+#include "trace/cli.h"
+
 namespace {
 
 using namespace groupcast;
@@ -54,7 +56,8 @@ void run_variant(const char* label, double pinned, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   std::printf("Ablation: utility blend (1200 peers, 120 subscribers, "
               "6 groups per variant)\n");
   std::printf("%-18s %8s %12s %9s %9s %10s %10s\n", "variant", "delay",

@@ -15,6 +15,8 @@
 #include "core/middleware.h"
 #include "sweep_common.h"
 
+#include "trace/cli.h"
+
 namespace {
 
 using namespace groupcast;
@@ -47,7 +49,8 @@ double run(core::OverlayKind overlay, core::AnnouncementScheme scheme,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   std::printf("Delivery ratio under capacity-constrained forwarding "
               "(1500 peers, 150 subscribers)\n");
   std::printf("stream rate: 1x = 64kbps audio, 8x = 512kbps video\n\n");

@@ -7,7 +7,10 @@
 // search TTL fixed at 2.
 #include "sweep_common.h"
 
-int main() {
+#include "trace/cli.h"
+
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   using namespace groupcast;
   const auto plan = bench::default_sweep_plan();
   bench::print_sweep_header(

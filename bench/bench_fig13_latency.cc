@@ -6,7 +6,10 @@
 // reach nearby advertisement holders over short physical links.
 #include "sweep_common.h"
 
-int main() {
+#include "trace/cli.h"
+
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   using namespace groupcast;
   const auto plan = bench::default_sweep_plan();
   bench::print_sweep_header("Figure 13: service lookup latency (SSA)", plan);

@@ -8,7 +8,10 @@
 // power-law overlays, where SSA makes a visible difference.
 #include "sweep_common.h"
 
-int main() {
+#include "trace/cli.h"
+
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   using namespace groupcast;
   const auto plan = bench::default_sweep_plan();
   bench::print_sweep_header("Figure 14: relative delay penalty", plan);

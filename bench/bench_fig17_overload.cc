@@ -13,7 +13,10 @@
 //    the system grows.
 #include "sweep_common.h"
 
-int main() {
+#include "trace/cli.h"
+
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   using namespace groupcast;
   const auto plan = bench::default_sweep_plan();
   bench::print_sweep_header("Figure 17: overload index (log scale)", plan);

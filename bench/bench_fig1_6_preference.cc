@@ -21,6 +21,8 @@
 #include "util/rng.h"
 #include "util/stats.h"
 
+#include "trace/cli.h"
+
 namespace {
 
 using groupcast::core::Candidate;
@@ -108,7 +110,8 @@ void report_for_resource_level(double r, const Sample& sample) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   Rng rng(31415);
   const Sample sample = make_candidates(rng);
   std::printf("Figures 1-6: selection preference vs distance / capacity\n");

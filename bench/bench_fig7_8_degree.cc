@@ -11,6 +11,8 @@
 #include "metrics/experiment.h"
 #include "metrics/graph_stats.h"
 
+#include "trace/cli.h"
+
 namespace {
 
 void report(const char* title, groupcast::core::OverlayKind kind,
@@ -39,7 +41,8 @@ void report(const char* title, groupcast::core::OverlayKind kind,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   const std::size_t peers =
       groupcast::metrics::bench_scale() >= 2.0 ? 5000 : 2500;
   report("Figure 7: GroupCast overlay degree distribution",

@@ -11,6 +11,8 @@
 #include "core/middleware.h"
 #include "metrics/graph_stats.h"
 
+#include "trace/cli.h"
+
 namespace {
 
 void report(const char* title, groupcast::core::OverlayKind kind,
@@ -66,7 +68,8 @@ void report(const char* title, groupcast::core::OverlayKind kind,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   std::printf("Figures 9-10: average distance to overlay neighbours "
               "(1000 peers)\n");
   report("Figure 9: GroupCast overlay",

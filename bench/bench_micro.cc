@@ -3,6 +3,9 @@
 // construction, the bootstrap join, and SSA announcement.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "baselines/chord.h"
 #include "core/advertisement.h"
 #include "core/middleware.h"
@@ -11,6 +14,7 @@
 #include "net/routing.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
+#include "trace/cli.h"
 #include "util/rng.h"
 
 namespace {
@@ -128,4 +132,30 @@ BENCHMARK(BM_ChordRoute)->Arg(1000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: google-benchmark rejects flags it does not know, so
+// --trace_out=<path> is peeled off argv before Initialize sees it.
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    constexpr const char* kPrefix = "--trace_out=";
+    if (arg.rfind(kPrefix, 0) == 0) {
+      trace_path = arg.substr(std::string(kPrefix).size());
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  const groupcast::trace::CliTracing tracing(trace_path);
+
+  int filtered_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&filtered_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,6 +13,8 @@
 #include "overlay/host_cache.h"
 #include "util/rng.h"
 
+#include "trace/cli.h"
+
 namespace {
 
 using namespace groupcast;
@@ -25,7 +27,8 @@ struct Phase {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   const std::size_t peers = 800;
   const std::size_t subscriber_count = 80;
 

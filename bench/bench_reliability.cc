@@ -11,7 +11,10 @@
 #include "core/middleware.h"
 #include "core/replication.h"
 
-int main() {
+#include "trace/cli.h"
+
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   using namespace groupcast;
 
   core::MiddlewareConfig config;

@@ -12,6 +12,8 @@
 #include "core/middleware.h"
 #include "overlay/search.h"
 
+#include "trace/cli.h"
+
 namespace {
 
 using namespace groupcast;
@@ -82,7 +84,8 @@ void sweep(core::GroupCastMiddleware& middleware,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   using namespace groupcast;
   core::MiddlewareConfig config;
   config.peer_count = 2000;

@@ -10,6 +10,8 @@
 #include "metrics/esm_metrics.h"
 #include "metrics/graph_stats.h"
 
+#include "trace/cli.h"
+
 namespace {
 
 using namespace groupcast;
@@ -54,7 +56,8 @@ void run(core::OverlayKind kind, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   std::printf("Extension: flat vs two-tier supernode architecture "
               "(1500 peers, 150 subscribers, 6 groups)\n");
   std::printf("%-12s %8s %10s %8s %10s %15s\n", "overlay", "delay",

@@ -11,7 +11,10 @@
 #include "overlay/peer.h"
 #include "util/rng.h"
 
-int main() {
+#include "trace/cli.h"
+
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   using namespace groupcast;
 
   const std::uint64_t seed = 20070101;

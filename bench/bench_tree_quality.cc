@@ -20,6 +20,8 @@
 #include "core/middleware.h"
 #include "metrics/esm_metrics.h"
 
+#include "trace/cli.h"
+
 namespace {
 
 using namespace groupcast;
@@ -36,7 +38,8 @@ void report(const char* label, const overlay::PeerPopulation& population,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const groupcast::trace::CliTracing tracing(argc, argv);
   using namespace groupcast;
 
   core::MiddlewareConfig config;

@@ -4,12 +4,18 @@
 // summary or a CSV row, so parameter sweeps can be scripted without
 // writing C++:
 //
-//   ./sim_driver --peers=4000 --overlay=groupcast --scheme=ssa \
-//                   --groups=10 --group-size=400 --seed=1 --csv
+//   ./sim_driver --peers=4000 --overlay=groupcast --scheme=ssa
+//                --groups=10 --group-size=400 --seed=1 --csv
+//
+// With --trace_out=<path> the run also writes a JSONL protocol trace
+// (see docs/OBSERVABILITY.md) that tools/trace_report summarizes.
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "metrics/experiment.h"
+#include "trace/sink.h"
+#include "trace/trace.h"
 #include "util/flags.h"
 
 namespace {
@@ -53,6 +59,7 @@ int main(int argc, char** argv) {
   flags.declare("ripple-ttl", "subscription ripple-search TTL", "2");
   flags.declare("csv", "emit one CSV row instead of the summary", "false");
   flags.declare("csv-header", "print the CSV header line and exit", "false");
+  flags.declare("trace_out", "write a JSONL protocol trace to this path", "");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
@@ -84,7 +91,24 @@ int main(int argc, char** argv) {
   const auto topologies =
       static_cast<std::size_t>(flags.get_int("topologies"));
 
+  const std::string trace_path = flags.get_string("trace_out");
+  std::unique_ptr<trace::ScopedSink> tracing;
+  if (!trace_path.empty()) {
+    tracing = std::make_unique<trace::ScopedSink>(
+        std::make_unique<trace::JsonlFileSink>(trace_path));
+    trace::counters().enable(config.peer_count);
+  }
+
   const auto r = metrics::run_scenario_averaged(config, topologies);
+
+  std::size_t trace_events = 0;
+  if (tracing != nullptr) {
+    trace::emit_counter_snapshot();
+    trace_events =
+        static_cast<trace::JsonlFileSink*>(tracing->get())->recorded();
+    tracing.reset();  // flush + close before reporting
+    trace::counters().disable();
+  }
 
   if (flags.get_bool("csv")) {
     std::printf("%zu,%s,%s,%zu,%zu,%llu,%zu,%.1f,%.1f,%.4f,%.4f,%.2f,%.4f,"
@@ -116,7 +140,16 @@ int main(int argc, char** argv) {
               "overload %.5f\n",
               r.delay_penalty, r.link_stress, r.node_stress,
               r.overload_index);
+  std::printf("  per-group stddev: delay %.2f, link %.2f, overload %.5f, "
+              "lookup %.1f ms\n",
+              r.delay_penalty_group_stddev, r.link_stress_group_stddev,
+              r.overload_index_group_stddev,
+              r.lookup_latency_group_stddev);
   std::printf("  avg tree: %.0f nodes, depth %.1f\n", r.avg_tree_nodes,
               r.avg_tree_depth);
+  if (!trace_path.empty()) {
+    std::printf("  trace: %s (%zu events)\n", trace_path.c_str(),
+                trace_events);
+  }
   return 0;
 }

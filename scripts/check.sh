@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Pre-merge verification: configure a dedicated build tree with
+# -Wall -Wextra (always on via the top-level CMakeLists) plus
+# AddressSanitizer + UBSan, build everything, and run the full ctest
+# suite.  Warnings are promoted to errors so new code stays clean.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-asan}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGROUPCAST_ASAN=ON \
+  -DCMAKE_CXX_FLAGS=-Werror
+
+cmake --build "${build_dir}" -j "${jobs}"
+
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+
+echo "check.sh: all tests passed under ASan/UBSan"

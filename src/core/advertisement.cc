@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/utility.h"
+#include "trace/trace.h"
 #include "util/require.h"
 
 namespace groupcast::core {
@@ -98,6 +99,7 @@ std::vector<overlay::PeerId> AdvertisementEngine::select_targets(
 AdvertisementState AdvertisementEngine::announce(overlay::PeerId rendezvous,
                                                  MessageStats* stats) {
   GC_REQUIRE(rendezvous < population_->size());
+  trace::ScopedTimer announce_timer(trace::TimerId::kAnnounce);
 
   AdvertisementState state;
   state.rendezvous = rendezvous;
@@ -112,17 +114,28 @@ AdvertisementState AdvertisementEngine::announce(overlay::PeerId rendezvous,
     AdvertisementEngine* engine;
     AdvertisementState* state;
     MessageStats* stats;
+    trace::Tracer* tracer;          // hoisted: keeps the hot path to one
+    trace::CounterRegistry* counters;  // null-check / one-branch each
   };
-  auto context = std::make_shared<Context>(Context{this, &state, stats});
+  auto context = std::make_shared<Context>(Context{
+      this, &state, stats, &trace::tracer(), &trace::counters()});
 
   // `handle` processes one delivered advertisement copy.
   std::function<void(overlay::PeerId, overlay::PeerId, std::size_t)> handle =
       [context, &handle](overlay::PeerId at, overlay::PeerId from,
                          std::size_t ttl) {
         AdvertisementState& st = *context->state;
-        if (st.parent[at] != overlay::kNoPeer) return;  // duplicate: drop
+        const auto now_us = context->engine->simulator_->now().as_micros();
+        if (st.parent[at] != overlay::kNoPeer) {  // duplicate: drop
+          context->counters->incr(at, trace::CounterId::kMessagesDropped);
+          context->tracer->emit(
+              now_us, trace::EventKind::kMessageDropped, at, from,
+              static_cast<std::uint64_t>(trace::DropReason::kDuplicate));
+          return;
+        }
         st.parent[at] = from;
         st.arrival[at] = context->engine->simulator_->now();
+        context->counters->incr(at, trace::CounterId::kMessagesReceived);
         if (ttl == 0) return;
         const auto neighbors = context->engine->graph_->neighbors(at);
         const auto targets =
@@ -132,6 +145,10 @@ AdvertisementState AdvertisementEngine::announce(overlay::PeerId rendezvous,
           if (context->stats != nullptr) {
             context->stats->count(MessageKind::kAdvertisement);
           }
+          context->counters->incr(at, trace::CounterId::kMessagesSent);
+          context->counters->incr(at, trace::CounterId::kAdvertsForwarded);
+          context->tracer->emit(now_us, trace::EventKind::kAdvertForwarded,
+                                at, to, ttl);
           const auto latency = sim::SimTime::millis(
               context->engine->population_->latency_ms(at, to));
           context->engine->simulator_->schedule(

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <queue>
 
+#include "trace/trace.h"
 #include "util/require.h"
 
 namespace groupcast::core {
@@ -54,6 +55,9 @@ GroupCastMiddleware::GroupCastMiddleware(const MiddlewareConfig& config)
   bootstrap_ = std::make_unique<overlay::GroupCastBootstrap>(
       *population_, *graph_, *host_cache_, config_.bootstrap, rng_);
 
+  trace::tracer().emit(
+      0, trace::EventKind::kPhaseBegin, trace::kNoNode, trace::kNoNode,
+      static_cast<std::uint64_t>(trace::Phase::kBootstrap));
   build_overlay();
   repair_edges_ = ensure_connected();
 }
@@ -177,6 +181,10 @@ GroupHandle GroupCastMiddleware::establish_group(
     const std::vector<overlay::PeerId>& subscribers) {
   GC_REQUIRE(rendezvous < population_->size());
 
+  trace::tracer().emit(
+      simulator_.now().as_micros(), trace::EventKind::kPhaseBegin,
+      rendezvous, trace::kNoNode,
+      static_cast<std::uint64_t>(trace::Phase::kAdvertisement));
   AdvertisementEngine advertiser(simulator_, *population_, *graph_,
                                  config_.advertisement, rng_);
   GroupHandle group(AdvertisementState{}, SpanningTree(rendezvous));
@@ -186,6 +194,10 @@ GroupHandle GroupCastMiddleware::establish_group(
                                     config_.subscription);
   group.report = subscription.subscribe_all(group.advert, subscribers,
                                             group.tree, &group.stats);
+  trace::tracer().emit(
+      simulator_.now().as_micros(), trace::EventKind::kPhaseBegin,
+      rendezvous, trace::kNoNode,
+      static_cast<std::uint64_t>(trace::Phase::kSteadyState));
   return group;
 }
 
@@ -229,6 +241,9 @@ GroupCastMiddleware::RepairReport GroupCastMiddleware::repair_after_failure(
   }
   report.orphaned_subscribers = orphans.size();
   report.pruned_nodes = group.tree.prune(failed);
+  trace::counters().incr(failed, trace::CounterId::kTreeRepairs);
+  trace::tracer().emit(0, trace::EventKind::kTreeRepair, failed,
+                       trace::kNoNode, report.pruned_nodes);
 
   // Invalidate advertisement paths that pass through the failed peer:
   // peers holding such a path would try to join through a corpse.

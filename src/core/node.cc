@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/utility.h"
+#include "trace/trace.h"
 #include "util/require.h"
 
 namespace groupcast::core {
@@ -120,16 +121,23 @@ void GroupCastNode::subscribe(GroupId group) {
     return;
   }
   state.subscribed = true;  // desired; effective once on the tree
+  trace::counters().incr(self_, trace::CounterId::kSubscribeAttempts);
   if (state.has_advert) {
     send_join(group, state.advert_parent);
   } else {
     state.search_pending = true;
+    std::size_t queries = 0;
     for (const auto n : graph_->neighbors(self_)) {
       transport_->send(
           self_, n,
           RippleQueryMsg{group, self_,
                          static_cast<std::uint32_t>(options_.ripple_ttl)});
+      ++queries;
     }
+    trace::counters().incr(self_, trace::CounterId::kRippleSearches);
+    trace::tracer().emit(transport_->simulator().now().as_micros(),
+                         trace::EventKind::kRippleSearch, self_,
+                         overlay::kNoPeer, queries);
   }
   // Give up if nothing confirms the join within the timeout.
   transport_->simulator().schedule(options_.subscribe_timeout,
@@ -139,6 +147,9 @@ void GroupCastNode::subscribe(GroupId group) {
       st.subscribed = false;
       st.join_pending = false;
       st.search_pending = false;
+      trace::tracer().emit(transport_->simulator().now().as_micros(),
+                           trace::EventKind::kSubscriptionAttempt, self_,
+                           overlay::kNoPeer, 0);
       if (subscribe_callback_) subscribe_callback_(group, false);
     }
   });
@@ -241,7 +252,14 @@ void GroupCastNode::handle(const Envelope& envelope) {
 void GroupCastNode::handle_advertise(const Envelope& envelope,
                                      const AdvertiseMsg& msg) {
   auto& state = state_of(msg.group);
-  if (state.has_advert) return;  // duplicate
+  if (state.has_advert) {  // duplicate
+    trace::counters().incr(self_, trace::CounterId::kMessagesDropped);
+    trace::tracer().emit(
+        transport_->simulator().now().as_micros(),
+        trace::EventKind::kMessageDropped, self_, envelope.from,
+        static_cast<std::uint64_t>(trace::DropReason::kDuplicate));
+    return;
+  }
   state.has_advert = true;
   state.rendezvous = msg.rendezvous;
   state.advert_parent = envelope.from;
@@ -249,6 +267,11 @@ void GroupCastNode::handle_advertise(const Envelope& envelope,
   for (const auto target : select_forward_targets(envelope.from)) {
     transport_->send(self_, target,
                      AdvertiseMsg{msg.group, msg.rendezvous, msg.ttl - 1});
+    trace::counters().incr(self_, trace::CounterId::kAdvertsForwarded);
+    trace::counters().incr(self_, trace::CounterId::kMessagesForwarded);
+    trace::tracer().emit(transport_->simulator().now().as_micros(),
+                         trace::EventKind::kAdvertForwarded, self_, target,
+                         msg.ttl - 1);
   }
 }
 
@@ -276,8 +299,15 @@ void GroupCastNode::handle_join_ack(const Envelope& envelope,
   state.join_pending = false;
   state.search_pending = false;
   state.tree_parent = envelope.from;
-  if (state.subscribed && subscribe_callback_) {
-    subscribe_callback_(msg.group, true);
+  trace::tracer().emit(transport_->simulator().now().as_micros(),
+                       trace::EventKind::kTreeEdgeAdded, self_,
+                       envelope.from);
+  if (state.subscribed) {
+    trace::counters().incr(self_, trace::CounterId::kSubscribeSuccesses);
+    trace::tracer().emit(transport_->simulator().now().as_micros(),
+                         trace::EventKind::kSubscriptionAttempt, self_,
+                         envelope.from, 1);
+    if (subscribe_callback_) subscribe_callback_(msg.group, true);
   }
 }
 
@@ -311,6 +341,11 @@ void GroupCastNode::handle_data(const Envelope& envelope,
   if (!state.on_tree) return;
   if (!state.seen_payloads.insert(payload_key(msg.origin, msg.payload_id))
            .second) {
+    trace::counters().incr(self_, trace::CounterId::kMessagesDropped);
+    trace::tracer().emit(
+        transport_->simulator().now().as_micros(),
+        trace::EventKind::kMessageDropped, self_, envelope.from,
+        static_cast<std::uint64_t>(trace::DropReason::kDuplicate));
     return;  // duplicate
   }
   if (state.subscribed && data_callback_) {
@@ -320,10 +355,12 @@ void GroupCastNode::handle_data(const Envelope& envelope,
   if (state.tree_parent != self_ && state.tree_parent != envelope.from &&
       state.tree_parent != overlay::kNoPeer) {
     transport_->send(self_, state.tree_parent, msg);
+    trace::counters().incr(self_, trace::CounterId::kMessagesForwarded);
   }
   for (const auto child : state.children) {
     if (child == envelope.from) continue;
     transport_->send(self_, child, msg);
+    trace::counters().incr(self_, trace::CounterId::kMessagesForwarded);
   }
 }
 

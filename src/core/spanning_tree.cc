@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/trace.h"
 #include "util/require.h"
 
 namespace groupcast::core {
@@ -18,6 +19,8 @@ void SpanningTree::attach(overlay::PeerId child, overlay::PeerId parent) {
   if (contains(child)) return;
   parent_.emplace(child, parent);
   children_[parent].push_back(child);
+  trace::counters().incr(child, trace::CounterId::kTreeEdges);
+  trace::tracer().emit(0, trace::EventKind::kTreeEdgeAdded, child, parent);
 }
 
 void SpanningTree::mark_subscriber(overlay::PeerId p) {

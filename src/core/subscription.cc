@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "trace/trace.h"
 #include "util/require.h"
 
 namespace groupcast::core {
@@ -123,6 +124,8 @@ SubscriptionOutcome SubscriptionProtocol::subscribe(
     const AdvertisementState& advert, overlay::PeerId subscriber,
     SpanningTree& tree, MessageStats* stats) const {
   GC_REQUIRE(subscriber < population_->size());
+  trace::ScopedTimer subscribe_timer(trace::TimerId::kSubscribe);
+  trace::counters().incr(subscriber, trace::CounterId::kSubscribeAttempts);
   SubscriptionOutcome outcome;
   outcome.subscriber = subscriber;
 
@@ -132,6 +135,10 @@ SubscriptionOutcome SubscriptionProtocol::subscribe(
     outcome.success = true;
     outcome.had_advertisement = advert.received(subscriber);
     outcome.attach_point = tree.parent(subscriber);
+    trace::counters().incr(subscriber,
+                           trace::CounterId::kSubscribeSuccesses);
+    trace::tracer().emit(0, trace::EventKind::kSubscriptionAttempt,
+                         subscriber, outcome.attach_point, 1);
     return outcome;
   }
 
@@ -147,6 +154,10 @@ SubscriptionOutcome SubscriptionProtocol::subscribe(
     outcome.success = true;
   } else {
     const auto hit = ripple_search(advert, tree, subscriber, outcome);
+    trace::counters().incr(subscriber, trace::CounterId::kRippleSearches);
+    trace::tracer().emit(0, trace::EventKind::kRippleSearch, subscriber,
+                         hit ? *hit : overlay::kNoPeer,
+                         outcome.search_messages);
     if (hit) {
       outcome.attach_point = *hit;
       // Join message to the hit (over a fresh unicast link) + its
@@ -168,6 +179,14 @@ SubscriptionOutcome SubscriptionProtocol::subscribe(
     stats->count(MessageKind::kRippleSearch, outcome.search_messages);
     stats->count(MessageKind::kSubscribeJoin, outcome.join_messages);
   }
+  if (outcome.success) {
+    trace::counters().incr(subscriber,
+                           trace::CounterId::kSubscribeSuccesses);
+  }
+  // Centralized protocol: stamped at sim-time 0 (see docs/OBSERVABILITY.md);
+  // stream order still reflects protocol order.
+  trace::tracer().emit(0, trace::EventKind::kSubscriptionAttempt, subscriber,
+                       outcome.attach_point, outcome.success ? 1 : 0);
   return outcome;
 }
 

@@ -1,6 +1,7 @@
 #include "core/transport.h"
 
 #include "core/wire.h"
+#include "trace/trace.h"
 #include "util/require.h"
 
 namespace groupcast::core {
@@ -61,15 +62,28 @@ void Transport::send(overlay::PeerId from, overlay::PeerId to,
   ++sent_;
   stats_.count(kind_of(body));
   bytes_sent_ += encoded_size(body);
+  trace::counters().incr(from, trace::CounterId::kMessagesSent);
   if (rng_.chance(options_.loss_probability)) {
     ++lost_;
+    trace::counters().incr(from, trace::CounterId::kMessagesDropped);
+    trace::tracer().emit(simulator_->now().as_micros(),
+                         trace::EventKind::kMessageDropped, from, to,
+                         static_cast<std::uint64_t>(trace::DropReason::kLoss));
     return;
   }
   const auto latency =
       sim::SimTime::millis(population_->latency_ms(from, to));
   simulator_->schedule(latency, [this, from, to, body = std::move(body)] {
     const auto& handler = handlers_[to];
-    if (handler == nullptr) return;  // receiver departed in flight
+    if (handler == nullptr) {  // receiver departed in flight
+      trace::counters().incr(to, trace::CounterId::kMessagesDropped);
+      trace::tracer().emit(
+          simulator_->now().as_micros(), trace::EventKind::kMessageDropped,
+          to, from,
+          static_cast<std::uint64_t>(trace::DropReason::kNoReceiver));
+      return;
+    }
+    trace::counters().incr(to, trace::CounterId::kMessagesReceived);
     handler(Envelope{from, to, body});
   });
 }

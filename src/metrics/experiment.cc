@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "trace/trace.h"
 #include "util/require.h"
 #include "util/stats.h"
 
@@ -36,6 +37,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   const std::size_t group_size = config.effective_group_size();
   const double n_groups = static_cast<double>(config.groups);
 
+  util::Summary delay_by_group, overload_by_group, link_by_group,
+      lookup_by_group;
   for (std::size_t g = 0; g < config.groups; ++g) {
     auto group = middleware.establish_random_group(group_size);
 
@@ -46,8 +49,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     result.receiving_rate += group.advert.receiving_rate() / n_groups;
     result.subscription_success_rate +=
         group.report.success_rate() / n_groups;
-    result.lookup_latency_ms +=
-        group.report.average_response_time_ms() / n_groups;
+    const double lookup_ms = group.report.average_response_time_ms();
+    result.lookup_latency_ms += lookup_ms / n_groups;
+    lookup_by_group.add(lookup_ms);
 
     const auto session = middleware.session(group);
     const auto esm = evaluate_session(middleware.population(), session,
@@ -56,11 +60,21 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     result.link_stress += esm.link_stress / n_groups;
     result.node_stress += esm.node_stress / n_groups;
     result.overload_index += esm.overload_index / n_groups;
+    delay_by_group.add(esm.delay_penalty);
+    overload_by_group.add(esm.overload_index);
+    link_by_group.add(esm.link_stress);
 
     result.avg_tree_depth +=
         static_cast<double>(group.tree.max_depth()) / n_groups;
     result.avg_tree_nodes +=
         static_cast<double>(group.tree.node_count()) / n_groups;
+  }
+  result.delay_penalty_group_stddev = delay_by_group.stddev();
+  result.overload_index_group_stddev = overload_by_group.stddev();
+  result.link_stress_group_stddev = link_by_group.stddev();
+  result.lookup_latency_group_stddev = lookup_by_group.stddev();
+  if (trace::counters().enabled()) {
+    result.counters = trace::counters().snapshot();
   }
   return result;
 }
@@ -91,6 +105,13 @@ ScenarioResult run_scenario_averaged(ScenarioConfig config,
     total.avg_tree_depth += one.avg_tree_depth / k;
     total.avg_tree_nodes += one.avg_tree_nodes / k;
     total.repair_edges += one.repair_edges;
+    total.delay_penalty_group_stddev += one.delay_penalty_group_stddev / k;
+    total.overload_index_group_stddev +=
+        one.overload_index_group_stddev / k;
+    total.link_stress_group_stddev += one.link_stress_group_stddev / k;
+    total.lookup_latency_group_stddev +=
+        one.lookup_latency_group_stddev / k;
+    total.counters = one.counters;  // last repetition's snapshot
   }
   total.delay_penalty_stddev = delay_samples.stddev();
   total.overload_index_stddev = overload_samples.stddev();

@@ -7,6 +7,7 @@
 
 #include "core/middleware.h"
 #include "metrics/esm_metrics.h"
+#include "trace/counters.h"
 
 namespace groupcast::metrics {
 
@@ -54,11 +55,23 @@ struct ScenarioResult {
   double avg_tree_nodes = 0.0;
   std::size_t repair_edges = 0;
 
+  // Dispersion across the groups of one deployment — populated by
+  // run_scenario when groups >= 2 (sample stddev over the per-group
+  // values behind the means above).
+  double delay_penalty_group_stddev = 0.0;
+  double overload_index_group_stddev = 0.0;
+  double link_stress_group_stddev = 0.0;
+  double lookup_latency_group_stddev = 0.0;
+
   // Dispersion across topologies — only populated by
   // run_scenario_averaged with repetitions >= 2 (sample stddev).
   double delay_penalty_stddev = 0.0;
   double overload_index_stddev = 0.0;
   double link_stress_stddev = 0.0;
+
+  // Protocol counter totals for the run, captured from the global
+  // trace::counters() registry when it is enabled (empty otherwise).
+  trace::CounterSnapshot counters;
 };
 
 /// Builds one deployment and runs `config.groups` groups over it.

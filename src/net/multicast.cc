@@ -1,5 +1,6 @@
 #include "net/multicast.h"
 
+#include "trace/trace.h"
 #include "util/require.h"
 
 namespace groupcast::net {
@@ -7,6 +8,7 @@ namespace groupcast::net {
 IpMulticastTree::IpMulticastTree(const IpRouting& routing, RouterId source,
                                  const std::vector<RouterId>& receivers)
     : routing_(&routing), source_(source) {
+  trace::ScopedTimer build_timer(trace::TimerId::kIpTreeBuild);
   std::unordered_set<RouterId> distinct;
   double total_delay = 0.0;
   for (const RouterId r : receivers) {
@@ -21,6 +23,9 @@ IpMulticastTree::IpMulticastTree(const IpRouting& routing, RouterId source,
       receivers.empty()
           ? 0.0
           : total_delay / static_cast<double>(receivers.size());
+  trace::tracer().emit(0, trace::EventKind::kIpTreeBuilt,
+                       static_cast<trace::NodeId>(source), trace::kNoNode,
+                       links_.size());
 }
 
 double IpMulticastTree::delay_ms_to(RouterId receiver) const {

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/utility.h"
+#include "trace/trace.h"
 #include "util/require.h"
 
 namespace groupcast::overlay {
@@ -80,6 +81,7 @@ std::unordered_map<PeerId, std::size_t> gather_candidates(
 JoinStats GroupCastBootstrap::join(PeerId peer) {
   GC_REQUIRE(peer < population_->size());
   GC_REQUIRE_MSG(!joined_[peer], "peer is already a member of the overlay");
+  trace::ScopedTimer join_timer(trace::TimerId::kBootstrapJoin);
   JoinStats stats;
 
   // A peer re-entering after a crash may still have half-open links that
@@ -133,6 +135,9 @@ JoinStats GroupCastBootstrap::join(PeerId peer) {
 
   joined_[peer] = 1;
   host_cache_->register_peer(peer);
+  trace::counters().incr(peer, trace::CounterId::kJoins);
+  trace::tracer().emit(0, trace::EventKind::kPeerJoin, peer, kNoPeer,
+                       stats.out_links_created);
   return stats;
 }
 
@@ -185,6 +190,9 @@ std::size_t GroupCastBootstrap::refill(PeerId peer) {
       }
     }
   }
+  if (created > 0) {
+    trace::counters().incr(peer, trace::CounterId::kLinkRefills, created);
+  }
   return created;
 }
 
@@ -194,6 +202,8 @@ void GroupCastBootstrap::leave(PeerId peer) {
   graph_->isolate(peer);
   host_cache_->deregister_peer(peer);
   joined_[peer] = 0;
+  trace::counters().incr(peer, trace::CounterId::kLeaves);
+  trace::tracer().emit(0, trace::EventKind::kPeerLeave, peer, kNoPeer, 0);
 }
 
 void GroupCastBootstrap::fail(PeerId peer) {
@@ -203,6 +213,8 @@ void GroupCastBootstrap::fail(PeerId peer) {
   // until heartbeats detect the failure, and the host cache keeps a stale
   // directory entry.  MaintenanceProtocol cleans both up.
   joined_[peer] = 0;
+  trace::counters().incr(peer, trace::CounterId::kLeaves);
+  trace::tracer().emit(0, trace::EventKind::kPeerLeave, peer, kNoPeer, 1);
 }
 
 void GroupCastBootstrap::report_failure(PeerId dead) {

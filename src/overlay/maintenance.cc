@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/trace.h"
 #include "util/require.h"
 
 namespace groupcast::overlay {
@@ -29,7 +30,9 @@ void MaintenanceProtocol::start(sim::SimTime horizon) {
 }
 
 void MaintenanceProtocol::run_epoch(sim::SimTime horizon) {
+  trace::ScopedTimer epoch_timer(trace::TimerId::kMaintenanceEpoch);
   ++stats_.epochs;
+  const std::size_t dead_links_before = stats_.dead_links_removed;
   const sim::SimTime now = simulator_->now();
   const sim::SimTime detection_lag =
       options_.heartbeat_interval *
@@ -75,6 +78,10 @@ void MaintenanceProtocol::run_epoch(sim::SimTime horizon) {
   if (current_epoch_ < options_.heartbeat_interval) {
     current_epoch_ = options_.heartbeat_interval;
   }
+
+  trace::tracer().emit(now.as_micros(), trace::EventKind::kMaintenanceEpoch,
+                       trace::kNoNode, trace::kNoNode,
+                       stats_.dead_links_removed - dead_links_before);
 
   if (now + current_epoch_ <= horizon) {
     simulator_->schedule(current_epoch_,

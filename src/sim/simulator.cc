@@ -15,34 +15,61 @@ void Simulator::schedule_at(SimTime when, Action action) {
   GC_REQUIRE_MSG(when >= now_, "cannot schedule into the past");
   GC_REQUIRE(action != nullptr);
   queue_.push(Event{when, next_seq_++, std::move(action)});
+  // Bare compare + store on the schedule path; the kEventLoopLag trace
+  // event for an advanced mark is emitted from fire(), where the tracer
+  // lookup is already hoisted.
+  if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
+}
+
+void Simulator::fire(trace::Tracer& tracer, bool tracing, bool timing) {
+  // priority_queue::top() is const; the action must be moved out before
+  // pop, so copy the small parts and move the closure via const_cast —
+  // confined to this one spot.
+  auto& top = const_cast<Event&>(queue_.top());
+  const SimTime when = top.when;
+  Action action = std::move(top.action);
+  queue_.pop();
+  now_ = when;
+  if (tracing) {
+    if (queue_high_water_ > reported_high_water_) {
+      reported_high_water_ = queue_high_water_;
+      tracer.emit(now_.as_micros(), trace::EventKind::kEventLoopLag,
+                  trace::kNoNode, trace::kNoNode, queue_high_water_);
+    }
+    tracer.emit(now_.as_micros(), trace::EventKind::kSimEvent,
+                trace::kNoNode, trace::kNoNode, queue_.size());
+  }
+  if (timing) {
+    trace::ScopedTimer timer(trace::TimerId::kSimEvent);
+    action();
+  } else {
+    action();
+  }
+  ++events_fired_;
 }
 
 std::size_t Simulator::run() {
+  // Hoisted per-run: installing a sink or enabling timers *during* a run
+  // takes effect at the next run() call, which keeps the per-event cost
+  // of disabled tracing to two predictable branches.
+  auto& tracer = trace::tracer();
+  const bool tracing = tracer.enabled();
+  const bool timing = trace::timers().enabled();
   std::size_t fired = 0;
   while (!queue_.empty()) {
-    // priority_queue::top() is const; the action must be moved out before
-    // pop, so copy the small parts and move the closure via const_cast —
-    // confined to this one spot.
-    auto& top = const_cast<Event&>(queue_.top());
-    const SimTime when = top.when;
-    Action action = std::move(top.action);
-    queue_.pop();
-    now_ = when;
-    action();
+    fire(tracer, tracing, timing);
     ++fired;
   }
   return fired;
 }
 
 std::size_t Simulator::run_until(SimTime deadline) {
+  auto& tracer = trace::tracer();
+  const bool tracing = tracer.enabled();
+  const bool timing = trace::timers().enabled();
   std::size_t fired = 0;
   while (!queue_.empty() && queue_.top().when <= deadline) {
-    auto& top = const_cast<Event&>(queue_.top());
-    const SimTime when = top.when;
-    Action action = std::move(top.action);
-    queue_.pop();
-    now_ = when;
-    action();
+    fire(tracer, tracing, timing);
     ++fired;
   }
   if (now_ < deadline) now_ = deadline;

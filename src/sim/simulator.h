@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "trace/trace.h"
 
 namespace groupcast::sim {
 
@@ -45,10 +46,22 @@ class Simulator {
   /// Number of events waiting in the queue.
   std::size_t pending() const { return queue_.size(); }
 
+  /// Deepest the event queue has ever been for this simulator — the
+  /// high-water mark observability hook.  Each new high-water also emits
+  /// an EventLoopLag trace event when tracing is on.
+  std::size_t queue_high_water() const { return queue_high_water_; }
+
+  /// Total events fired over the simulator's lifetime.
+  std::size_t events_fired() const { return events_fired_; }
+
   /// Drops all pending events (used by tests and teardown).
   void clear();
 
  private:
+  /// Pops the next event, advances the clock, and runs the action with
+  /// the configured tracing / timing hooks.  `tracer` is hoisted by the
+  /// run loops so the disabled path stays one null check per event.
+  void fire(trace::Tracer& tracer, bool tracing, bool timing);
   struct Event {
     SimTime when;
     std::uint64_t seq;  // FIFO tie-break for identical timestamps
@@ -63,6 +76,9 @@ class Simulator {
 
   SimTime now_;
   std::uint64_t next_seq_ = 0;
+  std::size_t queue_high_water_ = 0;
+  std::size_t reported_high_water_ = 0;  // last mark traced as kEventLoopLag
+  std::size_t events_fired_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

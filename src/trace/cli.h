@@ -1,0 +1,66 @@
+// Command-line tracing glue for bench/example binaries: recognises
+// --trace_out=<path> and, when present, streams the run's protocol events
+// to a JSONL file, appending a final counter snapshot when the guard goes
+// out of scope.  Without the flag the guard is inert and the binary runs
+// exactly as before (tracing stays disabled, zero hot-path cost).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "trace/sink.h"
+#include "trace/trace.h"
+#include "util/flags.h"
+
+namespace groupcast::trace {
+
+class CliTracing {
+ public:
+  /// Parses argv; only --trace_out (and --help) are accepted.  Exits with
+  /// a usage message on unknown flags, matching the repo's other CLIs.
+  CliTracing(int argc, char** argv) {
+    util::Flags flags;
+    flags.declare("trace_out", "write a JSONL protocol trace to this path",
+                  "");
+    if (!flags.parse(argc, argv)) {
+      std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                   flags.help(argv[0]).c_str());
+      std::exit(2);
+    }
+    if (flags.help_requested()) {
+      std::printf("%s", flags.help(argv[0]).c_str());
+      std::exit(0);
+    }
+    open(flags.get_string("trace_out"));
+  }
+
+  /// Direct form for binaries that pre-process argv themselves
+  /// (bench_micro strips --trace_out before google-benchmark parses the
+  /// rest).  An empty path leaves tracing disabled.
+  explicit CliTracing(const std::string& path) { open(path); }
+
+  ~CliTracing() {
+    if (sink_ == nullptr) return;
+    emit_counter_snapshot();
+    counters().disable();
+    sink_.reset();  // flush + detach the global tracer
+  }
+  CliTracing(const CliTracing&) = delete;
+  CliTracing& operator=(const CliTracing&) = delete;
+
+  bool active() const { return sink_ != nullptr; }
+
+ private:
+  void open(const std::string& path) {
+    if (path.empty()) return;
+    sink_ = std::make_unique<ScopedSink>(
+        std::make_unique<JsonlFileSink>(path));
+    counters().enable(0);
+  }
+
+  std::unique_ptr<ScopedSink> sink_;
+};
+
+}  // namespace groupcast::trace

@@ -1,0 +1,88 @@
+#include "trace/counters.h"
+
+#include <algorithm>
+
+namespace groupcast::trace {
+
+const char* to_string(CounterId id) {
+  switch (id) {
+    case CounterId::kMessagesSent:
+      return "messages_sent";
+    case CounterId::kMessagesReceived:
+      return "messages_received";
+    case CounterId::kMessagesForwarded:
+      return "messages_forwarded";
+    case CounterId::kMessagesDropped:
+      return "messages_dropped";
+    case CounterId::kAdvertsForwarded:
+      return "adverts_forwarded";
+    case CounterId::kSubscribeAttempts:
+      return "subscribe_attempts";
+    case CounterId::kSubscribeSuccesses:
+      return "subscribe_successes";
+    case CounterId::kRippleSearches:
+      return "ripple_searches";
+    case CounterId::kTreeEdges:
+      return "tree_edges";
+    case CounterId::kTreeRepairs:
+      return "tree_repairs";
+    case CounterId::kJoins:
+      return "joins";
+    case CounterId::kLeaves:
+      return "leaves";
+    case CounterId::kLinkRefills:
+      return "link_refills";
+    case CounterId::kCount_:
+      break;
+  }
+  return "?";
+}
+
+std::vector<std::pair<NodeId, std::uint64_t>>
+CounterSnapshot::top_nodes(CounterId id, std::size_t k) const {
+  std::vector<std::pair<NodeId, std::uint64_t>> ranked;
+  for (std::size_t i = 0; i < per_node.size(); ++i) {
+    const auto v = per_node[i][static_cast<std::size_t>(id)];
+    if (v > 0) ranked.emplace_back(static_cast<NodeId>(i), v);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::array<std::int64_t, kCounterIds> CounterSnapshot::totals_delta(
+    const CounterSnapshot& base) const {
+  std::array<std::int64_t, kCounterIds> delta{};
+  for (std::size_t i = 0; i < kCounterIds; ++i) {
+    delta[i] = static_cast<std::int64_t>(totals[i]) -
+               static_cast<std::int64_t>(base.totals[i]);
+  }
+  return delta;
+}
+
+void CounterRegistry::enable(std::size_t node_hint) {
+  reset();
+  if (node_hint > 0) per_node_.resize(node_hint);
+  enabled_ = true;
+}
+
+CounterSnapshot CounterRegistry::snapshot() const {
+  CounterSnapshot snap;
+  snap.totals = totals_;
+  snap.per_node = per_node_;
+  return snap;
+}
+
+void CounterRegistry::reset() {
+  totals_.fill(0);
+  per_node_.clear();
+}
+
+void CounterRegistry::grow(std::size_t need) {
+  per_node_.resize(std::max(need, per_node_.size() * 2));
+}
+
+}  // namespace groupcast::trace

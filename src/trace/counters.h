@@ -1,0 +1,113 @@
+// Per-node monotonic counters.
+//
+// Every peer accumulates protocol counters (messages sent / received /
+// forwarded / dropped, advertisements forwarded, tree repairs, ripple
+// searches, ...) in a CounterRegistry.  The registry is disabled by
+// default: incr() is then a single predictable branch, so the figure-sweep
+// benches pay nothing.  When enabled (sim_driver --trace_out, tests), the
+// experiment harness snapshots it into ScenarioResult and the snapshot can
+// be exported into the trace for cross-run diffing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace groupcast::trace {
+
+enum class CounterId : std::uint8_t {
+  kMessagesSent = 0,
+  kMessagesReceived,
+  kMessagesForwarded,   // received and passed on (advert / data relay)
+  kMessagesDropped,     // duplicates, loss, departed receivers
+  kAdvertsForwarded,    // advertisement copies this node transmitted
+  kSubscribeAttempts,
+  kSubscribeSuccesses,
+  kRippleSearches,      // searches this node originated
+  kTreeEdges,           // spanning-tree attachments (counted at the child)
+  kTreeRepairs,         // repair procedures run for this node's failure
+  kJoins,               // overlay join protocol completions
+  kLeaves,              // graceful leaves + crashes
+  kLinkRefills,         // links re-established by epoch maintenance
+  kCount_,
+};
+
+inline constexpr std::size_t kCounterIds =
+    static_cast<std::size_t>(CounterId::kCount_);
+
+const char* to_string(CounterId id);
+
+/// Point-in-time copy of the registry, safe to keep after reset().
+struct CounterSnapshot {
+  using Row = std::array<std::uint64_t, kCounterIds>;
+
+  /// Sum over all nodes, per counter.
+  Row totals{};
+  /// Per-node rows, indexed by PeerId (dense; zero rows included).
+  std::vector<Row> per_node;
+
+  std::uint64_t total(CounterId id) const {
+    return totals[static_cast<std::size_t>(id)];
+  }
+  std::uint64_t of(NodeId node, CounterId id) const {
+    const auto i = static_cast<std::size_t>(node);
+    return i < per_node.size() ? per_node[i][static_cast<std::size_t>(id)]
+                               : 0;
+  }
+
+  /// The `k` nodes with the largest value of `id` (ties: lower id first),
+  /// as (node, value) pairs, descending; zero-valued nodes are skipped.
+  std::vector<std::pair<NodeId, std::uint64_t>> top_nodes(
+      CounterId id, std::size_t k) const;
+
+  /// Per-counter totals delta (this - base), e.g. run B vs run A.
+  std::array<std::int64_t, kCounterIds> totals_delta(
+      const CounterSnapshot& base) const;
+};
+
+class CounterRegistry {
+ public:
+  bool enabled() const { return enabled_; }
+
+  /// Turns counting on and clears previous values.  `node_hint` presizes
+  /// the per-node table (it still grows on demand).
+  void enable(std::size_t node_hint = 0);
+  /// Turns counting off; values are kept until enable() or reset().
+  void disable() { enabled_ = false; }
+
+  /// Increments a counter; no-op (one branch) while disabled.  Events with
+  /// no attributable node (node == kNoNode) only land in the totals.
+  void incr(NodeId node, CounterId id, std::uint64_t n = 1) {
+    if (!enabled_) return;
+    totals_[static_cast<std::size_t>(id)] += n;
+    if (node == kNoNode) return;
+    const auto i = static_cast<std::size_t>(node);
+    if (i >= per_node_.size()) grow(i + 1);
+    per_node_[i][static_cast<std::size_t>(id)] += n;
+  }
+
+  std::uint64_t total(CounterId id) const {
+    return totals_[static_cast<std::size_t>(id)];
+  }
+  std::uint64_t of(NodeId node, CounterId id) const {
+    const auto i = static_cast<std::size_t>(node);
+    return i < per_node_.size() ? per_node_[i][static_cast<std::size_t>(id)]
+                                : 0;
+  }
+  std::size_t node_count() const { return per_node_.size(); }
+
+  CounterSnapshot snapshot() const;
+  /// Zeroes every counter; the enabled state is unchanged.
+  void reset();
+
+ private:
+  void grow(std::size_t need);
+
+  bool enabled_ = false;
+  std::array<std::uint64_t, kCounterIds> totals_{};
+  std::vector<CounterSnapshot::Row> per_node_;
+};
+
+}  // namespace groupcast::trace

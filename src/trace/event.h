@@ -1,0 +1,102 @@
+// Typed protocol events for the observability layer.
+//
+// Every significant protocol action (an advertisement copy forwarded, a
+// subscription attempt resolved, a tree edge grown, a peer joining or
+// leaving the overlay, a message dropped, the simulator queue reaching a
+// new high-water mark) is describable as one fixed-size TraceEvent: a
+// sim-timestamp, an event kind, up to two peer ids, and one integer value
+// whose meaning depends on the kind.  Events are plain data — recording
+// one never allocates, so sinks can sit on the protocol hot paths.
+//
+// This module sits *below* sim/ and overlay/ in the dependency order (the
+// simulator itself is instrumented), so node ids are plain integers here;
+// overlay::PeerId converts implicitly and uses the same kNoPeer sentinel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace groupcast::trace {
+
+/// A peer / node id as the trace layer sees it (== overlay::PeerId).
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+enum class EventKind : std::uint8_t {
+  /// A run phase starts; `value` is a Phase.  Emitted by the middleware
+  /// façade so reports can split costs into bootstrap / advertisement /
+  /// steady-state buckets.
+  kPhaseBegin = 0,
+  /// One simulator event fired; `value` = events still pending.
+  kSimEvent,
+  /// The simulator queue depth reached a new high-water mark (`value`).
+  kEventLoopLag,
+  /// `node` forwarded an advertisement copy to `peer`; `value` = remaining
+  /// TTL carried by the copy.
+  kAdvertForwarded,
+  /// `node` finished a subscription attempt against attach point `peer`
+  /// (kNoNode when none was found); `value` = 1 on success.
+  kSubscriptionAttempt,
+  /// Spanning-tree growth: `node` attached under parent `peer`.
+  kTreeEdgeAdded,
+  /// `node` completed the overlay join protocol; `value` = out links.
+  kPeerJoin,
+  /// `node` left the overlay; `value` = 1 for a crash, 0 for graceful.
+  kPeerLeave,
+  /// A message from `node` to `peer` was dropped (duplicate suppression,
+  /// loss, or a departed receiver); `value` = a DropReason.
+  kMessageDropped,
+  /// `node` ran a ripple search; `value` = search messages spent.
+  kRippleSearch,
+  /// Tree repair after the failure of `node`; `value` = nodes pruned.
+  kTreeRepair,
+  /// One maintenance epoch completed; `value` = dead links removed.
+  kMaintenanceEpoch,
+  /// An IP multicast reference tree was merged for source router `node`;
+  /// `value` = distinct physical links in the tree.
+  kIpTreeBuilt,
+  /// End-of-run counter export: counter `peer` (a CounterId) of `node`
+  /// had `value`.  Lets trace_report diff counters between two runs.
+  kCounterSnapshot,
+  kCount_,
+};
+
+inline constexpr std::size_t kEventKinds =
+    static_cast<std::size_t>(EventKind::kCount_);
+
+/// Run phases marked by EventKind::kPhaseBegin.
+enum class Phase : std::uint8_t {
+  kBootstrap = 0,    // overlay construction (joins, host cache)
+  kAdvertisement,    // SSA/NSSA announcement + subscriptions per group
+  kSteadyState,      // established groups: payloads, churn, maintenance
+  kCount_,
+};
+
+inline constexpr std::size_t kPhases = static_cast<std::size_t>(Phase::kCount_);
+
+/// Why a message was dropped (EventKind::kMessageDropped `value`).
+enum class DropReason : std::uint8_t {
+  kDuplicate = 0,   // duplicate-suppression at the receiver
+  kLoss,            // lossy transport
+  kNoReceiver,      // receiver departed while the message was in flight
+  kTtlExpired,      // TTL ran out before forwarding
+  kCount_,
+};
+
+/// One recorded observation.  Fixed-size and trivially copyable so ring
+/// buffers are just arrays and file sinks never allocate per event.
+struct TraceEvent {
+  std::int64_t t_us = 0;  // simulated time, microseconds
+  EventKind kind = EventKind::kPhaseBegin;
+  NodeId node = kNoNode;  // primary actor
+  NodeId peer = kNoNode;  // counterpart, if any
+  std::uint64_t value = 0;  // kind-specific payload
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+const char* to_string(EventKind kind);
+const char* to_string(Phase phase);
+const char* to_string(DropReason reason);
+
+}  // namespace groupcast::trace

@@ -1,0 +1,178 @@
+#include "trace/sink.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/require.h"
+
+namespace groupcast::trace {
+
+namespace {
+
+/// Signed view of a PeerId for serialization: kNoPeer becomes -1.
+std::int64_t id_out(NodeId p) {
+  return p == kNoNode ? -1 : static_cast<std::int64_t>(p);
+}
+
+NodeId id_in(std::int64_t v) {
+  return v < 0 ? kNoNode : static_cast<NodeId>(v);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ ring buffer
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_(capacity) {
+  GC_REQUIRE(capacity >= 1);
+  buffer_.reserve(capacity);
+}
+
+void RingBufferSink::record(const TraceEvent& event) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(event);
+  } else {
+    buffer_[next_] = event;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> RingBufferSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buffer_.size());
+  if (buffer_.size() < capacity_) {
+    out = buffer_;
+  } else {
+    // Full ring: next_ points at the oldest slot.
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(buffer_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+void RingBufferSink::clear() {
+  buffer_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+// ------------------------------------------------------------------ JSONL
+
+std::string to_jsonl(const TraceEvent& event) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "{\"t_us\":%" PRId64 ",\"kind\":\"%s\",\"node\":%" PRId64
+                ",\"peer\":%" PRId64 ",\"value\":%" PRIu64 "}",
+                event.t_us, to_string(event.kind), id_out(event.node),
+                id_out(event.peer), event.value);
+  return line;
+}
+
+namespace {
+
+/// Finds `"key":` in `line` and returns the character offset just past the
+/// colon, or npos.
+std::size_t find_value(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto at = line.find(needle);
+  return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+bool parse_int_field(const std::string& line, const char* key,
+                     std::int64_t* out) {
+  const auto at = find_value(line, key);
+  if (at == std::string::npos) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(line.c_str() + at, &end, 10);
+  if (end == line.c_str() + at || errno != 0) return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool parse_kind_field(const std::string& line, EventKind* out) {
+  auto at = find_value(line, "kind");
+  if (at == std::string::npos) return false;
+  while (at < line.size() && line[at] == ' ') ++at;
+  if (at >= line.size() || line[at] != '"') return false;
+  const auto close = line.find('"', at + 1);
+  if (close == std::string::npos) return false;
+  const std::string name = line.substr(at + 1, close - at - 1);
+  for (std::size_t k = 0; k < kEventKinds; ++k) {
+    if (name == to_string(static_cast<EventKind>(k))) {
+      *out = static_cast<EventKind>(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<TraceEvent> parse_jsonl(const std::string& line) {
+  TraceEvent event;
+  std::int64_t t = 0, node = 0, peer = 0, value = 0;
+  if (!parse_int_field(line, "t_us", &t)) return std::nullopt;
+  if (!parse_kind_field(line, &event.kind)) return std::nullopt;
+  if (!parse_int_field(line, "node", &node)) return std::nullopt;
+  if (!parse_int_field(line, "peer", &peer)) return std::nullopt;
+  if (!parse_int_field(line, "value", &value)) return std::nullopt;
+  event.t_us = t;
+  event.node = id_in(node);
+  event.peer = id_in(peer);
+  event.value = static_cast<std::uint64_t>(value);
+  return event;
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "w");
+  GC_REQUIRE_MSG(file_ != nullptr, "cannot open trace file: " + path);
+}
+
+JsonlFileSink::~JsonlFileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlFileSink::record(const TraceEvent& event) {
+  const auto line = to_jsonl(event);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  ++recorded_;
+}
+
+void JsonlFileSink::flush() { std::fflush(file_); }
+
+std::optional<std::vector<TraceEvent>> read_jsonl_file(
+    const std::string& path, std::size_t* malformed) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return std::nullopt;
+  std::vector<TraceEvent> out;
+  std::size_t bad = 0;
+  std::string line;
+  char chunk[512];
+  while (std::fgets(chunk, sizeof(chunk), file) != nullptr) {
+    line += chunk;
+    if (!line.empty() && line.back() != '\n' && !std::feof(file)) {
+      continue;  // long line split across fgets calls
+    }
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (!line.empty()) {
+      if (auto event = parse_jsonl(line)) {
+        out.push_back(*event);
+      } else {
+        ++bad;
+      }
+    }
+    line.clear();
+  }
+  std::fclose(file);
+  if (malformed != nullptr) *malformed = bad;
+  return out;
+}
+
+}  // namespace groupcast::trace

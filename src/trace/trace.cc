@@ -1,0 +1,136 @@
+#include "trace/trace.h"
+
+namespace groupcast::trace {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPhaseBegin:
+      return "phase_begin";
+    case EventKind::kSimEvent:
+      return "sim_event";
+    case EventKind::kEventLoopLag:
+      return "event_loop_lag";
+    case EventKind::kAdvertForwarded:
+      return "advert_forwarded";
+    case EventKind::kSubscriptionAttempt:
+      return "subscription_attempt";
+    case EventKind::kTreeEdgeAdded:
+      return "tree_edge_added";
+    case EventKind::kPeerJoin:
+      return "peer_join";
+    case EventKind::kPeerLeave:
+      return "peer_leave";
+    case EventKind::kMessageDropped:
+      return "message_dropped";
+    case EventKind::kRippleSearch:
+      return "ripple_search";
+    case EventKind::kTreeRepair:
+      return "tree_repair";
+    case EventKind::kMaintenanceEpoch:
+      return "maintenance_epoch";
+    case EventKind::kIpTreeBuilt:
+      return "ip_tree_built";
+    case EventKind::kCounterSnapshot:
+      return "counter_snapshot";
+    case EventKind::kCount_:
+      break;
+  }
+  return "?";
+}
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kBootstrap:
+      return "bootstrap";
+    case Phase::kAdvertisement:
+      return "advertisement";
+    case Phase::kSteadyState:
+      return "steady-state";
+    case Phase::kCount_:
+      break;
+  }
+  return "?";
+}
+
+const char* to_string(DropReason reason) {
+  switch (reason) {
+    case DropReason::kDuplicate:
+      return "duplicate";
+    case DropReason::kLoss:
+      return "loss";
+    case DropReason::kNoReceiver:
+      return "no-receiver";
+    case DropReason::kTtlExpired:
+      return "ttl-expired";
+    case DropReason::kCount_:
+      break;
+  }
+  return "?";
+}
+
+const char* to_string(TimerId id) {
+  switch (id) {
+    case TimerId::kSimEvent:
+      return "sim.event";
+    case TimerId::kAnnounce:
+      return "advert.announce";
+    case TimerId::kSubscribe:
+      return "subscription.subscribe";
+    case TimerId::kBootstrapJoin:
+      return "bootstrap.join";
+    case TimerId::kMaintenanceEpoch:
+      return "maintenance.epoch";
+    case TimerId::kIpTreeBuild:
+      return "multicast.build";
+    case TimerId::kCount_:
+      break;
+  }
+  return "?";
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+CounterRegistry& counters() {
+  static CounterRegistry instance;
+  return instance;
+}
+
+TimerRegistry& timers() {
+  static TimerRegistry instance;
+  return instance;
+}
+
+void TimerRegistry::enable() {
+  reset();
+  enabled_ = true;
+}
+
+void TimerRegistry::reset() {
+  for (auto& slot : totals_) slot = TimerTotals{};
+}
+
+void emit_counter_snapshot(std::int64_t t_us) {
+  auto& t = tracer();
+  auto& c = counters();
+  if (!t.enabled() || !c.enabled()) return;
+  for (std::size_t node = 0; node < c.node_count(); ++node) {
+    for (std::size_t id = 0; id < kCounterIds; ++id) {
+      const auto v =
+          c.of(static_cast<NodeId>(node), static_cast<CounterId>(id));
+      if (v == 0) continue;
+      t.emit(t_us, EventKind::kCounterSnapshot, static_cast<NodeId>(node),
+             static_cast<NodeId>(id), v);
+    }
+  }
+  for (std::size_t id = 0; id < kCounterIds; ++id) {
+    const auto v = c.total(static_cast<CounterId>(id));
+    if (v == 0) continue;
+    t.emit(t_us, EventKind::kCounterSnapshot, kNoNode,
+           static_cast<NodeId>(id), v);
+  }
+}
+
+}  // namespace groupcast::trace

@@ -1,0 +1,165 @@
+// The tracing facade: a process-wide Tracer, per-node counters, and
+// wall-clock section timers.
+//
+// Design constraints (ISSUE 1):
+//  * zero-cost when disabled — emit() is a single null-pointer check, no
+//    allocation, no virtual call; counters and timers are one boolean
+//    branch.  Figure-sweep bench numbers must be unaffected.
+//  * deterministic when enabled — events carry only simulated time and
+//    ids, never wall-clock, so two runs of one seed produce byte-identical
+//    JSONL traces.  Wall-clock measurements live exclusively in the timer
+//    registry, which is reported separately and never serialized into the
+//    trace stream.
+//
+// The whole library is single-threaded (one simulator drives everything),
+// so the globals are plain state, not atomics.
+//
+// Usage:
+//   trace::ScopedSink guard(std::make_unique<trace::JsonlFileSink>(path));
+//   trace::counters().enable(peer_count);
+//   ... run the scenario ...
+//   trace::emit_counter_snapshot();   // export counters into the trace
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "trace/counters.h"
+#include "trace/event.h"
+#include "trace/sink.h"
+
+namespace groupcast::trace {
+
+/// Routes events to the installed sink; inert while no sink is set.
+class Tracer {
+ public:
+  bool enabled() const { return sink_ != nullptr; }
+
+  /// Installs (or clears, with nullptr) the sink.  Not owned.
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* sink() const { return sink_; }
+
+  void emit(const TraceEvent& event) {
+    if (sink_ == nullptr) return;
+    sink_->record(event);
+  }
+  void emit(std::int64_t t_us, EventKind kind, NodeId node = kNoNode,
+            NodeId peer = kNoNode, std::uint64_t value = 0) {
+    if (sink_ == nullptr) return;
+    sink_->record(TraceEvent{t_us, kind, node, peer, value});
+  }
+  void flush() {
+    if (sink_ != nullptr) sink_->flush();
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+};
+
+/// The process-wide tracer every instrumentation hook reports to.
+Tracer& tracer();
+
+/// The process-wide per-node counter registry.
+CounterRegistry& counters();
+
+/// RAII installer: owns a sink, points the global tracer at it for the
+/// guard's lifetime, flushes and detaches on destruction.
+class ScopedSink {
+ public:
+  explicit ScopedSink(std::unique_ptr<TraceSink> sink)
+      : sink_(std::move(sink)) {
+    tracer().set_sink(sink_.get());
+  }
+  ~ScopedSink() {
+    tracer().flush();
+    tracer().set_sink(nullptr);
+  }
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+  TraceSink* get() const { return sink_.get(); }
+
+ private:
+  std::unique_ptr<TraceSink> sink_;
+};
+
+/// Exports the current counter values into the trace as kCounterSnapshot
+/// events (one per non-zero node/counter pair, then one totals row with
+/// node == kNoNode), stamped at `t_us`.  No-op unless both the tracer and
+/// the counter registry are enabled.
+void emit_counter_snapshot(std::int64_t t_us = 0);
+
+// -------------------------------------------------------------- timers
+
+/// Instrumented wall-clock sections, one slot per section kind.
+enum class TimerId : std::uint8_t {
+  kSimEvent = 0,      // one simulator event action
+  kAnnounce,          // AdvertisementEngine::announce
+  kSubscribe,         // SubscriptionProtocol::subscribe
+  kBootstrapJoin,     // GroupCastBootstrap::join
+  kMaintenanceEpoch,  // MaintenanceProtocol::run_epoch
+  kIpTreeBuild,       // IpMulticastTree construction
+  kCount_,
+};
+
+inline constexpr std::size_t kTimerIds =
+    static_cast<std::size_t>(TimerId::kCount_);
+
+const char* to_string(TimerId id);
+
+struct TimerTotals {
+  std::uint64_t ns = 0;
+  std::uint64_t calls = 0;
+};
+
+class TimerRegistry {
+ public:
+  bool enabled() const { return enabled_; }
+  /// Turns timing on and clears previous totals.
+  void enable();
+  void disable() { enabled_ = false; }
+
+  void add(TimerId id, std::uint64_t ns) {
+    auto& slot = totals_[static_cast<std::size_t>(id)];
+    slot.ns += ns;
+    ++slot.calls;
+  }
+  const TimerTotals& of(TimerId id) const {
+    return totals_[static_cast<std::size_t>(id)];
+  }
+  void reset();
+
+ private:
+  bool enabled_ = false;
+  TimerTotals totals_[kTimerIds] = {};
+};
+
+/// The process-wide timer registry.
+TimerRegistry& timers();
+
+/// RAII wall-clock timer for one section; accumulates into timers().
+/// When timing is disabled the constructor is one branch and the clock is
+/// never read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerId id) : id_(id), armed_(timers().enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (!armed_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    timers().add(
+        id_, static_cast<std::uint64_t>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                     .count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerId id_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace groupcast::trace

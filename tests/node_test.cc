@@ -143,7 +143,7 @@ TEST(Node, SubscribeViaReversePathBuildsConsistentTree) {
   std::map<GroupId, int> results;
   for (const PeerId s : {5u, 15u, 25u, 35u}) {
     d.nodes[s]->on_subscribe_result(
-        [&](GroupId, bool ok) { results[s] += ok ? 1 : 0; });
+        [&results, s](GroupId, bool ok) { results[s] += ok ? 1 : 0; });
     d.nodes[s]->subscribe(1);
   }
   d.simulator.run();

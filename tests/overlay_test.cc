@@ -64,7 +64,9 @@ TEST(PeerPopulation, LatencySymmetricNonNegativeZeroOnSelf) {
     for (PeerId b = 0; b < 24; ++b) {
       EXPECT_DOUBLE_EQ(population.latency_ms(a, b),
                        population.latency_ms(b, a));
-      if (a != b) EXPECT_GT(population.latency_ms(a, b), 0.0);
+      if (a != b) {
+        EXPECT_GT(population.latency_ms(a, b), 0.0);
+      }
     }
   }
 }

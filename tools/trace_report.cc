@@ -1,0 +1,241 @@
+// trace_report — summarizes JSONL protocol traces written with
+// --trace_out (see docs/OBSERVABILITY.md).
+//
+//   trace_report run.jsonl               # per-phase breakdown, hotspots,
+//                                        # counter table
+//   trace_report base.jsonl new.jsonl    # the same, plus a counter diff
+//                                        # (new - base)
+//
+// --top=K controls how many hotspot nodes are listed (default 5).
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+#include "trace/sink.h"
+#include "trace/counters.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace groupcast;
+using trace::CounterId;
+using trace::EventKind;
+using trace::TraceEvent;
+
+constexpr std::size_t kKinds = static_cast<std::size_t>(EventKind::kCount_);
+constexpr std::size_t kPhases = static_cast<std::size_t>(trace::Phase::kCount_);
+
+struct PhaseStats {
+  std::array<std::uint64_t, kKinds> by_kind{};
+  std::uint64_t events = 0;
+  std::int64_t t_min_us = 0;
+  std::int64_t t_max_us = 0;
+};
+
+struct TraceSummary {
+  std::string path;
+  std::vector<TraceEvent> events;
+  std::size_t malformed = 0;
+  // Phase buckets in file order; slot kPhases collects events seen before
+  // the first phase_begin marker.
+  std::array<PhaseStats, kPhases + 1> phases{};
+  std::map<trace::NodeId, std::uint64_t> events_per_node;
+  trace::CounterSnapshot counters;  // rebuilt from counter_snapshot events
+  bool has_counters = false;
+};
+
+bool load(const std::string& path, TraceSummary& out) {
+  out.path = path;
+  auto events = trace::read_jsonl_file(path, &out.malformed);
+  if (!events) {
+    std::fprintf(stderr, "trace_report: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  out.events = std::move(*events);
+
+  std::size_t phase = kPhases;  // pre-phase bucket until a marker appears
+  for (const auto& e : out.events) {
+    if (e.kind == EventKind::kPhaseBegin &&
+        e.value < static_cast<std::uint64_t>(kPhases)) {
+      phase = static_cast<std::size_t>(e.value);
+    }
+    auto& slot = out.phases[phase];
+    ++slot.by_kind[static_cast<std::size_t>(e.kind)];
+    if (slot.events == 0) {
+      slot.t_min_us = slot.t_max_us = e.t_us;
+    } else {
+      slot.t_min_us = std::min(slot.t_min_us, e.t_us);
+      slot.t_max_us = std::max(slot.t_max_us, e.t_us);
+    }
+    ++slot.events;
+
+    if (e.kind == EventKind::kCounterSnapshot) {
+      // Reconstruct the snapshot: `peer` carries the CounterId, rows with
+      // node == kNoNode are the totals.
+      const auto id = static_cast<std::size_t>(e.peer);
+      if (id >= trace::kCounterIds) continue;
+      out.has_counters = true;
+      if (e.node == trace::kNoNode) {
+        out.counters.totals[id] += e.value;
+      } else {
+        const auto i = static_cast<std::size_t>(e.node);
+        if (i >= out.counters.per_node.size()) {
+          out.counters.per_node.resize(i + 1);
+        }
+        out.counters.per_node[i][id] += e.value;
+      }
+    } else if (e.node != trace::kNoNode) {
+      ++out.events_per_node[e.node];
+    }
+  }
+  return true;
+}
+
+const char* phase_label(std::size_t phase) {
+  if (phase >= kPhases) return "(pre-phase)";
+  return trace::to_string(static_cast<trace::Phase>(phase));
+}
+
+void print_phase_breakdown(const TraceSummary& s) {
+  std::printf("== per-phase breakdown\n");
+  std::printf("%-15s %10s %14s  %s\n", "phase", "events", "sim span",
+              "top kinds");
+  // Print the pre-phase bucket first, then phases in protocol order.
+  std::vector<std::size_t> order{kPhases};
+  for (std::size_t p = 0; p < kPhases; ++p) order.push_back(p);
+  for (const std::size_t p : order) {
+    const auto& slot = s.phases[p];
+    if (slot.events == 0) continue;
+    // The three most frequent event kinds of the phase.
+    std::vector<std::pair<std::uint64_t, std::size_t>> ranked;
+    for (std::size_t k = 0; k < kKinds; ++k) {
+      if (slot.by_kind[k] > 0) ranked.emplace_back(slot.by_kind[k], k);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first > b.first
+                                          : a.second < b.second;
+              });
+    std::string kinds;
+    for (std::size_t i = 0; i < ranked.size() && i < 3; ++i) {
+      if (!kinds.empty()) kinds += ", ";
+      kinds += trace::to_string(static_cast<EventKind>(ranked[i].second));
+      kinds += '=';
+      kinds += std::to_string(ranked[i].first);
+    }
+    char span[64];
+    std::snprintf(span, sizeof(span), "%.1f ms",
+                  static_cast<double>(slot.t_max_us - slot.t_min_us) /
+                      1000.0);
+    std::printf("%-15s %10llu %14s  %s\n", phase_label(p),
+                static_cast<unsigned long long>(slot.events), span,
+                kinds.c_str());
+  }
+}
+
+void print_hotspots(const TraceSummary& s, std::size_t top) {
+  std::printf("\n== hotspot nodes (by event count)\n");
+  std::vector<std::pair<std::uint64_t, trace::NodeId>> ranked;
+  ranked.reserve(s.events_per_node.size());
+  for (const auto& [node, n] : s.events_per_node) ranked.emplace_back(n, node);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  if (ranked.empty()) {
+    std::printf("(no node-attributed events)\n");
+    return;
+  }
+  for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
+    std::printf("node %6u  %10llu events\n", ranked[i].second,
+                static_cast<unsigned long long>(ranked[i].first));
+  }
+  if (s.has_counters) {
+    std::printf("\n== hotspot nodes (by messages sent)\n");
+    for (const auto& [node, v] :
+         s.counters.top_nodes(CounterId::kMessagesSent, top)) {
+      std::printf("node %6u  %10llu sent\n", node,
+                  static_cast<unsigned long long>(v));
+    }
+  }
+}
+
+void print_counters(const TraceSummary& s) {
+  if (!s.has_counters) {
+    std::printf("\n(no counter snapshot in trace — run with counters "
+                "enabled)\n");
+    return;
+  }
+  std::printf("\n== counters (totals)\n");
+  for (std::size_t id = 0; id < trace::kCounterIds; ++id) {
+    const auto v = s.counters.totals[id];
+    if (v == 0) continue;
+    std::printf("%-22s %12llu\n",
+                trace::to_string(static_cast<CounterId>(id)),
+                static_cast<unsigned long long>(v));
+  }
+}
+
+void print_diff(const TraceSummary& base, const TraceSummary& next) {
+  std::printf("\n== counter diff (%s - %s)\n", next.path.c_str(),
+              base.path.c_str());
+  if (!base.has_counters || !next.has_counters) {
+    std::printf("(both traces need counter snapshots to diff)\n");
+    return;
+  }
+  const auto delta = next.counters.totals_delta(base.counters);
+  bool any = false;
+  for (std::size_t id = 0; id < trace::kCounterIds; ++id) {
+    if (delta[id] == 0 && base.counters.totals[id] == 0) continue;
+    any = true;
+    std::printf("%-22s %12llu -> %12llu  (%+lld)\n",
+                trace::to_string(static_cast<CounterId>(id)),
+                static_cast<unsigned long long>(base.counters.totals[id]),
+                static_cast<unsigned long long>(next.counters.totals[id]),
+                static_cast<long long>(delta[id]));
+  }
+  if (!any) std::printf("(no differences)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.declare("top", "hotspot nodes to list", "5");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.help(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.help_requested() || flags.positional().empty() ||
+      flags.positional().size() > 2) {
+    std::printf("usage: %s [--top=K] <trace.jsonl> [other-trace.jsonl]\n%s",
+                argv[0], flags.help(argv[0]).c_str());
+    return flags.help_requested() ? 0 : 2;
+  }
+  const auto top = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, flags.get_int("top")));
+
+  TraceSummary primary;
+  if (!load(flags.positional()[0], primary)) return 1;
+
+  std::printf("trace: %s (%zu events", primary.path.c_str(),
+              primary.events.size());
+  if (primary.malformed > 0) {
+    std::printf(", %zu malformed lines skipped", primary.malformed);
+  }
+  std::printf(")\n\n");
+  print_phase_breakdown(primary);
+  print_hotspots(primary, top);
+  print_counters(primary);
+
+  if (flags.positional().size() == 2) {
+    TraceSummary other;
+    if (!load(flags.positional()[1], other)) return 1;
+    print_diff(primary, other);
+  }
+  return 0;
+}
