@@ -7,6 +7,7 @@
 // NSSA) at the default fraction, exposing the trade-off frontier between
 // message load, receiving rate, and subscription success.
 #include <cstdio>
+#include <vector>
 
 #include "metrics/experiment.h"
 
@@ -16,8 +17,8 @@ namespace {
 
 using namespace groupcast;
 
-metrics::ScenarioResult run(core::AnnouncementScheme scheme, double fraction,
-                            std::size_t ripple_ttl) {
+metrics::ScenarioConfig make_config(core::AnnouncementScheme scheme,
+                                    double fraction, std::size_t ripple_ttl) {
   metrics::ScenarioConfig config;
   config.peer_count = 1500;
   config.groups = 6;
@@ -25,7 +26,7 @@ metrics::ScenarioResult run(core::AnnouncementScheme scheme, double fraction,
   config.scheme = scheme;
   config.forward_fraction = fraction;
   config.ripple_ttl = ripple_ttl;
-  return metrics::run_scenario(config);
+  return config;
 }
 
 }  // namespace
@@ -34,12 +35,39 @@ int main(int argc, char** argv) {
   const groupcast::trace::CliTracing tracing(argc, argv);
   using core::AnnouncementScheme;
 
+  // All three ablation sweeps share one grid, so --jobs parallelism spans
+  // the whole binary; rows print from the results in declaration order.
+  const std::vector<double> fractions{0.15, 0.25, 0.35, 0.5, 0.75};
+  const std::vector<AnnouncementScheme> schemes{
+      AnnouncementScheme::kSsaUtility, AnnouncementScheme::kSsaRandom,
+      AnnouncementScheme::kNssa};
+  const std::vector<std::size_t> ttls{1, 2, 3};
+
+  std::vector<metrics::ScenarioConfig> points;
+  for (const double fraction : fractions) {
+    points.push_back(make_config(AnnouncementScheme::kSsaUtility, fraction, 2));
+  }
+  for (const auto scheme : schemes) {
+    points.push_back(make_config(scheme, 0.35, 2));
+  }
+  for (const std::size_t ttl : ttls) {
+    points.push_back(make_config(AnnouncementScheme::kSsaUtility, 0.35, ttl));
+  }
+  metrics::GridOptions options;
+  options.jobs = tracing.jobs();
+  options.counters = trace::counters().enabled();
+  const auto results = metrics::run_scenario_grid(points, options);
+  // Fold per-run counters back so --trace_out exports the accumulated
+  // totals (no-op without the flag).
+  for (const auto& r : results) trace::counters().merge(r.counters);
+  std::size_t idx = 0;
+
   std::printf("Ablation A: forwarding fraction (GroupCast overlay, "
               "utility SSA, TTL=2)\n");
   std::printf("%9s %10s %10s %12s %10s\n", "fraction", "adv msgs",
               "sub msgs", "recv rate", "success");
-  for (const double fraction : {0.15, 0.25, 0.35, 0.5, 0.75}) {
-    const auto r = run(AnnouncementScheme::kSsaUtility, fraction, 2);
+  for (const double fraction : fractions) {
+    const auto& r = results[idx++];
     std::printf("%9.2f %10.0f %10.0f %11.1f%% %9.1f%%\n", fraction,
                 r.advertisement_messages, r.subscription_messages,
                 100.0 * r.receiving_rate,
@@ -49,10 +77,8 @@ int main(int argc, char** argv) {
   std::printf("\nAblation B: announcement scheme (fraction 0.35)\n");
   std::printf("%-12s %10s %10s %12s %10s %10s\n", "scheme", "adv msgs",
               "sub msgs", "recv rate", "success", "overload");
-  for (const auto scheme :
-       {AnnouncementScheme::kSsaUtility, AnnouncementScheme::kSsaRandom,
-        AnnouncementScheme::kNssa}) {
-    const auto r = run(scheme, 0.35, 2);
+  for (const auto scheme : schemes) {
+    const auto& r = results[idx++];
     std::printf("%-12s %10.0f %10.0f %11.1f%% %9.1f%% %10.4f\n",
                 core::to_string(scheme), r.advertisement_messages,
                 r.subscription_messages, 100.0 * r.receiving_rate,
@@ -63,8 +89,8 @@ int main(int argc, char** argv) {
               "0.35)\n");
   std::printf("%5s %10s %10s %12s\n", "TTL", "sub msgs", "success",
               "lookup ms");
-  for (const std::size_t ttl : {1u, 2u, 3u}) {
-    const auto r = run(AnnouncementScheme::kSsaUtility, 0.35, ttl);
+  for (const std::size_t ttl : ttls) {
+    const auto& r = results[idx++];
     std::printf("%5zu %10.0f %11.1f%% %10.1f\n", ttl,
                 r.subscription_messages,
                 100.0 * r.subscription_success_rate, r.lookup_latency_ms);

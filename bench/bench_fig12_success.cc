@@ -12,16 +12,20 @@
 int main(int argc, char** argv) {
   const groupcast::trace::CliTracing tracing(argc, argv);
   using namespace groupcast;
-  const auto plan = bench::default_sweep_plan();
+  auto plan = bench::default_sweep_plan();
+  plan.jobs = tracing.jobs();
   bench::print_sweep_header(
       "Figure 12: receiving rate & subscription success rate (SSA, TTL=2)",
       plan);
 
+  const auto combos = bench::ssa_combos();
+  const auto results = bench::run_sweep_grid(plan, combos);
   std::printf("%8s %-12s %16s %16s\n", "peers", "overlay", "receiving rate",
               "success rate");
+  std::size_t idx = 0;
   for (const std::size_t n : plan.sizes) {
-    for (const auto& combo : bench::ssa_combos()) {
-      const auto r = bench::run_point(n, combo, plan);
+    for (const auto& combo : combos) {
+      const auto& r = results[idx++];
       std::printf("%8zu %-12s %15.1f%% %15.1f%%\n", n, combo.label,
                   100.0 * r.receiving_rate,
                   100.0 * r.subscription_success_rate);

@@ -11,16 +11,20 @@
 int main(int argc, char** argv) {
   const groupcast::trace::CliTracing tracing(argc, argv);
   using namespace groupcast;
-  const auto plan = bench::default_sweep_plan();
+  auto plan = bench::default_sweep_plan();
+  plan.jobs = tracing.jobs();
   bench::print_sweep_header("Figure 13: service lookup latency (SSA)", plan);
 
+  const auto combos = bench::ssa_combos();
+  const auto results = bench::run_sweep_grid(plan, combos);
   std::printf("%8s %-12s %18s\n", "peers", "overlay", "lookup latency");
+  std::size_t idx = 0;
   for (const std::size_t n : plan.sizes) {
     double latency[2] = {0, 0};
-    int idx = 0;
-    for (const auto& combo : bench::ssa_combos()) {
-      const auto r = bench::run_point(n, combo, plan);
-      latency[idx++] = r.lookup_latency_ms;
+    int row = 0;
+    for (const auto& combo : combos) {
+      const auto& r = results[idx++];
+      latency[row++] = r.lookup_latency_ms;
       std::printf("%8zu %-12s %15.1f ms\n", n, combo.label,
                   r.lookup_latency_ms);
     }

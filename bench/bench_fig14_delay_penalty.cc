@@ -13,13 +13,17 @@
 int main(int argc, char** argv) {
   const groupcast::trace::CliTracing tracing(argc, argv);
   using namespace groupcast;
-  const auto plan = bench::default_sweep_plan();
+  auto plan = bench::default_sweep_plan();
+  plan.jobs = tracing.jobs();
   bench::print_sweep_header("Figure 14: relative delay penalty", plan);
 
+  const auto combos = bench::all_combos();
+  const auto results = bench::run_sweep_grid(plan, combos);
   std::printf("%8s %-18s %14s\n", "peers", "combo", "delay penalty");
+  std::size_t idx = 0;
   for (const std::size_t n : plan.sizes) {
-    for (const auto& combo : bench::all_combos()) {
-      const auto r = bench::run_point(n, combo, plan);
+    for (const auto& combo : combos) {
+      const auto& r = results[idx++];
       std::printf("%8zu %-18s %14.2f\n", n, combo.label, r.delay_penalty);
     }
   }

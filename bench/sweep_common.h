@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "metrics/experiment.h"
+#include "trace/counters.h"
 
 namespace groupcast::bench {
 
@@ -17,6 +18,9 @@ struct SweepPlan {
   std::vector<std::size_t> sizes;
   std::size_t groups = 4;
   std::size_t repetitions = 1;  // distinct topologies (seeds)
+  /// Grid worker threads (benches fill this from --jobs); 1 = sequential,
+  /// 0 = all hardware threads.  Any value produces identical results.
+  std::size_t jobs = 1;
 };
 
 inline SweepPlan default_sweep_plan() {
@@ -67,24 +71,60 @@ inline std::vector<Combo> ssa_combos() {
   };
 }
 
-inline metrics::ScenarioResult run_point(std::size_t peer_count,
-                                         const Combo& combo,
-                                         const SweepPlan& plan,
-                                         std::uint64_t seed = 1000) {
+inline metrics::ScenarioConfig point_config(std::size_t peer_count,
+                                            const Combo& combo,
+                                            const SweepPlan& plan,
+                                            std::uint64_t seed = 1000) {
   metrics::ScenarioConfig config;
   config.peer_count = peer_count;
   config.overlay = combo.overlay;
   config.scheme = combo.scheme;
   config.groups = plan.groups;
   config.seed = seed;
-  return metrics::run_scenario_averaged(config, plan.repetitions);
+  return config;
+}
+
+inline metrics::ScenarioResult run_point(std::size_t peer_count,
+                                         const Combo& combo,
+                                         const SweepPlan& plan,
+                                         std::uint64_t seed = 1000) {
+  return metrics::run_scenario_averaged(point_config(peer_count, combo, plan, seed),
+                                        plan.repetitions, plan.jobs);
+}
+
+/// Runs the whole sizes x combos grid (every repetition of every point) on
+/// plan.jobs workers and returns the averaged results in row-major input
+/// order: result of (sizes[i], combos[j]) at index i * combos.size() + j.
+/// Parallelism spans the entire grid, so the pool stays busy even when
+/// one large point dominates; output is byte-identical to running each
+/// point sequentially through run_point.
+inline std::vector<metrics::ScenarioResult> run_sweep_grid(
+    const SweepPlan& plan, const std::vector<Combo>& combos,
+    std::uint64_t seed = 1000) {
+  std::vector<metrics::ScenarioConfig> points;
+  points.reserve(plan.sizes.size() * combos.size());
+  for (const std::size_t n : plan.sizes) {
+    for (const auto& combo : combos) {
+      points.push_back(point_config(n, combo, plan, seed));
+    }
+  }
+  metrics::GridOptions options;
+  options.jobs = plan.jobs;
+  options.repetitions = plan.repetitions;
+  options.counters = trace::counters().enabled();
+  auto results = metrics::run_scenario_grid(points, options);
+  // Under --trace_out the CLI guard exports the ambient registry on exit;
+  // fold the per-run counters back so that export matches the sequential
+  // harness (no-op when counters are disabled).
+  for (const auto& r : results) trace::counters().merge(r.counters);
+  return results;
 }
 
 inline void print_sweep_header(const char* title, const SweepPlan& plan) {
   std::printf("%s\n", title);
-  std::printf("(groups/overlay=%zu, topologies=%zu; "
+  std::printf("(groups/overlay=%zu, topologies=%zu, jobs=%zu; "
               "GROUPCAST_BENCH_SCALE for the full paper sweep)\n",
-              plan.groups, plan.repetitions);
+              plan.groups, plan.repetitions, plan.jobs);
 }
 
 }  // namespace groupcast::bench

@@ -9,6 +9,7 @@
 //
 // With --trace_out=<path> the run also writes a JSONL protocol trace
 // (see docs/OBSERVABILITY.md) that tools/trace_report summarizes.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -54,6 +55,10 @@ int main(int argc, char** argv) {
   flags.declare("seed", "base RNG seed", "1");
   flags.declare("topologies", "independent repetitions (seed, seed+1, ...)",
                 "1");
+  flags.declare("jobs",
+                "worker threads for the repetitions (0 = all hardware "
+                "threads); results are identical for any value",
+                "1");
   flags.declare("fraction", "SSA forwarding fraction", "0.35");
   flags.declare("ttl", "advertisement TTL", "8");
   flags.declare("ripple-ttl", "subscription ripple-search TTL", "2");
@@ -90,6 +95,8 @@ int main(int argc, char** argv) {
   config.ripple_ttl = static_cast<std::size_t>(flags.get_int("ripple-ttl"));
   const auto topologies =
       static_cast<std::size_t>(flags.get_int("topologies"));
+  const auto jobs = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, flags.get_int("jobs")));
 
   const std::string trace_path = flags.get_string("trace_out");
   std::unique_ptr<trace::ScopedSink> tracing;
@@ -99,7 +106,7 @@ int main(int argc, char** argv) {
     trace::counters().enable(config.peer_count);
   }
 
-  const auto r = metrics::run_scenario_averaged(config, topologies);
+  const auto r = metrics::run_scenario_averaged(config, topologies, jobs);
 
   std::size_t trace_events = 0;
   if (tracing != nullptr) {

@@ -1,14 +1,22 @@
 #!/usr/bin/env bash
-# Pre-merge verification: configure a dedicated build tree with
-# -Wall -Wextra (always on via the top-level CMakeLists) plus
-# AddressSanitizer + UBSan, build everything, and run the full ctest
-# suite.  Warnings are promoted to errors so new code stays clean.
+# Pre-merge verification, two stages:
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+#  1. ASan/UBSan: configure a dedicated build tree with -Wall -Wextra
+#     (always on via the top-level CMakeLists) plus AddressSanitizer +
+#     UBSan, build everything, and run the full ctest suite.  Warnings
+#     are promoted to errors so new code stays clean.
+#  2. TSan: a second build tree with ThreadSanitizer, running the
+#     experiment-harness and tracing tests (the code that spawns the
+#     run_scenario_grid worker pool) to prove the parallel runner is
+#     race-free.
+#
+# Usage: scripts/check.sh [asan-build-dir] [tsan-build-dir]
+#        (defaults: build-asan, build-tsan)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build-asan}"
+tsan_build_dir="${2:-${repo_root}/build-tsan}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 cmake -B "${build_dir}" -S "${repo_root}" \
@@ -21,3 +29,17 @@ cmake --build "${build_dir}" -j "${jobs}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 
 echo "check.sh: all tests passed under ASan/UBSan"
+
+cmake -B "${tsan_build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGROUPCAST_TSAN=ON \
+  -DCMAKE_CXX_FLAGS=-Werror
+
+cmake --build "${tsan_build_dir}" -j "${jobs}" --target groupcast_tests
+
+# The grid/averaged runners and the tracing facilities are the only code
+# that touches threads; their tests run every parallel path (jobs > 1).
+ctest --test-dir "${tsan_build_dir}" --output-on-failure -j "${jobs}" \
+  -R 'Experiment|ExperimentGrid|Counter|Tracer|Trace'
+
+echo "check.sh: parallel-runner tests clean under TSan"

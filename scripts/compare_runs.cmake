@@ -1,0 +1,34 @@
+# End-to-end determinism check for the parallel experiment harness:
+# runs sim_driver twice with identical scenario flags — once sequential
+# (--jobs=1), once on a worker pool (--jobs=4) — and fails unless the two
+# CSV outputs are byte-identical.
+#
+# Invoked by ctest (see tools/CMakeLists.txt):
+#   cmake -DSIM_DRIVER=<path-to-sim_driver> -P scripts/compare_runs.cmake
+if(NOT DEFINED SIM_DRIVER)
+  message(FATAL_ERROR "pass -DSIM_DRIVER=<path to the sim_driver binary>")
+endif()
+
+set(scenario --peers=300 --groups=2 --seed=11 --topologies=3 --csv)
+
+execute_process(COMMAND ${SIM_DRIVER} ${scenario} --jobs=1
+                OUTPUT_VARIABLE sequential_out
+                RESULT_VARIABLE sequential_rc)
+if(NOT sequential_rc EQUAL 0)
+  message(FATAL_ERROR "sequential run failed (exit ${sequential_rc})")
+endif()
+
+execute_process(COMMAND ${SIM_DRIVER} ${scenario} --jobs=4
+                OUTPUT_VARIABLE parallel_out
+                RESULT_VARIABLE parallel_rc)
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "parallel run failed (exit ${parallel_rc})")
+endif()
+
+if(NOT sequential_out STREQUAL parallel_out)
+  message(FATAL_ERROR "parallel run diverged from sequential run:\n"
+                      "--jobs=1: ${sequential_out}"
+                      "--jobs=4: ${parallel_out}")
+endif()
+
+message(STATUS "--jobs=4 output is byte-identical to --jobs=1")

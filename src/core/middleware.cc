@@ -22,7 +22,11 @@ const char* to_string(OverlayKind kind) {
 }
 
 GroupCastMiddleware::GroupCastMiddleware(const MiddlewareConfig& config)
-    : config_(config), rng_(config.seed) {
+    // Stream 0 of the seed, not the raw seed: every deployment owns an
+    // explicit RNG stream, so a harness laddering seeds (seed, seed+1, ...)
+    // or any other Rng(seed) user cannot collide with the deployment's
+    // generator state.
+    : config_(config), rng_(util::Rng::for_stream(config.seed, 0)) {
   GC_REQUIRE(config_.peer_count >= 2);
 
   switch (config_.underlay_model) {

@@ -11,6 +11,9 @@ namespace {
 constexpr double kMinDistance = 1e-3;  // ms; avoids division by zero
 constexpr double kMinResourceLevel = 1e-3;
 constexpr double kMaxResourceLevel = 1.0 - 1e-3;
+// Relative gap kept between beta and the smallest candidate capacity when
+// clamping (Eq. 3 requires C_j - beta > 0 for every candidate).
+constexpr double kMinCapacityMargin = 1e-9;
 }  // namespace
 
 double clamp_resource_level(double r) {
@@ -54,11 +57,25 @@ std::vector<double> distance_preferences(double alpha,
 std::vector<double> capacity_preferences(double beta,
                                          std::span<const Candidate> list) {
   GC_REQUIRE(!list.empty());
+  // Eq. 3 needs beta strictly below every candidate capacity so each
+  // numerator C_j - beta stays positive.  The paper's parameterization
+  // guarantees that for true capacities (beta = r_i < 1 <= C_j), but a
+  // strong peer (r -> 1, beta -> 1) scoring normalized or sampled scores
+  // — e.g. the Eq. 6 occurrence frequencies, which live in [0, 1] — can
+  // legitimately present candidates at or below beta.  Clamp beta to just
+  // under the smallest capacity: the ordering Eq. 3 induces is preserved,
+  // the weakest class degrades toward (not to) zero preference, and the
+  // core-formation regime no longer aborts.
+  double min_capacity = list[0].capacity;
+  for (const auto& c : list) {
+    min_capacity = std::min(min_capacity, c.capacity);
+  }
+  const double margin = std::max(
+      kMinCapacityMargin, std::abs(min_capacity) * kMinCapacityMargin);
+  beta = std::min(beta, min_capacity - margin);
   std::vector<double> prefs(list.size());
   double total = 0.0;
   for (std::size_t j = 0; j < list.size(); ++j) {
-    GC_REQUIRE_MSG(list[j].capacity > beta,
-                   "Eq. 3 requires beta below every candidate capacity");
     prefs[j] = list[j].capacity - beta;
     total += prefs[j];
   }
@@ -96,9 +113,13 @@ std::vector<std::size_t> weighted_sample_without_replacement(
   std::vector<std::size_t> picked;
   picked.reserve(k);
   std::vector<double> w(weights.begin(), weights.end());
-  double total = 0.0;
-  for (const double x : w) total += x;
   for (std::size_t round = 0; round < k; ++round) {
+    // Recompute the residual mass every round.  Maintaining it by repeated
+    // subtraction (total -= w[chosen]) accumulates floating-point drift
+    // over many rounds, leaving `total` inconsistent with the remaining
+    // weights and biasing the tail draws.
+    double total = 0.0;
+    for (const double x : w) total += x;
     double u = rng.uniform() * total;
     std::size_t chosen = static_cast<std::size_t>(-1);
     for (std::size_t j = 0; j < w.size(); ++j) {
@@ -120,7 +141,6 @@ std::vector<std::size_t> weighted_sample_without_replacement(
     }
     GC_ENSURE(chosen != static_cast<std::size_t>(-1));
     picked.push_back(chosen);
-    total -= w[chosen];
     w[chosen] = 0.0;
   }
   return picked;

@@ -57,8 +57,11 @@ std::vector<double> distance_preferences(double alpha,
                                          std::span<const Candidate> list);
 
 /// Capacity Preference (Eq. 3); returns a probability vector.
-/// beta must be strictly below the smallest candidate capacity.
-/// (The paper guarantees this: β = r_i < 1 <= C_j.)
+/// The paper's normalization assumes beta below the smallest candidate
+/// capacity (β = r_i < 1 <= C_j); when a candidate violates that — a
+/// strong peer (r → 1) scoring Eq. 6 occurrence frequencies in [0, 1],
+/// say — beta is clamped to just under the smallest capacity so the
+/// preference degrades gracefully instead of rejecting the list.
 std::vector<double> capacity_preferences(double beta,
                                          std::span<const Candidate> list);
 

@@ -1,7 +1,11 @@
 #include "metrics/experiment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "trace/trace.h"
 #include "util/require.h"
@@ -79,17 +83,30 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   return result;
 }
 
-ScenarioResult run_scenario_averaged(ScenarioConfig config,
-                                     std::size_t repetitions) {
-  GC_REQUIRE(repetitions >= 1);
+namespace {
+
+/// One (point, repetition) work item.  The repetition runs against an
+/// isolated counter registry injected for exactly this call — workers
+/// never touch another thread's (or the caller's) registry, and the
+/// snapshot stored in the result covers exactly this run.
+ScenarioResult run_repetition(const ScenarioConfig& rep, bool with_counters) {
+  trace::CounterRegistry local;
+  if (with_counters) local.enable(rep.peer_count);
+  trace::ScopedCounterRegistry guard(local);
+  return run_scenario(rep);
+}
+
+}  // namespace
+
+ScenarioResult reduce_scenario_repetitions(
+    const ScenarioConfig& config,
+    std::span<const ScenarioResult> repetitions) {
+  GC_REQUIRE(!repetitions.empty());
   ScenarioResult total;
   total.config = config;
-  const double k = static_cast<double>(repetitions);
+  const double k = static_cast<double>(repetitions.size());
   util::Summary delay_samples, overload_samples, link_samples;
-  for (std::size_t r = 0; r < repetitions; ++r) {
-    ScenarioConfig rep = config;
-    rep.seed = config.seed + r;
-    const auto one = run_scenario(rep);
+  for (const ScenarioResult& one : repetitions) {
     delay_samples.add(one.delay_penalty);
     overload_samples.add(one.overload_index);
     link_samples.add(one.link_stress);
@@ -111,12 +128,94 @@ ScenarioResult run_scenario_averaged(ScenarioConfig config,
     total.link_stress_group_stddev += one.link_stress_group_stddev / k;
     total.lookup_latency_group_stddev +=
         one.lookup_latency_group_stddev / k;
-    total.counters = one.counters;  // last repetition's snapshot
+    total.counters.merge(one.counters);
   }
   total.delay_penalty_stddev = delay_samples.stddev();
   total.overload_index_stddev = overload_samples.stddev();
   total.link_stress_stddev = link_samples.stddev();
   return total;
+}
+
+std::vector<ScenarioResult> run_scenario_grid(
+    std::span<const ScenarioConfig> points, const GridOptions& options) {
+  GC_REQUIRE(options.repetitions >= 1);
+  if (points.empty()) return {};
+
+  const std::size_t reps = options.repetitions;
+  const std::size_t items = points.size() * reps;
+  std::vector<ScenarioResult> runs(items);
+
+  // Work item i = repetition (i % reps) of point (i / reps), so one
+  // slow point spreads over the pool instead of serializing at the end.
+  auto run_item = [&](std::size_t i) {
+    ScenarioConfig rep = points[i / reps];
+    rep.seed += i % reps;  // the seed ladder: seed, seed+1, ...
+    runs[i] = run_repetition(rep, options.counters);
+  };
+
+  std::size_t jobs = options.jobs;
+  if (jobs == 0) {
+    jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  jobs = std::min(jobs, items);
+
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < items; ++i) run_item(i);
+  } else {
+    // Self-scheduling pool: an atomic ticket is the only shared mutable
+    // word; every result slot is written by exactly one worker.
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= items) return;
+          try {
+            run_item(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+            // Drain remaining tickets so the pool winds down quickly.
+            next.store(items, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  std::vector<ScenarioResult> reduced;
+  reduced.reserve(points.size());
+  const std::span<const ScenarioResult> all(runs);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    reduced.push_back(
+        reduce_scenario_repetitions(points[p], all.subspan(p * reps, reps)));
+  }
+  return reduced;
+}
+
+ScenarioResult run_scenario_averaged(ScenarioConfig config,
+                                     std::size_t repetitions,
+                                     std::size_t jobs) {
+  GC_REQUIRE(repetitions >= 1);
+  GridOptions options;
+  options.jobs = jobs;
+  options.repetitions = repetitions;
+  options.counters = trace::counters().enabled();
+  auto reduced =
+      run_scenario_grid(std::span<const ScenarioConfig>(&config, 1), options);
+  // Fold the isolated per-repetition counters back into the caller's
+  // registry (no-op while it is disabled): enable-run-export callers like
+  // sim_driver --trace_out observe the same accumulated values the
+  // pre-pool sequential harness produced.
+  trace::counters().merge(reduced.front().counters);
+  return reduced.front();
 }
 
 double bench_scale() {

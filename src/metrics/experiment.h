@@ -1,9 +1,19 @@
 // Shared experiment harness for the Figure 11–17 sweeps: builds a
 // deployment, establishes communication groups, and aggregates the paper's
 // metrics.  Each bench binary drives this with its own parameter grid.
+//
+// Scenario points and their seed repetitions are independent, so
+// run_scenario_grid executes them on a worker pool (GridOptions::jobs).
+// Determinism contract: for fixed seeds the results — every metric field
+// and the counter snapshots — are byte-identical whatever the job count,
+// because each run owns an isolated RNG stream (the middleware derives it
+// from the repetition's seed) and an isolated trace::CounterRegistry, and
+// the per-point reduction always folds repetitions in seed order.
 #pragma once
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/middleware.h"
 #include "metrics/esm_metrics.h"
@@ -64,24 +74,63 @@ struct ScenarioResult {
   double lookup_latency_group_stddev = 0.0;
 
   // Dispersion across topologies — only populated by
-  // run_scenario_averaged with repetitions >= 2 (sample stddev).
+  // run_scenario_averaged / run_scenario_grid with repetitions >= 2
+  // (sample stddev).
   double delay_penalty_stddev = 0.0;
   double overload_index_stddev = 0.0;
   double link_stress_stddev = 0.0;
 
-  // Protocol counter totals for the run, captured from the global
-  // trace::counters() registry when it is enabled (empty otherwise).
+  // Protocol counters, captured from the calling thread's active registry
+  // (trace::counters()) when it is enabled — empty otherwise.  The
+  // grid/averaged runners instead give every repetition an isolated,
+  // per-run registry and store the order-independent merge of the
+  // repetition snapshots here.
   trace::CounterSnapshot counters;
 };
 
 /// Builds one deployment and runs `config.groups` groups over it.
 ScenarioResult run_scenario(const ScenarioConfig& config);
 
-/// Runs the scenario over `repetitions` seeds (seed, seed+1, ...) and
-/// averages every field — the paper's "repeated over 10 IP network
-/// topologies".
+/// Execution policy for run_scenario_grid.
+struct GridOptions {
+  /// Worker threads; 1 runs inline on the calling thread (no pool), 0 uses
+  /// std::thread::hardware_concurrency().  Results are byte-identical for
+  /// every value.
+  std::size_t jobs = 1;
+  /// Seed repetitions per grid point (the paper's "repeated over 10 IP
+  /// network topologies"), laddered seed, seed+1, ..., seed+repetitions-1.
+  std::size_t repetitions = 1;
+  /// Collect protocol counters: each repetition runs against a fresh
+  /// registry (presized to its peer count) and the merged snapshots land
+  /// in ScenarioResult::counters.  Off by default — the benches then pay
+  /// only the disabled one-branch incr().
+  bool counters = false;
+};
+
+/// Runs every (point, repetition) work item of the grid — points[i] with
+/// seeds points[i].seed + {0, ..., repetitions-1} — on a pool of
+/// GridOptions::jobs workers, and returns the per-point reductions in
+/// points order.  Deterministic: see the header comment.
+std::vector<ScenarioResult> run_scenario_grid(
+    std::span<const ScenarioConfig> points, const GridOptions& options = {});
+
+/// Folds repetition results (in seed-ladder order) into one averaged
+/// result: metric fields are arithmetic means, repair_edges sums, the
+/// *_stddev fields are sample stddevs across the repetitions, and counter
+/// snapshots merge.  Exposed so callers can reproduce exactly what the
+/// grid computes from individual run_scenario results.
+ScenarioResult reduce_scenario_repetitions(
+    const ScenarioConfig& config, std::span<const ScenarioResult> repetitions);
+
+/// Runs the scenario over `repetitions` seeds (seed, seed+1, ...) on
+/// `jobs` workers and averages every field.  Equivalent to a one-point
+/// run_scenario_grid, with one addition: counters are collected whenever
+/// the caller's ambient registry is enabled, and the merged snapshot is
+/// folded back into that registry afterwards (so enable-run-export callers
+/// keep working unchanged, sequential or parallel).
 ScenarioResult run_scenario_averaged(ScenarioConfig config,
-                                     std::size_t repetitions);
+                                     std::size_t repetitions,
+                                     std::size_t jobs = 1);
 
 /// Reads a positive scaling factor from the GROUPCAST_BENCH_SCALE
 /// environment variable (default 1).  Benches use it to move between the

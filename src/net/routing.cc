@@ -1,5 +1,6 @@
 #include "net/routing.h"
 
+#include <algorithm>
 #include <queue>
 
 #include "util/require.h"
@@ -9,7 +10,7 @@ namespace groupcast::net {
 IpRouting::IpRouting(const UnderlayTopology& topology)
     : topology_(&topology), n_(topology.router_count()) {
   GC_REQUIRE(n_ > 0);
-  dist_.assign(n_ * n_, std::numeric_limits<float>::infinity());
+  dist_.assign(n_ * n_, std::numeric_limits<double>::infinity());
   next_.assign(n_ * n_, 0);
 
   link_of_.resize(n_);
@@ -50,8 +51,21 @@ IpRouting::IpRouting(const UnderlayTopology& topology)
     for (RouterId dst = 0; dst < n_; ++dst) {
       GC_ENSURE_MSG(dist[dst] < std::numeric_limits<double>::infinity(),
                     "underlay must be connected");
-      dist_[index(src, dst)] = static_cast<float>(dist[dst]);
+      dist_[index(src, dst)] = dist[dst];
       next_[index(src, dst)] = first_hop[dst];
+    }
+  }
+
+  // Shortest-path *costs* are symmetric on an undirected underlay, but the
+  // two directions can tie-break onto different equal-cost paths and sum
+  // the same latencies in a different order, ending a few ulps apart.
+  // Collapse each pair onto the smaller rounding so distance_ms(a, b) ==
+  // distance_ms(b, a) exactly.
+  for (RouterId a = 0; a < n_; ++a) {
+    for (RouterId b = a + 1; b < n_; ++b) {
+      const double d = std::min(dist_[index(a, b)], dist_[index(b, a)]);
+      dist_[index(a, b)] = d;
+      dist_[index(b, a)] = d;
     }
   }
 }

@@ -4,6 +4,12 @@
 // runs on: a single-threaded event loop with timestamped callbacks.  Events
 // scheduled for the same instant run in scheduling (FIFO) order, which keeps
 // protocol traces deterministic for a given seed.
+//
+// A Simulator instance is thread-confined, not thread-safe: one thread
+// drives it for its whole lifetime.  Independent simulators may run on
+// different threads concurrently — the tracing/counter/timer hooks they
+// fire resolve to per-thread state (see trace/trace.h), so parallel
+// scenario runs share nothing mutable.
 #pragma once
 
 #include <cstdint>

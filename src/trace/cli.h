@@ -1,10 +1,18 @@
-// Command-line tracing glue for bench/example binaries: recognises
+// Command-line glue shared by the bench/example binaries: recognises
 // --trace_out=<path> and, when present, streams the run's protocol events
 // to a JSONL file, appending a final counter snapshot when the guard goes
 // out of scope.  Without the flag the guard is inert and the binary runs
 // exactly as before (tracing stays disabled, zero hot-path cost).
+//
+// Also parses --jobs=<n>, the worker count the binaries hand to the
+// experiment grid (metrics::run_scenario_grid): 1 = sequential (default),
+// 0 = one worker per hardware thread.  Results are byte-identical for
+// every value — the grid gives each run an isolated RNG stream and
+// counter registry.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -18,12 +26,16 @@ namespace groupcast::trace {
 
 class CliTracing {
  public:
-  /// Parses argv; only --trace_out (and --help) are accepted.  Exits with
-  /// a usage message on unknown flags, matching the repo's other CLIs.
+  /// Parses argv; only --trace_out, --jobs (and --help) are accepted.
+  /// Exits with a usage message on unknown flags, matching the repo's
+  /// other CLIs.
   CliTracing(int argc, char** argv) {
     util::Flags flags;
     flags.declare("trace_out", "write a JSONL protocol trace to this path",
                   "");
+    flags.declare("jobs",
+                  "experiment-grid worker threads (0 = all hardware threads)",
+                  "1");
     if (!flags.parse(argc, argv)) {
       std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
                    flags.help(argv[0]).c_str());
@@ -33,6 +45,8 @@ class CliTracing {
       std::printf("%s", flags.help(argv[0]).c_str());
       std::exit(0);
     }
+    jobs_ = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, flags.get_int("jobs")));
     open(flags.get_string("trace_out"));
   }
 
@@ -52,6 +66,10 @@ class CliTracing {
 
   bool active() const { return sink_ != nullptr; }
 
+  /// Worker threads requested via --jobs (1 when the flag was absent or
+  /// the path constructor was used; 0 means "all hardware threads").
+  std::size_t jobs() const { return jobs_; }
+
  private:
   void open(const std::string& path) {
     if (path.empty()) return;
@@ -61,6 +79,7 @@ class CliTracing {
   }
 
   std::unique_ptr<ScopedSink> sink_;
+  std::size_t jobs_ = 1;
 };
 
 }  // namespace groupcast::trace

@@ -63,6 +63,18 @@ std::array<std::int64_t, kCounterIds> CounterSnapshot::totals_delta(
   return delta;
 }
 
+void CounterSnapshot::merge(const CounterSnapshot& other) {
+  for (std::size_t i = 0; i < kCounterIds; ++i) totals[i] += other.totals[i];
+  if (per_node.size() < other.per_node.size()) {
+    per_node.resize(other.per_node.size());
+  }
+  for (std::size_t n = 0; n < other.per_node.size(); ++n) {
+    for (std::size_t i = 0; i < kCounterIds; ++i) {
+      per_node[n][i] += other.per_node[n][i];
+    }
+  }
+}
+
 void CounterRegistry::enable(std::size_t node_hint) {
   reset();
   if (node_hint > 0) per_node_.resize(node_hint);
@@ -81,8 +93,41 @@ void CounterRegistry::reset() {
   per_node_.clear();
 }
 
+void CounterRegistry::merge(const CounterSnapshot& snap) {
+  if (!enabled_) return;
+  for (std::size_t i = 0; i < kCounterIds; ++i) totals_[i] += snap.totals[i];
+  if (per_node_.size() < snap.per_node.size()) grow(snap.per_node.size());
+  for (std::size_t n = 0; n < snap.per_node.size(); ++n) {
+    for (std::size_t i = 0; i < kCounterIds; ++i) {
+      per_node_[n][i] += snap.per_node[n][i];
+    }
+  }
+}
+
 void CounterRegistry::grow(std::size_t need) {
   per_node_.resize(std::max(need, per_node_.size() * 2));
+}
+
+namespace {
+// Per-thread injection point.  A nullptr means "use the thread's default
+// instance"; guards swap in per-run registries so concurrent scenario runs
+// are fully isolated (no atomics needed anywhere on the incr() hot path).
+thread_local CounterRegistry* tl_active_counters = nullptr;
+}  // namespace
+
+CounterRegistry& counters() {
+  if (tl_active_counters != nullptr) return *tl_active_counters;
+  thread_local CounterRegistry default_registry;
+  return default_registry;
+}
+
+ScopedCounterRegistry::ScopedCounterRegistry(CounterRegistry& registry)
+    : previous_(tl_active_counters) {
+  tl_active_counters = &registry;
+}
+
+ScopedCounterRegistry::~ScopedCounterRegistry() {
+  tl_active_counters = previous_;
 }
 
 }  // namespace groupcast::trace

@@ -7,6 +7,13 @@
 // benches pay nothing.  When enabled (sim_driver --trace_out, tests), the
 // experiment harness snapshots it into ScenarioResult and the snapshot can
 // be exported into the trace for cross-run diffing.
+//
+// Instrumentation sites report to `trace::counters()`, which resolves to
+// the calling thread's *active* registry: a per-thread default instance,
+// unless a ScopedCounterRegistry guard has injected another one.  The
+// parallel experiment harness gives every scenario run its own registry
+// this way, so concurrent runs never share mutable counter state and a
+// run's snapshot covers exactly that run.
 #pragma once
 
 #include <array>
@@ -65,6 +72,15 @@ struct CounterSnapshot {
   /// Per-counter totals delta (this - base), e.g. run B vs run A.
   std::array<std::int64_t, kCounterIds> totals_delta(
       const CounterSnapshot& base) const;
+
+  /// Element-wise accumulation of `other` into this snapshot; the
+  /// per-node table grows to cover the larger of the two.  Integer sums,
+  /// so merging is associative and order-independent — repetition
+  /// snapshots merged in any order give identical results.
+  void merge(const CounterSnapshot& other);
+
+  friend bool operator==(const CounterSnapshot&,
+                         const CounterSnapshot&) = default;
 };
 
 class CounterRegistry {
@@ -102,12 +118,38 @@ class CounterRegistry {
   /// Zeroes every counter; the enabled state is unchanged.
   void reset();
 
+  /// Accumulates a snapshot's values into this registry (no-op while
+  /// disabled).  Lets an isolated per-run registry's results be folded
+  /// back into an outer registry after the run.
+  void merge(const CounterSnapshot& snap);
+
  private:
   void grow(std::size_t need);
 
   bool enabled_ = false;
   std::array<std::uint64_t, kCounterIds> totals_{};
   std::vector<CounterSnapshot::Row> per_node_;
+};
+
+/// The calling thread's active counter registry (defined in counters.cc;
+/// also declared via trace.h).  Defaults to a per-thread instance so
+/// concurrent scenario runs never contend; redirect with
+/// ScopedCounterRegistry.
+CounterRegistry& counters();
+
+/// RAII injection: routes this thread's trace::counters() to `registry`
+/// for the guard's lifetime.  Guards nest; destruction restores the
+/// previous target.  The guard must be destroyed on the thread that
+/// created it.
+class ScopedCounterRegistry {
+ public:
+  explicit ScopedCounterRegistry(CounterRegistry& registry);
+  ~ScopedCounterRegistry();
+  ScopedCounterRegistry(const ScopedCounterRegistry&) = delete;
+  ScopedCounterRegistry& operator=(const ScopedCounterRegistry&) = delete;
+
+ private:
+  CounterRegistry* previous_;
 };
 
 }  // namespace groupcast::trace

@@ -89,17 +89,15 @@ const char* to_string(TimerId id) {
 }
 
 Tracer& tracer() {
-  static Tracer instance;
-  return instance;
-}
-
-CounterRegistry& counters() {
-  static CounterRegistry instance;
+  // Thread-local so worker-pool scenario runs never share a sink pointer;
+  // see the thread-model note in trace.h.  (counters() lives in
+  // counters.cc next to its injection guard.)
+  thread_local Tracer instance;
   return instance;
 }
 
 TimerRegistry& timers() {
-  static TimerRegistry instance;
+  thread_local TimerRegistry instance;
   return instance;
 }
 

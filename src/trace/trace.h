@@ -1,4 +1,4 @@
-// The tracing facade: a process-wide Tracer, per-node counters, and
+// The tracing facade: a per-thread Tracer, per-node counters, and
 // wall-clock section timers.
 //
 // Design constraints (ISSUE 1):
@@ -11,8 +11,13 @@
 //    registry, which is reported separately and never serialized into the
 //    trace stream.
 //
-// The whole library is single-threaded (one simulator drives everything),
-// so the globals are plain state, not atomics.
+// Thread model (ISSUE 2): each simulator instance is confined to one
+// thread, and the tracer / counter / timer accessors all resolve to
+// thread-local state, so independent scenario runs on a worker pool never
+// share mutable instrumentation — plain state, no atomics, TSan-clean.
+// A sink installed on one thread only observes that thread's runs; the
+// parallel experiment harness instead injects an isolated CounterRegistry
+// per run (trace::ScopedCounterRegistry) and merges the snapshots.
 //
 // Usage:
 //   trace::ScopedSink guard(std::make_unique<trace::JsonlFileSink>(path));
@@ -56,14 +61,13 @@ class Tracer {
   TraceSink* sink_ = nullptr;
 };
 
-/// The process-wide tracer every instrumentation hook reports to.
+/// The calling thread's tracer — every instrumentation hook reports here.
+/// (The per-thread counter registry accessor, trace::counters(), lives in
+/// counters.h together with its ScopedCounterRegistry injection guard.)
 Tracer& tracer();
 
-/// The process-wide per-node counter registry.
-CounterRegistry& counters();
-
-/// RAII installer: owns a sink, points the global tracer at it for the
-/// guard's lifetime, flushes and detaches on destruction.
+/// RAII installer: owns a sink, points the calling thread's tracer at it
+/// for the guard's lifetime, flushes and detaches on destruction.
 class ScopedSink {
  public:
   explicit ScopedSink(std::unique_ptr<TraceSink> sink)
@@ -134,7 +138,7 @@ class TimerRegistry {
   TimerTotals totals_[kTimerIds] = {};
 };
 
-/// The process-wide timer registry.
+/// The calling thread's timer registry.
 TimerRegistry& timers();
 
 /// RAII wall-clock timer for one section; accumulates into timers().

@@ -14,6 +14,16 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream_id) {
+  // First step diffuses the seed, the xor folds the stream id into the
+  // diffused state, the second step diffuses the combination — so
+  // (1, 0) / (1, 1) / (2, 0) all land far apart.
+  std::uint64_t state = seed;
+  const std::uint64_t mixed = splitmix64(state);
+  state = mixed ^ (stream_id + 0x9E3779B97F4A7C15ULL);
+  return splitmix64(state);
+}
+
 namespace {
 constexpr std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

@@ -14,6 +14,14 @@ namespace groupcast::util {
 /// splitmix64 step; used for seeding and as a cheap stateless mixer.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Derives the seed of an independent generator stream `stream_id` rooted
+/// at `seed`: two dependent splitmix64 steps, so adjacent seeds and
+/// adjacent stream ids — the experiment ladder seed, seed+1, ... is both —
+/// land in uncorrelated states.  Deterministic: a (seed, stream) pair
+/// always names the same stream, independent of which thread runs it or
+/// how many other streams exist.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream_id);
+
 /// xoshiro256** generator.  Satisfies UniformRandomBitGenerator.
 class Rng {
  public:
@@ -70,6 +78,11 @@ class Rng {
 
   /// Spawns an independently-seeded child generator (for sub-experiments).
   Rng split();
+
+  /// Generator for stream `stream_id` of `seed` (see stream_seed).
+  static Rng for_stream(std::uint64_t seed, std::uint64_t stream_id) {
+    return Rng(stream_seed(seed, stream_id));
+  }
 
  private:
   std::uint64_t s_[4];

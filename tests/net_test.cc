@@ -134,6 +134,26 @@ TEST(Routing, PathEndpointsAndContiguity) {
   EXPECT_EQ(routing.hop_count(2, 2), 0u);
 }
 
+TEST(Routing, DistanceMatrixExactlySymmetric) {
+  // Shortest-path distance is symmetric on an undirected underlay, and
+  // IpRouting promises it *exactly*: dist_ is double and symmetrized after
+  // the per-source Dijkstra passes, so equal-cost tie-breaks and float
+  // rounding cannot leave distance_ms(a, b) != distance_ms(b, a).
+  for (const std::uint64_t seed : {1ULL, 5ULL, 9ULL}) {
+    WaxmanConfig config;
+    config.routers = 120;
+    util::Rng rng(seed);
+    const auto topo = generate_waxman(config, rng);
+    const IpRouting routing(topo);
+    for (RouterId a = 0; a < topo.router_count(); ++a) {
+      for (RouterId b = a + 1; b < topo.router_count(); ++b) {
+        EXPECT_EQ(routing.distance_ms(a, b), routing.distance_ms(b, a))
+            << "seed=" << seed << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
 TEST(Routing, NextHopMovesTowardsDestination) {
   testing::SmallWorld world(4, 3);
   const auto& routing = *world.routing;

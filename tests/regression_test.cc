@@ -22,7 +22,9 @@ TEST(Regression, OverlayConstructionGoldens) {
   config.seed = 7;
   core::GroupCastMiddleware middleware(config);
   // Exact integer goldens: the RNG and join order are fully deterministic.
-  EXPECT_EQ(middleware.graph().edge_count(), 4676u);
+  // (Re-pinned when the middleware moved to Rng::for_stream(seed, 0) —
+  // deployments now draw from a dedicated stream of the seed.)
+  EXPECT_EQ(middleware.graph().edge_count(), 4499u);
   EXPECT_EQ(middleware.connectivity_repair_edges(), 0u);
   EXPECT_TRUE(middleware.graph().connectivity().connected);
 }

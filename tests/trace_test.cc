@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "metrics/experiment.h"
 #include "sim/simulator.h"
@@ -166,6 +167,101 @@ TEST(CounterRegistry, SnapshotAndResetSemantics) {
 
   counters().incr(0, CounterId::kJoins);
   EXPECT_EQ(counters().total(CounterId::kJoins), 1u);
+}
+
+TEST(CounterRegistry, ScopedRegistryRedirectsAndRestores) {
+  GlobalTraceGuard guard;
+  counters().enable(2);
+  CounterRegistry local;
+  local.enable(2);
+  {
+    ScopedCounterRegistry scoped(local);
+    EXPECT_EQ(&counters(), &local);
+    counters().incr(0, CounterId::kMessagesSent, 4);
+  }
+  // Increments landed in the injected registry, not the default one.
+  EXPECT_EQ(local.total(CounterId::kMessagesSent), 4u);
+  EXPECT_EQ(counters().total(CounterId::kMessagesSent), 0u);
+  EXPECT_NE(&counters(), &local);
+}
+
+TEST(CounterRegistry, ScopedRegistriesNest) {
+  GlobalTraceGuard guard;
+  CounterRegistry outer, inner;
+  outer.enable(1);
+  inner.enable(1);
+  ScopedCounterRegistry scope_outer(outer);
+  counters().incr(0, CounterId::kJoins);
+  {
+    ScopedCounterRegistry scope_inner(inner);
+    counters().incr(0, CounterId::kJoins);
+  }
+  counters().incr(0, CounterId::kJoins);
+  EXPECT_EQ(outer.total(CounterId::kJoins), 2u);
+  EXPECT_EQ(inner.total(CounterId::kJoins), 1u);
+}
+
+TEST(CounterRegistry, ActiveRegistryIsPerThread) {
+  GlobalTraceGuard guard;
+  CounterRegistry main_local;
+  main_local.enable(1);
+  ScopedCounterRegistry scoped(main_local);
+  // A worker thread sees its own default registry, not the one injected
+  // on the main thread; its increments never touch main_local.
+  bool worker_saw_injected = true;
+  std::thread worker([&] {
+    worker_saw_injected = (&counters() == &main_local);
+    counters().incr(0, CounterId::kLeaves);  // disabled default: no-op
+  });
+  worker.join();
+  EXPECT_FALSE(worker_saw_injected);
+  EXPECT_EQ(main_local.total(CounterId::kLeaves), 0u);
+}
+
+TEST(CounterSnapshot, MergeIsElementWiseAndGrows) {
+  CounterSnapshot a, b;
+  a.totals[0] = 3;
+  a.per_node.resize(1);
+  a.per_node[0][0] = 3;
+  b.totals[0] = 4;
+  b.totals[1] = 7;
+  b.per_node.resize(3);
+  b.per_node[2][1] = 7;
+  a.merge(b);
+  EXPECT_EQ(a.totals[0], 7u);
+  EXPECT_EQ(a.totals[1], 7u);
+  ASSERT_EQ(a.per_node.size(), 3u);
+  EXPECT_EQ(a.per_node[0][0], 3u);
+  EXPECT_EQ(a.per_node[2][1], 7u);
+}
+
+TEST(CounterSnapshot, MergeOrderDoesNotMatter) {
+  CounterSnapshot x, y;
+  x.totals[2] = 5;
+  x.per_node.resize(2);
+  x.per_node[1][2] = 5;
+  y.totals[2] = 9;
+  y.per_node.resize(1);
+  y.per_node[0][2] = 9;
+  CounterSnapshot xy = x, yx = y;
+  xy.merge(y);
+  yx.merge(x);
+  EXPECT_TRUE(xy == yx);
+}
+
+TEST(CounterRegistry, MergeFoldsSnapshotUnlessDisabled) {
+  CounterRegistry registry;
+  CounterSnapshot snap;
+  snap.totals[0] = 6;
+  snap.per_node.resize(1);
+  snap.per_node[0][0] = 6;
+  registry.merge(snap);  // disabled: dropped
+  EXPECT_EQ(registry.total(static_cast<CounterId>(0)), 0u);
+  registry.enable(1);
+  registry.incr(0, static_cast<CounterId>(0), 2);
+  registry.merge(snap);
+  EXPECT_EQ(registry.total(static_cast<CounterId>(0)), 8u);
+  EXPECT_EQ(registry.of(0, static_cast<CounterId>(0)), 8u);
 }
 
 TEST(CounterSnapshot, TopNodesRanksAndSkipsZeros) {

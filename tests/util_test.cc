@@ -152,6 +152,33 @@ TEST(Rng, SplitProducesIndependentStream) {
   EXPECT_LT(same, 2);
 }
 
+TEST(Rng, StreamSeedIsDeterministicAndSeparating) {
+  EXPECT_EQ(stream_seed(7, 3), stream_seed(7, 3));
+  // The harness ladders seeds (seed, seed+1, ...) while the middleware
+  // draws stream 0 of each; none of the nearby (seed, stream) pairs may
+  // collide, or a ladder step would replay another deployment's stream.
+  EXPECT_NE(stream_seed(1, 0), stream_seed(1, 1));
+  EXPECT_NE(stream_seed(1, 0), stream_seed(2, 0));
+  EXPECT_NE(stream_seed(1, 1), stream_seed(2, 0));
+  EXPECT_NE(stream_seed(2, 1), stream_seed(1, 2));
+}
+
+TEST(Rng, ForStreamMatchesStreamSeed) {
+  Rng direct(stream_seed(99, 4));
+  Rng streamed = Rng::for_stream(99, 4);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(direct(), streamed());
+}
+
+TEST(Rng, StreamsOfOneSeedDiverge) {
+  Rng a = Rng::for_stream(42, 0);
+  Rng b = Rng::for_stream(42, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
 TEST(Zipf, PmfSumsToOne) {
   ZipfDistribution zipf(100, 2.0);
   double total = 0.0;

@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <numeric>
 #include <set>
+#include <utility>
 
 #include "core/utility.h"
 #include "util/require.h"
@@ -117,9 +119,42 @@ TEST(CapacityPreference, BetaBoostsContrast) {
   EXPECT_GT(sharp[1] - sharp[0], flat[1] - flat[0]);
 }
 
-TEST(CapacityPreference, RejectsBetaAboveCapacity) {
-  const std::vector<Candidate> list{{0.5, 1.0}};
-  EXPECT_THROW(capacity_preferences(0.7, list), PreconditionError);
+TEST(CapacityPreference, ClampsBetaAboveWeakestCapacity) {
+  // beta above (or at) the smallest capacity used to abort; Eq. 3 now
+  // clamps it to just under the weakest candidate so every numerator
+  // C_j - beta stays positive.
+  const std::vector<Candidate> list{{0.5, 1.0}, {2.0, 1.0}};
+  const auto cp = capacity_preferences(0.7, list);
+  EXPECT_NEAR(sum(cp), 1.0, 1e-9);
+  for (const double p : cp) EXPECT_GT(p, 0.0);
+  // The weakest candidate degrades toward zero preference but the
+  // capacity ordering survives the clamp.
+  EXPECT_LT(cp[0], 1e-6);
+  EXPECT_GT(cp[1], cp[0]);
+}
+
+TEST(CapacityPreference, StrongPeerWithWeakCandidatesDoesNotAbort) {
+  // Regression: r -> 1 makes beta -> 1 while Eq. 6 occurrence-frequency
+  // "capacities" live in [0, 1], so every candidate can sit at or below
+  // beta.  This combination aborted before the clamp.
+  const auto params = UtilityParams::from_resource_level(0.999);
+  const std::vector<Candidate> list{{0.12, 5.0}, {0.07, 20.0}, {0.3, 80.0}};
+  ASSERT_NO_THROW(capacity_preferences(params.beta, list));
+  const auto cp = capacity_preferences(params.beta, list);
+  EXPECT_NEAR(sum(cp), 1.0, 1e-9);
+  for (const double p : cp) EXPECT_GT(p, 0.0);
+  // Relative order still follows capacity.
+  EXPECT_GT(cp[2], cp[0]);
+  EXPECT_GT(cp[0], cp[1]);
+  // The full Eq. 5 path is usable too.
+  EXPECT_NO_THROW(selection_preferences(params, list));
+}
+
+TEST(CapacityPreference, ClampKeepsEqualCapacitiesUniform) {
+  // All candidates at the same capacity <= beta: clamping must fall back
+  // to a uniform (not degenerate) preference vector.
+  const auto cp = capacity_preferences(0.9, uniform_candidates(4, 0.3, 1.0));
+  for (const double p : cp) EXPECT_NEAR(p, 0.25, 1e-9);
 }
 
 // --------------------------------------------------- selection preference
@@ -262,6 +297,56 @@ TEST(WeightedSample, FirstPickFollowsWeights) {
     picked_heavy += picks[0] == 1 ? 1 : 0;
   }
   EXPECT_NEAR(picked_heavy / static_cast<double>(n), 0.9, 0.01);
+}
+
+TEST(WeightedSample, ResidualRecomputationKeepsTailUnbiased) {
+  // Regression for the drift bug: the sampler used to maintain the
+  // residual mass by repeated subtraction, so after drawing a weight
+  // much larger than the rest the stored total collapsed to the
+  // cancellation error (here exactly 0.0) and every later round
+  // degenerated to "first positive index".  Recomputing the residual
+  // each round keeps the tail draws proportional to what is left.
+  util::Rng rng(17);
+  const std::vector<double> weights{1e17, 1.0, 1.0, 1.0, 1.0};
+  std::vector<int> hits(weights.size(), 0);
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    const auto picks = weighted_sample_without_replacement(weights, 2, rng);
+    ASSERT_EQ(picks.size(), 2u);
+    ASSERT_EQ(picks[0], 0u);  // the heavy weight dominates round one
+    ++hits[picks[1]];
+  }
+  // Round two must be uniform over the four surviving equal weights; the
+  // subtraction version picked index 1 with probability 1.
+  for (std::size_t j = 1; j < weights.size(); ++j) {
+    EXPECT_NEAR(hits[j] / static_cast<double>(n), 0.25, 0.03) << "j=" << j;
+  }
+}
+
+TEST(WeightedSample, PairFrequenciesMatchSequentialWeights) {
+  // Statistical check of the full without-replacement law: the ordered
+  // pair (i, j) must appear with probability w_i/W * w_j/(W - w_i).
+  util::Rng rng(19);
+  const std::vector<double> weights{5.0, 3.0, 2.0};
+  const double W = 10.0;
+  std::map<std::pair<std::size_t, std::size_t>, int> freq;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const auto picks = weighted_sample_without_replacement(weights, 2, rng);
+    ASSERT_EQ(picks.size(), 2u);
+    ++freq[{picks[0], picks[1]}];
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    for (std::size_t j = 0; j < weights.size(); ++j) {
+      if (i == j) continue;
+      const double expected =
+          (weights[i] / W) * (weights[j] / (W - weights[i]));
+      const double observed =
+          freq[std::make_pair(i, j)] / static_cast<double>(n);
+      EXPECT_NEAR(observed, expected, 0.01)
+          << "pair (" << i << ", " << j << ")";
+    }
+  }
 }
 
 TEST(WeightedSample, RejectsNegativeWeights) {
