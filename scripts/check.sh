@@ -9,6 +9,9 @@
 #     experiment-harness and tracing tests (the code that spawns the
 #     run_scenario_grid worker pool) to prove the parallel runner is
 #     race-free.
+#  3. Fault injection: the churn-recovery sweep (bench_churn_recovery
+#     --jobs=4) under ASan, exercising crashes, partitions, and burst
+#     loss end to end; the recovery tests already ran in both suites.
 #
 # Usage: scripts/check.sh [asan-build-dir] [tsan-build-dir]
 #        (defaults: build-asan, build-tsan)
@@ -39,7 +42,16 @@ cmake --build "${tsan_build_dir}" -j "${jobs}" --target groupcast_tests
 
 # The grid/averaged runners and the tracing facilities are the only code
 # that touches threads; their tests run every parallel path (jobs > 1).
+# Recovery runs go through the same pool, so its determinism/acceptance
+# tests ride along here too.
 ctest --test-dir "${tsan_build_dir}" --output-on-failure -j "${jobs}" \
-  -R 'Experiment|ExperimentGrid|Counter|Tracer|Trace'
+  -R 'Experiment|ExperimentGrid|Counter|Tracer|Trace|Recovery|FaultPlan|FaultInjector|ReliableExchange'
 
 echo "check.sh: parallel-runner tests clean under TSan"
+
+# Fault-injection stage: drive the full recovery sweep (deterministic
+# crashes + loss grid, 4 grid workers) under the ASan build.
+cmake --build "${build_dir}" -j "${jobs}" --target bench_churn_recovery
+"${build_dir}/bench/bench_churn_recovery" --jobs=4 > /dev/null
+
+echo "check.sh: churn-recovery sweep clean under ASan (--jobs=4)"

@@ -1,0 +1,134 @@
+#include "core/invariants.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+
+namespace groupcast::core {
+
+namespace {
+
+const GroupCastNode* at(const std::vector<const GroupCastNode*>& nodes,
+                        overlay::PeerId peer) {
+  return peer < nodes.size() ? nodes[peer] : nullptr;
+}
+
+bool alive(const std::vector<const GroupCastNode*>& nodes,
+           overlay::PeerId peer) {
+  const auto* node = at(nodes, peer);
+  return node != nullptr && node->running();
+}
+
+std::string describe(const char* what, overlay::PeerId a,
+                     overlay::PeerId b) {
+  std::ostringstream os;
+  os << what << " (peer " << a;
+  if (b != overlay::kNoPeer) os << " -> " << b;
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+InvariantReport check_tree_invariants(
+    const std::vector<const GroupCastNode*>& nodes, GroupId group,
+    overlay::PeerId rendezvous,
+    const std::vector<overlay::PeerId>& expected_subscribers) {
+  InvariantReport report;
+  const auto violation = [&report](std::string text) {
+    report.violations.push_back(std::move(text));
+  };
+
+  // --- local-view symmetry + no edges to departed peers -----------------
+  for (overlay::PeerId p = 0; p < nodes.size(); ++p) {
+    const auto* node = at(nodes, p);
+    if (node == nullptr || !node->running()) continue;
+    const bool member = node->on_tree(group);
+    if (member) ++report.tree_nodes;
+    if (member) {
+      const auto parent = node->tree_parent(group);
+      if (parent != p) {
+        if (!alive(nodes, parent)) {
+          violation(describe("parent is a departed peer", p, parent));
+        } else if (!nodes[parent]->on_tree(group)) {
+          violation(describe("parent is off the tree", p, parent));
+        } else {
+          const auto kids = nodes[parent]->tree_children(group);
+          if (std::find(kids.begin(), kids.end(), p) == kids.end()) {
+            violation(describe("parent does not list child", parent, p));
+          }
+        }
+      }
+    }
+    for (const auto child : node->tree_children(group)) {
+      if (!alive(nodes, child)) {
+        violation(describe("child edge to departed peer", p, child));
+        continue;
+      }
+      if (!nodes[child]->on_tree(group)) {
+        // Transient while the child's join ack is in flight; after a
+        // convergence window it means an inconsistent edge.
+        violation(describe("child is off the tree", p, child));
+      } else if (nodes[child]->tree_parent(group) != p) {
+        violation(describe("child points at another parent", p, child));
+      }
+    }
+  }
+
+  // --- acyclicity of parent links --------------------------------------
+  {
+    // 0 = unvisited, 1 = on the current walk, 2 = proven acyclic.
+    std::vector<std::uint8_t> mark(nodes.size(), 0);
+    for (overlay::PeerId p = 0; p < nodes.size(); ++p) {
+      if (!alive(nodes, p) || !nodes[p]->on_tree(group)) continue;
+      if (mark[p] != 0) continue;
+      std::vector<overlay::PeerId> walk;
+      auto cursor = p;
+      while (true) {
+        if (mark[cursor] == 1) {
+          violation(describe("cycle through parent links", cursor,
+                             overlay::kNoPeer));
+          break;
+        }
+        if (mark[cursor] == 2) break;
+        mark[cursor] = 1;
+        walk.push_back(cursor);
+        if (!alive(nodes, cursor) || !nodes[cursor]->on_tree(group)) break;
+        const auto parent = nodes[cursor]->tree_parent(group);
+        if (parent == cursor || parent == overlay::kNoPeer) break;
+        if (!alive(nodes, parent)) break;  // reported above
+        cursor = parent;
+      }
+      for (const auto seen : walk) mark[seen] = 2;
+    }
+  }
+
+  // --- reachability of expected subscribers from the rendezvous ---------
+  std::unordered_set<overlay::PeerId> reachable;
+  if (alive(nodes, rendezvous) && nodes[rendezvous]->on_tree(group)) {
+    std::deque<overlay::PeerId> frontier{rendezvous};
+    reachable.insert(rendezvous);
+    while (!frontier.empty()) {
+      const auto head = frontier.front();
+      frontier.pop_front();
+      for (const auto child : nodes[head]->tree_children(group)) {
+        if (!alive(nodes, child) || !nodes[child]->on_tree(group)) continue;
+        if (reachable.insert(child).second) frontier.push_back(child);
+      }
+    }
+  }
+  for (const auto subscriber : expected_subscribers) {
+    if (!alive(nodes, subscriber)) continue;  // crashed: nothing expected
+    if (reachable.count(subscriber)) {
+      ++report.reachable_subscribers;
+    } else {
+      ++report.stranded_subscribers;
+      violation(describe("subscriber unreachable from rendezvous",
+                         subscriber, rendezvous));
+    }
+  }
+  return report;
+}
+
+}  // namespace groupcast::core

@@ -1,0 +1,47 @@
+// Structural invariants of a deployed dissemination tree.
+//
+// The fault-injection harness asserts these after every convergence
+// window: whatever crashes, partitions, and losses were injected, the
+// surviving nodes' *local* views must still compose into a sane global
+// tree.  Checked over the node runtime (each GroupCastNode only exposes
+// its own state — the checker is the omniscient observer, the protocol
+// never is):
+//   * parent/child symmetry — a node's parent lists it as a child, and
+//     every listed child points back;
+//   * no edges to departed peers — neither parents nor children may
+//     reference a stopped node;
+//   * acyclicity — parent links never loop;
+//   * reachability — every expected subscriber still running is connected
+//     to the rendezvous point through tree edges.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/node.h"
+
+namespace groupcast::core {
+
+struct InvariantReport {
+  /// Human-readable descriptions of every violated invariant.
+  std::vector<std::string> violations;
+  /// Running nodes currently on the tree.
+  std::size_t tree_nodes = 0;
+  /// Expected subscribers alive and reachable from the rendezvous point.
+  std::size_t reachable_subscribers = 0;
+  /// Expected subscribers alive but cut off (each also a violation).
+  std::size_t stranded_subscribers = 0;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Checks the invariants of `group`'s tree over a deployment.  `nodes` is
+/// indexed by PeerId (null entries = peer never deployed); stopped nodes
+/// count as departed.  `expected_subscribers` lists the peers that ought
+/// to be receiving the group (crashed ones are skipped).
+InvariantReport check_tree_invariants(
+    const std::vector<const GroupCastNode*>& nodes, GroupId group,
+    overlay::PeerId rendezvous,
+    const std::vector<overlay::PeerId>& expected_subscribers = {});
+
+}  // namespace groupcast::core

@@ -18,6 +18,7 @@ enum class MessageKind : std::uint8_t {
   kSubscribeJoin,       // join travelling up the reverse advert path
   kSubscribeAck,        // confirmation from the attach point
   kPayload,             // group-communication payload on a tree edge
+  kMaintenance,         // tree-edge heartbeats + recovery notifications
   kCount_,
 };
 

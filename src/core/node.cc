@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/replication.h"
 #include "core/utility.h"
 #include "trace/trace.h"
 #include "util/require.h"
@@ -14,6 +15,17 @@ namespace {
 std::uint64_t payload_key(overlay::PeerId origin, std::uint64_t id) {
   return (static_cast<std::uint64_t>(origin) << 40) ^ id;
 }
+
+/// Dedup key for ripple queries: one slot per (origin, search round), so
+/// a re-search by the same origin is not swallowed as a duplicate.
+std::uint64_t query_key(overlay::PeerId origin, std::uint32_t round) {
+  return (static_cast<std::uint64_t>(origin) << 32) | round;
+}
+
+void erase_value(std::vector<overlay::PeerId>& v, overlay::PeerId value) {
+  const auto it = std::find(v.begin(), v.end(), value);
+  if (it != v.end()) v.erase(it);
+}
 }  // namespace
 
 GroupCastNode::GroupCastNode(overlay::PeerId self, Transport& transport,
@@ -23,9 +35,12 @@ GroupCastNode::GroupCastNode(overlay::PeerId self, Transport& transport,
       transport_(&transport),
       graph_(&graph),
       options_(options),
-      rng_(rng.split()) {
+      rng_(rng.split()),
+      exchange_(transport.simulator(), self, options.retry, rng_) {
   GC_REQUIRE(self < transport.population().size());
   GC_REQUIRE(options_.ripple_ttl >= 1);
+  GC_REQUIRE(options_.missed_heartbeats_to_fail >= 1);
+  GC_REQUIRE(options_.heartbeat_interval >= sim::SimTime::zero());
 }
 
 GroupCastNode::~GroupCastNode() {
@@ -39,10 +54,22 @@ void GroupCastNode::start() {
   running_ = true;
 }
 
-void GroupCastNode::stop() {
+void GroupCastNode::stop() { detach(DetachMode::kGraceful); }
+
+void GroupCastNode::crash() { detach(DetachMode::kCrash); }
+
+void GroupCastNode::detach(DetachMode mode) {
   GC_REQUIRE_MSG(running_, "node not running");
-  transport_->unregister_node(self_);
+  transport_->unregister_node(self_, mode);
+  exchange_.cancel_all();
+  for (auto& [group, state] : groups_) {
+    state.exchange = ReliableExchange::kNoToken;
+  }
   running_ = false;
+}
+
+sim::SimTime GroupCastNode::now() const {
+  return transport_->simulator().now();
 }
 
 double GroupCastNode::resource_level() {
@@ -103,6 +130,7 @@ void GroupCastNode::create_group(GroupId group) {
   state.on_tree = true;
   state.subscribed = true;
   state.tree_parent = self_;
+  state.depth = 0;
   for (const auto target : select_forward_targets(self_)) {
     transport_->send(
         self_, target,
@@ -122,44 +150,10 @@ void GroupCastNode::subscribe(GroupId group) {
   }
   state.subscribed = true;  // desired; effective once on the tree
   trace::counters().incr(self_, trace::CounterId::kSubscribeAttempts);
-  if (state.has_advert) {
-    send_join(group, state.advert_parent);
-  } else {
-    state.search_pending = true;
-    std::size_t queries = 0;
-    for (const auto n : graph_->neighbors(self_)) {
-      transport_->send(
-          self_, n,
-          RippleQueryMsg{group, self_,
-                         static_cast<std::uint32_t>(options_.ripple_ttl)});
-      ++queries;
-    }
-    trace::counters().incr(self_, trace::CounterId::kRippleSearches);
-    trace::tracer().emit(transport_->simulator().now().as_micros(),
-                         trace::EventKind::kRippleSearch, self_,
-                         overlay::kNoPeer, queries);
+  if (state.exchange != ReliableExchange::kNoToken) {
+    return;  // a relay-chain ladder is already climbing; ride it
   }
-  // Give up if nothing confirms the join within the timeout.
-  transport_->simulator().schedule(options_.subscribe_timeout,
-                                   [this, group] {
-    auto& st = state_of(group);
-    if (st.subscribed && !st.on_tree) {
-      st.subscribed = false;
-      st.join_pending = false;
-      st.search_pending = false;
-      trace::tracer().emit(transport_->simulator().now().as_micros(),
-                           trace::EventKind::kSubscriptionAttempt, self_,
-                           overlay::kNoPeer, 0);
-      if (subscribe_callback_) subscribe_callback_(group, false);
-    }
-  });
-}
-
-void GroupCastNode::send_join(GroupId group, overlay::PeerId attach) {
-  auto& state = state_of(group);
-  if (state.join_pending) return;
-  state.join_pending = true;
-  transport_->send(self_, attach, JoinMsg{group, self_});
+  start_ladder(group);
 }
 
 void GroupCastNode::unsubscribe(GroupId group) {
@@ -167,6 +161,12 @@ void GroupCastNode::unsubscribe(GroupId group) {
   auto& state = state_of(group);
   GC_REQUIRE_MSG(state.subscribed, "not subscribed to this group");
   state.subscribed = false;
+  if (state.exchange != ReliableExchange::kNoToken) {
+    exchange_.cancel(state.exchange);
+    state.exchange = ReliableExchange::kNoToken;
+    state.search_pending = false;
+    state.recovering = false;
+  }
   if (!state.on_tree) return;
   if (!state.children.empty() || state.tree_parent == self_) {
     return;  // relay (or root): keep forwarding for the children
@@ -174,6 +174,7 @@ void GroupCastNode::unsubscribe(GroupId group) {
   transport_->send(self_, state.tree_parent, LeaveMsg{group, self_});
   state.on_tree = false;
   state.tree_parent = overlay::kNoPeer;
+  state.depth = kUnknownDepth;
 }
 
 void GroupCastNode::publish(GroupId group, std::uint64_t payload_id) {
@@ -224,6 +225,325 @@ std::vector<overlay::PeerId> GroupCastNode::tree_children(
   return it->second.children;
 }
 
+std::uint32_t GroupCastNode::tree_depth(GroupId group) const {
+  const auto it = groups_.find(group);
+  return it != groups_.end() && it->second.on_tree ? it->second.depth
+                                                   : kUnknownDepth;
+}
+
+bool GroupCastNode::exchange_pending(GroupId group) const {
+  const auto it = groups_.find(group);
+  return it != groups_.end() &&
+         it->second.exchange != ReliableExchange::kNoToken;
+}
+
+// ----------------------------------------------------------- retry ladder
+
+bool GroupCastNode::attach_allowed(const GroupState& state,
+                                   overlay::PeerId target,
+                                   std::uint32_t target_depth) const {
+  if (target == self_ || target == state.avoid) return false;
+  if (state.attach_depth_limit == kUnknownDepth) return true;
+  // Guarded orphan: strict descendants carry a (possibly stale) depth of
+  // at least ours + 1, so any target at our old depth or above the old
+  // position is provably outside our own subtree.
+  return target_depth != kUnknownDepth &&
+         target_depth <= state.attach_depth_limit;
+}
+
+void GroupCastNode::start_ladder(GroupId group) {
+  auto& state = state_of(group);
+  state.ladder_attempts = 0;
+  state.search_pending = false;
+  const bool advert_rung_ok = state.has_advert &&
+                              state.advert_parent != self_ &&
+                              state.advert_parent != overlay::kNoPeer &&
+                              state.advert_parent != state.avoid;
+  state.rung = advert_rung_ok ? Rung::kAdvertParent : Rung::kRipple;
+  run_rung(group);
+}
+
+void GroupCastNode::run_rung(GroupId group) {
+  auto& state = state_of(group);
+  const auto give_up = [this, group] {
+    state_of(group).exchange = ReliableExchange::kNoToken;
+    advance_rung(group);
+  };
+  switch (state.rung) {
+    case Rung::kAdvertParent:
+      state.exchange = exchange_.begin(
+          [this, group](std::size_t) {
+            auto& st = state_of(group);
+            ++st.ladder_attempts;
+            transport_->send(self_, st.advert_parent, JoinMsg{group, self_});
+          },
+          give_up);
+      break;
+    case Rung::kRipple:
+      state.exchange = exchange_.begin(
+          [this, group](std::size_t attempt) {
+            auto& st = state_of(group);
+            ++st.ladder_attempts;
+            st.search_pending = true;
+            ++st.search_round;
+            // Widen the scope on every retry: a lost hit or a too-small
+            // radius both look like a timeout.
+            const auto ttl = static_cast<std::uint32_t>(
+                options_.ripple_ttl + attempt);
+            std::size_t queries = 0;
+            for (const auto n : graph_->neighbors(self_)) {
+              if (n == st.avoid) continue;
+              transport_->send(
+                  self_, n,
+                  RippleQueryMsg{group, self_, ttl, st.search_round});
+              ++queries;
+            }
+            trace::counters().incr(self_,
+                                   trace::CounterId::kRippleSearches);
+            trace::tracer().emit(now().as_micros(),
+                                 trace::EventKind::kRippleSearch, self_,
+                                 overlay::kNoPeer, queries);
+          },
+          give_up);
+      break;
+    case Rung::kRendezvous:
+      state.exchange = exchange_.begin(
+          [this, group](std::size_t attempt) {
+            auto& st = state_of(group);
+            ++st.ladder_attempts;
+            // The rendezvous first; its deterministic replicas take over
+            // on later attempts (covers a crashed rendezvous point).
+            std::vector<overlay::PeerId> targets;
+            if (st.rendezvous != self_ && st.rendezvous != st.avoid) {
+              targets.push_back(st.rendezvous);
+            }
+            for (const auto replica : rendezvous_replicas(
+                     group, st.rendezvous,
+                     transport_->population().size(),
+                     options_.rendezvous_replicas)) {
+              if (replica != self_ && replica != st.avoid) {
+                targets.push_back(replica);
+              }
+            }
+            if (targets.empty()) return;  // nothing to try; timeout advances
+            const auto target = targets[attempt % targets.size()];
+            transport_->send(self_, target, JoinMsg{group, self_});
+          },
+          give_up);
+      break;
+  }
+}
+
+void GroupCastNode::advance_rung(GroupId group) {
+  auto& state = state_of(group);
+  if (state.on_tree) return;  // attached while the give-up was in flight
+  if (!options_.escalation) {
+    terminal_failure(group);
+    return;
+  }
+  switch (state.rung) {
+    case Rung::kAdvertParent:
+      state.rung = Rung::kRipple;
+      run_rung(group);
+      return;
+    case Rung::kRipple:
+      if (state.rendezvous != overlay::kNoPeer &&
+          state.rendezvous != self_) {
+        state.rung = Rung::kRendezvous;
+        run_rung(group);
+        return;
+      }
+      terminal_failure(group);
+      return;
+    case Rung::kRendezvous:
+      terminal_failure(group);
+      return;
+  }
+}
+
+void GroupCastNode::terminal_failure(GroupId group) {
+  auto& state = state_of(group);
+  state.exchange = ReliableExchange::kNoToken;
+  state.search_pending = false;
+  if (!state.children.empty() && !state.dissolved_once) {
+    // Dissolve the tree position: the children re-attach on their own,
+    // and as a now-childless node we get one unguarded retry of the
+    // whole ladder before reporting failure.
+    for (const auto child : state.children) {
+      transport_->send(self_, child, ParentLostMsg{group});
+    }
+    state.children.clear();
+    state.child_last_seen.clear();
+    state.pending_acks.clear();
+    state.dissolved_once = true;
+    state.attach_depth_limit = kUnknownDepth;
+    start_ladder(group);
+    return;
+  }
+  if (!state.children.empty()) {
+    for (const auto child : state.children) {
+      transport_->send(self_, child, ParentLostMsg{group});
+    }
+    state.children.clear();
+    state.child_last_seen.clear();
+    state.pending_acks.clear();
+  }
+  state.recovering = false;
+  state.on_tree = false;
+  state.tree_parent = overlay::kNoPeer;
+  state.depth = kUnknownDepth;
+  state.attach_depth_limit = kUnknownDepth;
+  trace::tracer().emit(now().as_micros(),
+                       trace::EventKind::kSubscriptionAttempt, self_,
+                       overlay::kNoPeer, 0);
+  const bool was_subscribed = state.subscribed;
+  state.subscribed = false;
+  if (was_subscribed && subscribe_callback_) {
+    subscribe_callback_(group, false);
+  }
+}
+
+void GroupCastNode::complete_attach(GroupId group, overlay::PeerId parent,
+                                    std::uint32_t parent_depth) {
+  auto& state = state_of(group);
+  if (state.exchange != ReliableExchange::kNoToken) {
+    exchange_.settle(state.exchange);
+    state.exchange = ReliableExchange::kNoToken;
+  }
+  state.on_tree = true;
+  state.search_pending = false;
+  state.tree_parent = parent;
+  state.depth =
+      parent_depth == kUnknownDepth ? kUnknownDepth : parent_depth + 1;
+  state.avoid = overlay::kNoPeer;
+  state.attach_depth_limit = kUnknownDepth;
+  state.dissolved_once = false;
+  state.parent_last_ack = now();
+  trace::tracer().emit(now().as_micros(), trace::EventKind::kTreeEdgeAdded,
+                       self_, parent);
+  trace::counters().incr(self_, trace::CounterId::kTreeEdges);
+  if (state.recovering) {
+    state.recovering = false;
+    trace::counters().incr(self_, trace::CounterId::kOrphansRecovered);
+    trace::tracer().emit(now().as_micros(),
+                         trace::EventKind::kOrphanRecovered, self_, parent,
+                         state.ladder_attempts);
+  }
+  // Children whose joins we accepted before being attached ourselves get
+  // their deferred acks now, carrying our freshly-known depth.
+  for (const auto child : state.pending_acks) {
+    transport_->send(self_, child, JoinAckMsg{group, state.depth});
+  }
+  // Children retained through recovery get an unsolicited depth refresh so
+  // descendant depths (the orphan cycle guard's input) converge within one
+  // round instead of one heartbeat interval per tree level.
+  if (state.depth != kUnknownDepth) {
+    for (const auto child : state.children) {
+      if (std::find(state.pending_acks.begin(), state.pending_acks.end(),
+                    child) != state.pending_acks.end()) {
+        continue;  // its JoinAck above already carries the depth
+      }
+      transport_->send(self_, child, HeartbeatAckMsg{group, state.depth});
+    }
+  }
+  state.pending_acks.clear();
+  if (state.subscribed) {
+    trace::counters().incr(self_, trace::CounterId::kSubscribeSuccesses);
+    trace::tracer().emit(now().as_micros(),
+                         trace::EventKind::kSubscriptionAttempt, self_,
+                         parent, 1);
+    if (subscribe_callback_) subscribe_callback_(group, true);
+  }
+  maybe_schedule_heartbeat(group);
+}
+
+// ------------------------------------------- heartbeats / failure detection
+
+void GroupCastNode::maybe_schedule_heartbeat(GroupId group) {
+  if (options_.heartbeat_interval <= sim::SimTime::zero()) return;
+  if (!running_) return;
+  auto& state = state_of(group);
+  if (state.heartbeat_scheduled) return;
+  const bool child_role = state.on_tree && state.tree_parent != self_ &&
+                          state.tree_parent != overlay::kNoPeer;
+  const bool parent_role = !state.children.empty();
+  if (!child_role && !parent_role) return;
+  state.heartbeat_scheduled = true;
+  transport_->simulator().schedule(options_.heartbeat_interval,
+                                   [this, group] { heartbeat_tick(group); });
+}
+
+void GroupCastNode::heartbeat_tick(GroupId group) {
+  auto& state = state_of(group);
+  state.heartbeat_scheduled = false;
+  if (!running_) return;
+  const auto t = now();
+  const auto interval = options_.heartbeat_interval;
+  if (state.on_tree && state.tree_parent != self_ &&
+      state.tree_parent != overlay::kNoPeer) {
+    const auto deadline =
+        interval *
+        static_cast<std::int64_t>(options_.missed_heartbeats_to_fail);
+    if (t - state.parent_last_ack > deadline) {
+      begin_recovery(group, state.tree_parent);
+    } else {
+      transport_->send(self_, state.tree_parent, HeartbeatMsg{group});
+      trace::counters().incr(self_, trace::CounterId::kHeartbeats);
+    }
+  }
+  if (!state.children.empty()) {
+    // Prune children that went silent: one interval of slack beyond the
+    // parent-side deadline so a child is never pruned before it would
+    // have declared us dead.
+    const auto child_deadline =
+        interval * static_cast<std::int64_t>(
+                       options_.missed_heartbeats_to_fail + 1);
+    std::vector<overlay::PeerId> ghosts;
+    for (const auto child : state.children) {
+      const auto it = state.child_last_seen.find(child);
+      const auto last = it != state.child_last_seen.end()
+                            ? it->second
+                            : sim::SimTime::zero();
+      if (t - last > child_deadline) ghosts.push_back(child);
+    }
+    for (const auto ghost : ghosts) {
+      erase_value(state.children, ghost);
+      erase_value(state.pending_acks, ghost);
+      state.child_last_seen.erase(ghost);
+    }
+    // A pure relay whose last child was pruned folds back off the tree.
+    if (!ghosts.empty() && !state.subscribed && state.on_tree &&
+        state.children.empty() && state.tree_parent != self_) {
+      transport_->send(self_, state.tree_parent, LeaveMsg{group, self_});
+      state.on_tree = false;
+      state.tree_parent = overlay::kNoPeer;
+      state.depth = kUnknownDepth;
+    }
+  }
+  maybe_schedule_heartbeat(group);
+}
+
+void GroupCastNode::begin_recovery(GroupId group,
+                                   overlay::PeerId dead_parent) {
+  auto& state = state_of(group);
+  if (!state.on_tree) return;
+  state.on_tree = false;
+  state.tree_parent = overlay::kNoPeer;
+  // Only a subtree root with live descendants needs the cycle guard; a
+  // childless orphan cannot be anyone's ancestor.
+  state.attach_depth_limit =
+      state.children.empty() && state.pending_acks.empty() ? kUnknownDepth
+                                                           : state.depth;
+  state.depth = kUnknownDepth;
+  state.avoid = dead_parent;
+  state.recovering = true;
+  if (state.exchange != ReliableExchange::kNoToken) {
+    exchange_.cancel(state.exchange);
+    state.exchange = ReliableExchange::kNoToken;
+  }
+  start_ladder(group);
+}
+
 // -------------------------------------------------------------- handlers
 
 void GroupCastNode::handle(const Envelope& envelope) {
@@ -244,6 +564,12 @@ void GroupCastNode::handle(const Envelope& envelope) {
           handle_data(envelope, msg);
         } else if constexpr (std::is_same_v<T, LeaveMsg>) {
           handle_leave(envelope, msg);
+        } else if constexpr (std::is_same_v<T, HeartbeatMsg>) {
+          handle_heartbeat(envelope, msg);
+        } else if constexpr (std::is_same_v<T, HeartbeatAckMsg>) {
+          handle_heartbeat_ack(envelope, msg);
+        } else if constexpr (std::is_same_v<T, ParentLostMsg>) {
+          handle_parent_lost(envelope, msg);
         }
       },
       envelope.body);
@@ -255,8 +581,8 @@ void GroupCastNode::handle_advertise(const Envelope& envelope,
   if (state.has_advert) {  // duplicate
     trace::counters().incr(self_, trace::CounterId::kMessagesDropped);
     trace::tracer().emit(
-        transport_->simulator().now().as_micros(),
-        trace::EventKind::kMessageDropped, self_, envelope.from,
+        now().as_micros(), trace::EventKind::kMessageDropped, self_,
+        envelope.from,
         static_cast<std::uint64_t>(trace::DropReason::kDuplicate));
     return;
   }
@@ -269,7 +595,7 @@ void GroupCastNode::handle_advertise(const Envelope& envelope,
                      AdvertiseMsg{msg.group, msg.rendezvous, msg.ttl - 1});
     trace::counters().incr(self_, trace::CounterId::kAdvertsForwarded);
     trace::counters().incr(self_, trace::CounterId::kMessagesForwarded);
-    trace::tracer().emit(transport_->simulator().now().as_micros(),
+    trace::tracer().emit(now().as_micros(),
                          trace::EventKind::kAdvertForwarded, self_, target,
                          msg.ttl - 1);
   }
@@ -280,59 +606,78 @@ void GroupCastNode::handle_join(const Envelope& /*envelope*/,
   auto& state = state_of(msg.group);
   // A join can only be honoured by a peer that can reach the tree.
   if (!state.on_tree && !state.has_advert) return;  // stale join: ignored
+  if (msg.child == self_) return;
   if (std::find(state.children.begin(), state.children.end(), msg.child) ==
       state.children.end()) {
     state.children.push_back(msg.child);
   }
-  transport_->send(self_, msg.child, JoinAckMsg{msg.group});
-  if (!state.on_tree) {
-    // Become a relay: join upwards along the reverse advertisement path.
-    send_join(msg.group, state.advert_parent);
+  state.child_last_seen[msg.child] = now();
+  if (state.on_tree) {
+    transport_->send(self_, msg.child, JoinAckMsg{msg.group, state.depth});
+    maybe_schedule_heartbeat(msg.group);
+    return;
   }
+  // Not attached ourselves yet: defer the ack until our own ladder lands
+  // (the ack must carry a real depth), becoming a relay on the way.
+  if (std::find(state.pending_acks.begin(), state.pending_acks.end(),
+                msg.child) == state.pending_acks.end()) {
+    state.pending_acks.push_back(msg.child);
+  }
+  if (state.exchange == ReliableExchange::kNoToken) start_ladder(msg.group);
 }
 
 void GroupCastNode::handle_join_ack(const Envelope& envelope,
                                     const JoinAckMsg& msg) {
   auto& state = state_of(msg.group);
-  if (state.on_tree) return;
-  state.on_tree = true;
-  state.join_pending = false;
-  state.search_pending = false;
-  state.tree_parent = envelope.from;
-  trace::tracer().emit(transport_->simulator().now().as_micros(),
-                       trace::EventKind::kTreeEdgeAdded, self_,
-                       envelope.from);
-  if (state.subscribed) {
-    trace::counters().incr(self_, trace::CounterId::kSubscribeSuccesses);
-    trace::tracer().emit(transport_->simulator().now().as_micros(),
-                         trace::EventKind::kSubscriptionAttempt, self_,
-                         envelope.from, 1);
-    if (subscribe_callback_) subscribe_callback_(msg.group, true);
+  if (state.on_tree) {
+    if (envelope.from != state.tree_parent) {
+      // A slower rung answered after we attached elsewhere: retract so the
+      // acker does not keep us in its child list.
+      transport_->send(self_, envelope.from, LeaveMsg{msg.group, self_});
+    }
+    return;
   }
+  if (!attach_allowed(state, envelope.from, msg.depth)) {
+    // Possibly our own (stale-depth) descendant; refuse and retract.  The
+    // open exchange keeps retrying toward safer attach points.
+    transport_->send(self_, envelope.from, LeaveMsg{msg.group, self_});
+    return;
+  }
+  complete_attach(msg.group, envelope.from, msg.depth);
 }
 
 void GroupCastNode::handle_ripple_query(const Envelope& envelope,
                                         const RippleQueryMsg& msg) {
   auto& state = state_of(msg.group);
-  if (!state.seen_queries.insert(msg.origin).second) return;  // duplicate
+  if (!state.seen_queries.insert(query_key(msg.origin, msg.round)).second) {
+    return;  // duplicate within this search round
+  }
   if (state.has_advert || state.on_tree) {
-    transport_->send(self_, msg.origin, RippleHitMsg{msg.group, self_});
+    transport_->send(
+        self_, msg.origin,
+        RippleHitMsg{msg.group, self_,
+                     state.on_tree ? state.depth : kUnknownDepth});
     return;
   }
   if (msg.ttl <= 1) return;
   for (const auto n : graph_->neighbors(self_)) {
     if (n == envelope.from || n == msg.origin) continue;
-    transport_->send(self_, n,
-                     RippleQueryMsg{msg.group, msg.origin, msg.ttl - 1});
+    transport_->send(
+        self_, n,
+        RippleQueryMsg{msg.group, msg.origin, msg.ttl - 1, msg.round});
   }
 }
 
 void GroupCastNode::handle_ripple_hit(const Envelope& /*envelope*/,
                                       const RippleHitMsg& msg) {
   auto& state = state_of(msg.group);
-  if (!state.search_pending) return;  // already attached via earlier hit
+  if (state.on_tree) return;
+  if (!state.search_pending) return;  // already joining via earlier hit
+  if (!attach_allowed(state, msg.holder, msg.depth)) {
+    return;  // keep waiting: a safe holder may still answer
+  }
   state.search_pending = false;
-  send_join(msg.group, msg.holder);
+  transport_->send(self_, msg.holder, JoinMsg{msg.group, self_});
 }
 
 void GroupCastNode::handle_data(const Envelope& envelope,
@@ -343,8 +688,8 @@ void GroupCastNode::handle_data(const Envelope& envelope,
            .second) {
     trace::counters().incr(self_, trace::CounterId::kMessagesDropped);
     trace::tracer().emit(
-        transport_->simulator().now().as_micros(),
-        trace::EventKind::kMessageDropped, self_, envelope.from,
+        now().as_micros(), trace::EventKind::kMessageDropped, self_,
+        envelope.from,
         static_cast<std::uint64_t>(trace::DropReason::kDuplicate));
     return;  // duplicate
   }
@@ -367,16 +712,53 @@ void GroupCastNode::handle_data(const Envelope& envelope,
 void GroupCastNode::handle_leave(const Envelope& /*envelope*/,
                                  const LeaveMsg& msg) {
   auto& state = state_of(msg.group);
-  const auto it =
-      std::find(state.children.begin(), state.children.end(), msg.child);
-  if (it != state.children.end()) state.children.erase(it);
+  erase_value(state.children, msg.child);
+  erase_value(state.pending_acks, msg.child);
+  state.child_last_seen.erase(msg.child);
   // A pure relay whose last child left can leave too.
   if (!state.subscribed && state.on_tree && state.children.empty() &&
       state.tree_parent != self_) {
     transport_->send(self_, state.tree_parent, LeaveMsg{msg.group, self_});
     state.on_tree = false;
     state.tree_parent = overlay::kNoPeer;
+    state.depth = kUnknownDepth;
   }
+}
+
+void GroupCastNode::handle_heartbeat(const Envelope& envelope,
+                                     const HeartbeatMsg& msg) {
+  auto& state = state_of(msg.group);
+  const bool is_child =
+      std::find(state.children.begin(), state.children.end(),
+                envelope.from) != state.children.end();
+  if (!is_child) {
+    // The sender believes we are its parent but we disagree (it was
+    // pruned, or we dissolved): tell it to re-attach.
+    transport_->send(self_, envelope.from, ParentLostMsg{msg.group});
+    return;
+  }
+  state.child_last_seen[envelope.from] = now();
+  // While we recover our own position the depth is unknown; the ack still
+  // keeps the child from declaring us dead.
+  transport_->send(
+      self_, envelope.from,
+      HeartbeatAckMsg{msg.group,
+                      state.on_tree ? state.depth : kUnknownDepth});
+}
+
+void GroupCastNode::handle_heartbeat_ack(const Envelope& envelope,
+                                         const HeartbeatAckMsg& msg) {
+  auto& state = state_of(msg.group);
+  if (!state.on_tree || envelope.from != state.tree_parent) return;
+  state.parent_last_ack = now();
+  if (msg.depth != kUnknownDepth) state.depth = msg.depth + 1;
+}
+
+void GroupCastNode::handle_parent_lost(const Envelope& envelope,
+                                       const ParentLostMsg& msg) {
+  auto& state = state_of(msg.group);
+  if (!state.on_tree || envelope.from != state.tree_parent) return;
+  begin_recovery(msg.group, envelope.from);
 }
 
 }  // namespace groupcast::core

@@ -12,6 +12,16 @@
 //   node.on_data([](GroupId g, std::uint64_t id, PeerId origin) { ... });
 //   node.subscribe(group);
 //   node.publish(group, payload_id);
+//
+// Control-plane reliability (docs/ROBUSTNESS.md): joins and ripple
+// searches run through a ReliableExchange retry ladder — join the advert
+// parent, escalate to ripple re-search with widening TTL, then to the
+// rendezvous point and its deterministic replicas — so a lost JoinAck
+// delays a subscription instead of stranding it.  Tree-edge heartbeats
+// (off by default; enable via NodeOptions::heartbeat_interval) detect dead
+// parents with the paper's two-miss rule and re-run the same ladder to
+// re-attach the orphaned subtree, guarded against cycles by attach-point
+// depths carried on JoinAck / RippleHit / HeartbeatAck.
 #pragma once
 
 #include <optional>
@@ -19,19 +29,34 @@
 #include <unordered_set>
 
 #include "core/advertisement.h"
+#include "core/reliable_exchange.h"
 #include "core/transport.h"
 #include "overlay/graph.h"
 
 namespace groupcast::core {
 
+/// Sentinel depth of a node that is not (or not yet) on a tree.
+inline constexpr std::uint32_t kUnknownDepth = 0xFFFFFFFFu;
+
 struct NodeOptions {
   /// Scheme + fan-out the node uses when forwarding advertisements.
   AdvertisementOptions advertisement;
-  /// TTL of the ripple search used when subscribing without an advert.
+  /// TTL of the first ripple search; each retry widens it by one hop.
   std::size_t ripple_ttl = 2;
-  /// How long a subscriber waits for a ripple hit / join ack before giving
-  /// up (the app may retry).
-  sim::SimTime subscribe_timeout = sim::SimTime::seconds(5.0);
+  /// Per-attempt timeout / backoff / attempt budget of every control-plane
+  /// exchange (one exchange per ladder rung).
+  RetryPolicy retry;
+  /// Escalate across ladder rungs (advert parent -> ripple -> rendezvous
+  /// + replicas).  Off reproduces the legacy single-strategy behaviour.
+  bool escalation = true;
+  /// Rendezvous replicas tried when the rendezvous itself is unresponsive.
+  std::size_t rendezvous_replicas = 2;
+  /// Tree-edge heartbeat period; zero() disables liveness probing (the
+  /// default, so `Simulator::run()` still drains in non-churn tests).
+  sim::SimTime heartbeat_interval = sim::SimTime::zero();
+  /// Heartbeat intervals without an ack before the parent is declared
+  /// dead (the paper's two-miss rule).
+  std::size_t missed_heartbeats_to_fail = 2;
 };
 
 class GroupCastNode {
@@ -51,8 +76,13 @@ class GroupCastNode {
 
   /// Attaches to the transport.  Must be called before any other method.
   void start();
-  /// Detaches; in-flight messages to this node are dropped.
+  /// Graceful detach: incoming messages stop being delivered, but messages
+  /// this node already sent (e.g. a Leave fired just before stopping)
+  /// still reach their peers.
   void stop();
+  /// Ungraceful detach: in-flight messages to *and from* this node are
+  /// dropped — the form of departure a fault plan injects.
+  void crash();
   bool running() const { return running_; }
 
   overlay::PeerId id() const { return self_; }
@@ -61,7 +91,8 @@ class GroupCastNode {
   void create_group(GroupId group);
 
   /// Subscribes to `group`: reverse-path join if the advertisement is held,
-  /// ripple search otherwise.  Outcome is reported via on_subscribe_result.
+  /// ripple search otherwise, with retries and rung escalation.  Outcome is
+  /// reported via on_subscribe_result.
   void subscribe(GroupId group);
 
   /// Leaves the group.  A leaf detaches from its parent; a relay with
@@ -84,21 +115,51 @@ class GroupCastNode {
   /// Tree parent; self for the rendezvous.  Requires on_tree(group).
   overlay::PeerId tree_parent(GroupId group) const;
   std::vector<overlay::PeerId> tree_children(GroupId group) const;
+  /// Depth on the tree (root = 0); kUnknownDepth when off the tree.
+  std::uint32_t tree_depth(GroupId group) const;
+  /// True while a subscribe / recovery ladder has an exchange in flight.
+  bool exchange_pending(GroupId group) const;
 
  private:
+  /// Ladder rungs, tried in order (skipping inapplicable ones).
+  enum class Rung : std::uint8_t { kAdvertParent, kRipple, kRendezvous };
+
   struct GroupState {
     overlay::PeerId rendezvous = overlay::kNoPeer;
     overlay::PeerId advert_parent = overlay::kNoPeer;  // self at rendezvous
     bool has_advert = false;
     bool subscribed = false;
     bool on_tree = false;
-    bool join_pending = false;
     bool search_pending = false;
     overlay::PeerId tree_parent = overlay::kNoPeer;
+    std::uint32_t depth = kUnknownDepth;
     std::vector<overlay::PeerId> children;
     std::unordered_set<std::uint64_t> seen_payloads;
-    std::unordered_set<overlay::PeerId> seen_queries;  // ripple dedup
+    std::unordered_set<std::uint64_t> seen_queries;  // origin<<32 | round
+
+    // --- retry ladder (subscribe + orphan recovery share it) ---
+    ReliableExchange::Token exchange = ReliableExchange::kNoToken;
+    Rung rung = Rung::kAdvertParent;
+    std::uint32_t search_round = 0;
+    /// A peer the ladder must not target (the parent just declared dead).
+    overlay::PeerId avoid = overlay::kNoPeer;
+    /// Orphan cycle guard: only attach under peers of depth <= this.
+    /// kUnknownDepth (the default) accepts any attach point.
+    std::uint32_t attach_depth_limit = kUnknownDepth;
+    bool recovering = false;      // ladder re-attaches an orphaned position
+    bool dissolved_once = false;  // second terminal give-up is final
+    std::size_t ladder_attempts = 0;  // sends since the ladder started
+    /// Joins accepted while not yet on the tree; acked after attaching.
+    std::vector<overlay::PeerId> pending_acks;
+
+    // --- tree-edge heartbeats ---
+    bool heartbeat_scheduled = false;
+    sim::SimTime parent_last_ack;
+    std::unordered_map<overlay::PeerId, sim::SimTime> child_last_seen;
   };
+
+  /// Shared teardown behind stop() / crash().
+  void detach(DetachMode mode);
 
   void handle(const Envelope& envelope);
   void handle_advertise(const Envelope& envelope, const AdvertiseMsg& msg);
@@ -109,9 +170,31 @@ class GroupCastNode {
   void handle_ripple_hit(const Envelope& envelope, const RippleHitMsg& msg);
   void handle_data(const Envelope& envelope, const DataMsg& msg);
   void handle_leave(const Envelope& envelope, const LeaveMsg& msg);
+  void handle_heartbeat(const Envelope& envelope, const HeartbeatMsg& msg);
+  void handle_heartbeat_ack(const Envelope& envelope,
+                            const HeartbeatAckMsg& msg);
+  void handle_parent_lost(const Envelope& envelope, const ParentLostMsg& msg);
 
-  /// Joins the tree by sending a JoinMsg to `attach`; ack completes it.
-  void send_join(GroupId group, overlay::PeerId attach);
+  // --- retry ladder ---
+  /// Starts (or restarts) the ladder at its first applicable rung.
+  void start_ladder(GroupId group);
+  /// Opens the reliable exchange for the current rung.
+  void run_rung(GroupId group);
+  /// Current rung exhausted its attempts: next rung or terminal failure.
+  void advance_rung(GroupId group);
+  void terminal_failure(GroupId group);
+  /// True if the ladder may attach under `target` at `target_depth`.
+  bool attach_allowed(const GroupState& state, overlay::PeerId target,
+                      std::uint32_t target_depth) const;
+  /// Successful attach bookkeeping shared by every ack path.
+  void complete_attach(GroupId group, overlay::PeerId parent,
+                       std::uint32_t parent_depth);
+
+  // --- heartbeats / failure detection ---
+  void maybe_schedule_heartbeat(GroupId group);
+  void heartbeat_tick(GroupId group);
+  /// The parent is gone: become an orphan and re-run the ladder.
+  void begin_recovery(GroupId group, overlay::PeerId dead_parent);
 
   /// Forwarding subset for an advertisement, per the configured scheme.
   std::vector<overlay::PeerId> select_forward_targets(
@@ -119,12 +202,14 @@ class GroupCastNode {
 
   GroupState& state_of(GroupId group) { return groups_[group]; }
   double resource_level();
+  sim::SimTime now() const;
 
   overlay::PeerId self_;
   Transport* transport_;
   const overlay::OverlayGraph* graph_;
   NodeOptions options_;
   util::Rng rng_;
+  ReliableExchange exchange_;
   bool running_ = false;
   std::optional<double> cached_resource_level_;
   std::unordered_map<GroupId, GroupState> groups_;

@@ -1,0 +1,91 @@
+#include "core/reliable_exchange.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/trace.h"
+#include "util/require.h"
+
+namespace groupcast::core {
+
+ReliableExchange::ReliableExchange(sim::Simulator& simulator,
+                                   overlay::PeerId owner, RetryPolicy policy,
+                                   util::Rng& rng)
+    : simulator_(&simulator),
+      owner_(owner),
+      policy_(policy),
+      rng_(rng.split()) {
+  GC_REQUIRE(policy_.max_attempts >= 1);
+  GC_REQUIRE(policy_.backoff >= 1.0);
+  GC_REQUIRE(policy_.jitter >= 0.0);
+  GC_REQUIRE(policy_.base_timeout > sim::SimTime::zero());
+  GC_REQUIRE(policy_.max_timeout >= policy_.base_timeout);
+}
+
+sim::SimTime ReliableExchange::backoff_timeout(std::size_t attempt) const {
+  const double scaled =
+      static_cast<double>(policy_.base_timeout.as_micros()) *
+      std::pow(policy_.backoff, static_cast<double>(attempt));
+  const double capped = std::min(
+      scaled, static_cast<double>(policy_.max_timeout.as_micros()));
+  return sim::SimTime::micros(static_cast<std::int64_t>(capped));
+}
+
+ReliableExchange::Token ReliableExchange::begin(SendFn send,
+                                                GiveUpFn give_up) {
+  GC_REQUIRE(send != nullptr);
+  const Token token = next_token_++;
+  entries_.emplace(token, Entry{std::move(send), std::move(give_up), 0});
+  fire(token);
+  return token;
+}
+
+void ReliableExchange::fire(Token token) {
+  const auto it = entries_.find(token);
+  if (it == entries_.end()) return;
+  const auto attempt = it->second.attempt;
+  // Arm before sending: the send callback may settle the exchange
+  // synchronously (e.g. a loop-free in-process shortcut).
+  arm_timeout(token, attempt);
+  // Copy out so a settle()/cancel() from inside the callback cannot
+  // destroy the function object mid-call.
+  const SendFn send = it->second.send;
+  send(attempt);
+}
+
+void ReliableExchange::arm_timeout(Token token, std::size_t attempt) {
+  // One jitter draw per armed attempt keeps the RNG stream aligned with
+  // the retry schedule regardless of when responses arrive.
+  const double stretch = 1.0 + policy_.jitter * rng_.uniform();
+  const auto timeout = sim::SimTime::micros(static_cast<std::int64_t>(
+      static_cast<double>(backoff_timeout(attempt).as_micros()) * stretch));
+  simulator_->schedule(timeout, [this, token, attempt] {
+    on_timeout(token, attempt);
+  });
+}
+
+void ReliableExchange::on_timeout(Token token, std::size_t attempt) {
+  const auto it = entries_.find(token);
+  if (it == entries_.end()) return;       // settled or cancelled
+  if (it->second.attempt != attempt) return;  // stale timer
+  if (attempt + 1 >= policy_.max_attempts) {
+    const GiveUpFn give_up = std::move(it->second.give_up);
+    entries_.erase(it);
+    trace::counters().incr(owner_, trace::CounterId::kControlGiveups);
+    if (give_up) give_up();
+    return;
+  }
+  it->second.attempt = attempt + 1;
+  trace::counters().incr(owner_, trace::CounterId::kControlRetries);
+  fire(token);
+}
+
+bool ReliableExchange::settle(Token token) {
+  return entries_.erase(token) != 0;
+}
+
+void ReliableExchange::cancel(Token token) { entries_.erase(token); }
+
+void ReliableExchange::cancel_all() { entries_.clear(); }
+
+}  // namespace groupcast::core

@@ -3,8 +3,34 @@
 #include <algorithm>
 
 #include "util/require.h"
+#include "util/rng.h"
 
 namespace groupcast::core {
+
+std::vector<overlay::PeerId> rendezvous_replicas(std::uint32_t group,
+                                                 overlay::PeerId primary,
+                                                 std::size_t population,
+                                                 std::size_t count) {
+  GC_REQUIRE(population > 0);
+  std::vector<overlay::PeerId> replicas;
+  if (population <= 1) return replicas;
+  count = std::min(count, population - 1);
+  // splitmix64 over (group, probe index) — stateless, so every node
+  // derives the identical sequence.
+  std::uint64_t state =
+      0x9E3779B97F4A7C15ULL ^ (static_cast<std::uint64_t>(group) << 1);
+  while (replicas.size() < count) {
+    const auto candidate = static_cast<overlay::PeerId>(
+        util::splitmix64(state) % population);
+    if (candidate == primary) continue;
+    if (std::find(replicas.begin(), replicas.end(), candidate) !=
+        replicas.end()) {
+      continue;
+    }
+    replicas.push_back(candidate);
+  }
+  return replicas;
+}
 
 ReplicatedTree::ReplicatedTree(const overlay::PeerPopulation& population,
                                const overlay::OverlayGraph& graph,

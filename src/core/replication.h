@@ -20,6 +20,18 @@
 
 namespace groupcast::core {
 
+/// Deterministic rendezvous replica set for a group: `count` distinct
+/// peers derived by hashing (group, index), never including `primary`.
+/// Any node can compute the same set locally, so a subscriber whose joins
+/// to a crashed rendezvous point keep timing out has agreed-upon fallback
+/// attach targets without any coordination (the replicas hold the group
+/// advertisement with high probability and accept joins like any other
+/// advert holder).
+std::vector<overlay::PeerId> rendezvous_replicas(std::uint32_t group,
+                                                 overlay::PeerId primary,
+                                                 std::size_t population,
+                                                 std::size_t count);
+
 class ReplicatedTree {
  public:
   /// Assigns backup parents to every non-root node of `tree`: the closest

@@ -13,7 +13,8 @@ Transport::Transport(sim::Simulator& simulator,
       population_(&population),
       options_(options),
       rng_(rng.split()),
-      handlers_(population.size()) {
+      handlers_(population.size()),
+      generation_(population.size(), 0) {
   GC_REQUIRE(options_.loss_probability >= 0.0 &&
              options_.loss_probability <= 1.0);
 }
@@ -25,9 +26,12 @@ void Transport::register_node(overlay::PeerId peer, Handler handler) {
   handlers_[peer] = std::move(handler);
 }
 
-void Transport::unregister_node(overlay::PeerId peer) {
+void Transport::unregister_node(overlay::PeerId peer, DetachMode mode) {
   GC_REQUIRE(peer < handlers_.size());
   handlers_[peer] = nullptr;
+  if (mode == DetachMode::kCrash) {
+    ++generation_[peer];  // kills this peer's in-flight sends
+  }
 }
 
 bool Transport::is_registered(overlay::PeerId peer) const {
@@ -52,6 +56,11 @@ MessageKind Transport::kind_of(const MessageBody& body) {
   if (std::holds_alternative<JoinAckMsg>(body)) {
     return MessageKind::kSubscribeAck;
   }
+  if (std::holds_alternative<HeartbeatMsg>(body) ||
+      std::holds_alternative<HeartbeatAckMsg>(body) ||
+      std::holds_alternative<ParentLostMsg>(body)) {
+    return MessageKind::kMaintenance;
+  }
   return MessageKind::kPayload;
 }
 
@@ -63,17 +72,43 @@ void Transport::send(overlay::PeerId from, overlay::PeerId to,
   stats_.count(kind_of(body));
   bytes_sent_ += encoded_size(body);
   trace::counters().incr(from, trace::CounterId::kMessagesSent);
-  if (rng_.chance(options_.loss_probability)) {
+  const auto drop = [&](overlay::PeerId node, overlay::PeerId peer,
+                        trace::DropReason reason) {
     ++lost_;
-    trace::counters().incr(from, trace::CounterId::kMessagesDropped);
+    trace::counters().incr(node, trace::CounterId::kMessagesDropped);
     trace::tracer().emit(simulator_->now().as_micros(),
-                         trace::EventKind::kMessageDropped, from, to,
-                         static_cast<std::uint64_t>(trace::DropReason::kLoss));
+                         trace::EventKind::kMessageDropped, node, peer,
+                         static_cast<std::uint64_t>(reason));
+  };
+  if (fault_filter_ != nullptr) {
+    const auto now = simulator_->now();
+    if (fault_filter_->blocked(from, to, now)) {
+      drop(from, to, trace::DropReason::kPartitioned);
+      return;
+    }
+    const double burst = fault_filter_->extra_loss(now);
+    if (burst > 0.0 && rng_.chance(burst)) {
+      drop(from, to, trace::DropReason::kBurstLoss);
+      return;
+    }
+  }
+  if (rng_.chance(options_.loss_probability)) {
+    drop(from, to, trace::DropReason::kLoss);
     return;
   }
   const auto latency =
       sim::SimTime::millis(population_->latency_ms(from, to));
-  simulator_->schedule(latency, [this, from, to, body = std::move(body)] {
+  const auto sent_in = generation_[from];
+  simulator_->schedule(latency, [this, from, to, sent_in,
+                                 body = std::move(body)] {
+    if (generation_[from] != sent_in) {  // sender crashed in flight
+      trace::counters().incr(from, trace::CounterId::kMessagesDropped);
+      trace::tracer().emit(
+          simulator_->now().as_micros(), trace::EventKind::kMessageDropped,
+          from, to,
+          static_cast<std::uint64_t>(trace::DropReason::kOriginDeparted));
+      return;
+    }
     const auto& handler = handlers_[to];
     if (handler == nullptr) {  // receiver departed in flight
       trace::counters().incr(to, trace::CounterId::kMessagesDropped);

@@ -36,22 +36,30 @@ struct JoinMsg {
   overlay::PeerId child = overlay::kNoPeer;
 };
 
-/// Join confirmation from the attach point.
+/// Join confirmation from the attach point.  `depth` is the acker's tree
+/// depth (root = 0); the new child adopts depth + 1.  Orphans use it to
+/// refuse attach points inside their own subtree (see docs/ROBUSTNESS.md).
 struct JoinAckMsg {
   GroupId group = 0;
+  std::uint32_t depth = 0;
 };
 
 /// Scoped subscription lookup (ripple search), Section 2.2 step 3.
+/// `round` distinguishes re-searches by the same origin so duplicate
+/// suppression does not swallow retries.
 struct RippleQueryMsg {
   GroupId group = 0;
   overlay::PeerId origin = overlay::kNoPeer;
   std::uint32_t ttl = 0;
+  std::uint32_t round = 0;
 };
 
-/// Lookup hit travelling back to the searcher.
+/// Lookup hit travelling back to the searcher; `depth` is the holder's
+/// tree depth (for the orphan cycle guard).
 struct RippleHitMsg {
   GroupId group = 0;
   overlay::PeerId holder = overlay::kNoPeer;
+  std::uint32_t depth = 0;
 };
 
 /// Application payload on a tree edge.
@@ -67,9 +75,28 @@ struct LeaveMsg {
   overlay::PeerId child = overlay::kNoPeer;
 };
 
+/// Tree-edge liveness probe from a child to its parent (Section 3.3's
+/// two-missed-heartbeat rule applied to SSA tree edges).
+struct HeartbeatMsg {
+  GroupId group = 0;
+};
+
+/// Parent's answer to a heartbeat, echoing its current tree depth so
+/// children keep their depth fresh for the orphan cycle guard.
+struct HeartbeatAckMsg {
+  GroupId group = 0;
+  std::uint32_t depth = 0;
+};
+
+/// A node dissolving its tree position tells its children to re-attach.
+struct ParentLostMsg {
+  GroupId group = 0;
+};
+
 using MessageBody = std::variant<AdvertiseMsg, JoinMsg, JoinAckMsg,
                                  RippleQueryMsg, RippleHitMsg, DataMsg,
-                                 LeaveMsg>;
+                                 LeaveMsg, HeartbeatMsg, HeartbeatAckMsg,
+                                 ParentLostMsg>;
 
 struct Envelope {
   overlay::PeerId from = overlay::kNoPeer;
@@ -84,6 +111,30 @@ struct TransportOptions {
   double loss_probability = 0.0;
 };
 
+/// How a node comes off the transport (see unregister_node).
+enum class DetachMode {
+  /// Ungraceful: messages the node already sent but that have not yet been
+  /// delivered are suppressed — a crashed node's packets die with it.
+  kCrash,
+  /// Graceful: already-sent messages still deliver, so a final control
+  /// message (e.g. a Leave fired just before stop) reaches its peer.
+  kGraceful,
+};
+
+/// Per-delivery fault queries the transport consults on every send.  A
+/// FaultInjector (core/fault_injection.h) implements this from a
+/// sim::FaultPlan; the indirection keeps the transport free of any
+/// dependency on fault-plan data.
+class FaultFilter {
+ public:
+  virtual ~FaultFilter() = default;
+  /// True if `from` and `to` are separated by an active partition.
+  virtual bool blocked(overlay::PeerId from, overlay::PeerId to,
+                       sim::SimTime now) const = 0;
+  /// Extra drop probability from an active burst-loss interval (0 = none).
+  virtual double extra_loss(sim::SimTime now) const = 0;
+};
+
 class Transport {
  public:
   using Handler = std::function<void(const Envelope&)>;
@@ -95,8 +146,11 @@ class Transport {
   /// Attaches a node; messages to `peer` are delivered to `handler`.
   void register_node(overlay::PeerId peer, Handler handler);
 
-  /// Detaches a node; in-flight messages to it are dropped on arrival.
-  void unregister_node(overlay::PeerId peer);
+  /// Detaches a node.  In-flight messages *to* it are dropped on arrival
+  /// in either mode; what happens to messages it already sent depends on
+  /// `mode` (kCrash suppresses them, kGraceful lets them land).
+  void unregister_node(overlay::PeerId peer,
+                       DetachMode mode = DetachMode::kCrash);
 
   bool is_registered(overlay::PeerId peer) const;
 
@@ -113,6 +167,10 @@ class Transport {
   sim::Simulator& simulator() { return *simulator_; }
   const overlay::PeerPopulation& population() const { return *population_; }
 
+  /// Installs (or, with nullptr, removes) the fault filter consulted on
+  /// every send.  The filter must outlive its installation.
+  void set_fault_filter(const FaultFilter* filter) { fault_filter_ = filter; }
+
  private:
   static MessageKind kind_of(const MessageBody& body);
 
@@ -121,6 +179,10 @@ class Transport {
   TransportOptions options_;
   util::Rng rng_;
   std::vector<Handler> handlers_;
+  /// Bumped on every unregister; a delivery whose captured generation is
+  /// stale came from a peer that crashed mid-flight and is suppressed.
+  std::vector<std::uint64_t> generation_;
+  const FaultFilter* fault_filter_ = nullptr;
   MessageStats stats_;
   std::size_t sent_ = 0;
   std::size_t lost_ = 0;

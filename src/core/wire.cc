@@ -56,6 +56,9 @@ enum class Tag : std::uint8_t {
   kRippleHit = 5,
   kData = 6,
   kLeave = 7,
+  kHeartbeat = 8,
+  kHeartbeatAck = 9,
+  kParentLost = 10,
 };
 
 }  // namespace
@@ -79,15 +82,18 @@ std::vector<std::uint8_t> encode_message(const MessageBody& body) {
         } else if constexpr (std::is_same_v<T, JoinAckMsg>) {
           w.u8(static_cast<std::uint8_t>(Tag::kJoinAck));
           w.u32(msg.group);
+          w.u32(msg.depth);
         } else if constexpr (std::is_same_v<T, RippleQueryMsg>) {
           w.u8(static_cast<std::uint8_t>(Tag::kRippleQuery));
           w.u32(msg.group);
           w.u32(msg.origin);
           w.u32(msg.ttl);
+          w.u32(msg.round);
         } else if constexpr (std::is_same_v<T, RippleHitMsg>) {
           w.u8(static_cast<std::uint8_t>(Tag::kRippleHit));
           w.u32(msg.group);
           w.u32(msg.holder);
+          w.u32(msg.depth);
         } else if constexpr (std::is_same_v<T, DataMsg>) {
           w.u8(static_cast<std::uint8_t>(Tag::kData));
           w.u32(msg.group);
@@ -97,6 +103,16 @@ std::vector<std::uint8_t> encode_message(const MessageBody& body) {
           w.u8(static_cast<std::uint8_t>(Tag::kLeave));
           w.u32(msg.group);
           w.u32(msg.child);
+        } else if constexpr (std::is_same_v<T, HeartbeatMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kHeartbeat));
+          w.u32(msg.group);
+        } else if constexpr (std::is_same_v<T, HeartbeatAckMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kHeartbeatAck));
+          w.u32(msg.group);
+          w.u32(msg.depth);
+        } else if constexpr (std::is_same_v<T, ParentLostMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kParentLost));
+          w.u32(msg.group);
         }
       },
       body);
@@ -112,13 +128,19 @@ std::size_t encoded_size(const MessageBody& body) {
         } else if constexpr (std::is_same_v<T, JoinMsg>) {
           return 1 + 4 + 4;
         } else if constexpr (std::is_same_v<T, JoinAckMsg>) {
-          return 1 + 4;
-        } else if constexpr (std::is_same_v<T, RippleQueryMsg>) {
-          return 1 + 4 + 4 + 4;
-        } else if constexpr (std::is_same_v<T, RippleHitMsg>) {
           return 1 + 4 + 4;
+        } else if constexpr (std::is_same_v<T, RippleQueryMsg>) {
+          return 1 + 4 + 4 + 4 + 4;
+        } else if constexpr (std::is_same_v<T, RippleHitMsg>) {
+          return 1 + 4 + 4 + 4;
         } else if constexpr (std::is_same_v<T, DataMsg>) {
           return 1 + 4 + 4 + 8;
+        } else if constexpr (std::is_same_v<T, HeartbeatMsg>) {
+          return 1 + 4;
+        } else if constexpr (std::is_same_v<T, HeartbeatAckMsg>) {
+          return 1 + 4 + 4;
+        } else if constexpr (std::is_same_v<T, ParentLostMsg>) {
+          return 1 + 4;
         } else {
           static_assert(std::is_same_v<T, LeaveMsg>);
           return 1 + 4 + 4;
@@ -150,6 +172,7 @@ MessageBody decode_message(std::span<const std::uint8_t> buffer) {
     case Tag::kJoinAck: {
       JoinAckMsg msg;
       msg.group = r.u32();
+      msg.depth = r.u32();
       body = msg;
       break;
     }
@@ -158,6 +181,7 @@ MessageBody decode_message(std::span<const std::uint8_t> buffer) {
       msg.group = r.u32();
       msg.origin = r.u32();
       msg.ttl = r.u32();
+      msg.round = r.u32();
       body = msg;
       break;
     }
@@ -165,6 +189,7 @@ MessageBody decode_message(std::span<const std::uint8_t> buffer) {
       RippleHitMsg msg;
       msg.group = r.u32();
       msg.holder = r.u32();
+      msg.depth = r.u32();
       body = msg;
       break;
     }
@@ -180,6 +205,25 @@ MessageBody decode_message(std::span<const std::uint8_t> buffer) {
       LeaveMsg msg;
       msg.group = r.u32();
       msg.child = r.u32();
+      body = msg;
+      break;
+    }
+    case Tag::kHeartbeat: {
+      HeartbeatMsg msg;
+      msg.group = r.u32();
+      body = msg;
+      break;
+    }
+    case Tag::kHeartbeatAck: {
+      HeartbeatAckMsg msg;
+      msg.group = r.u32();
+      msg.depth = r.u32();
+      body = msg;
+      break;
+    }
+    case Tag::kParentLost: {
+      ParentLostMsg msg;
+      msg.group = r.u32();
       body = msg;
       break;
     }

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "metrics/recovery.h"
 #include "trace/trace.h"
 #include "util/require.h"
 #include "util/stats.h"
@@ -32,6 +33,7 @@ core::MiddlewareConfig ScenarioConfig::middleware_config() const {
 
 ScenarioResult run_scenario(const ScenarioConfig& config) {
   GC_REQUIRE(config.groups >= 1);
+  if (config.recovery.enabled) return run_recovery_scenario(config);
   ScenarioResult result;
   result.config = config;
 
@@ -119,6 +121,12 @@ ScenarioResult reduce_scenario_repetitions(
     total.link_stress += one.link_stress / k;
     total.node_stress += one.node_stress / k;
     total.overload_index += one.overload_index / k;
+    total.delivery_ratio += one.delivery_ratio / k;
+    total.reattached_fraction += one.reattached_fraction / k;
+    total.mean_orphan_epochs += one.mean_orphan_epochs / k;
+    total.epochs_to_converge += one.epochs_to_converge / k;
+    total.control_overhead += one.control_overhead / k;
+    total.invariant_violations += one.invariant_violations / k;
     total.avg_tree_depth += one.avg_tree_depth / k;
     total.avg_tree_nodes += one.avg_tree_nodes / k;
     total.repair_edges += one.repair_edges;

@@ -21,6 +21,39 @@
 
 namespace groupcast::metrics {
 
+/// Switches a scenario from the engine-level pipeline to the node-runtime
+/// churn harness (metrics/recovery.h).  With `enabled == false` (the
+/// default) every other field is inert and run_scenario behaves exactly as
+/// before, keeping existing goldens byte-identical.
+struct RecoveryOptions {
+  bool enabled = false;
+  /// Steady-state per-message loss probability of the transport, [0, 1].
+  double loss_probability = 0.0;
+  /// Fraction of subscribers crashed ungracefully (no leave), [0, 1].
+  double crash_fraction = 0.0;
+  /// Fraction of subscribers leaving gracefully during churn, [0, 1].
+  /// crash_fraction + graceful_fraction must stay <= 1.
+  double graceful_fraction = 0.0;
+  /// Tree-edge heartbeat period of every node, seconds (> 0).
+  double heartbeat_seconds = 0.5;
+  /// Heartbeat intervals without an ack before a parent is declared dead.
+  /// The node default (2, the paper's two-miss rule) is tuned for a quiet
+  /// network; under steady loss p an ack round-trip survives with
+  /// (1-p)^2, so the harness default widens the window to keep the
+  /// false-positive rate negligible at the sweep's loss levels.
+  std::size_t heartbeat_misses = 6;
+  /// Length of one convergence epoch, seconds (> 0).  Churn is injected
+  /// over one epoch; recovery is then observed epoch by epoch.
+  double epoch_seconds = 4.0;
+  /// Epochs the harness waits for re-convergence before giving up.
+  std::size_t convergence_epochs = 10;
+  /// Payloads of the post-churn speaking round (delivery-ratio probe).
+  std::size_t speaking_payloads = 4;
+  /// Extra fault-plan clauses (sim/fault_plan.h grammar; absolute sim
+  /// times) merged into the derived churn plan.  Empty = none.
+  std::string fault_plan;
+};
+
 struct ScenarioConfig {
   std::size_t peer_count = 1000;
   core::OverlayKind overlay = core::OverlayKind::kGroupCast;
@@ -34,6 +67,8 @@ struct ScenarioConfig {
   double forward_fraction = 0.35;
   std::size_t advertisement_ttl = 8;
   std::size_t ripple_ttl = 2;
+  /// Node-runtime churn harness; inert unless recovery.enabled.
+  RecoveryOptions recovery;
 
   std::size_t effective_group_size() const;
   core::MiddlewareConfig middleware_config() const;
@@ -64,6 +99,15 @@ struct ScenarioResult {
   double avg_tree_depth = 0.0;
   double avg_tree_nodes = 0.0;
   std::size_t repair_edges = 0;
+
+  // Robustness harness (metrics/recovery.h) — populated only when
+  // config.recovery.enabled; all zero otherwise.
+  double delivery_ratio = 0.0;        // post-churn speaking round
+  double reattached_fraction = 0.0;   // surviving subscribers back on tree
+  double mean_orphan_epochs = 0.0;    // mean epochs orphans stayed cut off
+  double epochs_to_converge = 0.0;    // convergence_epochs if never
+  double control_overhead = 0.0;      // recovery-window msgs / survivor
+  double invariant_violations = 0.0;  // core/invariants.h at the end
 
   // Dispersion across the groups of one deployment — populated by
   // run_scenario when groups >= 2 (sample stddev over the per-group

@@ -1,0 +1,297 @@
+#include "metrics/recovery.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/fault_injection.h"
+#include "core/invariants.h"
+#include "core/middleware.h"
+#include "core/node.h"
+#include "sim/fault_plan.h"
+#include "trace/trace.h"
+#include "util/require.h"
+
+namespace groupcast::metrics {
+
+namespace {
+
+void validate(const RecoveryOptions& rec) {
+  GC_REQUIRE_MSG(rec.enabled, "recovery harness invoked while disabled");
+  GC_REQUIRE_MSG(
+      rec.loss_probability >= 0.0 && rec.loss_probability <= 1.0,
+      "recovery.loss_probability must be in [0, 1]");
+  GC_REQUIRE_MSG(rec.crash_fraction >= 0.0 && rec.crash_fraction <= 1.0,
+                 "recovery.crash_fraction must be in [0, 1]");
+  GC_REQUIRE_MSG(
+      rec.graceful_fraction >= 0.0 && rec.graceful_fraction <= 1.0,
+      "recovery.graceful_fraction must be in [0, 1]");
+  GC_REQUIRE_MSG(rec.crash_fraction + rec.graceful_fraction <= 1.0,
+                 "crash_fraction + graceful_fraction must stay <= 1");
+  GC_REQUIRE_MSG(rec.heartbeat_seconds > 0.0,
+                 "recovery.heartbeat_seconds must be > 0");
+  GC_REQUIRE(rec.heartbeat_misses >= 1);
+  GC_REQUIRE_MSG(rec.epoch_seconds > 0.0,
+                 "recovery.epoch_seconds must be > 0");
+  GC_REQUIRE(rec.convergence_epochs >= 1);
+  GC_REQUIRE(rec.speaking_payloads >= 1);
+}
+
+}  // namespace
+
+ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
+  const RecoveryOptions& rec = config.recovery;
+  validate(rec);
+  ScenarioResult result;
+  result.config = config;
+
+  // Deployment: the middleware builds underlay + population + overlay from
+  // config.seed; the harness splits its own RNG stream off the same source
+  // so a (config, seed) pair is one deterministic trajectory whatever the
+  // grid's job count.
+  core::GroupCastMiddleware middleware(config.middleware_config());
+  result.repair_edges = middleware.connectivity_repair_edges();
+  auto& simulator = middleware.simulator();
+  util::Rng rng = middleware.rng().split();
+
+  core::TransportOptions transport_options;
+  transport_options.loss_probability = rec.loss_probability;
+  core::Transport transport(simulator, middleware.population(),
+                            transport_options, rng);
+
+  core::NodeOptions node_options;
+  node_options.advertisement = config.middleware_config().advertisement;
+  node_options.ripple_ttl = config.ripple_ttl;
+  node_options.heartbeat_interval =
+      sim::SimTime::seconds(rec.heartbeat_seconds);
+  node_options.missed_heartbeats_to_fail = rec.heartbeat_misses;
+  std::vector<std::unique_ptr<core::GroupCastNode>> nodes;
+  nodes.reserve(config.peer_count);
+  for (overlay::PeerId p = 0; p < config.peer_count; ++p) {
+    nodes.push_back(std::make_unique<core::GroupCastNode>(
+        p, transport, middleware.graph(), node_options, rng));
+    nodes.back()->start();
+  }
+
+  const sim::SimTime epoch = sim::SimTime::seconds(rec.epoch_seconds);
+  sim::SimTime clock = sim::SimTime::zero();
+  const auto advance = [&](sim::SimTime by) {
+    clock = clock + by;
+    simulator.run_until(clock);
+  };
+
+  // --- phase 1: establish the group ------------------------------------
+  constexpr core::GroupId kGroup = 1;
+  const overlay::PeerId rendezvous = middleware.pick_rendezvous();
+  nodes[rendezvous]->create_group(kGroup);
+  advance(epoch);  // advertisement flood settles
+
+  std::vector<overlay::PeerId> subscribers;
+  const std::size_t group_size = config.effective_group_size();
+  for (const auto idx :
+       rng.sample_indices(config.peer_count, std::min(group_size + 1,
+                                                      config.peer_count))) {
+    const auto p = static_cast<overlay::PeerId>(idx);
+    if (p == rendezvous || subscribers.size() == group_size) continue;
+    subscribers.push_back(p);
+  }
+  // Application-level retry loop: a node that reports terminal subscribe
+  // failure (the ladder's give-up callback) re-subscribes one epoch later,
+  // as a real client would.  `want` tracks which peers still want the
+  // group — graceful leavers drop out below.
+  std::unordered_set<overlay::PeerId> want(subscribers.begin(),
+                                           subscribers.end());
+  std::function<void(overlay::PeerId)> resubscribe_later =
+      [&](overlay::PeerId s) {
+        simulator.schedule_at(simulator.now() + epoch, [&, s] {
+          if (want.count(s) && nodes[s]->running() &&
+              !nodes[s]->is_subscribed(kGroup)) {
+            nodes[s]->subscribe(kGroup);
+          }
+        });
+      };
+  for (const auto s : subscribers) {
+    nodes[s]->on_subscribe_result(
+        [&, s](core::GroupId, bool success) {
+          if (!success && want.count(s)) resubscribe_later(s);
+        });
+  }
+  for (const auto s : subscribers) nodes[s]->subscribe(kGroup);
+  for (std::size_t e = 0; e < rec.convergence_epochs; ++e) {
+    advance(epoch);
+    const bool settled = std::all_of(
+        subscribers.begin(), subscribers.end(), [&](overlay::PeerId s) {
+          return !nodes[s]->exchange_pending(kGroup);
+        });
+    if (settled) break;
+  }
+
+  // Churn acts on the members that actually made it onto the tree as
+  // subscribers (a failed subscriber can still sit on the tree as a pure
+  // relay — e.g. pulled in as a rendezvous replica — and is not a member).
+  std::vector<overlay::PeerId> members;
+  for (const auto s : subscribers) {
+    if (nodes[s]->is_subscribed(kGroup) && nodes[s]->on_tree(kGroup)) {
+      members.push_back(s);
+    }
+  }
+
+  // --- phase 2: inject churn -------------------------------------------
+  std::vector<overlay::PeerId> victims = members;
+  rng.shuffle(victims);
+  const auto n_crash = static_cast<std::size_t>(
+      rec.crash_fraction * static_cast<double>(members.size()));
+  const auto n_leave = static_cast<std::size_t>(
+      rec.graceful_fraction * static_cast<double>(members.size()));
+  sim::FaultPlan plan;
+  if (!rec.fault_plan.empty()) {
+    plan.merge(sim::FaultPlan::parse(rec.fault_plan));
+  }
+  // Stagger the departures across one epoch so later failures can hit
+  // peers that are already busy recovering from earlier ones.
+  const sim::SimTime churn_start = clock;
+  const std::size_t departures = n_crash + n_leave;
+  for (std::size_t i = 0; i < departures; ++i) {
+    const sim::SimTime at =
+        churn_start + sim::SimTime::micros(epoch.as_micros() * (i + 1) /
+                                           (departures + 1));
+    if (i < n_crash) {
+      plan.crashes.push_back(
+          sim::CrashEvent{at, static_cast<sim::FaultNodeId>(victims[i])});
+    } else {
+      const auto leaver = victims[i];
+      simulator.schedule_at(at, [&nodes, &want, leaver] {
+        // The leaver may have given its subscription up (lossy retries
+        // exhausted) between scheduling and firing; nothing to leave then.
+        want.erase(leaver);
+        if (nodes[leaver]->running() &&
+            nodes[leaver]->is_subscribed(kGroup)) {
+          nodes[leaver]->unsubscribe(kGroup);
+        }
+      });
+    }
+  }
+  core::FaultInjector injector(std::move(plan), transport);
+  injector.arm([&nodes](overlay::PeerId victim) {
+    if (victim < nodes.size()) nodes[victim]->crash();
+  });
+
+  std::unordered_set<overlay::PeerId> departed;
+  for (std::size_t i = 0; i < departures && i < victims.size(); ++i) {
+    departed.insert(victims[i]);
+  }
+  std::vector<overlay::PeerId> survivors;
+  for (const auto m : members) {
+    if (!departed.count(m)) survivors.push_back(m);
+  }
+
+  const std::size_t messages_before_recovery = transport.messages_sent();
+  advance(epoch);  // the churn window itself
+
+  // --- phase 3: observe recovery epoch by epoch -------------------------
+  // An orphan is a survivor found off the tree at an epoch boundary; its
+  // orphan time is the number of epochs until it is first seen re-attached
+  // (convergence_epochs if never).
+  std::unordered_map<overlay::PeerId, std::size_t> reattach_epoch;
+  std::unordered_set<overlay::PeerId> orphans;
+  std::size_t epochs_to_converge = rec.convergence_epochs;
+  for (std::size_t e = 1; e <= rec.convergence_epochs; ++e) {
+    bool converged = true;
+    for (const auto s : survivors) {
+      const bool attached =
+          nodes[s]->on_tree(kGroup) && !nodes[s]->exchange_pending(kGroup);
+      if (!attached) {
+        converged = false;
+        orphans.insert(s);
+      } else if (orphans.count(s) && !reattach_epoch.count(s)) {
+        reattach_epoch[s] = e - 1;  // epochs spent orphaned
+      }
+    }
+    if (converged && epochs_to_converge == rec.convergence_epochs) {
+      epochs_to_converge = e - 1;
+      break;
+    }
+    advance(epoch);
+  }
+  result.epochs_to_converge = static_cast<double>(epochs_to_converge);
+  if (!orphans.empty()) {
+    double total_epochs = 0.0;
+    for (const auto o : orphans) {
+      const auto it = reattach_epoch.find(o);
+      total_epochs += static_cast<double>(
+          it != reattach_epoch.end() ? it->second : rec.convergence_epochs);
+    }
+    result.mean_orphan_epochs =
+        total_epochs / static_cast<double>(orphans.size());
+  }
+
+  std::size_t reattached = 0;
+  for (const auto s : survivors) {
+    if (nodes[s]->on_tree(kGroup)) ++reattached;
+  }
+  result.reattached_fraction =
+      survivors.empty() ? 1.0
+                        : static_cast<double>(reattached) /
+                              static_cast<double>(survivors.size());
+  result.control_overhead =
+      static_cast<double>(transport.messages_sent() -
+                          messages_before_recovery) /
+      static_cast<double>(std::max<std::size_t>(1, survivors.size()));
+
+  // --- phase 4: delivery-ratio probe ------------------------------------
+  std::size_t deliveries = 0;
+  for (const auto s : survivors) {
+    nodes[s]->on_data(
+        [&deliveries](core::GroupId, std::uint64_t, overlay::PeerId) {
+          ++deliveries;
+        });
+  }
+  for (std::uint64_t payload = 1; payload <= rec.speaking_payloads;
+       ++payload) {
+    nodes[rendezvous]->publish(kGroup, payload);
+  }
+  advance(epoch);
+  const std::size_t expected = survivors.size() * rec.speaking_payloads;
+  result.delivery_ratio =
+      expected == 0
+          ? 1.0
+          : static_cast<double>(deliveries) / static_cast<double>(expected);
+
+  // --- phase 5: structural invariants -----------------------------------
+  // Stale relay edges collapse in heartbeat-paced cascades (a lost
+  // LeaveMsg is repaired one prune window later, which may fold the
+  // parent relay in turn), so give the structure the same convergence
+  // budget before the final verdict instead of judging a mid-cascade
+  // snapshot.
+  std::vector<const core::GroupCastNode*> views;
+  views.reserve(nodes.size());
+  for (const auto& node : nodes) views.push_back(node.get());
+  auto report =
+      core::check_tree_invariants(views, kGroup, rendezvous, survivors);
+  for (std::size_t e = 0; e < rec.convergence_epochs && !report.ok(); ++e) {
+    advance(epoch);
+    report =
+        core::check_tree_invariants(views, kGroup, rendezvous, survivors);
+  }
+  result.invariant_violations =
+      static_cast<double>(report.violations.size());
+  result.avg_tree_nodes = static_cast<double>(report.tree_nodes);
+
+  // Reuse the engine-level fields that still make sense here so grid
+  // reports stay uniform.
+  result.subscription_success_rate =
+      subscribers.empty() ? 1.0
+                          : static_cast<double>(members.size()) /
+                                static_cast<double>(subscribers.size());
+  result.subscription_messages =
+      static_cast<double>(transport.messages_sent());
+
+  if (trace::counters().enabled()) {
+    result.counters = trace::counters().snapshot();
+  }
+  return result;
+}
+
+}  // namespace groupcast::metrics

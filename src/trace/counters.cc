@@ -32,6 +32,14 @@ const char* to_string(CounterId id) {
       return "leaves";
     case CounterId::kLinkRefills:
       return "link_refills";
+    case CounterId::kControlRetries:
+      return "control_retries";
+    case CounterId::kControlGiveups:
+      return "control_giveups";
+    case CounterId::kOrphansRecovered:
+      return "orphans_recovered";
+    case CounterId::kHeartbeats:
+      return "heartbeats";
     case CounterId::kCount_:
       break;
   }

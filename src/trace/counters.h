@@ -38,6 +38,10 @@ enum class CounterId : std::uint8_t {
   kJoins,               // overlay join protocol completions
   kLeaves,              // graceful leaves + crashes
   kLinkRefills,         // links re-established by epoch maintenance
+  kControlRetries,      // reliable-exchange attempts after the first
+  kControlGiveups,      // reliable exchanges that exhausted every attempt
+  kOrphansRecovered,    // orphaned nodes that reattached to a tree
+  kHeartbeats,          // tree-edge heartbeats this node sent
   kCount_,
 };
 

@@ -58,6 +58,13 @@ enum class EventKind : std::uint8_t {
   /// End-of-run counter export: counter `peer` (a CounterId) of `node`
   /// had `value`.  Lets trace_report diff counters between two runs.
   kCounterSnapshot,
+  /// A fault-plan event fired: `node` crashed (`value` = 0), a partition
+  /// window opened (`value` = 1) or closed (2), or a burst-loss interval
+  /// opened (3) or closed (4).
+  kFaultInjected,
+  /// Orphaned node `node` reattached to the tree under new parent `peer`;
+  /// `value` = recovery attempts it took.
+  kOrphanRecovered,
   kCount_,
 };
 
@@ -80,6 +87,9 @@ enum class DropReason : std::uint8_t {
   kLoss,            // lossy transport
   kNoReceiver,      // receiver departed while the message was in flight
   kTtlExpired,      // TTL ran out before forwarding
+  kPartitioned,     // sender and receiver were on opposite partition sides
+  kBurstLoss,       // dropped by a fault-plan burst-loss interval
+  kOriginDeparted,  // sender crashed before the scheduled delivery fired
   kCount_,
 };
 

@@ -32,6 +32,10 @@ const char* to_string(EventKind kind) {
       return "ip_tree_built";
     case EventKind::kCounterSnapshot:
       return "counter_snapshot";
+    case EventKind::kFaultInjected:
+      return "fault_injected";
+    case EventKind::kOrphanRecovered:
+      return "orphan_recovered";
     case EventKind::kCount_:
       break;
   }
@@ -62,6 +66,12 @@ const char* to_string(DropReason reason) {
       return "no-receiver";
     case DropReason::kTtlExpired:
       return "ttl-expired";
+    case DropReason::kPartitioned:
+      return "partitioned";
+    case DropReason::kBurstLoss:
+      return "burst-loss";
+    case DropReason::kOriginDeparted:
+      return "origin-departed";
     case DropReason::kCount_:
       break;
   }

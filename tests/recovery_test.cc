@@ -1,0 +1,162 @@
+// End-to-end robustness acceptance tests: the churn-recovery harness under
+// heavy loss and ungraceful churn, determinism of the recovery grid across
+// worker counts, and a regression pinning the pre-retry failure mode where
+// one dropped JoinAck stranded a subscriber forever.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/fault_injection.h"
+#include "core/middleware.h"
+#include "core/node.h"
+#include "metrics/experiment.h"
+#include "sim/fault_plan.h"
+#include "trace/counters.h"
+
+namespace groupcast {
+namespace {
+
+metrics::ScenarioConfig hostile_point() {
+  metrics::ScenarioConfig point;
+  point.peer_count = 200;
+  point.groups = 1;
+  point.seed = 4242;
+  point.recovery.enabled = true;
+  point.recovery.loss_probability = 0.2;
+  point.recovery.crash_fraction = 0.3;
+  return point;
+}
+
+// The ISSUE's acceptance bar: loss = 0.2 plus 30% ungraceful churn, and
+// every surviving subscriber must still re-attach with a coherent tree.
+TEST(Recovery, SurvivorsReattachUnderHeavyLossAndChurn) {
+  const auto result = metrics::run_scenario(hostile_point());
+  EXPECT_DOUBLE_EQ(result.reattached_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(result.invariant_violations, 0.0);
+  EXPECT_GT(result.delivery_ratio, 0.0);
+  EXPECT_GT(result.subscription_success_rate, 0.9);
+  EXPECT_LT(result.epochs_to_converge,
+            static_cast<double>(hostile_point().recovery.convergence_epochs));
+}
+
+// The same hostile point must produce byte-identical numbers whether the
+// grid runs sequentially or on four workers (the harness's determinism
+// contract extends to recovery runs).
+TEST(Recovery, GridResultsIdenticalAcrossJobCounts) {
+  const std::vector<metrics::ScenarioConfig> points{hostile_point()};
+  metrics::GridOptions sequential;
+  sequential.jobs = 1;
+  sequential.repetitions = 2;
+  sequential.counters = true;
+  metrics::GridOptions parallel = sequential;
+  parallel.jobs = 4;
+
+  const auto a = metrics::run_scenario_grid(points, sequential);
+  const auto b = metrics::run_scenario_grid(points, parallel);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+
+  EXPECT_EQ(a[0].delivery_ratio, b[0].delivery_ratio);
+  EXPECT_EQ(a[0].reattached_fraction, b[0].reattached_fraction);
+  EXPECT_EQ(a[0].mean_orphan_epochs, b[0].mean_orphan_epochs);
+  EXPECT_EQ(a[0].epochs_to_converge, b[0].epochs_to_converge);
+  EXPECT_EQ(a[0].control_overhead, b[0].control_overhead);
+  EXPECT_EQ(a[0].invariant_violations, b[0].invariant_violations);
+  EXPECT_EQ(a[0].subscription_success_rate, b[0].subscription_success_rate);
+  EXPECT_EQ(a[0].subscription_messages, b[0].subscription_messages);
+  EXPECT_EQ(a[0].avg_tree_nodes, b[0].avg_tree_nodes);
+  EXPECT_EQ(a[0].counters.totals, b[0].counters.totals);
+  EXPECT_EQ(a[0].counters.per_node, b[0].counters.per_node);
+  // The recovery path actually exercised the retry machinery.
+  EXPECT_GT(a[0].counters.total(trace::CounterId::kControlRetries), 0u);
+  EXPECT_GT(a[0].counters.total(trace::CounterId::kHeartbeats), 0u);
+}
+
+// Deployment driving one subscriber through a total outage of the control
+// plane: a burst-loss window with probability 1 swallows the JOIN and its
+// ack, exactly the dropped-JoinAck scenario that used to strand the
+// subscriber forever.
+struct JoinOutageFixture {
+  core::GroupCastMiddleware middleware;
+  util::Rng rng;
+  core::Transport transport;
+  std::vector<std::unique_ptr<core::GroupCastNode>> nodes;
+  overlay::PeerId rendezvous = overlay::kNoPeer;
+  static constexpr core::GroupId kGroup = 1;
+
+  explicit JoinOutageFixture(core::NodeOptions node_options)
+      : middleware(small_config()),
+        rng(middleware.rng().split()),
+        transport(middleware.simulator(), middleware.population(),
+                  core::TransportOptions{}, rng) {
+    node_options.advertisement = small_config().advertisement;
+    for (overlay::PeerId p = 0; p < small_config().peer_count; ++p) {
+      nodes.push_back(std::make_unique<core::GroupCastNode>(
+          p, transport, middleware.graph(), node_options, rng));
+      nodes.back()->start();
+    }
+    rendezvous = middleware.pick_rendezvous();
+    nodes[rendezvous]->create_group(kGroup);
+    middleware.simulator().run_until(sim::SimTime::seconds(5.0));
+  }
+
+  static core::MiddlewareConfig small_config() {
+    core::MiddlewareConfig config;
+    config.peer_count = 64;
+    config.seed = 5;
+    return config;
+  }
+
+  overlay::PeerId pick_subscriber() const {
+    for (overlay::PeerId p = 0; p < nodes.size(); ++p) {
+      if (p != rendezvous && nodes[p]->has_advertisement(kGroup)) return p;
+    }
+    return overlay::kNoPeer;
+  }
+};
+
+// Regression: with the legacy single-attempt, no-escalation configuration,
+// the outage strands the subscriber — pinned so the old failure mode stays
+// visible as the behaviour the retry ladder exists to fix.
+TEST(Recovery, SingleAttemptJoinIsStrandedByDroppedJoinAck) {
+  core::NodeOptions legacy;
+  legacy.retry.max_attempts = 1;
+  legacy.escalation = false;
+  JoinOutageFixture f(legacy);
+  core::FaultInjector injector(sim::FaultPlan::parse("burst@5s-6.5s:1.0"),
+                               f.transport);
+  const auto subscriber = f.pick_subscriber();
+  ASSERT_NE(subscriber, overlay::kNoPeer);
+  bool reported = false, success = true;
+  f.nodes[subscriber]->on_subscribe_result(
+      [&](core::GroupId, bool ok) { reported = true; success = ok; });
+  f.nodes[subscriber]->subscribe(JoinOutageFixture::kGroup);
+  f.middleware.simulator().run_until(sim::SimTime::seconds(30.0));
+  EXPECT_TRUE(reported);
+  EXPECT_FALSE(success);
+  EXPECT_FALSE(f.nodes[subscriber]->on_tree(JoinOutageFixture::kGroup));
+}
+
+// With the default retry policy the same outage only delays the join: the
+// backoff pushes a later attempt past the window's end and the subscriber
+// lands on the tree.
+TEST(Recovery, RetryLadderSurvivesDroppedJoinAck) {
+  JoinOutageFixture f(core::NodeOptions{});
+  core::FaultInjector injector(sim::FaultPlan::parse("burst@5s-6.5s:1.0"),
+                               f.transport);
+  const auto subscriber = f.pick_subscriber();
+  ASSERT_NE(subscriber, overlay::kNoPeer);
+  bool reported = false, success = false;
+  f.nodes[subscriber]->on_subscribe_result(
+      [&](core::GroupId, bool ok) { reported = true; success = ok; });
+  f.nodes[subscriber]->subscribe(JoinOutageFixture::kGroup);
+  f.middleware.simulator().run_until(sim::SimTime::seconds(30.0));
+  EXPECT_TRUE(reported);
+  EXPECT_TRUE(success);
+  EXPECT_TRUE(f.nodes[subscriber]->is_subscribed(JoinOutageFixture::kGroup));
+  EXPECT_TRUE(f.nodes[subscriber]->on_tree(JoinOutageFixture::kGroup));
+}
+
+}  // namespace
+}  // namespace groupcast

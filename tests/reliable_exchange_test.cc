@@ -1,0 +1,189 @@
+// Tests for the control-plane retry machinery: per-attempt timeouts,
+// capped exponential backoff, jitter bounds, settling, cancellation, and
+// deterministic schedules.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/reliable_exchange.h"
+#include "util/require.h"
+
+namespace groupcast::core {
+namespace {
+
+RetryPolicy no_jitter_policy() {
+  RetryPolicy policy;
+  policy.base_timeout = sim::SimTime::seconds(1.0);
+  policy.backoff = 2.0;
+  policy.max_timeout = sim::SimTime::seconds(8.0);
+  policy.jitter = 0.0;
+  policy.max_attempts = 3;
+  return policy;
+}
+
+TEST(ReliableExchange, BackoffDoublesAndCaps) {
+  sim::Simulator simulator;
+  util::Rng rng(1);
+  ReliableExchange exchange(simulator, 0, no_jitter_policy(), rng);
+  EXPECT_EQ(exchange.backoff_timeout(0), sim::SimTime::seconds(1.0));
+  EXPECT_EQ(exchange.backoff_timeout(1), sim::SimTime::seconds(2.0));
+  EXPECT_EQ(exchange.backoff_timeout(2), sim::SimTime::seconds(4.0));
+  EXPECT_EQ(exchange.backoff_timeout(3), sim::SimTime::seconds(8.0));
+  // Capped at max_timeout from here on.
+  EXPECT_EQ(exchange.backoff_timeout(4), sim::SimTime::seconds(8.0));
+  EXPECT_EQ(exchange.backoff_timeout(20), sim::SimTime::seconds(8.0));
+}
+
+TEST(ReliableExchange, RetriesOnScheduleThenGivesUp) {
+  sim::Simulator simulator;
+  util::Rng rng(2);
+  ReliableExchange exchange(simulator, 0, no_jitter_policy(), rng);
+  std::vector<std::pair<std::size_t, sim::SimTime>> sends;
+  bool gave_up = false;
+  sim::SimTime give_up_at;
+  exchange.begin(
+      [&](std::size_t attempt) {
+        sends.emplace_back(attempt, simulator.now());
+      },
+      [&] {
+        gave_up = true;
+        give_up_at = simulator.now();
+      });
+  simulator.run();
+  // Attempt 0 immediately, retries after 1s and 1+2s, give-up at 1+2+4s.
+  ASSERT_EQ(sends.size(), 3u);
+  EXPECT_EQ(sends[0].first, 0u);
+  EXPECT_EQ(sends[0].second, sim::SimTime::zero());
+  EXPECT_EQ(sends[1].first, 1u);
+  EXPECT_EQ(sends[1].second, sim::SimTime::seconds(1.0));
+  EXPECT_EQ(sends[2].first, 2u);
+  EXPECT_EQ(sends[2].second, sim::SimTime::seconds(3.0));
+  EXPECT_TRUE(gave_up);
+  EXPECT_EQ(give_up_at, sim::SimTime::seconds(7.0));
+  EXPECT_EQ(exchange.in_flight(), 0u);
+}
+
+TEST(ReliableExchange, SettleStopsTheClock) {
+  sim::Simulator simulator;
+  util::Rng rng(3);
+  ReliableExchange exchange(simulator, 0, no_jitter_policy(), rng);
+  std::size_t sends = 0;
+  bool gave_up = false;
+  const auto token =
+      exchange.begin([&](std::size_t) { ++sends; }, [&] { gave_up = true; });
+  EXPECT_TRUE(exchange.pending(token));
+  EXPECT_TRUE(exchange.settle(token));
+  EXPECT_FALSE(exchange.pending(token));
+  // A second settle (duplicate response) is a no-op.
+  EXPECT_FALSE(exchange.settle(token));
+  simulator.run();
+  EXPECT_EQ(sends, 1u);
+  EXPECT_FALSE(gave_up);
+}
+
+TEST(ReliableExchange, CancelSuppressesGiveUp) {
+  sim::Simulator simulator;
+  util::Rng rng(4);
+  ReliableExchange exchange(simulator, 0, no_jitter_policy(), rng);
+  bool gave_up = false;
+  const auto token =
+      exchange.begin([](std::size_t) {}, [&] { gave_up = true; });
+  exchange.cancel(token);
+  simulator.run();
+  EXPECT_FALSE(gave_up);
+  EXPECT_EQ(exchange.in_flight(), 0u);
+}
+
+TEST(ReliableExchange, CancelAllOnShutdown) {
+  sim::Simulator simulator;
+  util::Rng rng(5);
+  ReliableExchange exchange(simulator, 0, no_jitter_policy(), rng);
+  bool gave_up = false;
+  exchange.begin([](std::size_t) {}, [&] { gave_up = true; });
+  exchange.begin([](std::size_t) {}, [&] { gave_up = true; });
+  EXPECT_EQ(exchange.in_flight(), 2u);
+  exchange.cancel_all();
+  EXPECT_EQ(exchange.in_flight(), 0u);
+  simulator.run();
+  EXPECT_FALSE(gave_up);
+}
+
+TEST(ReliableExchange, JitterStretchesWithinBounds) {
+  sim::Simulator simulator;
+  util::Rng rng(6);
+  RetryPolicy policy = no_jitter_policy();
+  policy.jitter = 0.5;
+  policy.max_attempts = 4;
+  ReliableExchange exchange(simulator, 0, policy, rng);
+  std::vector<sim::SimTime> at;
+  exchange.begin([&](std::size_t) { at.push_back(simulator.now()); },
+                 [] {});
+  simulator.run();
+  ASSERT_EQ(at.size(), 4u);
+  for (std::size_t k = 0; k + 1 < at.size(); ++k) {
+    const auto gap = at[k + 1] - at[k];
+    const auto base = exchange.backoff_timeout(k);
+    EXPECT_GE(gap, base) << "attempt " << k;
+    EXPECT_LT(gap.as_micros(), base.as_micros() * 3 / 2) << "attempt " << k;
+  }
+}
+
+TEST(ReliableExchange, ScheduleIsDeterministicPerSeed) {
+  auto schedule = [](std::uint64_t seed) {
+    sim::Simulator simulator;
+    util::Rng rng(seed);
+    RetryPolicy policy = no_jitter_policy();
+    policy.jitter = 0.3;
+    ReliableExchange exchange(simulator, 0, policy, rng);
+    std::vector<std::int64_t> at;
+    exchange.begin(
+        [&](std::size_t) { at.push_back(simulator.now().as_micros()); },
+        [] {});
+    simulator.run();
+    return at;
+  };
+  EXPECT_EQ(schedule(42), schedule(42));
+  EXPECT_NE(schedule(42), schedule(43));
+}
+
+TEST(ReliableExchange, IndependentExchangesDoNotInterfere) {
+  sim::Simulator simulator;
+  util::Rng rng(7);
+  ReliableExchange exchange(simulator, 0, no_jitter_policy(), rng);
+  std::size_t sends_a = 0, sends_b = 0;
+  bool gave_up_b = false;
+  const auto a = exchange.begin([&](std::size_t) { ++sends_a; }, [] {});
+  exchange.begin([&](std::size_t) { ++sends_b; },
+                 [&] { gave_up_b = true; });
+  exchange.settle(a);
+  simulator.run();
+  EXPECT_EQ(sends_a, 1u);
+  EXPECT_EQ(sends_b, 3u);
+  EXPECT_TRUE(gave_up_b);
+}
+
+TEST(ReliableExchange, RejectsNonsensePolicies) {
+  sim::Simulator simulator;
+  util::Rng rng(8);
+  auto make = [&](RetryPolicy policy) {
+    ReliableExchange exchange(simulator, 0, policy, rng);
+  };
+  RetryPolicy policy = no_jitter_policy();
+  policy.max_attempts = 0;
+  EXPECT_THROW(make(policy), PreconditionError);
+  policy = no_jitter_policy();
+  policy.backoff = 0.5;
+  EXPECT_THROW(make(policy), PreconditionError);
+  policy = no_jitter_policy();
+  policy.jitter = -0.1;
+  EXPECT_THROW(make(policy), PreconditionError);
+  policy = no_jitter_policy();
+  policy.base_timeout = sim::SimTime::zero();
+  EXPECT_THROW(make(policy), PreconditionError);
+  policy = no_jitter_policy();
+  policy.max_timeout = sim::SimTime::millis(1.0);
+  EXPECT_THROW(make(policy), PreconditionError);
+}
+
+}  // namespace
+}  // namespace groupcast::core

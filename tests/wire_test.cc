@@ -12,11 +12,14 @@ std::vector<MessageBody> all_message_kinds() {
   return {
       AdvertiseMsg{7, 42, 8},
       JoinMsg{7, 1001},
-      JoinAckMsg{7},
-      RippleQueryMsg{7, 2002, 2},
-      RippleHitMsg{7, 3003},
+      JoinAckMsg{7, 3},
+      RippleQueryMsg{7, 2002, 2, 1},
+      RippleHitMsg{7, 3003, 4},
       DataMsg{7, 4004, 0xDEADBEEFCAFEF00DULL},
       LeaveMsg{7, 5005},
+      HeartbeatMsg{7},
+      HeartbeatAckMsg{7, 2},
+      ParentLostMsg{7},
   };
 }
 
@@ -95,9 +98,9 @@ TEST(Wire, TransportAccountsBytes) {
   sim::Simulator simulator;
   util::Rng rng(1);
   Transport transport(simulator, *world.population, TransportOptions{}, rng);
-  transport.send(0, 1, JoinAckMsg{1});        // 5 bytes
+  transport.send(0, 1, JoinAckMsg{1});        // 9 bytes
   transport.send(0, 1, DataMsg{1, 2, 3});     // 17 bytes
-  EXPECT_EQ(transport.bytes_sent(), 22u);
+  EXPECT_EQ(transport.bytes_sent(), 26u);
   simulator.run();
 }
 
