@@ -11,9 +11,12 @@
 //
 // --jobs=N parallelizes over the grid via metrics::run_scenario_grid;
 // results are byte-identical for every job count.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "json_report.h"
 #include "metrics/experiment.h"
 #include "trace/cli.h"
 #include "trace/counters.h"
@@ -41,7 +44,9 @@ metrics::ScenarioConfig recovery_point(std::size_t peers, double loss,
 int main(int argc, char** argv) {
   const trace::CliTracing tracing(argc, argv);
   const double scale = metrics::bench_scale();
-  const std::size_t peers = scale >= 2.0 ? 800 : 400;
+  // Scale ladder (ROADMAP: "GROUPCAST_BENCH_SCALE=4 recovery runs at 8k+
+  // peers"): 400 -> 800 -> 8192 peers.
+  const std::size_t peers = scale >= 4.0 ? 8192 : scale >= 2.0 ? 800 : 400;
 
   const std::vector<double> losses = {0.0, 0.1, 0.2};
   struct Churn {
@@ -66,9 +71,37 @@ int main(int argc, char** argv) {
 
   metrics::GridOptions options;
   options.jobs = tracing.jobs();
-  options.repetitions = scale >= 2.0 ? 3 : 1;
+  // One topology at the 8k tier: that run is a wall-clock-bounded scale
+  // probe, while the mid tier keeps three topologies for dispersion.
+  options.repetitions = scale >= 4.0 ? 1 : scale >= 2.0 ? 3 : 1;
   options.counters = true;
+  const auto start = std::chrono::steady_clock::now();
   const auto results = metrics::run_scenario_grid(points, options);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (!tracing.json_out().empty()) {
+    bench::JsonReport report("churn_recovery");
+    std::uint64_t events = 0;
+    std::uint64_t peak = 0;
+    for (const auto& r : results) {
+      events += r.events_fired;
+      peak = std::max(peak, r.queue_high_water);
+    }
+    report.root()
+        .number("wall_clock_seconds", wall_seconds)
+        .integer("events_fired", events)
+        .integer("peak_queue_depth", peak)
+        .integer("jobs", options.jobs)
+        .integer("peers", peers);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      auto& cell = report.add_cell();
+      cell.text("churn", churns[i % churns.size()].label);
+      bench::fill_scenario_cell(cell, results[i]);
+    }
+    report.write_file(tracing.json_out());
+  }
 
   std::printf("Churn recovery on the node runtime "
               "(%zu peers, %zu-member group, jobs=%zu)\n\n",

@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
       plan);
 
   const auto combos = bench::ssa_combos();
-  const auto results = bench::run_sweep_grid(plan, combos);
+  const auto results = bench::run_sweep_grid_reported(
+      tracing, "fig12_success", plan, combos);
   std::printf("%8s %-12s %16s %16s\n", "peers", "overlay", "receiving rate",
               "success rate");
   std::size_t idx = 0;

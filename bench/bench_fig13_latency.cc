@@ -16,7 +16,8 @@ int main(int argc, char** argv) {
   bench::print_sweep_header("Figure 13: service lookup latency (SSA)", plan);
 
   const auto combos = bench::ssa_combos();
-  const auto results = bench::run_sweep_grid(plan, combos);
+  const auto results = bench::run_sweep_grid_reported(
+      tracing, "fig13_latency", plan, combos);
   std::printf("%8s %-12s %18s\n", "peers", "overlay", "lookup latency");
   std::size_t idx = 0;
   for (const std::size_t n : plan.sizes) {

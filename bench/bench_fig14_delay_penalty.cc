@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
   bench::print_sweep_header("Figure 14: relative delay penalty", plan);
 
   const auto combos = bench::all_combos();
-  const auto results = bench::run_sweep_grid(plan, combos);
+  const auto results = bench::run_sweep_grid_reported(
+      tracing, "fig14_delay_penalty", plan, combos);
   std::printf("%8s %-18s %14s\n", "peers", "combo", "delay penalty");
   std::size_t idx = 0;
   for (const std::size_t n : plan.sizes) {

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   bench::print_sweep_header("Figure 16: node stress", plan);
 
   const auto combos = bench::all_combos();
-  const auto results = bench::run_sweep_grid(plan, combos);
+  const auto results = bench::run_sweep_grid_reported(
+      tracing, "fig16_node_stress", plan, combos);
   std::printf("%8s %-18s %12s\n", "peers", "combo", "node stress");
   std::size_t idx = 0;
   for (const std::size_t n : plan.sizes) {

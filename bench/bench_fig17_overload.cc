@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
   bench::print_sweep_header("Figure 17: overload index (log scale)", plan);
 
   const auto combos = bench::all_combos();
-  const auto results = bench::run_sweep_grid(plan, combos);
+  const auto results = bench::run_sweep_grid_reported(
+      tracing, "fig17_overload", plan, combos);
   std::printf("%8s %-18s %16s\n", "peers", "combo", "overload index");
   std::size_t idx = 0;
   for (const std::size_t n : plan.sizes) {

@@ -3,8 +3,12 @@
 // construction, the bootstrap join, and SSA announcement.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <string>
 #include <vector>
+
+#include "json_report.h"
 
 #include "baselines/chord.h"
 #include "core/advertisement.h"
@@ -130,19 +134,104 @@ void BM_ChordRoute(benchmark::State& state) {
 }
 BENCHMARK(BM_ChordRoute)->Arg(1000);
 
+// Fixed event-loop throughput probe behind --json_out: schedules `count`
+// events with randomized timestamps (a mix of the closure and the
+// fixed-signature timer paths, ~1/16 cancelled) and drains them, wall-clock
+// timed.  Deterministic workload, so runs of the same binary measure the
+// same thing and scripts/check.sh can compare events/sec across builds.
+struct ProbeStats {
+  std::size_t fired = 0;
+  std::size_t peak_queue_depth = 0;
+  double seconds = 0.0;
+  double events_per_second = 0.0;
+};
+
+ProbeStats probe_event_loop(std::size_t count) {
+  util::Rng rng(99);
+  sim::Simulator simulator;
+  std::uint64_t consumed = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto when = sim::SimTime::micros(
+        static_cast<std::int64_t>(rng.uniform_index(1000000)));
+    if ((i & 1) == 0) {
+      const auto handle = simulator.schedule_timer_at(
+          when,
+          [](void* context, std::uint64_t arg) {
+            *static_cast<std::uint64_t*>(context) += arg;
+          },
+          &consumed, i);
+      if ((i & 15) == 0) simulator.cancel(handle);
+    } else {
+      simulator.schedule_at(when, [] {});
+    }
+  }
+  ProbeStats stats;
+  stats.fired = simulator.run();
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  stats.peak_queue_depth = simulator.queue_high_water();
+  stats.events_per_second =
+      stats.seconds > 0.0 ? static_cast<double>(stats.fired) / stats.seconds
+                          : 0.0;
+  benchmark::DoNotOptimize(consumed);
+  return stats;
+}
+
+void write_micro_json(const std::string& path) {
+  bench::JsonReport report("micro");
+  const auto start = std::chrono::steady_clock::now();
+  probe_event_loop(100000);  // warm-up: slab growth, first-touch faults
+  std::uint64_t events = 0;
+  double best_rate = 0.0;
+  for (const std::size_t count : {100000ul, 1000000ul, 2000000ul}) {
+    // Two passes per size, keep the faster one: scheduler noise only ever
+    // slows a pass down, so best-of is the right throughput estimator.
+    auto stats = probe_event_loop(count);
+    const auto again = probe_event_loop(count);
+    if (again.events_per_second > stats.events_per_second) stats = again;
+    events += stats.fired;
+    best_rate = std::max(best_rate, stats.events_per_second);
+    report.add_cell()
+        .integer("scheduled", count)
+        .integer("events_fired", stats.fired)
+        .integer("peak_queue_depth", stats.peak_queue_depth)
+        .number("wall_clock_seconds", stats.seconds)
+        .number("events_per_second", stats.events_per_second);
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // The smoke gate in scripts/check.sh reads the root events_per_second;
+  // best-of-sizes keeps it stable against one slow size on a noisy box.
+  report.root()
+      .number("wall_clock_seconds", wall_seconds)
+      .integer("events_fired", events)
+      .number("events_per_second", best_rate);
+  report.write_file(path);
+}
+
 }  // namespace
 
 // Custom main: google-benchmark rejects flags it does not know, so
-// --trace_out=<path> is peeled off argv before Initialize sees it.
+// --trace_out=<path> and --json_out=<path> are peeled off argv before
+// Initialize sees them.
 int main(int argc, char** argv) {
   std::string trace_path;
+  std::string json_path;
   std::vector<char*> passthrough;
   passthrough.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    constexpr const char* kPrefix = "--trace_out=";
-    if (arg.rfind(kPrefix, 0) == 0) {
-      trace_path = arg.substr(std::string(kPrefix).size());
+    constexpr const char* kTracePrefix = "--trace_out=";
+    constexpr const char* kJsonPrefix = "--json_out=";
+    if (arg.rfind(kTracePrefix, 0) == 0) {
+      trace_path = arg.substr(std::string(kTracePrefix).size());
+      continue;
+    }
+    if (arg.rfind(kJsonPrefix, 0) == 0) {
+      json_path = arg.substr(std::string(kJsonPrefix).size());
       continue;
     }
     passthrough.push_back(argv[i]);
@@ -157,5 +246,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!json_path.empty()) write_micro_json(json_path);
   return 0;
 }

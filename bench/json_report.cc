@@ -1,0 +1,175 @@
+#include "json_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "core/advertisement.h"
+#include "core/middleware.h"
+#include "trace/counters.h"
+
+namespace groupcast::bench {
+
+namespace {
+
+std::string quote(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  out.push_back('"');
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+JsonObject& JsonObject::number(const std::string& key, double value) {
+  char buf[40];
+  if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");
+  }
+  fields_.push_back(Field{key, buf});
+  return *this;
+}
+
+JsonObject& JsonObject::integer(const std::string& key,
+                                std::uint64_t value) {
+  fields_.push_back(Field{key, std::to_string(value)});
+  return *this;
+}
+
+JsonObject& JsonObject::text(const std::string& key,
+                             const std::string& value) {
+  fields_.push_back(Field{key, quote(value)});
+  return *this;
+}
+
+void JsonObject::render(std::string& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  out += "{\n";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    out += pad;
+    out += "  ";
+    out += quote(fields_[i].key);
+    out += ": ";
+    out += fields_[i].literal;
+    if (i + 1 < fields_.size()) out += ",";
+    out += "\n";
+  }
+  out += pad;
+  out += "}";
+}
+
+void JsonObject::render_fields(std::string& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  for (const auto& field : fields_) {
+    out += pad;
+    out += quote(field.key);
+    out += ": ";
+    out += field.literal;
+    out += ",\n";
+  }
+}
+
+JsonReport::JsonReport(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+JsonObject& JsonReport::add_cell() {
+  cells_.emplace_back();
+  return cells_.back();
+}
+
+std::string JsonReport::render() const {
+  std::string out = "{\n  \"bench\": " + quote(name_) + ",\n";
+  root_.render_fields(out, 2);
+  out += "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    out += "    ";
+    cells_[i].render(out, 4);
+    if (i + 1 < cells_.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool JsonReport::write_file(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "json_report: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string body = render();
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), file) == body.size();
+  std::fclose(file);
+  if (!ok) {
+    std::fprintf(stderr, "json_report: short write to %s\n", path.c_str());
+  }
+  return ok;
+}
+
+void fill_scenario_cell(JsonObject& cell,
+                        const metrics::ScenarioResult& r) {
+  cell.integer("peers", r.config.peer_count)
+      .text("overlay", core::to_string(r.config.overlay))
+      .text("scheme", core::to_string(r.config.scheme))
+      .integer("groups", r.config.groups)
+      .integer("seed", r.config.seed)
+      .number("advertisement_messages", r.advertisement_messages)
+      .number("subscription_messages", r.subscription_messages)
+      .number("receiving_rate", r.receiving_rate)
+      .number("subscription_success_rate", r.subscription_success_rate)
+      .number("lookup_latency_ms", r.lookup_latency_ms)
+      .number("delay_penalty", r.delay_penalty)
+      .number("link_stress", r.link_stress)
+      .number("node_stress", r.node_stress)
+      .number("overload_index", r.overload_index)
+      .integer("events_fired", r.events_fired)
+      .integer("queue_high_water", r.queue_high_water);
+  if (r.config.recovery.enabled) {
+    cell.number("loss_probability", r.config.recovery.loss_probability)
+        .number("crash_fraction", r.config.recovery.crash_fraction)
+        .number("graceful_fraction", r.config.recovery.graceful_fraction)
+        .number("delivery_ratio", r.delivery_ratio)
+        .number("reattached_fraction", r.reattached_fraction)
+        .number("mean_orphan_epochs", r.mean_orphan_epochs)
+        .number("epochs_to_converge", r.epochs_to_converge)
+        .number("invariant_violations", r.invariant_violations)
+        .integer("control_retries",
+                 r.counters.total(trace::CounterId::kControlRetries))
+        .integer("control_giveups",
+                 r.counters.total(trace::CounterId::kControlGiveups))
+        .integer("orphans_recovered",
+                 r.counters.total(trace::CounterId::kOrphansRecovered));
+  }
+}
+
+}  // namespace groupcast::bench

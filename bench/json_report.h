@@ -1,0 +1,78 @@
+// Machine-readable bench reports (BENCH_<name>.json).
+//
+// Every sweep bench accepts --json_out=<path> and, when given, writes a
+// small JSON document next to its human-readable table: top-level run
+// metadata (bench name, wall-clock, total events fired, peak event-queue
+// depth) plus a "cells" array with one flat object per grid cell.  The
+// format is deliberately minimal — insertion-ordered flat objects of
+// numbers and strings — so that scripts/check.sh can diff a fresh run
+// against a checked-in baseline with nothing fancier than cmake's
+// string(JSON).  See docs/PERFORMANCE.md for the field catalogue.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/experiment.h"
+
+namespace groupcast::bench {
+
+/// Flat JSON object with insertion-ordered fields.  Values are rendered
+/// at insertion time (doubles via round-trippable %.17g; non-finite
+/// doubles become null); duplicate keys are the caller's bug and are
+/// emitted as-is.
+class JsonObject {
+ public:
+  JsonObject& number(const std::string& key, double value);
+  JsonObject& integer(const std::string& key, std::uint64_t value);
+  JsonObject& text(const std::string& key, const std::string& value);
+
+  /// Appends this object to `out`, indented by `indent` spaces.
+  void render(std::string& out, int indent) const;
+
+  /// Appends only the "key": value lines (one per line, `indent` spaces
+  /// each, every line comma-terminated) — used to splice the root fields
+  /// into the report's top-level object.
+  void render_fields(std::string& out, int indent) const;
+
+  bool empty() const { return fields_.empty(); }
+
+ private:
+  struct Field {
+    std::string key;
+    std::string literal;  // pre-rendered JSON value
+  };
+  std::vector<Field> fields_;
+};
+
+/// One BENCH_<name>.json document: { "bench": name, <root fields>,
+/// "cells": [ ... ] }.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name);
+
+  /// Top-level scalars (wall_clock_seconds, events_fired, ...).
+  JsonObject& root() { return root_; }
+
+  /// Appends an empty per-cell object and returns it for filling.
+  JsonObject& add_cell();
+
+  std::string render() const;
+
+  /// Writes render() to `path`.  Returns false (and reports to stderr)
+  /// when the file cannot be written.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::string name_;
+  JsonObject root_;
+  std::vector<JsonObject> cells_;
+};
+
+/// The standard per-scenario cell: scenario shape (peers, overlay,
+/// scheme, groups, seed), the paper metrics, the robustness metrics when
+/// the recovery harness ran, and the event-loop workload columns.
+void fill_scenario_cell(JsonObject& cell, const metrics::ScenarioResult& r);
+
+}  // namespace groupcast::bench

@@ -6,10 +6,15 @@
 // points and =4 for the paper's full 32k sweep (plus more repetitions).
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "json_report.h"
 #include "metrics/experiment.h"
+#include "trace/cli.h"
 #include "trace/counters.h"
 
 namespace groupcast::bench {
@@ -117,6 +122,51 @@ inline std::vector<metrics::ScenarioResult> run_sweep_grid(
   // fold the per-run counters back so that export matches the sequential
   // harness (no-op when counters are disabled).
   for (const auto& r : results) trace::counters().merge(r.counters);
+  return results;
+}
+
+/// Writes the BENCH_<name>.json report for a sweep grid: run totals in
+/// the root (wall-clock, events fired, peak queue depth) and one cell per
+/// (size, combo) grid point.  A no-op when `path` is empty.
+inline void write_sweep_json(const std::string& path, const char* bench_name,
+                             const std::vector<Combo>& combos,
+                             const std::vector<metrics::ScenarioResult>& results,
+                             double wall_seconds, std::size_t jobs) {
+  if (path.empty()) return;
+  JsonReport report(bench_name);
+  std::uint64_t events = 0;
+  std::uint64_t peak = 0;
+  for (const auto& r : results) {
+    events += r.events_fired;
+    peak = std::max(peak, r.queue_high_water);
+  }
+  report.root()
+      .number("wall_clock_seconds", wall_seconds)
+      .integer("events_fired", events)
+      .integer("peak_queue_depth", peak)
+      .integer("jobs", jobs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    auto& cell = report.add_cell();
+    cell.text("combo", combos[i % combos.size()].label);
+    fill_scenario_cell(cell, results[i]);
+  }
+  report.write_file(path);
+}
+
+/// run_sweep_grid plus the --json_out hook: when `tracing` carries a
+/// --json_out path, the grid is wall-clocked and written out as
+/// BENCH_<name>.json via write_sweep_json.
+inline std::vector<metrics::ScenarioResult> run_sweep_grid_reported(
+    const trace::CliTracing& tracing, const char* bench_name,
+    const SweepPlan& plan, const std::vector<Combo>& combos,
+    std::uint64_t seed = 1000) {
+  const auto start = std::chrono::steady_clock::now();
+  auto results = run_sweep_grid(plan, combos, seed);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  write_sweep_json(tracing.json_out(), bench_name, combos, results,
+                   wall_seconds, plan.jobs);
   return results;
 }
 

@@ -12,14 +12,19 @@
 #  3. Fault injection: the churn-recovery sweep (bench_churn_recovery
 #     --jobs=4) under ASan, exercising crashes, partitions, and burst
 #     loss end to end; the recovery tests already ran in both suites.
+#  4. Perf smoke: a Release build of bench_micro measures event-loop
+#     throughput (--json_out) and scripts/perf_gate.cmake fails the run
+#     if events/sec regressed >25% against the checked-in baseline in
+#     bench/baselines/.
 #
-# Usage: scripts/check.sh [asan-build-dir] [tsan-build-dir]
-#        (defaults: build-asan, build-tsan)
+# Usage: scripts/check.sh [asan-build-dir] [tsan-build-dir] [perf-build-dir]
+#        (defaults: build-asan, build-tsan, build-perf)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build-asan}"
 tsan_build_dir="${2:-${repo_root}/build-tsan}"
+perf_build_dir="${3:-${repo_root}/build-perf}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 cmake -B "${build_dir}" -S "${repo_root}" \
@@ -55,3 +60,18 @@ cmake --build "${build_dir}" -j "${jobs}" --target bench_churn_recovery
 "${build_dir}/bench/bench_churn_recovery" --jobs=4 > /dev/null
 
 echo "check.sh: churn-recovery sweep clean under ASan (--jobs=4)"
+
+# Perf-smoke stage: sanitizer trees are useless for timing, so bench_micro
+# gets its own Release tree.  The google-benchmark suite itself is skipped
+# (filter matches nothing) — the gated number is the deterministic
+# event-loop probe behind --json_out.
+cmake -B "${perf_build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${perf_build_dir}" -j "${jobs}" --target bench_micro
+perf_json="${perf_build_dir}/BENCH_micro.json"
+"${perf_build_dir}/bench/bench_micro" '--benchmark_filter=^$' \
+  --json_out="${perf_json}" > /dev/null
+cmake -DBASELINE="${repo_root}/bench/baselines/micro_baseline.json" \
+  -DCURRENT="${perf_json}" -DMAX_REGRESSION_PERCENT=25 \
+  -P "${repo_root}/scripts/perf_gate.cmake"
+
+echo "check.sh: perf smoke within budget (bench_micro events/sec)"

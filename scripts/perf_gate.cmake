@@ -1,0 +1,50 @@
+# Perf-smoke gate: compares a fresh BENCH_micro.json against the
+# checked-in baseline and fails when event-loop throughput regressed by
+# more than the allowed percentage.
+#
+# Usage:
+#   cmake -DBASELINE=bench/baselines/micro_baseline.json \
+#         -DCURRENT=build-perf/BENCH_micro.json \
+#         -DMAX_REGRESSION_PERCENT=25 -P scripts/perf_gate.cmake
+#
+# Both files are bench_micro --json_out output; the gated number is the
+# root "events_per_second" (best-of-sizes, see docs/PERFORMANCE.md).
+# Comparison is integer events/sec — plenty of resolution at 10^6/s.
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+foreach(var BASELINE CURRENT MAX_REGRESSION_PERCENT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "perf_gate: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(READ "${BASELINE}" baseline_json)
+file(READ "${CURRENT}" current_json)
+string(JSON baseline_rate GET "${baseline_json}" events_per_second)
+string(JSON current_rate GET "${current_json}" events_per_second)
+
+# Truncate to integers for math(EXPR); rates sit around 10^6 so the lost
+# fraction is noise.
+string(REGEX REPLACE "\\..*$" "" baseline_int "${baseline_rate}")
+string(REGEX REPLACE "\\..*$" "" current_int "${current_rate}")
+if(NOT baseline_int MATCHES "^[0-9]+$" OR NOT current_int MATCHES "^[0-9]+$")
+  message(FATAL_ERROR
+    "perf_gate: non-numeric events_per_second "
+    "(baseline '${baseline_rate}', current '${current_rate}')")
+endif()
+
+math(EXPR floor_rate
+  "(${baseline_int} * (100 - ${MAX_REGRESSION_PERCENT})) / 100")
+
+if(current_int LESS floor_rate)
+  message(FATAL_ERROR
+    "perf_gate: event-loop throughput regressed more than "
+    "${MAX_REGRESSION_PERCENT}%: ${current_int} events/s vs baseline "
+    "${baseline_int} (floor ${floor_rate}).  If the slowdown is "
+    "intentional, re-baseline bench/baselines/micro_baseline.json from a "
+    "quiet machine and explain the change in the commit.")
+endif()
+
+message(STATUS
+  "perf_gate: ${current_int} events/s vs baseline ${baseline_int} "
+  "(floor ${floor_rate}) - ok")

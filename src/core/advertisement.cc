@@ -41,7 +41,8 @@ AdvertisementEngine::AdvertisementEngine(
       options_(options),
       rng_(rng.split()),
       resource_level_(population.size(), 0.5),
-      resource_level_known_(population.size(), 0) {
+      resource_level_known_(population.size(), 0),
+      neighbor_cache_(population.size()) {
   GC_REQUIRE(options_.forward_fraction > 0.0 &&
              options_.forward_fraction <= 1.0);
   GC_REQUIRE(options_.ttl >= 1);
@@ -96,6 +97,80 @@ std::vector<overlay::PeerId> AdvertisementEngine::select_targets(
   return out;
 }
 
+std::vector<overlay::PeerId> AdvertisementEngine::select_targets_cached(
+    overlay::PeerId from, overlay::PeerId exclude) {
+  NeighborCacheEntry& entry = neighbor_cache_[from];
+  const auto generation = graph_->neighbor_generation(from);
+  if (!entry.valid || entry.generation != generation) {
+    entry.valid = true;
+    entry.candidates_valid = false;
+    entry.generation = generation;
+    entry.neighbors = graph_->neighbors(from);
+    entry.candidates.clear();
+  }
+
+  std::vector<overlay::PeerId> pool;
+  pool.reserve(entry.neighbors.size());
+  for (const auto n : entry.neighbors) {
+    if (n != exclude) pool.push_back(n);
+  }
+  if (pool.empty()) return pool;
+  if (options_.scheme == AnnouncementScheme::kNssa) return pool;
+
+  const auto want = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(options_.forward_fraction *
+                       static_cast<double>(pool.size()))));
+  if (want >= pool.size()) return pool;
+
+  if (options_.scheme == AnnouncementScheme::kSsaRandom) {
+    const auto idx = rng_.sample_indices(pool.size(), want);
+    std::vector<overlay::PeerId> out;
+    out.reserve(want);
+    for (const auto i : idx) out.push_back(pool[i]);
+    return out;
+  }
+
+  // kSsaUtility.  The resource-level memo goes first, exactly as in
+  // select_targets, so the RNG stream stays aligned with the uncached
+  // path; the candidate rows below draw no RNG.
+  if (!resource_level_known_[from]) {
+    resource_level_[from] = clamp_resource_level(
+        options_.pinned_resource_level >= 0.0
+            ? options_.pinned_resource_level
+            : population_->sampled_resource_level(
+                  from, options_.resource_sample, rng_));
+    resource_level_known_[from] = 1;
+  }
+  if (!entry.candidates_valid) {
+    trace::counters().incr(from, trace::CounterId::kUtilityCacheMisses);
+    entry.candidates.reserve(entry.neighbors.size());
+    for (const auto n : entry.neighbors) {
+      entry.candidates.push_back(
+          Candidate{population_->info(n).capacity,
+                    population_->coord_distance_ms(from, n)});
+    }
+    entry.candidates_valid = true;
+  } else {
+    trace::counters().incr(from, trace::CounterId::kUtilityCacheHits);
+  }
+  // Pool-aligned rows: skip the excluded neighbour in lockstep, giving
+  // the exact vector select_targets would have built.
+  std::vector<Candidate> candidates;
+  candidates.reserve(pool.size());
+  for (std::size_t i = 0; i < entry.neighbors.size(); ++i) {
+    if (entry.neighbors[i] != exclude) {
+      candidates.push_back(entry.candidates[i]);
+    }
+  }
+  const auto prefs = selection_preferences(resource_level_[from], candidates);
+  const auto idx = weighted_sample_without_replacement(prefs, want, rng_);
+  std::vector<overlay::PeerId> out;
+  out.reserve(idx.size());
+  for (const auto i : idx) out.push_back(pool[i]);
+  return out;
+}
+
 AdvertisementState AdvertisementEngine::announce(overlay::PeerId rendezvous,
                                                  MessageStats* stats) {
   GC_REQUIRE(rendezvous < population_->size());
@@ -137,9 +212,8 @@ AdvertisementState AdvertisementEngine::announce(overlay::PeerId rendezvous,
         st.arrival[at] = context->engine->simulator_->now();
         context->counters->incr(at, trace::CounterId::kMessagesReceived);
         if (ttl == 0) return;
-        const auto neighbors = context->engine->graph_->neighbors(at);
         const auto targets =
-            context->engine->select_targets(at, neighbors, from);
+            context->engine->select_targets_cached(at, from);
         for (const auto to : targets) {
           ++st.messages;
           if (context->stats != nullptr) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/message.h"
+#include "core/utility.h"
 #include "overlay/graph.h"
 #include "overlay/population.h"
 #include "sim/simulator.h"
@@ -89,6 +90,27 @@ class AdvertisementEngine {
       overlay::PeerId from, const std::vector<overlay::PeerId>& neighbors,
       overlay::PeerId exclude);
 
+  /// Cached variant used by announce(): Nbr(from) and (for kSsaUtility)
+  /// its Eq. 1-5 Candidate rows are memoized per forwarder, revalidated
+  /// against the graph's neighbour generation.  Bit-identical to
+  /// select_targets over graph_->neighbors(from): the cache stores the
+  /// computed rows, draws no RNG while filling, and any neighbour
+  /// add/remove invalidates it — see docs/PERFORMANCE.md.
+  std::vector<overlay::PeerId> select_targets_cached(overlay::PeerId from,
+                                                     overlay::PeerId exclude);
+
+  /// Per-forwarder memo of select_targets_cached.  `candidates[i]` is the
+  /// capacity/distance row of `neighbors[i]`; rows are filled lazily on
+  /// the first kSsaUtility selection (kUtilityCacheMisses) and reused
+  /// until the generation moves (kUtilityCacheHits).
+  struct NeighborCacheEntry {
+    bool valid = false;
+    bool candidates_valid = false;
+    std::uint64_t generation = 0;
+    std::vector<overlay::PeerId> neighbors;
+    std::vector<Candidate> candidates;
+  };
+
   sim::Simulator* simulator_;
   const overlay::PeerPopulation* population_;
   const overlay::OverlayGraph* graph_;
@@ -97,6 +119,7 @@ class AdvertisementEngine {
   /// Cached resource-level estimate per peer (lazily sampled).
   std::vector<double> resource_level_;
   std::vector<char> resource_level_known_;
+  std::vector<NeighborCacheEntry> neighbor_cache_;
 };
 
 }  // namespace groupcast::core

@@ -33,7 +33,7 @@ GroupCastMiddleware::GroupCastMiddleware(const MiddlewareConfig& config)
     case UnderlayModel::kTransitStub: {
       const auto ts_config = net::scale_config_for_peers(
           config_.peer_count, config_.peers_per_router);
-      underlay_ = std::make_unique<net::UnderlayTopology>(
+      underlay_ = std::make_shared<const net::UnderlayTopology>(
           net::generate_transit_stub(ts_config, rng_));
       break;
     }
@@ -41,17 +41,17 @@ GroupCastMiddleware::GroupCastMiddleware(const MiddlewareConfig& config)
       net::WaxmanConfig waxman;
       waxman.routers = static_cast<std::uint32_t>(std::max<std::size_t>(
           48, config_.peer_count / config_.peers_per_router));
-      underlay_ = std::make_unique<net::UnderlayTopology>(
+      underlay_ = std::make_shared<const net::UnderlayTopology>(
           net::generate_waxman(waxman, rng_));
       break;
     }
   }
-  routing_ = std::make_unique<net::IpRouting>(*underlay_);
+  routing_ = std::make_shared<const net::IpRouting>(*underlay_);
 
   auto pop_config = config_.population;
   pop_config.peer_count = config_.peer_count;
-  population_ =
-      std::make_unique<overlay::PeerPopulation>(*routing_, pop_config, rng_);
+  population_ = std::make_shared<const overlay::PeerPopulation>(
+      *routing_, pop_config, rng_);
 
   graph_ = std::make_unique<overlay::OverlayGraph>(config_.peer_count);
   host_cache_ = std::make_unique<overlay::HostCacheServer>(
@@ -64,6 +64,95 @@ GroupCastMiddleware::GroupCastMiddleware(const MiddlewareConfig& config)
       static_cast<std::uint64_t>(trace::Phase::kBootstrap));
   build_overlay();
   repair_edges_ = ensure_connected();
+}
+
+GroupCastMiddleware::GroupCastMiddleware(
+    std::shared_ptr<const DeploymentSnapshot> snapshot)
+    : config_(snapshot->config),
+      rng_(snapshot->rng),
+      underlay_(snapshot->underlay),
+      routing_(snapshot->routing),
+      population_(snapshot->population),
+      graph_(std::make_unique<overlay::OverlayGraph>(*snapshot->graph)),
+      host_cache_(
+          std::make_unique<overlay::HostCacheServer>(*snapshot->host_cache)),
+      supernode_layout_(snapshot->supernode_layout),
+      repair_edges_(snapshot->repair_edges) {
+  bootstrap_ = std::make_unique<overlay::GroupCastBootstrap>(
+      *snapshot->bootstrap, *graph_, *host_cache_);
+  // Replay the recorded construction-phase instrumentation, so a forked
+  // run's counters and trace are byte-identical to a freshly-constructed
+  // run's.  Both calls are no-ops while counting / tracing is off.
+  trace::counters().merge(snapshot->counters);
+  auto& tracer = trace::tracer();
+  if (tracer.enabled()) {
+    for (const auto& event : snapshot->events) tracer.emit(event);
+  }
+}
+
+namespace {
+
+/// Captures every trace event emitted while installed (make_snapshot's
+/// recorder); unbounded on purpose — construction emits one event per
+/// join plus a handful of phase markers.
+class RecordingSink final : public trace::TraceSink {
+ public:
+  void record(const trace::TraceEvent& event) override {
+    events_.push_back(event);
+  }
+  void flush() override {}
+  std::vector<trace::TraceEvent> take() { return std::move(events_); }
+
+ private:
+  std::vector<trace::TraceEvent> events_;
+};
+
+/// Save/restore sink installer.  ScopedSink is not used here because it
+/// insists on owning its sink and discards the previously-installed one;
+/// make_snapshot must hand the caller's sink back afterwards.
+class SinkSwap {
+ public:
+  explicit SinkSwap(trace::TraceSink* replacement)
+      : previous_(trace::tracer().sink()) {
+    trace::tracer().set_sink(replacement);
+  }
+  ~SinkSwap() { trace::tracer().set_sink(previous_); }
+  SinkSwap(const SinkSwap&) = delete;
+  SinkSwap& operator=(const SinkSwap&) = delete;
+
+ private:
+  trace::TraceSink* previous_;
+};
+
+}  // namespace
+
+std::shared_ptr<const DeploymentSnapshot> GroupCastMiddleware::make_snapshot(
+    const MiddlewareConfig& config) {
+  auto snapshot = std::make_shared<DeploymentSnapshot>();
+  trace::CounterRegistry recorded_counters;
+  recorded_counters.enable(config.peer_count);
+  RecordingSink recorder;
+  {
+    // The donor builds under a private registry + sink: the recording is
+    // complete even when the caller's instrumentation is disabled, and
+    // nothing is emitted twice into an enabled caller's.
+    trace::ScopedCounterRegistry counter_guard(recorded_counters);
+    SinkSwap sink_guard(&recorder);
+    GroupCastMiddleware donor(config);
+    snapshot->config = donor.config_;
+    snapshot->underlay = donor.underlay_;
+    snapshot->routing = donor.routing_;
+    snapshot->population = donor.population_;
+    snapshot->graph = std::move(donor.graph_);
+    snapshot->host_cache = std::move(donor.host_cache_);
+    snapshot->bootstrap = std::move(donor.bootstrap_);
+    snapshot->supernode_layout = std::move(donor.supernode_layout_);
+    snapshot->rng = donor.rng_;
+    snapshot->repair_edges = donor.repair_edges_;
+  }
+  snapshot->counters = recorded_counters.snapshot();
+  snapshot->events = recorder.take();
+  return snapshot;
 }
 
 void GroupCastMiddleware::build_overlay() {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/advertisement.h"
 #include "core/group_session.h"
@@ -22,6 +23,8 @@
 #include "overlay/bootstrap.h"
 #include "overlay/plod.h"
 #include "overlay/supernode.h"
+#include "trace/counters.h"
+#include "trace/event.h"
 
 namespace groupcast::core {
 
@@ -58,6 +61,37 @@ struct MiddlewareConfig {
   std::size_t rendezvous_walk_length = 20;
 };
 
+/// A fully-constructed deployment frozen right after bootstrap.
+///
+/// Building the world — underlay generation, the GNP embedding, and
+/// peer_count bootstrap joins — dominates the wall clock of parameter
+/// sweeps whose cells share a MiddlewareConfig.  make_snapshot() pays
+/// that cost once; the forking constructor then stamps out independent
+/// GroupCastMiddleware instances that are bit-identical to a fresh
+/// construction: same RNG stream positions (middleware, bootstrap, host
+/// cache), same overlay graph, and the same construction-phase counters
+/// and trace events (recorded here and replayed into the forking run's
+/// registry/sink).  See docs/PERFORMANCE.md.
+///
+/// Create with GroupCastMiddleware::make_snapshot(); treat as opaque and
+/// share via shared_ptr<const ...> — forks only read it.
+struct DeploymentSnapshot {
+  MiddlewareConfig config;
+  std::shared_ptr<const net::UnderlayTopology> underlay;
+  std::shared_ptr<const net::IpRouting> routing;
+  std::shared_ptr<const overlay::PeerPopulation> population;
+  std::unique_ptr<const overlay::OverlayGraph> graph;
+  std::unique_ptr<const overlay::HostCacheServer> host_cache;
+  std::unique_ptr<const overlay::GroupCastBootstrap> bootstrap;
+  overlay::SupernodeLayout supernode_layout;
+  /// Post-construction state of the deployment's generator stream.
+  util::Rng rng{0};
+  std::size_t repair_edges = 0;
+  /// Counters and trace events construction emitted, replayed per fork.
+  trace::CounterSnapshot counters;
+  std::vector<trace::TraceEvent> events;
+};
+
 /// One established communication group.
 struct GroupHandle {
   AdvertisementState advert;
@@ -72,6 +106,22 @@ struct GroupHandle {
 class GroupCastMiddleware {
  public:
   explicit GroupCastMiddleware(const MiddlewareConfig& config);
+
+  /// Forks a snapshot: shares the immutable underlay / routing /
+  /// population, copies the mutable overlay graph, host cache and
+  /// bootstrap protocol state, restores the post-construction RNG
+  /// streams, and replays the recorded construction-phase counters and
+  /// trace events into the calling thread's registry / sink.  The result
+  /// is indistinguishable from `GroupCastMiddleware(snapshot->config)`.
+  explicit GroupCastMiddleware(
+      std::shared_ptr<const DeploymentSnapshot> snapshot);
+
+  /// Builds a deployment for `config` once and freezes it for forking.
+  /// Construction runs under a private counter registry and trace sink so
+  /// the recording never leaks into (or reads from) the caller's; the
+  /// captured instrumentation replays per fork instead.
+  static std::shared_ptr<const DeploymentSnapshot> make_snapshot(
+      const MiddlewareConfig& config);
 
   // Non-copyable (owns large immutable state); movable is unnecessary.
   GroupCastMiddleware(const GroupCastMiddleware&) = delete;
@@ -144,9 +194,11 @@ class GroupCastMiddleware {
   MiddlewareConfig config_;
   util::Rng rng_;
   sim::Simulator simulator_;
-  std::unique_ptr<net::UnderlayTopology> underlay_;
-  std::unique_ptr<net::IpRouting> routing_;
-  std::unique_ptr<overlay::PeerPopulation> population_;
+  // Immutable after construction and therefore shared between forks of a
+  // DeploymentSnapshot; mutable structures below stay per-instance.
+  std::shared_ptr<const net::UnderlayTopology> underlay_;
+  std::shared_ptr<const net::IpRouting> routing_;
+  std::shared_ptr<const overlay::PeerPopulation> population_;
   std::unique_ptr<overlay::OverlayGraph> graph_;
   std::unique_ptr<overlay::HostCacheServer> host_cache_;
   std::unique_ptr<overlay::GroupCastBootstrap> bootstrap_;

@@ -65,6 +65,13 @@ void GroupCastNode::detach(DetachMode mode) {
   for (auto& [group, state] : groups_) {
     state.exchange = ReliableExchange::kNoToken;
   }
+  // A departed node stops probing: cancel the shared tick instead of
+  // letting it fire into a dead runtime.
+  transport_->simulator().cancel(heartbeat_timer_);
+  for (const auto group : heartbeat_groups_) {
+    groups_[group].heartbeat_scheduled = false;
+  }
+  heartbeat_groups_.clear();
   running_ = false;
 }
 
@@ -85,10 +92,38 @@ double GroupCastNode::resource_level() {
 
 std::vector<overlay::PeerId> GroupCastNode::select_forward_targets(
     overlay::PeerId exclude) {
-  std::vector<overlay::PeerId> pool;
-  for (const auto n : graph_->neighbors(self_)) {
-    if (n != exclude) pool.push_back(n);
+  // Memoized per (exclude, neighbour generation): repeated forwarding
+  // decisions between topology changes reuse the filtered pool and the
+  // Eq. 1-5 preference vector instead of re-deriving Nbr(self) and the
+  // normalizations each hop.  The cached vectors are the ones the uncached
+  // path would compute, and no RNG is drawn while filling the cache, so
+  // selections stay bit-identical.
+  const std::uint64_t generation = graph_->neighbor_generation(self_);
+  SelectionCacheEntry* entry = nullptr;
+  for (auto& candidate : selection_cache_) {
+    if (candidate.exclude == exclude) {
+      entry = &candidate;
+      break;
+    }
   }
+  if (entry == nullptr) {
+    selection_cache_.emplace_back();
+    entry = &selection_cache_.back();
+    entry->exclude = exclude;
+    entry->generation = generation + 1;  // any value != generation
+  }
+  if (entry->generation != generation) {
+    trace::counters().incr(self_, trace::CounterId::kUtilityCacheMisses);
+    entry->generation = generation;
+    entry->pool.clear();
+    entry->prefs.clear();
+    for (const auto n : graph_->neighbors(self_)) {
+      if (n != exclude) entry->pool.push_back(n);
+    }
+  } else {
+    trace::counters().incr(self_, trace::CounterId::kUtilityCacheHits);
+  }
+  const auto& pool = entry->pool;
   if (pool.empty()) return pool;
   const auto& adv = options_.advertisement;
   if (adv.scheme == AnnouncementScheme::kNssa) return pool;
@@ -104,15 +139,20 @@ std::vector<overlay::PeerId> GroupCastNode::select_forward_targets(
     for (const auto i : idx) out.push_back(pool[i]);
     return out;
   }
-  const auto& population = transport_->population();
-  std::vector<Candidate> candidates;
-  candidates.reserve(pool.size());
-  for (const auto n : pool) {
-    candidates.push_back(Candidate{population.info(n).capacity,
-                                   population.coord_distance_ms(self_, n)});
+  if (entry->prefs.empty()) {
+    // Lazily computed on the first utility selection at this generation —
+    // after the want >= pool.size() early-outs, exactly where the uncached
+    // path first touched resource_level() (whose first call may draw RNG).
+    const auto& population = transport_->population();
+    std::vector<Candidate> candidates;
+    candidates.reserve(pool.size());
+    for (const auto n : pool) {
+      candidates.push_back(Candidate{population.info(n).capacity,
+                                     population.coord_distance_ms(self_, n)});
+    }
+    entry->prefs = selection_preferences(resource_level(), candidates);
   }
-  const auto prefs = selection_preferences(resource_level(), candidates);
-  const auto idx = weighted_sample_without_replacement(prefs, want, rng_);
+  const auto idx = weighted_sample_without_replacement(entry->prefs, want, rng_);
   std::vector<overlay::PeerId> out;
   for (const auto i : idx) out.push_back(pool[i]);
   return out;
@@ -469,8 +509,38 @@ void GroupCastNode::maybe_schedule_heartbeat(GroupId group) {
   const bool parent_role = !state.children.empty();
   if (!child_role && !parent_role) return;
   state.heartbeat_scheduled = true;
-  transport_->simulator().schedule(options_.heartbeat_interval,
-                                   [this, group] { heartbeat_tick(group); });
+  heartbeat_groups_.insert(std::upper_bound(heartbeat_groups_.begin(),
+                                            heartbeat_groups_.end(), group),
+                           group);
+  // All enrolled groups share one cancellable wheel timer per node; a
+  // group enrolling between ticks joins the next one (its liveness
+  // deadlines are timestamp-based, so an early first service is safe).
+  auto& simulator = transport_->simulator();
+  if (!simulator.timer_pending(heartbeat_timer_)) {
+    heartbeat_timer_ = simulator.schedule_timer(options_.heartbeat_interval,
+                                                &heartbeat_thunk, this);
+  }
+}
+
+void GroupCastNode::heartbeat_thunk(void* context, std::uint64_t) {
+  static_cast<GroupCastNode*>(context)->node_heartbeat_tick();
+}
+
+void GroupCastNode::node_heartbeat_tick() {
+  if (!running_) return;
+  // Swap the enrolment list into a reused scratch buffer (no per-tick
+  // allocation): heartbeat_tick re-enrols groups that still hold a tree
+  // role, which re-arms the timer for the next round.
+  heartbeat_scratch_.clear();
+  heartbeat_scratch_.swap(heartbeat_groups_);
+  if (heartbeat_scratch_.size() > 1) {
+    trace::counters().incr(self_, trace::CounterId::kTimersCoalesced,
+                           heartbeat_scratch_.size() - 1);
+  }
+  for (const auto group : heartbeat_scratch_) {
+    if (!running_) break;
+    heartbeat_tick(group);
+  }
 }
 
 void GroupCastNode::heartbeat_tick(GroupId group) {

@@ -191,7 +191,14 @@ class GroupCastNode {
                        std::uint32_t parent_depth);
 
   // --- heartbeats / failure detection ---
+  /// Enrols `group` in the shared per-node heartbeat tick (arming the
+  /// node's single wheel timer if it isn't already pending).
   void maybe_schedule_heartbeat(GroupId group);
+  /// The shared tick: services every enrolled group in group-id order.
+  /// One cancellable timer per node replaces one closure per group per
+  /// interval (ROADMAP: "batch per-node wheels").
+  void node_heartbeat_tick();
+  static void heartbeat_thunk(void* context, std::uint64_t);
   void heartbeat_tick(GroupId group);
   /// The parent is gone: become an orphan and re-run the ladder.
   void begin_recovery(GroupId group, overlay::PeerId dead_parent);
@@ -199,6 +206,20 @@ class GroupCastNode {
   /// Forwarding subset for an advertisement, per the configured scheme.
   std::vector<overlay::PeerId> select_forward_targets(
       overlay::PeerId exclude);
+
+  /// Memoized SSA selection inputs for one `exclude` value: the filtered
+  /// neighbour pool and (for kSsaUtility) the Eq. 1-5 preference vector.
+  /// Valid while the graph's neighbour generation for this node matches;
+  /// neighbour add/remove/churn invalidates by bumping the generation.
+  /// Caching the *computed vectors* (not algebraic denominator updates)
+  /// keeps the floating-point results and the RNG stream bit-identical
+  /// to the uncached path.
+  struct SelectionCacheEntry {
+    overlay::PeerId exclude = overlay::kNoPeer;
+    std::uint64_t generation = 0;
+    std::vector<overlay::PeerId> pool;
+    std::vector<double> prefs;  // empty for kNssa / kSsaRandom
+  };
 
   GroupState& state_of(GroupId group) { return groups_[group]; }
   double resource_level();
@@ -212,6 +233,15 @@ class GroupCastNode {
   ReliableExchange exchange_;
   bool running_ = false;
   std::optional<double> cached_resource_level_;
+  /// Small (typically 1-2 distinct `exclude` values) linear-probe cache.
+  std::vector<SelectionCacheEntry> selection_cache_;
+  /// Groups enrolled in the shared heartbeat tick, kept in id order so the
+  /// tick services them deterministically.
+  std::vector<GroupId> heartbeat_groups_;
+  /// Reused tick-servicing buffer (swapped with heartbeat_groups_ each
+  /// tick so re-enrolment during the tick is safe without allocating).
+  std::vector<GroupId> heartbeat_scratch_;
+  sim::TimerHandle heartbeat_timer_;
   std::unordered_map<GroupId, GroupState> groups_;
   DataCallback data_callback_;
   SubscribeCallback subscribe_callback_;

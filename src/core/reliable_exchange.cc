@@ -59,9 +59,15 @@ void ReliableExchange::arm_timeout(Token token, std::size_t attempt) {
   const double stretch = 1.0 + policy_.jitter * rng_.uniform();
   const auto timeout = sim::SimTime::micros(static_cast<std::int64_t>(
       static_cast<double>(backoff_timeout(attempt).as_micros()) * stretch));
-  simulator_->schedule(timeout, [this, token, attempt] {
-    on_timeout(token, attempt);
-  });
+  GC_REQUIRE(token < (Token{1} << 56) && attempt < 256);
+  simulator_->schedule_timer(timeout, &ReliableExchange::timeout_thunk, this,
+                             token | (static_cast<Token>(attempt) << 56));
+}
+
+void ReliableExchange::timeout_thunk(void* context, std::uint64_t packed) {
+  static_cast<ReliableExchange*>(context)->on_timeout(
+      packed & ((Token{1} << 56) - 1),
+      static_cast<std::size_t>(packed >> 56));
 }
 
 void ReliableExchange::on_timeout(Token token, std::size_t attempt) {

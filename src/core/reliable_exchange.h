@@ -81,6 +81,11 @@ class ReliableExchange {
   void fire(Token token);
   void arm_timeout(Token token, std::size_t attempt);
   void on_timeout(Token token, std::size_t attempt);
+  /// Timeout dispatch through the simulator's fixed-signature timer path
+  /// (no per-attempt closure allocation): the argument packs the attempt
+  /// number into the top byte of the token, which caps tokens at 2^56 —
+  /// far above any realistic exchange count.
+  static void timeout_thunk(void* context, std::uint64_t packed);
 
   sim::Simulator* simulator_;
   overlay::PeerId owner_;

@@ -98,29 +98,59 @@ void Transport::send(overlay::PeerId from, overlay::PeerId to,
   }
   const auto latency =
       sim::SimTime::millis(population_->latency_ms(from, to));
-  const auto sent_in = generation_[from];
-  simulator_->schedule(latency, [this, from, to, sent_in,
-                                 body = std::move(body)] {
-    if (generation_[from] != sent_in) {  // sender crashed in flight
-      trace::counters().incr(from, trace::CounterId::kMessagesDropped);
-      trace::tracer().emit(
-          simulator_->now().as_micros(), trace::EventKind::kMessageDropped,
-          from, to,
-          static_cast<std::uint64_t>(trace::DropReason::kOriginDeparted));
-      return;
-    }
-    const auto& handler = handlers_[to];
-    if (handler == nullptr) {  // receiver departed in flight
-      trace::counters().incr(to, trace::CounterId::kMessagesDropped);
-      trace::tracer().emit(
-          simulator_->now().as_micros(), trace::EventKind::kMessageDropped,
-          to, from,
-          static_cast<std::uint64_t>(trace::DropReason::kNoReceiver));
-      return;
-    }
-    trace::counters().incr(to, trace::CounterId::kMessagesReceived);
-    handler(Envelope{from, to, body});
-  });
+  const auto slot = allocate_slot();
+  InFlight& record = inflight_[slot];
+  record.from = from;
+  record.to = to;
+  record.sent_in = generation_[from];
+  record.body = std::move(body);
+  simulator_->schedule_timer(latency, &Transport::deliver_thunk, this, slot);
+}
+
+void Transport::deliver_thunk(void* context, std::uint64_t slot) {
+  static_cast<Transport*>(context)->deliver(static_cast<std::uint32_t>(slot));
+}
+
+std::uint32_t Transport::allocate_slot() {
+  if (free_head_ != kNoSlot) {
+    const auto slot = free_head_;
+    free_head_ = inflight_[slot].next_free;
+    return slot;
+  }
+  inflight_.emplace_back();
+  return static_cast<std::uint32_t>(inflight_.size() - 1);
+}
+
+void Transport::deliver(std::uint32_t slot) {
+  // Move the record out and recycle the slot before dispatching: the
+  // handler may itself send, which allocates slots and can grow the pool.
+  InFlight& record = inflight_[slot];
+  const auto from = record.from;
+  const auto to = record.to;
+  const auto sent_in = record.sent_in;
+  MessageBody body = std::move(record.body);
+  record.next_free = free_head_;
+  free_head_ = slot;
+
+  if (generation_[from] != sent_in) {  // sender crashed in flight
+    trace::counters().incr(from, trace::CounterId::kMessagesDropped);
+    trace::tracer().emit(
+        simulator_->now().as_micros(), trace::EventKind::kMessageDropped,
+        from, to,
+        static_cast<std::uint64_t>(trace::DropReason::kOriginDeparted));
+    return;
+  }
+  const auto& handler = handlers_[to];
+  if (handler == nullptr) {  // receiver departed in flight
+    trace::counters().incr(to, trace::CounterId::kMessagesDropped);
+    trace::tracer().emit(
+        simulator_->now().as_micros(), trace::EventKind::kMessageDropped,
+        to, from,
+        static_cast<std::uint64_t>(trace::DropReason::kNoReceiver));
+    return;
+  }
+  trace::counters().incr(to, trace::CounterId::kMessagesReceived);
+  handler(Envelope{from, to, std::move(body)});
 }
 
 }  // namespace groupcast::core

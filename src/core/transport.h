@@ -174,6 +174,25 @@ class Transport {
  private:
   static MessageKind kind_of(const MessageBody& body);
 
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// One pooled in-flight message.  Delivery runs through the simulator's
+  /// fixed-signature timer path with the slot index as the argument, so a
+  /// send costs no per-message heap allocation: slots recycle through a
+  /// free list and the pool's high-water mark is the peak number of
+  /// messages concurrently in flight.
+  struct InFlight {
+    overlay::PeerId from = overlay::kNoPeer;
+    overlay::PeerId to = overlay::kNoPeer;
+    std::uint64_t sent_in = 0;
+    MessageBody body;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  static void deliver_thunk(void* context, std::uint64_t slot);
+  void deliver(std::uint32_t slot);
+  std::uint32_t allocate_slot();
+
   sim::Simulator* simulator_;
   const overlay::PeerPopulation* population_;
   TransportOptions options_;
@@ -187,6 +206,8 @@ class Transport {
   std::size_t sent_ = 0;
   std::size_t lost_ = 0;
   std::size_t bytes_sent_ = 0;
+  std::vector<InFlight> inflight_;
+  std::uint32_t free_head_ = kNoSlot;
 };
 
 }  // namespace groupcast::core

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -31,13 +32,26 @@ core::MiddlewareConfig ScenarioConfig::middleware_config() const {
   return mw;
 }
 
+std::unique_ptr<core::GroupCastMiddleware> make_scenario_middleware(
+    const ScenarioConfig& config) {
+  if (config.world == nullptr) {
+    return std::make_unique<core::GroupCastMiddleware>(
+        config.middleware_config());
+  }
+  GC_REQUIRE_MSG(config.world->config.peer_count == config.peer_count &&
+                     config.world->config.seed == config.seed,
+                 "attached deployment snapshot does not match the scenario");
+  return std::make_unique<core::GroupCastMiddleware>(config.world);
+}
+
 ScenarioResult run_scenario(const ScenarioConfig& config) {
   GC_REQUIRE(config.groups >= 1);
   if (config.recovery.enabled) return run_recovery_scenario(config);
   ScenarioResult result;
   result.config = config;
 
-  core::GroupCastMiddleware middleware(config.middleware_config());
+  const auto middleware_ptr = make_scenario_middleware(config);
+  core::GroupCastMiddleware& middleware = *middleware_ptr;
   result.repair_edges = middleware.connectivity_repair_edges();
 
   const std::size_t group_size = config.effective_group_size();
@@ -79,6 +93,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   result.overload_index_group_stddev = overload_by_group.stddev();
   result.link_stress_group_stddev = link_by_group.stddev();
   result.lookup_latency_group_stddev = lookup_by_group.stddev();
+  result.events_fired = middleware.simulator().events_fired();
+  result.queue_high_water = middleware.simulator().queue_high_water();
   if (trace::counters().enabled()) {
     result.counters = trace::counters().snapshot();
   }
@@ -96,6 +112,44 @@ ScenarioResult run_repetition(const ScenarioConfig& rep, bool with_counters) {
   if (with_counters) local.enable(rep.peer_count);
   trace::ScopedCounterRegistry guard(local);
   return run_scenario(rep);
+}
+
+/// True when two work items read identical values through
+/// middleware_config() — they then construct bit-identical deployments
+/// and can fork one shared snapshot.  Must cover every ScenarioConfig
+/// field that middleware_config() consults.
+bool same_world(const ScenarioConfig& a, const ScenarioConfig& b) {
+  return a.peer_count == b.peer_count && a.seed == b.seed &&
+         a.overlay == b.overlay && a.scheme == b.scheme &&
+         a.forward_fraction == b.forward_fraction &&
+         a.advertisement_ttl == b.advertisement_ttl &&
+         a.ripple_ttl == b.ripple_ttl;
+}
+
+/// Deduplicates world construction across work items: every cluster of
+/// two or more items with the same middleware config gets one
+/// DeploymentSnapshot (built here, serially, before the pool starts) that
+/// each run forks instead of rebuilding underlay + embedding + bootstrap.
+/// Items whose world is unique keep constructing inline — a snapshot
+/// would only add recording overhead — and items arriving with a
+/// caller-attached world keep it.  Forks are bit-identical to fresh
+/// constructions, so results do not depend on what shares with what.
+void attach_shared_worlds(std::vector<ScenarioConfig>& items) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].world != nullptr) continue;
+    bool shared = false;
+    for (std::size_t j = i + 1; j < items.size() && !shared; ++j) {
+      shared = items[j].world == nullptr && same_world(items[i], items[j]);
+    }
+    if (!shared) continue;
+    const auto world = core::GroupCastMiddleware::make_snapshot(
+        items[i].middleware_config());
+    for (std::size_t j = i; j < items.size(); ++j) {
+      if (items[j].world == nullptr && same_world(items[i], items[j])) {
+        items[j].world = world;
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -130,6 +184,9 @@ ScenarioResult reduce_scenario_repetitions(
     total.avg_tree_depth += one.avg_tree_depth / k;
     total.avg_tree_nodes += one.avg_tree_nodes / k;
     total.repair_edges += one.repair_edges;
+    total.events_fired += one.events_fired;
+    total.queue_high_water = std::max(total.queue_high_water,
+                                      one.queue_high_water);
     total.delay_penalty_group_stddev += one.delay_penalty_group_stddev / k;
     total.overload_index_group_stddev +=
         one.overload_index_group_stddev / k;
@@ -155,10 +212,18 @@ std::vector<ScenarioResult> run_scenario_grid(
 
   // Work item i = repetition (i % reps) of point (i / reps), so one
   // slow point spreads over the pool instead of serializing at the end.
+  // Items are materialized up front so deployment construction can be
+  // shared: grid cells that differ only in run-phase parameters (loss,
+  // churn, group count, ...) fork one pre-built world.
+  std::vector<ScenarioConfig> item_configs(items);
+  for (std::size_t i = 0; i < items; ++i) {
+    item_configs[i] = points[i / reps];
+    item_configs[i].seed += i % reps;  // the seed ladder: seed, seed+1, ...
+  }
+  attach_shared_worlds(item_configs);
+
   auto run_item = [&](std::size_t i) {
-    ScenarioConfig rep = points[i / reps];
-    rep.seed += i % reps;  // the seed ladder: seed, seed+1, ...
-    runs[i] = run_repetition(rep, options.counters);
+    runs[i] = run_repetition(item_configs[i], options.counters);
   };
 
   std::size_t jobs = options.jobs;

@@ -70,6 +70,16 @@ struct ScenarioConfig {
   /// Node-runtime churn harness; inert unless recovery.enabled.
   RecoveryOptions recovery;
 
+  /// Pre-built deployment to fork instead of constructing one from
+  /// middleware_config() (see core::DeploymentSnapshot).  Normally left
+  /// null by callers: run_scenario_grid fills it in automatically for
+  /// work items that share a middleware config, so a sweep pays for
+  /// underlay + embedding + bootstrap once per distinct world rather
+  /// than once per cell.  A fork is bit-identical to a fresh
+  /// construction, so attaching a (matching) snapshot never changes
+  /// results.
+  std::shared_ptr<const core::DeploymentSnapshot> world;
+
   std::size_t effective_group_size() const;
   core::MiddlewareConfig middleware_config() const;
 };
@@ -124,6 +134,13 @@ struct ScenarioResult {
   double overload_index_stddev = 0.0;
   double link_stress_stddev = 0.0;
 
+  // Event-loop workload of the deployment's simulator: how many events the
+  // run fired and the deepest its queue ever got.  The averaged/grid
+  // runners sum events across repetitions and keep the maximum queue
+  // depth, so the numbers describe the whole point, not one topology.
+  std::uint64_t events_fired = 0;
+  std::uint64_t queue_high_water = 0;
+
   // Protocol counters, captured from the calling thread's active registry
   // (trace::counters()) when it is enabled — empty otherwise.  The
   // grid/averaged runners instead give every repetition an isolated,
@@ -134,6 +151,14 @@ struct ScenarioResult {
 
 /// Builds one deployment and runs `config.groups` groups over it.
 ScenarioResult run_scenario(const ScenarioConfig& config);
+
+/// The middleware for one scenario run: forks `config.world` when one is
+/// attached (after validating it matches the scenario), otherwise
+/// constructs a fresh deployment from middleware_config().  Shared by
+/// run_scenario and run_recovery_scenario so both paths honour snapshot
+/// reuse identically.
+std::unique_ptr<core::GroupCastMiddleware> make_scenario_middleware(
+    const ScenarioConfig& config);
 
 /// Execution policy for run_scenario_grid.
 struct GridOptions {

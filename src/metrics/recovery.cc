@@ -51,7 +51,8 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
   // config.seed; the harness splits its own RNG stream off the same source
   // so a (config, seed) pair is one deterministic trajectory whatever the
   // grid's job count.
-  core::GroupCastMiddleware middleware(config.middleware_config());
+  const auto middleware_ptr = make_scenario_middleware(config);
+  core::GroupCastMiddleware& middleware = *middleware_ptr;
   result.repair_edges = middleware.connectivity_repair_edges();
   auto& simulator = middleware.simulator();
   util::Rng rng = middleware.rng().split();
@@ -288,6 +289,8 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
   result.subscription_messages =
       static_cast<double>(transport.messages_sent());
 
+  result.events_fired = simulator.events_fired();
+  result.queue_high_water = simulator.queue_high_water();
   if (trace::counters().enabled()) {
     result.counters = trace::counters().snapshot();
   }

@@ -27,6 +27,16 @@ GroupCastBootstrap::GroupCastBootstrap(const PeerPopulation& population,
              options_.fallback_back_link_prob <= 1.0);
 }
 
+GroupCastBootstrap::GroupCastBootstrap(const GroupCastBootstrap& other,
+                                       OverlayGraph& graph,
+                                       HostCacheServer& host_cache)
+    : population_(other.population_),
+      graph_(&graph),
+      host_cache_(&host_cache),
+      options_(other.options_),
+      rng_(other.rng_),
+      joined_(other.joined_) {}
+
 std::size_t GroupCastBootstrap::target_degree(double capacity) const {
   GC_REQUIRE(capacity > 0.0);
   const double raw =

@@ -60,6 +60,13 @@ class GroupCastBootstrap {
                      HostCacheServer& host_cache, BootstrapOptions options,
                      util::Rng& rng);
 
+  /// Fork copy (deployment snapshots): identical protocol state — options,
+  /// RNG stream position, joined set — rebound to the fork's own graph and
+  /// host cache so later joins/refills replay bit-identically without
+  /// touching the donor's structures.
+  GroupCastBootstrap(const GroupCastBootstrap& other, OverlayGraph& graph,
+                     HostCacheServer& host_cache);
+
   /// Executes the full join protocol for `peer` and registers it with the
   /// host cache.  Idempotent joins are a precondition violation (a peer
   /// must leave before rejoining).

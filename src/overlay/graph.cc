@@ -8,7 +8,7 @@
 namespace groupcast::overlay {
 
 OverlayGraph::OverlayGraph(std::size_t peer_count)
-    : out_(peer_count), in_(peer_count) {}
+    : out_(peer_count), in_(peer_count), generation_(peer_count, 0) {}
 
 bool OverlayGraph::add_edge(PeerId from, PeerId to) {
   GC_REQUIRE(from < out_.size() && to < out_.size());
@@ -16,6 +16,10 @@ bool OverlayGraph::add_edge(PeerId from, PeerId to) {
   if (has_edge(from, to)) return false;
   out_[from].push_back(to);
   in_[to].push_back(from);
+  // Nbr() is the union of both directions, so either endpoint's cached
+  // neighbour view goes stale.
+  ++generation_[from];
+  ++generation_[to];
   ++edge_count_;
   return true;
 }
@@ -28,6 +32,8 @@ bool OverlayGraph::remove_edge(PeerId from, PeerId to) {
   outs.erase(it);
   auto& ins = in_[to];
   ins.erase(std::find(ins.begin(), ins.end(), from));
+  ++generation_[from];
+  ++generation_[to];
   --edge_count_;
   return true;
 }

@@ -50,6 +50,14 @@ class OverlayGraph {
   /// |neighbors(p)| without materializing the vector.
   std::size_t degree(PeerId p) const;
 
+  /// Monotone version of `p`'s neighbour set: bumped every time an edge
+  /// incident to `p` (either direction) is added or removed.  Lets
+  /// utility-selection caches detect staleness in O(1) instead of
+  /// re-deriving Nbr(p) — see docs/PERFORMANCE.md.
+  std::uint64_t neighbor_generation(PeerId p) const {
+    return generation_.at(p);
+  }
+
   /// True if the union (undirected view) of the graph is connected over
   /// the peers that have at least one edge; isolated peers are reported via
   /// the second member.
@@ -71,6 +79,7 @@ class OverlayGraph {
  private:
   std::vector<std::vector<PeerId>> out_;
   std::vector<std::vector<PeerId>> in_;
+  std::vector<std::uint64_t> generation_;
   std::size_t edge_count_ = 0;
 };
 

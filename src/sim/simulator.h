@@ -5,6 +5,30 @@
 // scheduled for the same instant run in scheduling (FIFO) order, which keeps
 // protocol traces deterministic for a given seed.
 //
+// The event queue is a hashed hierarchical timer wheel (kLevels levels of
+// kSlots slots, one occupancy bitmap per level) over a slab of pooled event
+// nodes:
+//
+//  * schedule / cancel / fire are amortized O(1) — no O(log n) heap
+//    sift-downs on the per-message hot path, and no per-event allocation
+//    once the slab has warmed up (freed nodes are recycled via a free
+//    list).
+//  * the fixed-signature timer path (schedule_timer) stores a bare
+//    function pointer + context word in the pooled node, so periodic
+//    protocol timers (heartbeats, retransmit timeouts, transport
+//    deliveries) never touch std::function at all.
+//  * every schedule returns a TimerHandle that can cancel or reschedule
+//    the event before it fires; handles are generation-checked, so a
+//    stale handle to an already-fired (and recycled) node is rejected
+//    rather than cancelling an unrelated event.
+//  * firing order is *exactly* the old binary-heap order — ascending
+//    (when, seq) — because a level-0 slot spans a single microsecond and
+//    is drained in sequence-number order.  Golden traces are unchanged.
+//
+// Events further out than the wheel horizon (2^36 us, ~19 simulated hours)
+// park in an overflow heap and migrate into the wheel as the clock
+// approaches them.
+//
 // A Simulator instance is thread-confined, not thread-safe: one thread
 // drives it for its whole lifetime.  Independent simulators may run on
 // different threads concurrently — the tracing/counter/timer hooks they
@@ -14,7 +38,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/time.h"
@@ -22,25 +45,68 @@
 
 namespace groupcast::sim {
 
+/// Reference to a scheduled event, returned by every schedule call.  Valid
+/// until the event fires, is cancelled, or the simulator is cleared;
+/// generation checks make stale handles inert (cancel returns false).
+struct TimerHandle {
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+  std::uint32_t slot = kInvalid;
+  std::uint32_t generation = 0;
+
+  /// False only for default-constructed (never-scheduled) handles.
+  bool assigned() const { return slot != kInvalid; }
+
+  friend bool operator==(TimerHandle, TimerHandle) = default;
+};
+
 /// Single-threaded discrete-event simulator.
 ///
 /// Usage:
 ///   Simulator simulator;
 ///   simulator.schedule(SimTime::millis(10), [&]{ ... });
+///   auto timer = simulator.schedule_timer(SimTime::seconds(1), &on_tick,
+///                                         this);
+///   simulator.cancel(timer);
 ///   simulator.run();
 class Simulator {
  public:
   using Action = std::function<void()>;
+  /// Fixed-signature callback: no type erasure, no allocation.
+  using TimerFn = void (*)(void* context, std::uint64_t arg);
 
   /// Current simulated time (updated as events fire).
   SimTime now() const { return now_; }
 
   /// Schedules `action` to run `delay` after the current time.
   /// Negative delays are a precondition violation.
-  void schedule(SimTime delay, Action action);
+  TimerHandle schedule(SimTime delay, Action action);
 
   /// Schedules `action` at an absolute instant (must be >= now()).
-  void schedule_at(SimTime when, Action action);
+  TimerHandle schedule_at(SimTime when, Action action);
+
+  /// Allocation-free form: schedules `fn(context, arg)` to run `delay`
+  /// after the current time.  The context must outlive the event (or the
+  /// event must be cancelled first).
+  TimerHandle schedule_timer(SimTime delay, TimerFn fn, void* context,
+                             std::uint64_t arg = 0);
+
+  /// Allocation-free form at an absolute instant (must be >= now()).
+  TimerHandle schedule_timer_at(SimTime when, TimerFn fn, void* context,
+                                std::uint64_t arg = 0);
+
+  /// Cancels a pending event.  Returns false if the handle is stale (the
+  /// event already fired, was cancelled, or the simulator was cleared).
+  bool cancel(TimerHandle handle);
+
+  /// True while the event the handle refers to is still queued.
+  bool timer_pending(TimerHandle handle) const;
+
+  /// Cancels `handle` and re-arms the same callback `delay` from now.
+  /// Returns the new handle (the old one becomes stale); an unassigned /
+  /// stale handle is a precondition violation — reschedule only what is
+  /// still pending.  The rescheduled event takes a fresh position in the
+  /// FIFO order of its new timestamp.
+  TimerHandle reschedule(TimerHandle handle, SimTime delay);
 
   /// Runs until the event queue drains.  Returns the number of events fired.
   std::size_t run();
@@ -49,8 +115,9 @@ class Simulator {
   /// events after the deadline remain queued.  Returns events fired.
   std::size_t run_until(SimTime deadline);
 
-  /// Number of events waiting in the queue.
-  std::size_t pending() const { return queue_.size(); }
+  /// Number of live events waiting in the queue (cancelled events leave
+  /// the count immediately).
+  std::size_t pending() const { return live_; }
 
   /// Deepest the event queue has ever been for this simulator — the
   /// high-water mark observability hook.  Each new high-water also emits
@@ -60,32 +127,99 @@ class Simulator {
   /// Total events fired over the simulator's lifetime.
   std::size_t events_fired() const { return events_fired_; }
 
-  /// Drops all pending events (used by tests and teardown).
+  /// Drops all pending events (used by tests and teardown).  Every
+  /// outstanding TimerHandle becomes stale.
   void clear();
 
  private:
-  /// Pops the next event, advances the clock, and runs the action with
-  /// the configured tracing / timing hooks.  `tracer` is hoisted by the
-  /// run loops so the disabled path stays one null check per event.
-  void fire(trace::Tracer& tracer, bool tracing, bool timing);
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;  // FIFO tie-break for identical timestamps
-    Action action;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr int kSlotBits = 6;
+  static constexpr int kSlots = 1 << kSlotBits;               // 64
+  static constexpr int kLevels = 6;
+  static constexpr int kHorizonBits = kSlotBits * kLevels;    // 2^36 us
+
+  /// Where a slab node currently lives.
+  enum class NodeState : std::uint8_t {
+    kFree,      // on the free list
+    kWheel,     // linked into a wheel slot
+    kOverflow,  // parked in the overflow heap
+    kDrain,     // pulled into the current same-instant firing batch
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+
+  struct EventNode {
+    SimTime when;
+    std::uint64_t seq = 0;       // FIFO tie-break for identical timestamps
+    TimerFn fn = nullptr;        // fixed-signature path; null => action
+    void* context = nullptr;
+    std::uint64_t arg = 0;
+    Action action;               // generic path (engaged iff fn == null)
+    std::uint32_t next = kNil;   // slot chain / free list link
+    std::uint32_t generation = 0;
+    NodeState state = NodeState::kFree;
+    bool cancelled = false;      // lazy cancel for kOverflow / kDrain
+    std::uint8_t level = 0;      // wheel position (kWheel only)
+    std::uint8_t wheel_slot = 0;
+  };
+
+  /// Overflow entries ordered by (when, seq) via std::greater (min-heap).
+  struct OverflowRef {
+    std::int64_t when_us;
+    std::uint64_t seq;
+    std::uint32_t node;
+    friend auto operator<=>(const OverflowRef& a, const OverflowRef& b) {
+      if (a.when_us != b.when_us) return a.when_us <=> b.when_us;
+      return a.seq <=> b.seq;
     }
   };
 
+  std::uint32_t allocate_node();
+  void free_node(std::uint32_t index);
+  TimerHandle enqueue(SimTime when, TimerFn fn, void* context,
+                      std::uint64_t arg, Action action);
+  /// Links a node into the wheel / overflow / live drain batch.
+  void place(std::uint32_t index);
+  /// Unlinks a kWheel node from its slot chain.
+  void unlink_from_wheel(EventNode& node, std::uint32_t index);
+  /// Moves overflow entries that now fit the wheel horizon into the wheel.
+  void migrate_overflow();
+  /// Earliest pending event time; false when nothing is queued.  Does not
+  /// advance the wheel cursor (safe to call from run_until peeks).
+  bool next_event_time(std::int64_t& when_us);
+  /// Cascades upper wheel levels until the earliest pending events sit in
+  /// a level-0 slot, then pulls that slot into drain order.  Returns false
+  /// when nothing is queued.  Advances the cursor to the batch time.
+  bool prepare_batch();
+  /// Fires the prepared batch; returns events actually run.
+  std::size_t fire_batch(trace::Tracer& tracer, bool tracing, bool timing);
+
+  int level_for(std::int64_t when_us) const;
+
   SimTime now_;
+  /// Wheel read cursor, <= every queued event's timestamp.  Trails now_
+  /// when run_until fast-forwards the clock past an empty stretch.
+  std::int64_t cursor_us_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
   std::size_t queue_high_water_ = 0;
   std::size_t reported_high_water_ = 0;  // last mark traced as kEventLoopLag
   std::size_t events_fired_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+  std::uint64_t occupied_[kLevels] = {};
+  std::uint32_t heads_[kLevels][kSlots];
+  std::vector<EventNode> nodes_;
+  std::uint32_t free_head_ = kNil;
+  std::vector<OverflowRef> overflow_;  // std::push_heap min-heap
+  /// Same-instant firing batch, sorted by seq; events scheduled for the
+  /// batch's own timestamp while it drains append here (their seq is
+  /// necessarily larger, so the order stays sorted).
+  std::vector<std::uint32_t> drain_;
+  std::size_t drain_pos_ = 0;
+  bool draining_ = false;
+
+ public:
+  Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 };
 
 }  // namespace groupcast::sim

@@ -33,6 +33,9 @@ class CliTracing {
     util::Flags flags;
     flags.declare("trace_out", "write a JSONL protocol trace to this path",
                   "");
+    flags.declare("json_out",
+                  "write a machine-readable BENCH report (JSON) to this path",
+                  "");
     flags.declare("jobs",
                   "experiment-grid worker threads (0 = all hardware threads)",
                   "1");
@@ -47,6 +50,7 @@ class CliTracing {
     }
     jobs_ = static_cast<std::size_t>(
         std::max<std::int64_t>(0, flags.get_int("jobs")));
+    json_out_ = flags.get_string("json_out");
     open(flags.get_string("trace_out"));
   }
 
@@ -70,6 +74,10 @@ class CliTracing {
   /// the path constructor was used; 0 means "all hardware threads").
   std::size_t jobs() const { return jobs_; }
 
+  /// --json_out destination for the bench's machine-readable report
+  /// (bench/json_report.h); empty when the flag was absent.
+  const std::string& json_out() const { return json_out_; }
+
  private:
   void open(const std::string& path) {
     if (path.empty()) return;
@@ -80,6 +88,7 @@ class CliTracing {
 
   std::unique_ptr<ScopedSink> sink_;
   std::size_t jobs_ = 1;
+  std::string json_out_;
 };
 
 }  // namespace groupcast::trace

@@ -40,6 +40,12 @@ const char* to_string(CounterId id) {
       return "orphans_recovered";
     case CounterId::kHeartbeats:
       return "heartbeats";
+    case CounterId::kTimersCoalesced:
+      return "timers_coalesced";
+    case CounterId::kUtilityCacheHits:
+      return "utility_cache_hits";
+    case CounterId::kUtilityCacheMisses:
+      return "utility_cache_misses";
     case CounterId::kCount_:
       break;
   }

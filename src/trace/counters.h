@@ -42,6 +42,9 @@ enum class CounterId : std::uint8_t {
   kControlGiveups,      // reliable exchanges that exhausted every attempt
   kOrphansRecovered,    // orphaned nodes that reattached to a tree
   kHeartbeats,          // tree-edge heartbeats this node sent
+  kTimersCoalesced,     // heartbeat timers saved by the shared per-node tick
+  kUtilityCacheHits,    // SSA preference vectors served from cache
+  kUtilityCacheMisses,  // SSA preference vectors recomputed (Eqs. 1-5)
   kCount_,
 };
 

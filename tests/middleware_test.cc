@@ -2,9 +2,14 @@
 // experiment harness in metrics/.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/middleware.h"
 #include "metrics/experiment.h"
 #include "metrics/graph_stats.h"
+#include "trace/counters.h"
+#include "trace/sink.h"
+#include "trace/trace.h"
 #include "util/require.h"
 #include "util/stats.h"
 
@@ -146,6 +151,65 @@ TEST(Experiment, RunScenarioPopulatesAllFields) {
   EXPECT_GT(result.node_stress, 0.0);
   EXPECT_GE(result.overload_index, 0.0);
   EXPECT_GT(result.avg_tree_nodes, 0.0);
+}
+
+// Everything observable about one deployment + group-establishment run:
+// used to check that forking a DeploymentSnapshot is bit-identical to
+// constructing the middleware from scratch, instrumentation included.
+struct DeploymentOutcome {
+  std::size_t edges = 0;
+  std::size_t advert_messages = 0;
+  std::vector<PeerId> advert_parent;
+  std::size_t subscribers = 0;
+  trace::CounterSnapshot counters;
+  std::vector<trace::TraceEvent> events;
+};
+
+TEST(Middleware, DeploymentSnapshotForkMatchesFreshConstruction) {
+  const auto config = small_config(OverlayKind::kGroupCast, 11);
+
+  // Builds a middleware (fresh when `snapshot` is null, forked otherwise),
+  // establishes a group, and captures results + counters + trace events
+  // under run-private instrumentation.
+  const auto run = [&](std::shared_ptr<const DeploymentSnapshot> snapshot) {
+    trace::CounterRegistry registry;
+    registry.enable(config.peer_count);
+    trace::ScopedCounterRegistry counter_guard(registry);
+    trace::RingBufferSink ring(1 << 16);
+    trace::tracer().set_sink(&ring);
+    DeploymentOutcome out;
+    {
+      const auto middleware =
+          snapshot ? std::make_unique<GroupCastMiddleware>(snapshot)
+                   : std::make_unique<GroupCastMiddleware>(config);
+      out.edges = middleware->graph().edge_count();
+      auto group = middleware->establish_random_group(25);
+      out.advert_messages = group.advert.messages;
+      out.advert_parent = group.advert.parent;
+      out.subscribers = group.tree.subscriber_count();
+    }
+    trace::tracer().set_sink(nullptr);
+    out.counters = registry.snapshot();
+    out.events = ring.events();
+    EXPECT_EQ(ring.dropped(), 0u);
+    return out;
+  };
+
+  const auto fresh = run(nullptr);
+  const auto snapshot = GroupCastMiddleware::make_snapshot(config);
+  // Two forks off one snapshot: forking must not consume snapshot state.
+  for (int i = 0; i < 2; ++i) {
+    const auto fork = run(snapshot);
+    EXPECT_EQ(fork.edges, fresh.edges);
+    EXPECT_EQ(fork.advert_messages, fresh.advert_messages);
+    EXPECT_EQ(fork.advert_parent, fresh.advert_parent);
+    EXPECT_EQ(fork.subscribers, fresh.subscribers);
+    // Construction counters are merged from the snapshot and construction
+    // trace events are replayed, so the full instrumentation record of a
+    // forked run equals a fresh run's.
+    EXPECT_EQ(fork.counters, fresh.counters);
+    EXPECT_EQ(fork.events, fresh.events);
+  }
 }
 
 TEST(Experiment, AveragingIsDeterministicAndWithinRange) {
