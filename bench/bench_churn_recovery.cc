@@ -1,13 +1,16 @@
 // Churn-recovery sweep: how the reliable control plane holds the
-// dissemination tree together under message loss and ungraceful failures.
+// dissemination tree together under message loss and ungraceful failures,
+// and how much of the lost group data the reliable data plane wins back.
 //
 // The grid crosses steady-state loss probability with the fraction of
 // group members crashed ungracefully mid-session (plus a graceful-leave
 // column), all on the node runtime with heartbeats and the retry ladder
-// active (docs/ROBUSTNESS.md).  Reported per point: post-churn delivery
-// ratio, the fraction of surviving subscribers re-attached, mean orphan
+// active (docs/ROBUSTNESS.md) — once with the legacy fire-and-forget data
+// path and once with NACK/retransmit reliability on the tree edges.
+// Reported per point: post-churn delivery ratio with its seed-to-seed
+// stddev, the fraction of surviving subscribers re-attached, mean orphan
 // time in convergence epochs, and the recovery overhead counters
-// (control_retries / control_giveups / orphans_recovered).
+// (control_retries / control_giveups / nacks / retransmits).
 //
 // --jobs=N parallelizes over the grid via metrics::run_scenario_grid;
 // results are byte-identical for every job count.
@@ -27,7 +30,8 @@ using namespace groupcast;
 
 metrics::ScenarioConfig recovery_point(std::size_t peers, double loss,
                                        double crash_fraction,
-                                       double graceful_fraction) {
+                                       double graceful_fraction,
+                                       bool reliable_data) {
   metrics::ScenarioConfig config;
   config.peer_count = peers;
   config.groups = 1;
@@ -36,6 +40,7 @@ metrics::ScenarioConfig recovery_point(std::size_t peers, double loss,
   config.recovery.loss_probability = loss;
   config.recovery.crash_fraction = crash_fraction;
   config.recovery.graceful_fraction = graceful_fraction;
+  config.recovery.reliable_data = reliable_data;
   return config;
 }
 
@@ -61,19 +66,29 @@ int main(int argc, char** argv) {
   };
   if (scale >= 2.0) churns.push_back({0.5, 0.0, "50% crash"});
 
+  struct Cell {
+    double loss;
+    const Churn* churn;
+    bool reliable;
+  };
+  std::vector<Cell> cells;
   std::vector<metrics::ScenarioConfig> points;
-  for (const double loss : losses) {
-    for (const auto& churn : churns) {
-      points.push_back(
-          recovery_point(peers, loss, churn.crash, churn.graceful));
+  for (const bool reliable : {false, true}) {
+    for (const double loss : losses) {
+      for (const auto& churn : churns) {
+        cells.push_back(Cell{loss, &churn, reliable});
+        points.push_back(recovery_point(peers, loss, churn.crash,
+                                        churn.graceful, reliable));
+      }
     }
   }
 
   metrics::GridOptions options;
   options.jobs = tracing.jobs();
-  // One topology at the 8k tier: that run is a wall-clock-bounded scale
-  // probe, while the mid tier keeps three topologies for dispersion.
-  options.repetitions = scale >= 4.0 ? 1 : scale >= 2.0 ? 3 : 1;
+  // Seed repetitions: the loss sweep must report seed-to-seed dispersion
+  // of the delivery ratio, so even the fast tier runs >= 2 topologies.
+  // The 8k tier stays at 1 — that run is a wall-clock-bounded scale probe.
+  options.repetitions = scale >= 4.0 ? 1 : scale >= 2.0 ? 3 : 2;
   options.counters = true;
   const auto start = std::chrono::steady_clock::now();
   const auto results = metrics::run_scenario_grid(points, options);
@@ -94,40 +109,45 @@ int main(int argc, char** argv) {
         .integer("events_fired", events)
         .integer("peak_queue_depth", peak)
         .integer("jobs", options.jobs)
+        .integer("repetitions", options.repetitions)
         .integer("peers", peers);
     for (std::size_t i = 0; i < results.size(); ++i) {
       auto& cell = report.add_cell();
-      cell.text("churn", churns[i % churns.size()].label);
+      cell.text("churn", cells[i].churn->label);
       bench::fill_scenario_cell(cell, results[i]);
     }
     report.write_file(tracing.json_out());
   }
 
   std::printf("Churn recovery on the node runtime "
-              "(%zu peers, %zu-member group, jobs=%zu)\n\n",
-              peers, points.front().effective_group_size(), options.jobs);
-  std::printf("%-6s %-24s %9s %10s %8s %8s %9s %9s %9s %6s\n", "loss",
-              "churn", "delivery", "reattached", "orphan", "conv",
-              "retries", "giveups", "recovered", "viol");
+              "(%zu peers, %zu-member group, jobs=%zu, reps=%zu)\n\n",
+              peers, points.front().effective_group_size(), options.jobs,
+              options.repetitions);
+  std::printf("%-4s %-6s %-24s %9s %7s %10s %7s %6s %8s %8s %9s %6s\n",
+              "rel", "loss", "churn", "delivery", "+/-", "reattached",
+              "orphan", "conv", "retries", "nacks", "retransmit", "viol");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
-    const auto& churn = churns[i % churns.size()];
+    const auto& cell = cells[i];
     const auto& c = r.counters;
     std::printf(
-        "%-6.2f %-24s %8.1f%% %9.1f%% %8.2f %8.1f %9llu %9llu %9llu %6.0f\n",
-        r.config.recovery.loss_probability, churn.label,
-        100.0 * r.delivery_ratio, 100.0 * r.reattached_fraction,
-        r.mean_orphan_epochs, r.epochs_to_converge,
+        "%-4s %-6.2f %-24s %8.1f%% %6.1f%% %9.1f%% %7.2f %6.1f %8llu "
+        "%8llu %9llu %6.0f\n",
+        cell.reliable ? "on" : "off", cell.loss, cell.churn->label,
+        100.0 * r.delivery_ratio, 100.0 * r.delivery_ratio_stddev,
+        100.0 * r.reattached_fraction, r.mean_orphan_epochs,
+        r.epochs_to_converge,
         static_cast<unsigned long long>(
             c.total(trace::CounterId::kControlRetries)),
         static_cast<unsigned long long>(
-            c.total(trace::CounterId::kControlGiveups)),
+            c.total(trace::CounterId::kNacksSent)),
         static_cast<unsigned long long>(
-            c.total(trace::CounterId::kOrphansRecovered)),
+            c.total(trace::CounterId::kRetransmits)),
         r.invariant_violations);
   }
-  std::printf("\n(orphan = mean epochs survivors spent detached; conv = "
-              "epochs to full re-convergence; viol = tree-invariant "
-              "violations at the end — expect 0)\n");
+  std::printf("\n(+/- = seed-to-seed stddev of the delivery ratio; orphan "
+              "= mean epochs survivors spent detached; conv = epochs to "
+              "full re-convergence; viol = tree-invariant violations at "
+              "the end — expect 0)\n");
   return 0;
 }

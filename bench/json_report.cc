@@ -70,6 +70,11 @@ JsonObject& JsonObject::text(const std::string& key,
   return *this;
 }
 
+JsonObject& JsonObject::boolean(const std::string& key, bool value) {
+  fields_.push_back(Field{key, value ? "true" : "false"});
+  return *this;
+}
+
 void JsonObject::render(std::string& out, int indent) const {
   const std::string pad(static_cast<std::size_t>(indent), ' ');
   out += "{\n";
@@ -158,8 +163,11 @@ void fill_scenario_cell(JsonObject& cell,
     cell.number("loss_probability", r.config.recovery.loss_probability)
         .number("crash_fraction", r.config.recovery.crash_fraction)
         .number("graceful_fraction", r.config.recovery.graceful_fraction)
+        .boolean("reliable_data", r.config.recovery.reliable_data)
         .number("delivery_ratio", r.delivery_ratio)
+        .number("delivery_ratio_stddev", r.delivery_ratio_stddev)
         .number("reattached_fraction", r.reattached_fraction)
+        .number("reattached_fraction_stddev", r.reattached_fraction_stddev)
         .number("mean_orphan_epochs", r.mean_orphan_epochs)
         .number("epochs_to_converge", r.epochs_to_converge)
         .number("invariant_violations", r.invariant_violations)
@@ -168,7 +176,15 @@ void fill_scenario_cell(JsonObject& cell,
         .integer("control_giveups",
                  r.counters.total(trace::CounterId::kControlGiveups))
         .integer("orphans_recovered",
-                 r.counters.total(trace::CounterId::kOrphansRecovered));
+                 r.counters.total(trace::CounterId::kOrphansRecovered))
+        .integer("nacks_sent",
+                 r.counters.total(trace::CounterId::kNacksSent))
+        .integer("retransmits",
+                 r.counters.total(trace::CounterId::kRetransmits))
+        .integer("dups_suppressed",
+                 r.counters.total(trace::CounterId::kDupsSuppressed))
+        .integer("send_buffer_high_water",
+                 r.counters.total(trace::CounterId::kSendBufferHighWater));
   }
 }
 

@@ -27,6 +27,7 @@ class JsonObject {
   JsonObject& number(const std::string& key, double value);
   JsonObject& integer(const std::string& key, std::uint64_t value);
   JsonObject& text(const std::string& key, const std::string& value);
+  JsonObject& boolean(const std::string& key, bool value);
 
   /// Appends this object to `out`, indented by `indent` spaces.
   void render(std::string& out, int indent) const;

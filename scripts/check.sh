@@ -1,77 +1,45 @@
 #!/usr/bin/env bash
-# Pre-merge verification, two stages:
+# Pre-merge verification: runs the same stages CI fans out across its
+# matrix (.github/workflows/ci.yml), in sequence, via scripts/stages.sh:
 #
-#  1. ASan/UBSan: configure a dedicated build tree with -Wall -Wextra
-#     (always on via the top-level CMakeLists) plus AddressSanitizer +
-#     UBSan, build everything, and run the full ctest suite.  Warnings
-#     are promoted to errors so new code stays clean.
-#  2. TSan: a second build tree with ThreadSanitizer, running the
-#     experiment-harness and tracing tests (the code that spawns the
-#     run_scenario_grid worker pool) to prove the parallel runner is
-#     race-free.
-#  3. Fault injection: the churn-recovery sweep (bench_churn_recovery
-#     --jobs=4) under ASan, exercising crashes, partitions, and burst
-#     loss end to end; the recovery tests already ran in both suites.
-#  4. Perf smoke: a Release build of bench_micro measures event-loop
-#     throughput (--json_out) and scripts/perf_gate.cmake fails the run
-#     if events/sec regressed >25% against the checked-in baseline in
-#     bench/baselines/.
+#  1. asan:  ASan/UBSan build with -Werror + the full ctest suite.
+#  2. tsan:  TSan build running the experiment-harness, tracing, recovery
+#            and data-plane tests (everything that crosses the
+#            run_scenario_grid worker pool).
+#  3. fault: the churn-recovery sweep (bench_churn_recovery --jobs=4)
+#            under ASan, exercising crashes, partitions, burst loss and
+#            the NACK/retransmit data plane end to end.
+#  4. perf:  a Release build of bench_micro measures event-loop throughput
+#            (--json_out) and scripts/perf_gate.cmake fails the run if
+#            events/sec regressed >25% against bench/baselines/.
+#  5. lint:  clang-format --dry-run --Werror plus clang-tidy on src/core —
+#            skipped with a notice when the binaries are not installed
+#            (CI always runs them).
 #
 # Usage: scripts/check.sh [asan-build-dir] [tsan-build-dir] [perf-build-dir]
 #        (defaults: build-asan, build-tsan, build-perf)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+stages="${repo_root}/scripts/stages.sh"
 build_dir="${1:-${repo_root}/build-asan}"
 tsan_build_dir="${2:-${repo_root}/build-tsan}"
 perf_build_dir="${3:-${repo_root}/build-perf}"
-jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-cmake -B "${build_dir}" -S "${repo_root}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DGROUPCAST_ASAN=ON \
-  -DCMAKE_CXX_FLAGS=-Werror
+"${stages}" asan "${build_dir}"
+"${stages}" tsan "${tsan_build_dir}"
+"${stages}" fault "${build_dir}"
+"${stages}" perf "${perf_build_dir}"
 
-cmake --build "${build_dir}" -j "${jobs}"
+if command -v clang-format > /dev/null; then
+  "${stages}" lint-format
+else
+  echo "check.sh: clang-format not installed, skipping format gate"
+fi
+if command -v clang-tidy > /dev/null; then
+  "${stages}" lint-tidy
+else
+  echo "check.sh: clang-tidy not installed, skipping static analysis"
+fi
 
-ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
-
-echo "check.sh: all tests passed under ASan/UBSan"
-
-cmake -B "${tsan_build_dir}" -S "${repo_root}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DGROUPCAST_TSAN=ON \
-  -DCMAKE_CXX_FLAGS=-Werror
-
-cmake --build "${tsan_build_dir}" -j "${jobs}" --target groupcast_tests
-
-# The grid/averaged runners and the tracing facilities are the only code
-# that touches threads; their tests run every parallel path (jobs > 1).
-# Recovery runs go through the same pool, so its determinism/acceptance
-# tests ride along here too.
-ctest --test-dir "${tsan_build_dir}" --output-on-failure -j "${jobs}" \
-  -R 'Experiment|ExperimentGrid|Counter|Tracer|Trace|Recovery|FaultPlan|FaultInjector|ReliableExchange'
-
-echo "check.sh: parallel-runner tests clean under TSan"
-
-# Fault-injection stage: drive the full recovery sweep (deterministic
-# crashes + loss grid, 4 grid workers) under the ASan build.
-cmake --build "${build_dir}" -j "${jobs}" --target bench_churn_recovery
-"${build_dir}/bench/bench_churn_recovery" --jobs=4 > /dev/null
-
-echo "check.sh: churn-recovery sweep clean under ASan (--jobs=4)"
-
-# Perf-smoke stage: sanitizer trees are useless for timing, so bench_micro
-# gets its own Release tree.  The google-benchmark suite itself is skipped
-# (filter matches nothing) — the gated number is the deterministic
-# event-loop probe behind --json_out.
-cmake -B "${perf_build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${perf_build_dir}" -j "${jobs}" --target bench_micro
-perf_json="${perf_build_dir}/BENCH_micro.json"
-"${perf_build_dir}/bench/bench_micro" '--benchmark_filter=^$' \
-  --json_out="${perf_json}" > /dev/null
-cmake -DBASELINE="${repo_root}/bench/baselines/micro_baseline.json" \
-  -DCURRENT="${perf_json}" -DMAX_REGRESSION_PERCENT=25 \
-  -P "${repo_root}/scripts/perf_gate.cmake"
-
-echo "check.sh: perf smoke within budget (bench_micro events/sec)"
+echo "check.sh: all stages passed"

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Shared verification stages for scripts/check.sh and .github/workflows/ci.yml.
+#
+# Each stage is a function; the dispatcher at the bottom lets both the local
+# pre-merge script and the CI matrix invoke exactly the same logic:
+#
+#   scripts/stages.sh asan  [build-dir]   # ASan/UBSan build + full ctest
+#   scripts/stages.sh tsan  [build-dir]   # TSan build + parallel-runner tests
+#   scripts/stages.sh fault [build-dir]   # churn-recovery sweep under ASan
+#   scripts/stages.sh perf  [build-dir]   # Release perf smoke vs baseline
+#   scripts/stages.sh lint-format         # clang-format --dry-run --Werror
+#   scripts/stages.sh lint-tidy [build-dir]  # clang-tidy over src/core
+#
+# Sanitizer trees default to build-asan / build-tsan / build-perf /
+# build-tidy next to the repo root.  Every stage is independent; check.sh
+# chains them, CI fans them out across matrix jobs.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+# ASan/UBSan: configure with -Wall -Wextra (always on via the top-level
+# CMakeLists) plus AddressSanitizer + UBSan, build everything, run the
+# full ctest suite.  Warnings are promoted to errors so new code stays
+# clean.
+stage_asan() {
+  local build_dir="${1:-${repo_root}/build-asan}"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGROUPCAST_ASAN=ON \
+    -DCMAKE_CXX_FLAGS=-Werror
+  cmake --build "${build_dir}" -j "${jobs}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+  echo "stages.sh: all tests passed under ASan/UBSan"
+}
+
+# TSan: the grid/averaged runners and the tracing facilities are the only
+# code that touches threads; their tests run every parallel path
+# (jobs > 1).  Recovery and data-plane runs go through the same pool, so
+# their determinism/acceptance tests ride along here too.
+stage_tsan() {
+  local build_dir="${1:-${repo_root}/build-tsan}"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGROUPCAST_TSAN=ON \
+    -DCMAKE_CXX_FLAGS=-Werror
+  cmake --build "${build_dir}" -j "${jobs}" --target groupcast_tests
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+    -R 'Experiment|ExperimentGrid|Counter|Tracer|Trace|Recovery|FaultPlan|FaultInjector|ReliableExchange|DataPlane'
+  echo "stages.sh: parallel-runner tests clean under TSan"
+}
+
+# Fault injection: drive the full recovery sweep (deterministic crashes +
+# loss grid, both data-plane variants, 4 grid workers) under the ASan
+# build from stage_asan.
+stage_fault() {
+  local build_dir="${1:-${repo_root}/build-asan}"
+  cmake --build "${build_dir}" -j "${jobs}" --target bench_churn_recovery
+  "${build_dir}/bench/bench_churn_recovery" --jobs=4 \
+    --json_out="${build_dir}/BENCH_churn_recovery.json" > /dev/null
+  echo "stages.sh: churn-recovery sweep clean under ASan (--jobs=4)"
+}
+
+# Perf smoke: sanitizer trees are useless for timing, so bench_micro gets
+# its own Release tree.  The google-benchmark suite itself is skipped
+# (filter matches nothing) — the gated number is the deterministic
+# event-loop probe behind --json_out, compared against the checked-in
+# baseline by scripts/perf_gate.cmake.
+stage_perf() {
+  local build_dir="${1:-${repo_root}/build-perf}"
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" -j "${jobs}" --target bench_micro
+  local perf_json="${build_dir}/BENCH_micro.json"
+  "${build_dir}/bench/bench_micro" '--benchmark_filter=^$' \
+    --json_out="${perf_json}" > /dev/null
+  cmake -DBASELINE="${repo_root}/bench/baselines/micro_baseline.json" \
+    -DCURRENT="${perf_json}" -DMAX_REGRESSION_PERCENT=25 \
+    -P "${repo_root}/scripts/perf_gate.cmake"
+  echo "stages.sh: perf smoke within budget (bench_micro events/sec)"
+}
+
+# Formatting gate: every tracked C++ file must match .clang-format
+# byte-for-byte.  --dry-run --Werror reports (and fails on) any diff
+# without rewriting files.
+stage_lint_format() {
+  cd "${repo_root}"
+  git ls-files 'src/**/*.h' 'src/**/*.cc' 'bench/**/*.h' 'bench/**/*.cc' \
+    'tests/**/*.h' 'tests/**/*.cc' 'tools/**/*.cc' |
+    xargs clang-format --dry-run --Werror
+  echo "stages.sh: clang-format clean"
+}
+
+# Static analysis on the protocol core.  Only bugprone-* and
+# performance-* findings are promoted to errors (the rest of the .clang-tidy
+# checks report but do not gate) — see .clang-tidy for the check set.
+stage_lint_tidy() {
+  local build_dir="${1:-${repo_root}/build-tidy}"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  git -C "${repo_root}" ls-files 'src/core/*.cc' |
+    sed "s|^|${repo_root}/|" |
+    xargs clang-tidy -p "${build_dir}" \
+      --warnings-as-errors='bugprone-*,performance-*'
+  echo "stages.sh: clang-tidy clean on src/core"
+}
+
+usage() {
+  echo "usage: scripts/stages.sh {asan|tsan|fault|perf|lint-format|lint-tidy} [build-dir]" >&2
+  exit 2
+}
+
+[[ $# -ge 1 ]] || usage
+stage="$1"
+shift
+case "${stage}" in
+  asan) stage_asan "$@" ;;
+  tsan) stage_tsan "$@" ;;
+  fault) stage_fault "$@" ;;
+  perf) stage_perf "$@" ;;
+  lint-format) stage_lint_format "$@" ;;
+  lint-tidy) stage_lint_tidy "$@" ;;
+  *) usage ;;
+esac

@@ -41,6 +41,14 @@ GroupCastNode::GroupCastNode(overlay::PeerId self, Transport& transport,
   GC_REQUIRE(options_.ripple_ttl >= 1);
   GC_REQUIRE(options_.missed_heartbeats_to_fail >= 1);
   GC_REQUIRE(options_.heartbeat_interval >= sim::SimTime::zero());
+  if (options_.reliability.enabled) {
+    GC_REQUIRE(options_.reliability.nack_delay > sim::SimTime::zero());
+    GC_REQUIRE(options_.reliability.nack_retry_delay > sim::SimTime::zero());
+    GC_REQUIRE(options_.reliability.probe_delay > sim::SimTime::zero());
+    GC_REQUIRE(options_.reliability.nack_jitter >= 0.0);
+    GC_REQUIRE(options_.reliability.send_buffer_cap >= 1);
+    GC_REQUIRE(options_.reliability.ack_every >= 1);
+  }
 }
 
 GroupCastNode::~GroupCastNode() {
@@ -62,8 +70,12 @@ void GroupCastNode::detach(DetachMode mode) {
   GC_REQUIRE_MSG(running_, "node not running");
   transport_->unregister_node(self_, mode);
   exchange_.cancel_all();
+  auto& simulator = transport_->simulator();
   for (auto& [group, state] : groups_) {
     state.exchange = ReliableExchange::kNoToken;
+    // A departed node's edge timers must not fire into a dead runtime.
+    for (auto& [peer, tx] : state.tx_edges) simulator.cancel(tx.probe_timer);
+    for (auto& [peer, rx] : state.rx_edges) simulator.cancel(rx.nack_timer);
   }
   // A departed node stops probing: cancel the shared tick instead of
   // letting it fire into a dead runtime.
@@ -212,6 +224,7 @@ void GroupCastNode::unsubscribe(GroupId group) {
     return;  // relay (or root): keep forwarding for the children
   }
   transport_->send(self_, state.tree_parent, LeaveMsg{group, self_});
+  drop_edge_state(state, state.tree_parent);
   state.on_tree = false;
   state.tree_parent = overlay::kNoPeer;
   state.depth = kUnknownDepth;
@@ -226,11 +239,10 @@ void GroupCastNode::publish(GroupId group, std::uint64_t payload_id) {
   state.seen_payloads.insert(payload_key(self_, payload_id));
   if (state.tree_parent != self_ &&
       state.tree_parent != overlay::kNoPeer) {
-    transport_->send(self_, state.tree_parent,
-                     DataMsg{group, self_, payload_id});
+    send_data(group, state, state.tree_parent, self_, payload_id);
   }
   for (const auto child : state.children) {
-    transport_->send(self_, child, DataMsg{group, self_, payload_id});
+    send_data(group, state, child, self_, payload_id);
   }
 }
 
@@ -275,6 +287,22 @@ bool GroupCastNode::exchange_pending(GroupId group) const {
   const auto it = groups_.find(group);
   return it != groups_.end() &&
          it->second.exchange != ReliableExchange::kNoToken;
+}
+
+std::size_t GroupCastNode::send_buffer_depth(GroupId group,
+                                             overlay::PeerId peer) const {
+  const auto git = groups_.find(group);
+  if (git == groups_.end()) return 0;
+  const auto it = git->second.tx_edges.find(peer);
+  return it != git->second.tx_edges.end() ? it->second.buffer.size() : 0;
+}
+
+std::uint64_t GroupCastNode::expected_seq(GroupId group,
+                                          overlay::PeerId peer) const {
+  const auto git = groups_.find(group);
+  if (git == groups_.end()) return 0;
+  const auto it = git->second.rx_edges.find(peer);
+  return it != git->second.rx_edges.end() ? it->second.expected : 0;
 }
 
 // ----------------------------------------------------------- retry ladder
@@ -405,6 +433,16 @@ void GroupCastNode::terminal_failure(GroupId group) {
   auto& state = state_of(group);
   state.exchange = ReliableExchange::kNoToken;
   state.search_pending = false;
+  // The tree position dissolves either way below: no reliable edge of
+  // this group survives it (children are told to re-attach, and a later
+  // re-attach starts fresh incarnations via the join handshake).
+  {
+    auto& simulator = transport_->simulator();
+    for (auto& [peer, tx] : state.tx_edges) simulator.cancel(tx.probe_timer);
+    for (auto& [peer, rx] : state.rx_edges) simulator.cancel(rx.nack_timer);
+    state.tx_edges.clear();
+    state.rx_edges.clear();
+  }
   if (!state.children.empty() && !state.dissolved_once) {
     // Dissolve the tree position: the children re-attach on their own,
     // and as a now-childless node we get one unguarded retry of the
@@ -459,6 +497,12 @@ void GroupCastNode::complete_attach(GroupId group, overlay::PeerId parent,
   state.attach_depth_limit = kUnknownDepth;
   state.dissolved_once = false;
   state.parent_last_ack = now();
+  // Reattach re-sync, child side: whatever edge state a previous
+  // incarnation of this parent link left behind is stale now.  The
+  // parent's JoinAck is chased by its SeqSync (per-pair FIFO), which
+  // seeds the fresh inbound edge; our outbound edge re-forms lazily on
+  // the first payload we send up.
+  drop_edge_state(state, parent);
   trace::tracer().emit(now().as_micros(), trace::EventKind::kTreeEdgeAdded,
                        self_, parent);
   trace::counters().incr(self_, trace::CounterId::kTreeEdges);
@@ -473,6 +517,12 @@ void GroupCastNode::complete_attach(GroupId group, overlay::PeerId parent,
   // their deferred acks now, carrying our freshly-known depth.
   for (const auto child : state.pending_acks) {
     transport_->send(self_, child, JoinAckMsg{group, state.depth});
+    if (options_.reliability.enabled) {
+      // The deferred ack completes the join handshake: give the child a
+      // fresh edge incarnation so its expected sequence starts in sync.
+      drop_edge_state(state, child);
+      reset_tx_edge(group, state, child);
+    }
   }
   // Children retained through recovery get an unsolicited depth refresh so
   // descendant depths (the orphan cycle guard's input) converge within one
@@ -580,11 +630,13 @@ void GroupCastNode::heartbeat_tick(GroupId group) {
       erase_value(state.children, ghost);
       erase_value(state.pending_acks, ghost);
       state.child_last_seen.erase(ghost);
+      drop_edge_state(state, ghost);
     }
     // A pure relay whose last child was pruned folds back off the tree.
     if (!ghosts.empty() && !state.subscribed && state.on_tree &&
         state.children.empty() && state.tree_parent != self_) {
       transport_->send(self_, state.tree_parent, LeaveMsg{group, self_});
+      drop_edge_state(state, state.tree_parent);
       state.on_tree = false;
       state.tree_parent = overlay::kNoPeer;
       state.depth = kUnknownDepth;
@@ -607,6 +659,9 @@ void GroupCastNode::begin_recovery(GroupId group,
   state.depth = kUnknownDepth;
   state.avoid = dead_parent;
   state.recovering = true;
+  // Both directions of the dead parent's edge are gone; edges to retained
+  // children stay live (their buffers cover losses during the recovery).
+  drop_edge_state(state, dead_parent);
   if (state.exchange != ReliableExchange::kNoToken) {
     exchange_.cancel(state.exchange);
     state.exchange = ReliableExchange::kNoToken;
@@ -640,6 +695,14 @@ void GroupCastNode::handle(const Envelope& envelope) {
           handle_heartbeat_ack(envelope, msg);
         } else if constexpr (std::is_same_v<T, ParentLostMsg>) {
           handle_parent_lost(envelope, msg);
+        } else if constexpr (std::is_same_v<T, ReliableDataMsg>) {
+          handle_reliable_data(envelope, msg);
+        } else if constexpr (std::is_same_v<T, DataNackMsg>) {
+          handle_data_nack(envelope, msg);
+        } else if constexpr (std::is_same_v<T, DataAckMsg>) {
+          handle_data_ack(envelope, msg);
+        } else if constexpr (std::is_same_v<T, SeqSyncMsg>) {
+          handle_seq_sync(envelope, msg);
         }
       },
       envelope.body);
@@ -684,6 +747,14 @@ void GroupCastNode::handle_join(const Envelope& /*envelope*/,
   state.child_last_seen[msg.child] = now();
   if (state.on_tree) {
     transport_->send(self_, msg.child, JoinAckMsg{msg.group, state.depth});
+    if (options_.reliability.enabled) {
+      // The join handshake is where a (re)attaching child re-syncs its
+      // expected sequence: a fresh edge incarnation rides right behind
+      // the ack (per-pair FIFO), so the child never NACKs into whatever
+      // epoch its previous parent link was on.
+      drop_edge_state(state, msg.child);
+      reset_tx_edge(msg.group, state, msg.child);
+    }
     maybe_schedule_heartbeat(msg.group);
     return;
   }
@@ -754,29 +825,383 @@ void GroupCastNode::handle_data(const Envelope& envelope,
                                 const DataMsg& msg) {
   auto& state = state_of(msg.group);
   if (!state.on_tree) return;
-  if (!state.seen_payloads.insert(payload_key(msg.origin, msg.payload_id))
-           .second) {
+  deliver_payload(msg.group, state, envelope.from, msg.origin,
+                  msg.payload_id);
+}
+
+void GroupCastNode::deliver_payload(GroupId group, GroupState& state,
+                                    overlay::PeerId via,
+                                    overlay::PeerId origin,
+                                    std::uint64_t payload_id) {
+  if (!state.seen_payloads.insert(payload_key(origin, payload_id)).second) {
+    trace::counters().incr(self_, trace::CounterId::kMessagesDropped);
+    trace::tracer().emit(
+        now().as_micros(), trace::EventKind::kMessageDropped, self_, via,
+        static_cast<std::uint64_t>(trace::DropReason::kDuplicate));
+    return;  // duplicate
+  }
+  if (state.subscribed && data_callback_) {
+    data_callback_(group, payload_id, origin);
+  }
+  // Forward along the tree, away from the sender.
+  if (state.tree_parent != self_ && state.tree_parent != via &&
+      state.tree_parent != overlay::kNoPeer) {
+    send_data(group, state, state.tree_parent, origin, payload_id);
+    trace::counters().incr(self_, trace::CounterId::kMessagesForwarded);
+  }
+  for (const auto child : state.children) {
+    if (child == via) continue;
+    send_data(group, state, child, origin, payload_id);
+    trace::counters().incr(self_, trace::CounterId::kMessagesForwarded);
+  }
+}
+
+// ------------------------------------------------- reliable data plane
+
+namespace {
+std::uint64_t pack_edge(GroupId group, overlay::PeerId peer) {
+  return (static_cast<std::uint64_t>(group) << 32) | peer;
+}
+}  // namespace
+
+sim::SimTime GroupCastNode::jittered(sim::SimTime base, double jitter) {
+  const double stretch = 1.0 + jitter * rng_.uniform();
+  return sim::SimTime::micros(static_cast<std::int64_t>(
+      static_cast<double>(base.as_micros()) * stretch));
+}
+
+void GroupCastNode::send_data(GroupId group, GroupState& state,
+                              overlay::PeerId to, overlay::PeerId origin,
+                              std::uint64_t payload_id) {
+  if (!options_.reliability.enabled) {
+    transport_->send(self_, to, DataMsg{group, origin, payload_id});
+    return;
+  }
+  auto it = state.tx_edges.find(to);
+  if (it == state.tx_edges.end()) {
+    // First payload over this directed edge: open the incarnation (the
+    // SeqSync rides ahead of the data on the FIFO pair link).
+    reset_tx_edge(group, state, to);
+    it = state.tx_edges.find(to);
+  }
+  auto& tx = it->second;
+  if (tx.buffer.size() >= options_.reliability.send_buffer_cap) {
+    tx.buffer.pop_front();  // oldest unacked copy falls off
+  }
+  const std::uint64_t seq = tx.next_seq++;
+  tx.buffer.push_back(BufferedPayload{seq, origin, payload_id});
+  if (tx.buffer.size() > send_buffer_high_water_) {
+    trace::counters().incr(
+        self_, trace::CounterId::kSendBufferHighWater,
+        tx.buffer.size() - send_buffer_high_water_);
+    send_buffer_high_water_ = tx.buffer.size();
+  }
+  transport_->send(
+      self_, to, ReliableDataMsg{group, origin, payload_id, tx.epoch, seq});
+  maybe_schedule_probe(group, to, tx);
+}
+
+void GroupCastNode::reset_tx_edge(GroupId group, GroupState& state,
+                                  overlay::PeerId peer) {
+  auto& tx = state.tx_edges[peer];
+  transport_->simulator().cancel(tx.probe_timer);
+  const std::uint32_t epoch = tx.epoch + 1;
+  tx = EdgeTx{};
+  tx.epoch = epoch;
+  transport_->send(self_, peer, SeqSyncMsg{group, epoch, 0, 0});
+}
+
+void GroupCastNode::drop_edge_state(GroupState& state,
+                                    overlay::PeerId peer) {
+  auto& simulator = transport_->simulator();
+  if (const auto it = state.tx_edges.find(peer);
+      it != state.tx_edges.end()) {
+    // Tombstone, not erase: the epoch counter must survive the teardown
+    // so the next incarnation of this directed edge gets a number the
+    // receiver has never seen.  (Erasing would restart at epoch 1, and a
+    // receiver still synced to the old epoch 1 would silently swallow
+    // the restarted sequence space as duplicates.)
+    simulator.cancel(it->second.probe_timer);
+    const std::uint32_t epoch = it->second.epoch;
+    it->second = EdgeTx{};
+    it->second.epoch = epoch;
+  }
+  if (const auto it = state.rx_edges.find(peer);
+      it != state.rx_edges.end()) {
+    simulator.cancel(it->second.nack_timer);
+    state.rx_edges.erase(it);
+  }
+}
+
+void GroupCastNode::maybe_schedule_nack(GroupId group, overlay::PeerId peer,
+                                        EdgeRx& rx) {
+  auto& simulator = transport_->simulator();
+  if (simulator.timer_pending(rx.nack_timer)) return;  // one in flight
+  rx.nack_timer = simulator.schedule_timer(
+      jittered(options_.reliability.nack_delay,
+               options_.reliability.nack_jitter),
+      &nack_thunk, this, pack_edge(group, peer));
+}
+
+void GroupCastNode::maybe_schedule_probe(GroupId group,
+                                         overlay::PeerId peer, EdgeTx& tx) {
+  auto& simulator = transport_->simulator();
+  if (simulator.timer_pending(tx.probe_timer)) return;
+  tx.probe_rounds = 0;
+  tx.acked_at_last_probe = tx.cum_acked;
+  tx.probe_timer = simulator.schedule_timer(
+      jittered(options_.reliability.probe_delay,
+               options_.reliability.nack_jitter),
+      &probe_thunk, this, pack_edge(group, peer));
+}
+
+void GroupCastNode::nack_thunk(void* context, std::uint64_t packed) {
+  static_cast<GroupCastNode*>(context)->on_nack_timer(
+      static_cast<GroupId>(packed >> 32),
+      static_cast<overlay::PeerId>(packed & 0xFFFFFFFFull));
+}
+
+void GroupCastNode::probe_thunk(void* context, std::uint64_t packed) {
+  static_cast<GroupCastNode*>(context)->on_probe_timer(
+      static_cast<GroupId>(packed >> 32),
+      static_cast<overlay::PeerId>(packed & 0xFFFFFFFFull));
+}
+
+void GroupCastNode::on_nack_timer(GroupId group, overlay::PeerId peer) {
+  if (!running_) return;
+  const auto git = groups_.find(group);
+  if (git == groups_.end()) return;
+  auto& state = git->second;
+  const auto it = state.rx_edges.find(peer);
+  if (it == state.rx_edges.end()) return;
+  auto& rx = it->second;
+  if (rx.stash.empty() && rx.expected >= rx.tail_next) {
+    rx.nack_rounds = 0;  // the gap closed while the timer was pending
+    return;
+  }
+  if (rx.nack_rounds >= options_.reliability.max_nack_rounds) {
+    // The sender's buffer no longer holds the gap (or the edge is dead):
+    // skip past it instead of deadlocking the in-order pipeline.
+    rx.nack_rounds = 0;
+    rx.expected =
+        rx.stash.empty() ? rx.tail_next : rx.stash.begin()->first;
+    drain_rx(group, state, peer, rx);
+    return;
+  }
+  // One batched request: base is the first missing sequence, bit i set
+  // when base + i is also missing (parked copies punch holes in the mask).
+  const std::uint64_t base = rx.expected;
+  std::uint64_t mask = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const std::uint64_t seq = base + i;
+    if (seq >= rx.tail_next) break;
+    if (rx.stash.find(seq) == rx.stash.end()) mask |= (1ull << i);
+  }
+  if (mask == 0) {
+    rx.nack_rounds = 0;
+    return;
+  }
+  transport_->send(self_, peer, DataNackMsg{group, rx.epoch, base, mask});
+  trace::counters().incr(self_, trace::CounterId::kNacksSent);
+  ++rx.nack_rounds;
+  // Re-arm on the (longer) retry cadence: no second NACK for this gap
+  // while the requested retransmission is presumed in flight.
+  rx.nack_timer = transport_->simulator().schedule_timer(
+      jittered(options_.reliability.nack_retry_delay,
+               options_.reliability.nack_jitter),
+      &nack_thunk, this, pack_edge(group, peer));
+}
+
+void GroupCastNode::on_probe_timer(GroupId group, overlay::PeerId peer) {
+  if (!running_) return;
+  const auto git = groups_.find(group);
+  if (git == groups_.end()) return;
+  auto& state = git->second;
+  const auto it = state.tx_edges.find(peer);
+  if (it == state.tx_edges.end()) return;
+  auto& tx = it->second;
+  if (tx.buffer.empty()) {
+    tx.probe_rounds = 0;  // everything acked: go quiet
+    return;
+  }
+  if (tx.cum_acked > tx.acked_at_last_probe) {
+    tx.probe_rounds = 0;  // the receiver is making progress
+  } else {
+    ++tx.probe_rounds;
+  }
+  tx.acked_at_last_probe = tx.cum_acked;
+  if (tx.probe_rounds > options_.reliability.max_probe_rounds) {
+    // Rounds of silence: the receiver is gone (heartbeats prune the tree
+    // edge separately); stop holding its unacked tail.
+    tx.buffer.clear();
+    tx.probe_rounds = 0;
+    return;
+  }
+  // Tail-loss detection: re-announce [base, next) so a receiver that lost
+  // the tail (or the original SeqSync) sees the gap and NACKs it.  base
+  // is the oldest sequence still retransmittable — a receiver adopting
+  // this announcement after losing the handshake starts there, not at
+  // next_seq, so the buffered backlog is recovered instead of skipped.
+  const std::uint64_t base =
+      tx.buffer.empty() ? tx.next_seq : tx.buffer.front().seq;
+  transport_->send(self_, peer, SeqSyncMsg{group, tx.epoch, base, tx.next_seq});
+  tx.probe_timer = transport_->simulator().schedule_timer(
+      jittered(options_.reliability.probe_delay,
+               options_.reliability.nack_jitter),
+      &probe_thunk, this, pack_edge(group, peer));
+}
+
+void GroupCastNode::drain_rx(GroupId group, GroupState& state,
+                             overlay::PeerId from, EdgeRx& rx) {
+  while (!rx.stash.empty() && rx.stash.begin()->first == rx.expected) {
+    const BufferedPayload parked = rx.stash.begin()->second;
+    rx.stash.erase(rx.stash.begin());
+    ++rx.expected;
+    ++rx.delivered_since_ack;
+    deliver_payload(group, state, from, parked.origin, parked.payload_id);
+  }
+  if (rx.delivered_since_ack >= options_.reliability.ack_every) {
+    rx.delivered_since_ack = 0;
+    transport_->send(self_, from, DataAckMsg{group, rx.epoch, rx.expected});
+  }
+  if (!rx.stash.empty() || rx.expected < rx.tail_next) {
+    maybe_schedule_nack(group, from, rx);
+  }
+}
+
+void GroupCastNode::handle_reliable_data(const Envelope& envelope,
+                                         const ReliableDataMsg& msg) {
+  auto& state = state_of(msg.group);
+  if (!state.on_tree) return;
+  const auto it = state.rx_edges.find(envelope.from);
+  if (it == state.rx_edges.end() || !it->second.synced ||
+      it->second.epoch != msg.epoch) {
+    // No synced incarnation matches (the SeqSync was lost, or this copy
+    // belongs to a torn-down incarnation): drop it — the sender's probe
+    // re-announces the sync, and resuming mid-stream by guessing the
+    // base sequence is exactly the NACK storm the handshake avoids.
+    trace::counters().incr(self_, trace::CounterId::kMessagesDropped);
+    trace::tracer().emit(
+        now().as_micros(), trace::EventKind::kMessageDropped, self_,
+        envelope.from,
+        static_cast<std::uint64_t>(trace::DropReason::kStaleEpoch));
+    return;
+  }
+  auto& rx = it->second;
+  if (rx.tail_next < msg.seq + 1) rx.tail_next = msg.seq + 1;
+  if (msg.seq < rx.expected || rx.stash.count(msg.seq) != 0) {
+    // Retransmission raced the original (or a second NACK round): the
+    // sequence layer absorbs the duplicate before payload dedup sees it.
+    trace::counters().incr(self_, trace::CounterId::kDupsSuppressed);
     trace::counters().incr(self_, trace::CounterId::kMessagesDropped);
     trace::tracer().emit(
         now().as_micros(), trace::EventKind::kMessageDropped, self_,
         envelope.from,
         static_cast<std::uint64_t>(trace::DropReason::kDuplicate));
-    return;  // duplicate
+    return;
   }
-  if (state.subscribed && data_callback_) {
-    data_callback_(msg.group, msg.payload_id, msg.origin);
+  if (msg.seq == rx.expected) {
+    ++rx.expected;
+    ++rx.delivered_since_ack;
+    rx.nack_rounds = 0;  // in-order progress
+    deliver_payload(msg.group, state, envelope.from, msg.origin,
+                    msg.payload_id);
+    drain_rx(msg.group, state, envelope.from, rx);
+    return;
   }
-  // Forward along the tree, away from the sender.
-  if (state.tree_parent != self_ && state.tree_parent != envelope.from &&
-      state.tree_parent != overlay::kNoPeer) {
-    transport_->send(self_, state.tree_parent, msg);
-    trace::counters().incr(self_, trace::CounterId::kMessagesForwarded);
+  // Gap: park the payload and arm the batched NACK.
+  rx.stash.emplace(msg.seq,
+                   BufferedPayload{msg.seq, msg.origin, msg.payload_id});
+  maybe_schedule_nack(msg.group, envelope.from, rx);
+}
+
+void GroupCastNode::handle_data_nack(const Envelope& envelope,
+                                     const DataNackMsg& msg) {
+  auto& state = state_of(msg.group);
+  const auto it = state.tx_edges.find(envelope.from);
+  if (it == state.tx_edges.end() || it->second.epoch != msg.epoch) {
+    return;  // stale incarnation
   }
-  for (const auto child : state.children) {
-    if (child == envelope.from) continue;
-    transport_->send(self_, child, msg);
-    trace::counters().incr(self_, trace::CounterId::kMessagesForwarded);
+  auto& tx = it->second;
+  // base is an implicit cumulative ack: every sequence below it arrived.
+  if (msg.base_seq > tx.cum_acked) tx.cum_acked = msg.base_seq;
+  while (!tx.buffer.empty() && tx.buffer.front().seq < tx.cum_acked) {
+    tx.buffer.pop_front();
   }
+  if (tx.buffer.empty()) return;
+  const std::uint64_t front = tx.buffer.front().seq;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if ((msg.missing & (1ull << i)) == 0) continue;
+    const std::uint64_t seq = msg.base_seq + i;
+    if (seq < front || seq >= tx.next_seq) continue;  // fell off / unsent
+    const auto& entry = tx.buffer[static_cast<std::size_t>(seq - front)];
+    transport_->send(self_, envelope.from,
+                     ReliableDataMsg{msg.group, entry.origin,
+                                     entry.payload_id, tx.epoch, entry.seq});
+    trace::counters().incr(self_, trace::CounterId::kRetransmits);
+  }
+}
+
+void GroupCastNode::handle_data_ack(const Envelope& envelope,
+                                    const DataAckMsg& msg) {
+  auto& state = state_of(msg.group);
+  const auto it = state.tx_edges.find(envelope.from);
+  if (it == state.tx_edges.end() || it->second.epoch != msg.epoch) return;
+  auto& tx = it->second;
+  if (msg.cumulative > tx.cum_acked) tx.cum_acked = msg.cumulative;
+  while (!tx.buffer.empty() && tx.buffer.front().seq < tx.cum_acked) {
+    tx.buffer.pop_front();
+  }
+}
+
+void GroupCastNode::handle_seq_sync(const Envelope& envelope,
+                                    const SeqSyncMsg& msg) {
+  auto& state = state_of(msg.group);
+  if (!state.on_tree) return;
+  auto& rx = state.rx_edges[envelope.from];
+  if (!rx.synced || rx.epoch != msg.epoch) {
+    // New incarnation of the inbound edge: adopt its retransmittable
+    // window [base, next) wholesale.  This is the receiving half of the
+    // reattach re-sync — nothing before base_seq will ever be NACKed,
+    // and when the handshake SeqSync itself was lost, aligning to the
+    // probe's base (the sender's buffer front) recovers the buffered
+    // backlog instead of skipping it.
+    transport_->simulator().cancel(rx.nack_timer);
+    rx = EdgeRx{};
+    rx.epoch = msg.epoch;
+    rx.synced = true;
+    rx.expected = msg.base_seq;
+    rx.tail_next = msg.next_seq;
+    if (rx.expected < rx.tail_next) {
+      maybe_schedule_nack(msg.group, envelope.from, rx);
+    }
+    return;
+  }
+  if (msg.base_seq > rx.expected) {
+    // The sender can no longer retransmit anything below base: deliver
+    // whatever of the stash survives (in order) and give up on the rest —
+    // NACKing below base would spin forever.
+    while (!rx.stash.empty() && rx.stash.begin()->first < msg.base_seq) {
+      const BufferedPayload parked = rx.stash.begin()->second;
+      rx.stash.erase(rx.stash.begin());
+      ++rx.delivered_since_ack;
+      deliver_payload(msg.group, state, envelope.from, parked.origin,
+                      parked.payload_id);
+    }
+    rx.expected = msg.base_seq;
+    rx.nack_rounds = 0;
+    drain_rx(msg.group, state, envelope.from, rx);
+  }
+  if (msg.next_seq > rx.tail_next) rx.tail_next = msg.next_seq;
+  if (!rx.stash.empty() || rx.expected < rx.tail_next) {
+    maybe_schedule_nack(msg.group, envelope.from, rx);
+    return;
+  }
+  // Caught up: the announcement is the sender's ack-overdue probe, so
+  // answer with the cumulative ack that lets it trim and go quiet.
+  rx.delivered_since_ack = 0;
+  transport_->send(self_, envelope.from,
+                   DataAckMsg{msg.group, rx.epoch, rx.expected});
 }
 
 void GroupCastNode::handle_leave(const Envelope& /*envelope*/,
@@ -785,10 +1210,12 @@ void GroupCastNode::handle_leave(const Envelope& /*envelope*/,
   erase_value(state.children, msg.child);
   erase_value(state.pending_acks, msg.child);
   state.child_last_seen.erase(msg.child);
+  drop_edge_state(state, msg.child);
   // A pure relay whose last child left can leave too.
   if (!state.subscribed && state.on_tree && state.children.empty() &&
       state.tree_parent != self_) {
     transport_->send(self_, state.tree_parent, LeaveMsg{msg.group, self_});
+    drop_edge_state(state, state.tree_parent);
     state.on_tree = false;
     state.tree_parent = overlay::kNoPeer;
     state.depth = kUnknownDepth;

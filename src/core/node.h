@@ -24,6 +24,8 @@
 // depths carried on JoinAck / RippleHit / HeartbeatAck.
 #pragma once
 
+#include <deque>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -37,6 +39,36 @@ namespace groupcast::core {
 
 /// Sentinel depth of a node that is not (or not yet) on a tree.
 inline constexpr std::uint32_t kUnknownDepth = 0xFFFFFFFFu;
+
+/// Data-plane reliability on tree edges (docs/ROBUSTNESS.md): per-edge
+/// sequence numbering with receiver-driven NACK/retransmit, cumulative
+/// acks trimming a bounded per-child send buffer, and sender-side
+/// tail-loss probes.  Off by default: group data then rides the legacy
+/// fire-and-forget DataMsg path, byte-identical to before.
+struct DataReliabilityOptions {
+  bool enabled = false;
+  /// Delay before a detected gap is NACKed; batches a burst of losses
+  /// into one request.  Jittered by a uniform factor in [1, 1 + jitter)
+  /// drawn from the node's RNG stream (SRM-style desynchronization).
+  sim::SimTime nack_delay = sim::SimTime::millis(40);
+  /// Wait after a NACK before the same gap may be NACKed again — the
+  /// suppression window while a retransmission is presumed in flight.
+  sim::SimTime nack_retry_delay = sim::SimTime::millis(250);
+  double nack_jitter = 0.5;
+  /// NACK rounds without progress before the receiver skips the gap
+  /// (the sender's buffer no longer holds it; waiting forever deadlocks).
+  std::size_t max_nack_rounds = 8;
+  /// Retransmit-buffer bound per directed edge; the oldest unacked entry
+  /// falls off when a send would exceed it.
+  std::size_t send_buffer_cap = 128;
+  /// Cumulative-ack cadence: one ack per this many in-order deliveries.
+  std::size_t ack_every = 8;
+  /// Ack-overdue probe: how long the sender waits on unacked data before
+  /// re-announcing its next sequence (tail-loss detection), and how many
+  /// silent rounds before it gives the receiver up and drops the buffer.
+  sim::SimTime probe_delay = sim::SimTime::millis(400);
+  std::size_t max_probe_rounds = 6;
+};
 
 struct NodeOptions {
   /// Scheme + fan-out the node uses when forwarding advertisements.
@@ -57,6 +89,8 @@ struct NodeOptions {
   /// Heartbeat intervals without an ack before the parent is declared
   /// dead (the paper's two-miss rule).
   std::size_t missed_heartbeats_to_fail = 2;
+  /// NACK/retransmit reliability for group data on tree edges.
+  DataReliabilityOptions reliability;
 };
 
 class GroupCastNode {
@@ -119,10 +153,53 @@ class GroupCastNode {
   std::uint32_t tree_depth(GroupId group) const;
   /// True while a subscribe / recovery ladder has an exchange in flight.
   bool exchange_pending(GroupId group) const;
+  /// Payload entries currently held for retransmission on the directed
+  /// edge to `peer` (0 when reliability is off or no such edge exists).
+  std::size_t send_buffer_depth(GroupId group, overlay::PeerId peer) const;
+  /// Sequence the reliable edge from `peer` expects next (0 when none).
+  std::uint64_t expected_seq(GroupId group, overlay::PeerId peer) const;
 
  private:
   /// Ladder rungs, tried in order (skipping inapplicable ones).
   enum class Rung : std::uint8_t { kAdvertParent, kRipple, kRendezvous };
+
+  /// One payload held for retransmission (EdgeTx) or parked ahead of a
+  /// gap (EdgeRx).
+  struct BufferedPayload {
+    std::uint64_t seq = 0;
+    overlay::PeerId origin = overlay::kNoPeer;
+    std::uint64_t payload_id = 0;
+  };
+
+  /// Sender half of one directed reliable edge.  The buffer holds
+  /// contiguous sequences [front.seq, next_seq): pushes append next_seq
+  /// and pops come off the front (cumulative ack or capacity), so a
+  /// NACKed sequence is found by index, not search.
+  struct EdgeTx {
+    std::uint32_t epoch = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t cum_acked = 0;
+    std::deque<BufferedPayload> buffer;
+    sim::TimerHandle probe_timer;
+    std::size_t probe_rounds = 0;
+    std::uint64_t acked_at_last_probe = 0;
+  };
+
+  /// Receiver half of one directed reliable edge.  `synced` flips on the
+  /// first SeqSync from the sender; until then sequenced payloads are
+  /// dropped (the sender's probe re-announces, so a lost sync only
+  /// delays the edge).  `tail_next` is the sender's last announced
+  /// next_seq — the evidence that exposes tail loss as a gap.
+  struct EdgeRx {
+    std::uint32_t epoch = 0;
+    bool synced = false;
+    std::uint64_t expected = 0;
+    std::uint64_t tail_next = 0;
+    std::map<std::uint64_t, BufferedPayload> stash;
+    sim::TimerHandle nack_timer;
+    std::size_t nack_rounds = 0;
+    std::size_t delivered_since_ack = 0;
+  };
 
   struct GroupState {
     overlay::PeerId rendezvous = overlay::kNoPeer;
@@ -156,6 +233,10 @@ class GroupCastNode {
     bool heartbeat_scheduled = false;
     sim::SimTime parent_last_ack;
     std::unordered_map<overlay::PeerId, sim::SimTime> child_last_seen;
+
+    // --- reliable data plane (ordered so teardown is deterministic) ---
+    std::map<overlay::PeerId, EdgeTx> tx_edges;
+    std::map<overlay::PeerId, EdgeRx> rx_edges;
   };
 
   /// Shared teardown behind stop() / crash().
@@ -174,6 +255,44 @@ class GroupCastNode {
   void handle_heartbeat_ack(const Envelope& envelope,
                             const HeartbeatAckMsg& msg);
   void handle_parent_lost(const Envelope& envelope, const ParentLostMsg& msg);
+  void handle_reliable_data(const Envelope& envelope,
+                            const ReliableDataMsg& msg);
+  void handle_data_nack(const Envelope& envelope, const DataNackMsg& msg);
+  void handle_data_ack(const Envelope& envelope, const DataAckMsg& msg);
+  void handle_seq_sync(const Envelope& envelope, const SeqSyncMsg& msg);
+
+  // --- reliable data plane ---
+  /// Accepted payload (any path): dedup by (origin, id), deliver to the
+  /// application, and forward along the tree away from `via`.
+  void deliver_payload(GroupId group, GroupState& state, overlay::PeerId via,
+                       overlay::PeerId origin, std::uint64_t payload_id);
+  /// Sends one payload toward `to`: sequenced + buffered when reliability
+  /// is on, the legacy fire-and-forget DataMsg otherwise.
+  void send_data(GroupId group, GroupState& state, overlay::PeerId to,
+                 overlay::PeerId origin, std::uint64_t payload_id);
+  /// (Re)initializes the outbound edge to `peer`: bumps the epoch, resets
+  /// the sequence space, drops the buffer, and announces via SeqSync —
+  /// the join-handshake half of reattach re-sync.
+  void reset_tx_edge(GroupId group, GroupState& state, overlay::PeerId peer);
+  /// Drops both directions of the reliable edge to `peer` (edge torn
+  /// down: leave, prune, or recovery), cancelling their timers.
+  void drop_edge_state(GroupState& state, overlay::PeerId peer);
+  /// Arms the batched/jittered NACK timer for the edge from `peer`
+  /// unless one is already pending (the suppression rule).
+  void maybe_schedule_nack(GroupId group, overlay::PeerId peer, EdgeRx& rx);
+  /// Arms the sender-side ack-overdue probe unless already pending.
+  void maybe_schedule_probe(GroupId group, overlay::PeerId peer, EdgeTx& tx);
+  void on_nack_timer(GroupId group, overlay::PeerId peer);
+  void on_probe_timer(GroupId group, overlay::PeerId peer);
+  static void nack_thunk(void* context, std::uint64_t packed);
+  static void probe_thunk(void* context, std::uint64_t packed);
+  /// Drains in-order payloads from the stash after `expected` advanced;
+  /// sends the cumulative ack when the cadence is due.
+  void drain_rx(GroupId group, GroupState& state, overlay::PeerId from,
+                EdgeRx& rx);
+  /// `base` stretched by a uniform factor in [1, 1 + jitter) drawn from
+  /// this node's RNG stream (the reliable_exchange jitter idiom).
+  sim::SimTime jittered(sim::SimTime base, double jitter);
 
   // --- retry ladder ---
   /// Starts (or restarts) the ladder at its first applicable rung.
@@ -242,6 +361,9 @@ class GroupCastNode {
   /// tick so re-enrolment during the tick is safe without allocating).
   std::vector<GroupId> heartbeat_scratch_;
   sim::TimerHandle heartbeat_timer_;
+  /// Deepest retransmit buffer any edge of this node has reached; the
+  /// kSendBufferHighWater counter mirrors it via delta increments.
+  std::size_t send_buffer_high_water_ = 0;
   std::unordered_map<GroupId, GroupState> groups_;
   DataCallback data_callback_;
   SubscribeCallback subscribe_callback_;

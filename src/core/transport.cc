@@ -58,7 +58,10 @@ MessageKind Transport::kind_of(const MessageBody& body) {
   }
   if (std::holds_alternative<HeartbeatMsg>(body) ||
       std::holds_alternative<HeartbeatAckMsg>(body) ||
-      std::holds_alternative<ParentLostMsg>(body)) {
+      std::holds_alternative<ParentLostMsg>(body) ||
+      std::holds_alternative<DataNackMsg>(body) ||
+      std::holds_alternative<DataAckMsg>(body) ||
+      std::holds_alternative<SeqSyncMsg>(body)) {
     return MessageKind::kMaintenance;
   }
   return MessageKind::kPayload;

@@ -93,10 +93,58 @@ struct ParentLostMsg {
   GroupId group = 0;
 };
 
-using MessageBody = std::variant<AdvertiseMsg, JoinMsg, JoinAckMsg,
-                                 RippleQueryMsg, RippleHitMsg, DataMsg,
-                                 LeaveMsg, HeartbeatMsg, HeartbeatAckMsg,
-                                 ParentLostMsg>;
+// --- reliable data plane (docs/ROBUSTNESS.md, "Data-plane reliability") ---
+
+/// Sequenced application payload on a reliable tree edge.  `epoch`
+/// identifies the directed edge's incarnation (the sender bumps it on
+/// every (re)attach of the edge); `seq` numbers payloads from 0 within
+/// the epoch, per directed edge.
+struct ReliableDataMsg {
+  GroupId group = 0;
+  overlay::PeerId origin = overlay::kNoPeer;
+  std::uint64_t payload_id = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Receiver-driven retransmit request for a batch of missing sequence
+/// numbers on one directed edge: bit i of `missing` set means sequence
+/// `base_seq + i` has not arrived (a 64-seq window per request).
+struct DataNackMsg {
+  GroupId group = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t base_seq = 0;
+  std::uint64_t missing = 0;
+};
+
+/// Cumulative receiver acknowledgement: every sequence < `cumulative`
+/// arrived, so the sender may trim its retransmit buffer to that point.
+struct DataAckMsg {
+  GroupId group = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t cumulative = 0;
+};
+
+/// Edge sequence announcement from the directed-edge sender: emitted when
+/// the edge is (re)established via the join handshake, and re-emitted as
+/// a tail-loss probe while acks are overdue.  `base_seq` is the oldest
+/// sequence the sender can still retransmit (its buffer front), `next_seq`
+/// the one it will assign next.  The receiver aligns to [base, next) —
+/// adopting `base_seq` wholesale on an epoch change, which is what keeps
+/// a reattached child from NACK-storming into a dead incarnation — and
+/// answers with an ack, or a NACK when the window exposes a gap.
+struct SeqSyncMsg {
+  GroupId group = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t base_seq = 0;
+  std::uint64_t next_seq = 0;
+};
+
+using MessageBody =
+    std::variant<AdvertiseMsg, JoinMsg, JoinAckMsg, RippleQueryMsg,
+                 RippleHitMsg, DataMsg, LeaveMsg, HeartbeatMsg,
+                 HeartbeatAckMsg, ParentLostMsg, ReliableDataMsg,
+                 DataNackMsg, DataAckMsg, SeqSyncMsg>;
 
 struct Envelope {
   overlay::PeerId from = overlay::kNoPeer;

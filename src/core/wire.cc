@@ -59,6 +59,10 @@ enum class Tag : std::uint8_t {
   kHeartbeat = 8,
   kHeartbeatAck = 9,
   kParentLost = 10,
+  kReliableData = 11,
+  kDataNack = 12,
+  kDataAck = 13,
+  kSeqSync = 14,
 };
 
 }  // namespace
@@ -113,6 +117,30 @@ std::vector<std::uint8_t> encode_message(const MessageBody& body) {
         } else if constexpr (std::is_same_v<T, ParentLostMsg>) {
           w.u8(static_cast<std::uint8_t>(Tag::kParentLost));
           w.u32(msg.group);
+        } else if constexpr (std::is_same_v<T, ReliableDataMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kReliableData));
+          w.u32(msg.group);
+          w.u32(msg.origin);
+          w.u64(msg.payload_id);
+          w.u32(msg.epoch);
+          w.u64(msg.seq);
+        } else if constexpr (std::is_same_v<T, DataNackMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kDataNack));
+          w.u32(msg.group);
+          w.u32(msg.epoch);
+          w.u64(msg.base_seq);
+          w.u64(msg.missing);
+        } else if constexpr (std::is_same_v<T, DataAckMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kDataAck));
+          w.u32(msg.group);
+          w.u32(msg.epoch);
+          w.u64(msg.cumulative);
+        } else if constexpr (std::is_same_v<T, SeqSyncMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kSeqSync));
+          w.u32(msg.group);
+          w.u32(msg.epoch);
+          w.u64(msg.base_seq);
+          w.u64(msg.next_seq);
         }
       },
       body);
@@ -141,6 +169,14 @@ std::size_t encoded_size(const MessageBody& body) {
           return 1 + 4 + 4;
         } else if constexpr (std::is_same_v<T, ParentLostMsg>) {
           return 1 + 4;
+        } else if constexpr (std::is_same_v<T, ReliableDataMsg>) {
+          return 1 + 4 + 4 + 8 + 4 + 8;
+        } else if constexpr (std::is_same_v<T, DataNackMsg>) {
+          return 1 + 4 + 4 + 8 + 8;
+        } else if constexpr (std::is_same_v<T, DataAckMsg>) {
+          return 1 + 4 + 4 + 8;
+        } else if constexpr (std::is_same_v<T, SeqSyncMsg>) {
+          return 1 + 4 + 4 + 8 + 8;
         } else {
           static_assert(std::is_same_v<T, LeaveMsg>);
           return 1 + 4 + 4;
@@ -224,6 +260,42 @@ MessageBody decode_message(std::span<const std::uint8_t> buffer) {
     case Tag::kParentLost: {
       ParentLostMsg msg;
       msg.group = r.u32();
+      body = msg;
+      break;
+    }
+    case Tag::kReliableData: {
+      ReliableDataMsg msg;
+      msg.group = r.u32();
+      msg.origin = r.u32();
+      msg.payload_id = r.u64();
+      msg.epoch = r.u32();
+      msg.seq = r.u64();
+      body = msg;
+      break;
+    }
+    case Tag::kDataNack: {
+      DataNackMsg msg;
+      msg.group = r.u32();
+      msg.epoch = r.u32();
+      msg.base_seq = r.u64();
+      msg.missing = r.u64();
+      body = msg;
+      break;
+    }
+    case Tag::kDataAck: {
+      DataAckMsg msg;
+      msg.group = r.u32();
+      msg.epoch = r.u32();
+      msg.cumulative = r.u64();
+      body = msg;
+      break;
+    }
+    case Tag::kSeqSync: {
+      SeqSyncMsg msg;
+      msg.group = r.u32();
+      msg.epoch = r.u32();
+      msg.base_seq = r.u64();
+      msg.next_seq = r.u64();
       body = msg;
       break;
     }

@@ -162,10 +162,13 @@ ScenarioResult reduce_scenario_repetitions(
   total.config = config;
   const double k = static_cast<double>(repetitions.size());
   util::Summary delay_samples, overload_samples, link_samples;
+  util::Summary delivery_samples, reattach_samples;
   for (const ScenarioResult& one : repetitions) {
     delay_samples.add(one.delay_penalty);
     overload_samples.add(one.overload_index);
     link_samples.add(one.link_stress);
+    delivery_samples.add(one.delivery_ratio);
+    reattach_samples.add(one.reattached_fraction);
     total.advertisement_messages += one.advertisement_messages / k;
     total.subscription_messages += one.subscription_messages / k;
     total.receiving_rate += one.receiving_rate / k;
@@ -198,6 +201,10 @@ ScenarioResult reduce_scenario_repetitions(
   total.delay_penalty_stddev = delay_samples.stddev();
   total.overload_index_stddev = overload_samples.stddev();
   total.link_stress_stddev = link_samples.stddev();
+  if (config.recovery.enabled) {
+    total.delivery_ratio_stddev = delivery_samples.stddev();
+    total.reattached_fraction_stddev = reattach_samples.stddev();
+  }
   return total;
 }
 

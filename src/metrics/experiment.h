@@ -49,6 +49,10 @@ struct RecoveryOptions {
   std::size_t convergence_epochs = 10;
   /// Payloads of the post-churn speaking round (delivery-ratio probe).
   std::size_t speaking_payloads = 4;
+  /// Data-plane NACK/retransmit reliability on tree edges
+  /// (core::DataReliabilityOptions, defaults).  Off keeps group data on
+  /// the legacy fire-and-forget path, byte-identical to before.
+  bool reliable_data = false;
   /// Extra fault-plan clauses (sim/fault_plan.h grammar; absolute sim
   /// times) merged into the derived churn plan.  Empty = none.
   std::string fault_plan;
@@ -133,6 +137,12 @@ struct ScenarioResult {
   double delay_penalty_stddev = 0.0;
   double overload_index_stddev = 0.0;
   double link_stress_stddev = 0.0;
+  /// Seed-to-seed spread of the recovery harness's headline outcomes
+  /// (zero when recovery is off or repetitions < 2).  Loss sweeps must
+  /// report this: a 50% mean delivery ratio hides whether every seed
+  /// lost half the probes or half the seeds lost everything.
+  double delivery_ratio_stddev = 0.0;
+  double reattached_fraction_stddev = 0.0;
 
   // Event-loop workload of the deployment's simulator: how many events the
   // run fired and the deepest its queue ever got.  The averaged/grid

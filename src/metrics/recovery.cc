@@ -68,6 +68,7 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
   node_options.heartbeat_interval =
       sim::SimTime::seconds(rec.heartbeat_seconds);
   node_options.missed_heartbeats_to_fail = rec.heartbeat_misses;
+  node_options.reliability.enabled = rec.reliable_data;
   std::vector<std::unique_ptr<core::GroupCastNode>> nodes;
   nodes.reserve(config.peer_count);
   for (overlay::PeerId p = 0; p < config.peer_count; ++p) {

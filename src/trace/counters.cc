@@ -46,6 +46,14 @@ const char* to_string(CounterId id) {
       return "utility_cache_hits";
     case CounterId::kUtilityCacheMisses:
       return "utility_cache_misses";
+    case CounterId::kNacksSent:
+      return "nacks_sent";
+    case CounterId::kRetransmits:
+      return "retransmits";
+    case CounterId::kDupsSuppressed:
+      return "dups_suppressed";
+    case CounterId::kSendBufferHighWater:
+      return "send_buffer_high_water";
     case CounterId::kCount_:
       break;
   }

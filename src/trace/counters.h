@@ -45,6 +45,10 @@ enum class CounterId : std::uint8_t {
   kTimersCoalesced,     // heartbeat timers saved by the shared per-node tick
   kUtilityCacheHits,    // SSA preference vectors served from cache
   kUtilityCacheMisses,  // SSA preference vectors recomputed (Eqs. 1-5)
+  kNacksSent,           // data-plane retransmit requests this node issued
+  kRetransmits,         // buffered payload copies re-sent on a NACK
+  kDupsSuppressed,      // sequence-level duplicate payloads discarded
+  kSendBufferHighWater, // deepest per-edge retransmit buffer on this node
   kCount_,
 };
 

@@ -90,6 +90,7 @@ enum class DropReason : std::uint8_t {
   kPartitioned,     // sender and receiver were on opposite partition sides
   kBurstLoss,       // dropped by a fault-plan burst-loss interval
   kOriginDeparted,  // sender crashed before the scheduled delivery fired
+  kStaleEpoch,      // sequenced payload from an out-of-date edge incarnation
   kCount_,
 };
 

@@ -72,6 +72,8 @@ const char* to_string(DropReason reason) {
       return "burst-loss";
     case DropReason::kOriginDeparted:
       return "origin-departed";
+    case DropReason::kStaleEpoch:
+      return "stale-epoch";
     case DropReason::kCount_:
       break;
   }

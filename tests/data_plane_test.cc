@@ -1,0 +1,189 @@
+// Tests for the reliable data plane on tree edges (docs/ROBUSTNESS.md,
+// "Data-plane reliability"): exactly-once delivery through loss via
+// NACK/retransmit, sequence-layer duplicate suppression under retransmit
+// races, cumulative-ack trimming of the per-child send buffer, and the
+// determinism of the reliability counters across grid worker counts.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/node.h"
+#include "metrics/experiment.h"
+#include "overlay/bootstrap.h"
+#include "overlay/host_cache.h"
+#include "test_helpers.h"
+#include "trace/counters.h"
+
+namespace groupcast::core {
+namespace {
+
+using overlay::PeerId;
+
+/// A full node deployment over a joined GroupCast overlay, with the
+/// reliable data plane switched on.
+struct ReliableDeployment {
+  testing::SmallWorld world;
+  overlay::OverlayGraph graph;
+  sim::Simulator simulator;
+  Transport transport;
+  std::vector<std::unique_ptr<GroupCastNode>> nodes;
+
+  explicit ReliableDeployment(std::size_t peers = 64, std::uint64_t seed = 21,
+                              double loss = 0.0, NodeOptions options = {})
+      : world(peers, seed),
+        graph(peers),
+        transport(simulator, *world.population, TransportOptions{loss},
+                  world.rng) {
+    options.reliability.enabled = true;
+    overlay::HostCacheServer cache(*world.population,
+                                   overlay::HostCacheOptions{}, world.rng);
+    overlay::GroupCastBootstrap bootstrap(*world.population, graph, cache,
+                                          overlay::BootstrapOptions{},
+                                          world.rng);
+    for (PeerId p = 0; p < peers; ++p) bootstrap.join(p);
+    for (PeerId p = 0; p < peers; ++p) {
+      nodes.push_back(std::make_unique<GroupCastNode>(
+          p, transport, graph, options, world.rng));
+      nodes.back()->start();
+    }
+  }
+};
+
+struct CounterScope {
+  explicit CounterScope(std::size_t nodes) {
+    trace::counters().enable(nodes);
+  }
+  ~CounterScope() {
+    trace::counters().disable();
+    trace::counters().reset();
+  }
+};
+
+TEST(DataPlane, LossyPublishDeliversExactlyOnce) {
+  CounterScope scope(64);
+  ReliableDeployment d(64, 31, 0.15);
+  d.nodes[0]->create_group(9);
+  d.simulator.run();
+  const std::vector<PeerId> subscribers{4, 9, 16, 25, 36, 49};
+  for (const auto s : subscribers) d.nodes[s]->subscribe(9);
+  d.simulator.run();
+  std::map<PeerId, std::map<std::uint64_t, int>> deliveries;
+  std::vector<PeerId> attached;
+  for (const auto s : subscribers) {
+    // Loss can defeat even the retry ladder; score only attached members.
+    if (!d.nodes[s]->is_subscribed(9) || !d.nodes[s]->on_tree(9)) continue;
+    attached.push_back(s);
+    d.nodes[s]->on_data([&deliveries, s](GroupId, std::uint64_t id, PeerId) {
+      ++deliveries[s][id];
+    });
+  }
+  ASSERT_GE(attached.size(), 3u);
+  const int kPayloads = 30;
+  for (int i = 0; i < kPayloads; ++i) {
+    d.nodes[0]->publish(9, 1000 + i);
+    d.simulator.run_until(d.simulator.now() + sim::SimTime::millis(50));
+  }
+  // Leave ample time for probe-driven tail recovery.
+  d.simulator.run_until(d.simulator.now() + sim::SimTime::seconds(10));
+  for (const auto s : attached) {
+    for (int i = 0; i < kPayloads; ++i) {
+      EXPECT_EQ(deliveries[s][1000 + i], 1)
+          << "peer " << s << " payload " << 1000 + i;
+    }
+  }
+  // 15% loss over ~200 tree-edge sends must have exercised the machinery.
+  EXPECT_GT(trace::counters().total(trace::CounterId::kNacksSent), 0u);
+  EXPECT_GT(trace::counters().total(trace::CounterId::kRetransmits), 0u);
+}
+
+TEST(DataPlane, SequenceLayerSuppressesRetransmitRaceDuplicates) {
+  CounterScope scope(64);
+  ReliableDeployment d(64, 31);
+  d.nodes[0]->create_group(9);
+  d.simulator.run();
+  d.nodes[16]->subscribe(9);
+  d.simulator.run();
+  ASSERT_TRUE(d.nodes[16]->on_tree(9));
+  int delivered = 0;
+  d.nodes[16]->on_data([&](GroupId, std::uint64_t, PeerId) { ++delivered; });
+  d.nodes[0]->publish(9, 777);
+  d.simulator.run();
+  EXPECT_EQ(delivered, 1);
+  // Replay the edge's (epoch 1, seq 0) payload from 16's parent — exactly
+  // what a retransmission racing the original looks like on the wire.
+  const PeerId parent = d.nodes[16]->tree_parent(9);
+  const std::uint64_t before =
+      trace::counters().total(trace::CounterId::kDupsSuppressed);
+  d.transport.send(parent, 16, ReliableDataMsg{9, 0, 777, 1, 0});
+  d.simulator.run();
+  EXPECT_EQ(delivered, 1);  // the duplicate never reached the application
+  EXPECT_EQ(trace::counters().total(trace::CounterId::kDupsSuppressed),
+            before + 1);
+}
+
+TEST(DataPlane, CumulativeAckTrimsSendBuffer) {
+  CounterScope scope(64);
+  NodeOptions options;
+  options.reliability.ack_every = 4;
+  ReliableDeployment d(64, 31, 0.0, options);
+  d.nodes[0]->create_group(9);
+  d.simulator.run();
+  d.nodes[16]->subscribe(9);
+  d.simulator.run();
+  ASSERT_TRUE(d.nodes[16]->on_tree(9));
+  const PeerId parent = d.nodes[16]->tree_parent(9);
+  // Three ack windows' worth of traffic, paced so acks interleave.
+  for (int i = 0; i < 12; ++i) {
+    d.nodes[0]->publish(9, 2000 + i);
+    d.simulator.run();
+  }
+  // Every window boundary acked: the buffer holds at most the unacked
+  // tail, never the full history.
+  EXPECT_LT(d.nodes[parent]->send_buffer_depth(9, 16), 12u);
+  EXPECT_LE(d.nodes[parent]->send_buffer_depth(9, 16),
+            options.reliability.ack_every);
+  EXPECT_EQ(d.nodes[16]->expected_seq(9, parent), 12u);
+  EXPECT_GT(trace::counters().total(trace::CounterId::kSendBufferHighWater),
+            0u);
+}
+
+// The reliability counters (nacks_sent / retransmits / dups_suppressed /
+// send_buffer_high_water) are part of the grid's determinism contract:
+// byte-identical whether the recovery sweep runs sequentially or on four
+// workers.
+TEST(DataPlane, ReliableRecoveryGridIdenticalAcrossJobCounts) {
+  metrics::ScenarioConfig point;
+  point.peer_count = 200;
+  point.groups = 1;
+  point.seed = 4242;
+  point.recovery.enabled = true;
+  point.recovery.loss_probability = 0.2;
+  point.recovery.crash_fraction = 0.15;
+  point.recovery.reliable_data = true;
+
+  metrics::GridOptions sequential;
+  sequential.jobs = 1;
+  sequential.repetitions = 2;
+  sequential.counters = true;
+  metrics::GridOptions parallel = sequential;
+  parallel.jobs = 4;
+
+  const std::vector<metrics::ScenarioConfig> points{point};
+  const auto a = metrics::run_scenario_grid(points, sequential);
+  const auto b = metrics::run_scenario_grid(points, parallel);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].delivery_ratio, b[0].delivery_ratio);
+  EXPECT_EQ(a[0].delivery_ratio_stddev, b[0].delivery_ratio_stddev);
+  EXPECT_EQ(a[0].reattached_fraction, b[0].reattached_fraction);
+  EXPECT_EQ(a[0].counters.totals, b[0].counters.totals);
+  EXPECT_EQ(a[0].counters.per_node, b[0].counters.per_node);
+  // The run exercised the data plane, not just the control plane.
+  EXPECT_GT(a[0].counters.total(trace::CounterId::kNacksSent), 0u);
+  EXPECT_GT(a[0].counters.total(trace::CounterId::kRetransmits), 0u);
+}
+
+}  // namespace
+}  // namespace groupcast::core

@@ -73,6 +73,44 @@ TEST(Recovery, GridResultsIdenticalAcrossJobCounts) {
   EXPECT_GT(a[0].counters.total(trace::CounterId::kHeartbeats), 0u);
 }
 
+// The data-plane acceptance bar: at loss = 0.2 (no churn) the legacy
+// fire-and-forget path delivers well under two thirds of the published
+// payloads; with NACK/retransmit reliability on the tree edges the same
+// point must recover to >= 95%.  Both sides run >= 2 seed repetitions so
+// the harness reports the seed-to-seed dispersion of the delivery ratio —
+// a single lucky topology must not pass the bar on its own.
+TEST(Recovery, ReliableDataPlaneRecoversLossyDelivery) {
+  metrics::ScenarioConfig lossy;
+  lossy.peer_count = 400;
+  lossy.groups = 1;
+  lossy.seed = 7100;
+  lossy.recovery.enabled = true;
+  lossy.recovery.loss_probability = 0.2;
+  auto reliable = lossy;
+  reliable.recovery.reliable_data = true;
+
+  metrics::GridOptions options;
+  options.jobs = 2;
+  options.repetitions = 2;
+  options.counters = true;
+  const std::vector<metrics::ScenarioConfig> points{lossy, reliable};
+  const auto results = metrics::run_scenario_grid(points, options);
+  ASSERT_EQ(results.size(), 2u);
+  const auto& off = results[0];
+  const auto& on = results[1];
+
+  EXPECT_LT(off.delivery_ratio, 0.65);
+  EXPECT_GE(on.delivery_ratio, 0.95);
+  EXPECT_GT(on.counters.total(trace::CounterId::kNacksSent), 0u);
+  EXPECT_GT(on.counters.total(trace::CounterId::kRetransmits), 0u);
+  // Dispersion must be reported (not left defaulted) for both variants:
+  // at 20% loss independent topologies never agree to the last bit, so a
+  // stddev of exactly zero means the repetitions were not folded in.
+  EXPECT_GT(off.delivery_ratio_stddev, 0.0);
+  EXPECT_GE(on.delivery_ratio_stddev, 0.0);
+  EXPECT_LT(on.delivery_ratio_stddev, 0.05);
+}
+
 // Deployment driving one subscriber through a total outage of the control
 // plane: a burst-loss window with probability 1 swallows the JOIN and its
 // ack, exactly the dropped-JoinAck scenario that used to strand the

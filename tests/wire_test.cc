@@ -20,6 +20,10 @@ std::vector<MessageBody> all_message_kinds() {
       HeartbeatMsg{7},
       HeartbeatAckMsg{7, 2},
       ParentLostMsg{7},
+      ReliableDataMsg{7, 4004, 0xDEADBEEFCAFEF00DULL, 3, 99},
+      DataNackMsg{7, 3, 64, 0x8000000000000001ULL},
+      DataAckMsg{7, 3, 65},
+      SeqSyncMsg{7, 3, 12, 66},
   };
 }
 
@@ -59,6 +63,32 @@ TEST(Wire, ExtremeValuesRoundTrip) {
   const auto decoded = std::get<DataMsg>(decode_message(bytes));
   EXPECT_EQ(decoded.group, 0xFFFFFFFFu);
   EXPECT_EQ(decoded.payload_id, 0xFFFFFFFFFFFFFFFFULL);
+}
+
+TEST(Wire, ReliableDataPlaneFieldsSurviveRoundTrip) {
+  const auto rd = std::get<ReliableDataMsg>(decode_message(
+      encode_message(ReliableDataMsg{9, 77, 123456789ULL, 5, 42})));
+  EXPECT_EQ(rd.group, 9u);
+  EXPECT_EQ(rd.origin, 77u);
+  EXPECT_EQ(rd.payload_id, 123456789ULL);
+  EXPECT_EQ(rd.epoch, 5u);
+  EXPECT_EQ(rd.seq, 42u);
+
+  const auto nack = std::get<DataNackMsg>(decode_message(
+      encode_message(DataNackMsg{9, 5, 100, 0x5ULL})));
+  EXPECT_EQ(nack.epoch, 5u);
+  EXPECT_EQ(nack.base_seq, 100u);
+  EXPECT_EQ(nack.missing, 0x5ULL);
+
+  const auto ack = std::get<DataAckMsg>(
+      decode_message(encode_message(DataAckMsg{9, 5, 101})));
+  EXPECT_EQ(ack.cumulative, 101u);
+
+  const auto sync = std::get<SeqSyncMsg>(
+      decode_message(encode_message(SeqSyncMsg{9, 5, 90, 102})));
+  EXPECT_EQ(sync.epoch, 5u);
+  EXPECT_EQ(sync.base_seq, 90u);
+  EXPECT_EQ(sync.next_seq, 102u);
 }
 
 TEST(Wire, RejectsTruncatedBuffers) {
