@@ -90,6 +90,11 @@ int main(int argc, char** argv) {
   // The 8k tier stays at 1 — that run is a wall-clock-bounded scale probe.
   options.repetitions = scale >= 4.0 ? 1 : scale >= 2.0 ? 3 : 2;
   options.counters = true;
+  // Distribution + trajectory views (histogram summaries and the
+  // per-epoch timeline in each JSON cell); merged order-independently,
+  // so the report stays byte-identical at every --jobs count.
+  options.histograms = true;
+  options.timeline = true;
   const auto start = std::chrono::steady_clock::now();
   const auto results = metrics::run_scenario_grid(points, options);
   const double wall_seconds =

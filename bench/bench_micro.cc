@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,12 +14,15 @@
 #include "baselines/chord.h"
 #include "core/advertisement.h"
 #include "core/middleware.h"
+#include "core/node.h"
+#include "core/transport.h"
 #include "core/utility.h"
 #include "core/wire.h"
 #include "net/routing.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
 #include "trace/cli.h"
+#include "trace/counters.h"
 #include "util/rng.h"
 
 namespace {
@@ -179,6 +183,77 @@ ProbeStats probe_event_loop(std::size_t count) {
   return stats;
 }
 
+// Memory-footprint gauge (kBytesPerPeer): builds a small deterministic
+// node-runtime deployment (overlay + transport + one established group
+// with active subscribers), lets it settle, then sums the self-reported
+// retained state — per-node runtime structures, transport slots, timer
+// wheel, overlay adjacency — and divides by the peer count.  Everything
+// is measured through explicit memory_bytes() accessors (capacity-based,
+// deterministic for a fixed seed), not allocator hooks, so the number is
+// stable across runs and platforms of the same pointer width.
+struct FootprintStats {
+  std::size_t peers = 0;
+  std::size_t node_bytes = 0;       // sum of GroupCastNode::memory_bytes()
+  std::size_t transport_bytes = 0;  // handler/generation/in-flight slots
+  std::size_t timer_bytes = 0;      // simulator wheel + overflow capacity
+  std::size_t graph_bytes = 0;      // overlay adjacency (2 ends per edge)
+  std::size_t bytes_per_peer = 0;   // total / peers
+};
+
+FootprintStats probe_memory_footprint() {
+  FootprintStats stats;
+  core::MiddlewareConfig config;
+  config.peer_count = 500;
+  config.seed = 11;
+  core::GroupCastMiddleware middleware(config);
+  auto& simulator = middleware.simulator();
+  util::Rng rng = middleware.rng().split();
+
+  core::Transport transport(simulator, middleware.population(),
+                            core::TransportOptions{}, rng);
+  core::NodeOptions node_options;
+  node_options.advertisement = config.advertisement;
+  node_options.reliability.enabled = true;
+  std::vector<std::unique_ptr<core::GroupCastNode>> nodes;
+  nodes.reserve(config.peer_count);
+  for (overlay::PeerId p = 0; p < config.peer_count; ++p) {
+    nodes.push_back(std::make_unique<core::GroupCastNode>(
+        p, transport, middleware.graph(), node_options, rng));
+    nodes.back()->start();
+  }
+
+  // One group, every 10th peer subscribed, a short speaking round: enough
+  // traffic to populate the dedup sets, send buffers and timer wheel the
+  // way a steady-state run does.
+  constexpr core::GroupId kGroup = 1;
+  const overlay::PeerId rendezvous = middleware.pick_rendezvous();
+  nodes[rendezvous]->create_group(kGroup);
+  simulator.run_until(simulator.now() + sim::SimTime::seconds(4));
+  for (overlay::PeerId p = 0; p < config.peer_count; p += 10) {
+    if (p != rendezvous) nodes[p]->subscribe(kGroup);
+  }
+  simulator.run_until(simulator.now() + sim::SimTime::seconds(8));
+  for (std::uint64_t payload = 1; payload <= 8; ++payload) {
+    nodes[rendezvous]->publish(kGroup, payload);
+  }
+  simulator.run_until(simulator.now() + sim::SimTime::seconds(4));
+
+  stats.peers = config.peer_count;
+  for (const auto& node : nodes) stats.node_bytes += node->memory_bytes();
+  stats.transport_bytes = transport.memory_bytes();
+  stats.timer_bytes = simulator.memory_bytes();
+  stats.graph_bytes =
+      middleware.graph().edge_count() * 2 * sizeof(overlay::PeerId);
+  const std::size_t total = stats.node_bytes + stats.transport_bytes +
+                            stats.timer_bytes + stats.graph_bytes;
+  stats.bytes_per_peer = total / stats.peers;
+  // Export through the counter plane too, so --trace_out captures carry
+  // the gauge (no-op when tracing is off).
+  trace::counters().incr(trace::kNoNode, trace::CounterId::kBytesPerPeer,
+                         stats.bytes_per_peer);
+  return stats;
+}
+
 void write_micro_json(const std::string& path) {
   bench::JsonReport report("micro");
   const auto start = std::chrono::steady_clock::now();
@@ -200,6 +275,15 @@ void write_micro_json(const std::string& path) {
         .number("wall_clock_seconds", stats.seconds)
         .number("events_per_second", stats.events_per_second);
   }
+  const auto footprint = probe_memory_footprint();
+  report.add_cell()
+      .text("probe", "memory_footprint")
+      .integer("peers", footprint.peers)
+      .integer("node_bytes", footprint.node_bytes)
+      .integer("transport_bytes", footprint.transport_bytes)
+      .integer("timer_bytes", footprint.timer_bytes)
+      .integer("graph_bytes", footprint.graph_bytes)
+      .integer("bytes_per_peer", footprint.bytes_per_peer);
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -208,7 +292,8 @@ void write_micro_json(const std::string& path) {
   report.root()
       .number("wall_clock_seconds", wall_seconds)
       .integer("events_fired", events)
-      .number("events_per_second", best_rate);
+      .number("events_per_second", best_rate)
+      .integer("bytes_per_peer", footprint.bytes_per_peer);
   report.write_file(path);
 }
 

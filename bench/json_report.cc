@@ -75,6 +75,11 @@ JsonObject& JsonObject::boolean(const std::string& key, bool value) {
   return *this;
 }
 
+JsonObject& JsonObject::raw(const std::string& key, std::string literal) {
+  fields_.push_back(Field{key, std::move(literal)});
+  return *this;
+}
+
 void JsonObject::render(std::string& out, int indent) const {
   const std::string pad(static_cast<std::size_t>(indent), ' ');
   out += "{\n";
@@ -186,6 +191,53 @@ void fill_scenario_cell(JsonObject& cell,
         .integer("send_buffer_high_water",
                  r.counters.total(trace::CounterId::kSendBufferHighWater));
   }
+  fill_histogram_fields(cell, r.histograms);
+  fill_timeline_field(cell, r.timeline);
+}
+
+void fill_histogram_fields(JsonObject& cell,
+                           const trace::HistogramSnapshot& histograms) {
+  for (std::size_t i = 0; i < trace::kHistogramIds; ++i) {
+    const auto id = static_cast<trace::HistogramId>(i);
+    const auto& h = histograms.of(id);
+    if (h.count == 0) continue;
+    const std::string prefix = trace::to_string(id);
+    cell.integer(prefix + "_count", h.count)
+        .number(prefix + "_mean", h.mean())
+        .integer(prefix + "_p50", h.percentile(0.50))
+        .integer(prefix + "_p99", h.percentile(0.99))
+        .integer(prefix + "_max", h.max);
+  }
+}
+
+void fill_timeline_field(JsonObject& cell,
+                         const std::vector<trace::FlightFrame>& timeline) {
+  if (timeline.empty()) return;
+  // The headline recovery series; the full counter set stays available
+  // through --trace_out (kTimelineFrame events).
+  static constexpr trace::CounterId kSeries[] = {
+      trace::CounterId::kMessagesSent,   trace::CounterId::kMessagesDropped,
+      trace::CounterId::kNacksSent,      trace::CounterId::kRetransmits,
+      trace::CounterId::kOrphansRecovered};
+  std::string out = "[\n";
+  for (std::size_t f = 0; f < timeline.size(); ++f) {
+    const auto& frame = timeline[f];
+    JsonObject row;
+    row.integer("t_us", static_cast<std::uint64_t>(frame.t_us));
+    row.integer("deliveries",
+                frame.samples[static_cast<std::size_t>(
+                    trace::HistogramId::kEndToEndDelayUs)]);
+    for (const auto id : kSeries) {
+      row.integer(trace::to_string(id),
+                  frame.counters[static_cast<std::size_t>(id)]);
+    }
+    out += "        ";
+    row.render(out, 8);
+    if (f + 1 < timeline.size()) out += ",";
+    out += "\n";
+  }
+  out += "      ]";
+  cell.raw("timeline", std::move(out));
 }
 
 }  // namespace groupcast::bench

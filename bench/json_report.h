@@ -28,6 +28,9 @@ class JsonObject {
   JsonObject& integer(const std::string& key, std::uint64_t value);
   JsonObject& text(const std::string& key, const std::string& value);
   JsonObject& boolean(const std::string& key, bool value);
+  /// Splices a pre-rendered JSON literal (nested array / object) under
+  /// `key`; the caller is responsible for its validity.
+  JsonObject& raw(const std::string& key, std::string literal);
 
   /// Appends this object to `out`, indented by `indent` spaces.
   void render(std::string& out, int indent) const;
@@ -75,5 +78,18 @@ class JsonReport {
 /// scheme, groups, seed), the paper metrics, the robustness metrics when
 /// the recovery harness ran, and the event-loop workload columns.
 void fill_scenario_cell(JsonObject& cell, const metrics::ScenarioResult& r);
+
+/// Appends the sim-time histogram summaries (count / mean / p50 / p99 /
+/// max per non-empty histogram) to `cell`; no-op when no samples were
+/// collected.
+void fill_histogram_fields(JsonObject& cell,
+                           const trace::HistogramSnapshot& histograms);
+
+/// Appends the flight-recorder time series as a nested "timeline" array:
+/// one object per frame with sim time, cumulative deliveries (end-to-end
+/// histogram samples) and the headline recovery counters.  No-op when
+/// the timeline is empty.
+void fill_timeline_field(JsonObject& cell,
+                         const std::vector<trace::FlightFrame>& timeline);
 
 }  // namespace groupcast::bench

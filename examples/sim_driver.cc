@@ -65,6 +65,16 @@ int main(int argc, char** argv) {
   flags.declare("csv", "emit one CSV row instead of the summary", "false");
   flags.declare("csv-header", "print the CSV header line and exit", "false");
   flags.declare("trace_out", "write a JSONL protocol trace to this path", "");
+  flags.declare("recovery",
+                "run the node-runtime churn/recovery harness instead of the "
+                "engine pipeline",
+                "false");
+  flags.declare("loss", "recovery: per-message loss probability", "0");
+  flags.declare("crash", "recovery: fraction of subscribers crashed", "0");
+  flags.declare("graceful", "recovery: fraction leaving gracefully", "0");
+  flags.declare("reliable",
+                "recovery: NACK/retransmit reliability on tree edges",
+                "false");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
@@ -93,17 +103,33 @@ int main(int argc, char** argv) {
   config.forward_fraction = flags.get_double("fraction");
   config.advertisement_ttl = static_cast<std::size_t>(flags.get_int("ttl"));
   config.ripple_ttl = static_cast<std::size_t>(flags.get_int("ripple-ttl"));
+  config.recovery.enabled = flags.get_bool("recovery");
+  config.recovery.loss_probability = flags.get_double("loss");
+  config.recovery.crash_fraction = flags.get_double("crash");
+  config.recovery.graceful_fraction = flags.get_double("graceful");
+  config.recovery.reliable_data = flags.get_bool("reliable");
   const auto topologies =
       static_cast<std::size_t>(flags.get_int("topologies"));
   const auto jobs = static_cast<std::size_t>(
       std::max<std::int64_t>(0, flags.get_int("jobs")));
 
   const std::string trace_path = flags.get_string("trace_out");
+  if (!trace_path.empty() && jobs != 1) {
+    // A JSONL trace records one run's event stream through the calling
+    // thread's sink; worker-pool repetitions run against isolated
+    // registries and would silently contribute nothing.  Refuse instead.
+    std::fprintf(stderr,
+                 "sim_driver: --trace_out requires --jobs=1 (worker-pool "
+                 "runs bypass the calling thread's trace sink)\n");
+    return 2;
+  }
   std::unique_ptr<trace::ScopedSink> tracing;
   if (!trace_path.empty()) {
     tracing = std::make_unique<trace::ScopedSink>(
         std::make_unique<trace::JsonlFileSink>(trace_path));
     trace::counters().enable(config.peer_count);
+    trace::histograms().enable();
+    trace::flight_recorder().enable();
   }
 
   const auto r = metrics::run_scenario_averaged(config, topologies, jobs);
@@ -111,10 +137,14 @@ int main(int argc, char** argv) {
   std::size_t trace_events = 0;
   if (tracing != nullptr) {
     trace::emit_counter_snapshot();
+    trace::emit_histogram_snapshot();
+    trace::emit_timeline();
     trace_events =
         static_cast<trace::JsonlFileSink*>(tracing->get())->recorded();
     tracing.reset();  // flush + close before reporting
     trace::counters().disable();
+    trace::histograms().disable();
+    trace::flight_recorder().disable();
   }
 
   if (flags.get_bool("csv")) {
@@ -154,6 +184,13 @@ int main(int argc, char** argv) {
               r.lookup_latency_group_stddev);
   std::printf("  avg tree: %.0f nodes, depth %.1f\n", r.avg_tree_nodes,
               r.avg_tree_depth);
+  if (config.recovery.enabled) {
+    std::printf("  recovery: delivery %.1f%%, reattached %.1f%%, orphan "
+                "%.2f epochs, converged in %.1f, violations %.0f\n",
+                100.0 * r.delivery_ratio, 100.0 * r.reattached_fraction,
+                r.mean_orphan_epochs, r.epochs_to_converge,
+                r.invariant_violations);
+  }
   if (!trace_path.empty()) {
     std::printf("  trace: %s (%zu events)\n", trace_path.c_str(),
                 trace_events);

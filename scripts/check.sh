@@ -12,6 +12,9 @@
 #  4. perf:  a Release build of bench_micro measures event-loop throughput
 #            (--json_out) and scripts/perf_gate.cmake fails the run if
 #            events/sec regressed >25% against bench/baselines/.
+#  4b. trace: observability smoke — a seeded recovery capture piped
+#            through every trace_report mode (summary / histograms /
+#            timeline / message), failing on missing markers.
 #  5. lint:  clang-format --dry-run --Werror plus clang-tidy on src/core —
 #            skipped with a notice when the binaries are not installed
 #            (CI always runs them).
@@ -30,6 +33,7 @@ perf_build_dir="${3:-${repo_root}/build-perf}"
 "${stages}" tsan "${tsan_build_dir}"
 "${stages}" fault "${build_dir}"
 "${stages}" perf "${perf_build_dir}"
+"${stages}" trace "${perf_build_dir}"
 
 if command -v clang-format > /dev/null; then
   "${stages}" lint-format

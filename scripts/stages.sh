@@ -8,6 +8,9 @@
 #   scripts/stages.sh tsan  [build-dir]   # TSan build + parallel-runner tests
 #   scripts/stages.sh fault [build-dir]   # churn-recovery sweep under ASan
 #   scripts/stages.sh perf  [build-dir]   # Release perf smoke vs baseline
+#   scripts/stages.sh trace [build-dir]   # observability smoke: capture a
+#                                         # recovery trace, run every
+#                                         # trace_report mode
 #   scripts/stages.sh lint-format         # clang-format --dry-run --Werror
 #   scripts/stages.sh lint-tidy [build-dir]  # clang-tidy over src/core
 #
@@ -46,7 +49,7 @@ stage_tsan() {
     -DCMAKE_CXX_FLAGS=-Werror
   cmake --build "${build_dir}" -j "${jobs}" --target groupcast_tests
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
-    -R 'Experiment|ExperimentGrid|Counter|Tracer|Trace|Recovery|FaultPlan|FaultInjector|ReliableExchange|DataPlane'
+    -R 'Experiment|ExperimentGrid|Counter|Tracer|Trace|Recovery|FaultPlan|FaultInjector|ReliableExchange|DataPlane|Histogram|FlightRecorder|GridDeterminism|Provenance'
   echo "stages.sh: parallel-runner tests clean under TSan"
 }
 
@@ -79,6 +82,32 @@ stage_perf() {
   echo "stages.sh: perf smoke within budget (bench_micro events/sec)"
 }
 
+# Observability smoke: capture a seeded recovery trace with sim_driver,
+# then run every trace_report mode over it and fail on empty output.
+# The report bundle (trace + all four reports) is left in the build dir
+# so CI can upload it as an artifact.
+stage_trace() {
+  local build_dir="${1:-${repo_root}/build-perf}"
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" -j "${jobs}" --target sim_driver trace_report
+  local trace="${build_dir}/trace_smoke_recovery.jsonl"
+  "${build_dir}/examples/sim_driver" --peers=300 --groups=1 --seed=11 \
+    --recovery=true --loss=0.2 --crash=0.15 --reliable=true \
+    --trace_out="${trace}" > /dev/null
+  local report="${build_dir}/trace_smoke_report.txt"
+  : > "${report}"
+  local mode
+  for mode in "" "--histograms=true" "--timeline=true" "--message=auto"; do
+    echo "==== trace_report ${mode:-summary}" >> "${report}"
+    # shellcheck disable=SC2086  # mode is intentionally word-split
+    "${build_dir}/tools/trace_report" ${mode} "${trace}" >> "${report}"
+  done
+  grep -q "critical path" "${report}"
+  grep -q "edge_delay_us" "${report}"
+  grep -q "flight-recorder timeline" "${report}"
+  echo "stages.sh: trace smoke clean (report: ${report})"
+}
+
 # Formatting gate: every tracked C++ file must match .clang-format
 # byte-for-byte.  --dry-run --Werror reports (and fails on) any diff
 # without rewriting files.
@@ -106,7 +135,7 @@ stage_lint_tidy() {
 }
 
 usage() {
-  echo "usage: scripts/stages.sh {asan|tsan|fault|perf|lint-format|lint-tidy} [build-dir]" >&2
+  echo "usage: scripts/stages.sh {asan|tsan|fault|perf|trace|lint-format|lint-tidy} [build-dir]" >&2
   exit 2
 }
 
@@ -118,6 +147,7 @@ case "${stage}" in
   tsan) stage_tsan "$@" ;;
   fault) stage_fault "$@" ;;
   perf) stage_perf "$@" ;;
+  trace) stage_trace "$@" ;;
   lint-format) stage_lint_format "$@" ;;
   lint-tidy) stage_lint_tidy "$@" ;;
   *) usage ;;

@@ -237,12 +237,15 @@ void GroupCastNode::publish(GroupId group, std::uint64_t payload_id) {
                  "publish requires tree membership");
   auto& state = it->second;
   state.seen_payloads.insert(payload_key(self_, payload_id));
+  trace::tracer().emit(now().as_micros(), trace::EventKind::kPayloadPublished,
+                       self_, trace::kNoNode,
+                       trace::pack_provenance(self_, payload_id, 0));
   if (state.tree_parent != self_ &&
       state.tree_parent != overlay::kNoPeer) {
-    send_data(group, state, state.tree_parent, self_, payload_id);
+    send_data(group, state, state.tree_parent, self_, payload_id, 1);
   }
   for (const auto child : state.children) {
-    send_data(group, state, child, self_, payload_id);
+    send_data(group, state, child, self_, payload_id, 1);
   }
 }
 
@@ -303,6 +306,35 @@ std::uint64_t GroupCastNode::expected_seq(GroupId group,
   if (git == groups_.end()) return 0;
   const auto it = git->second.rx_edges.find(peer);
   return it != git->second.rx_edges.end() ? it->second.expected : 0;
+}
+
+std::size_t GroupCastNode::memory_bytes() const {
+  // Node- and map-based containers pay roughly three pointers of
+  // book-keeping per entry on mainstream allocators; hash sets amortize
+  // to about one pointer per bucket plus a node per element.
+  constexpr std::size_t kPerEntry = 3 * sizeof(void*);
+  std::size_t bytes = sizeof(*this);
+  for (const auto& [group, state] : groups_) {
+    bytes += kPerEntry + sizeof(GroupId) + sizeof(GroupState);
+    bytes += state.children.capacity() * sizeof(overlay::PeerId);
+    bytes += state.pending_acks.capacity() * sizeof(overlay::PeerId);
+    bytes += state.seen_payloads.bucket_count() * sizeof(void*) +
+             state.seen_payloads.size() * (sizeof(std::uint64_t) + kPerEntry);
+    bytes += state.seen_queries.bucket_count() * sizeof(void*) +
+             state.seen_queries.size() * (sizeof(std::uint64_t) + kPerEntry);
+    bytes += state.child_last_seen.bucket_count() * sizeof(void*) +
+             state.child_last_seen.size() *
+                 (sizeof(overlay::PeerId) + sizeof(sim::SimTime) + kPerEntry);
+    for (const auto& [peer, tx] : state.tx_edges) {
+      bytes += kPerEntry + sizeof(overlay::PeerId) + sizeof(EdgeTx);
+      bytes += tx.buffer.size() * sizeof(BufferedPayload);
+    }
+    for (const auto& [peer, rx] : state.rx_edges) {
+      bytes += kPerEntry + sizeof(overlay::PeerId) + sizeof(EdgeRx);
+      bytes += rx.stash.size() * (sizeof(BufferedPayload) + kPerEntry);
+    }
+  }
+  return bytes;
 }
 
 // ----------------------------------------------------------- retry ladder
@@ -826,13 +858,14 @@ void GroupCastNode::handle_data(const Envelope& envelope,
   auto& state = state_of(msg.group);
   if (!state.on_tree) return;
   deliver_payload(msg.group, state, envelope.from, msg.origin,
-                  msg.payload_id);
+                  msg.payload_id, msg.hops);
 }
 
 void GroupCastNode::deliver_payload(GroupId group, GroupState& state,
                                     overlay::PeerId via,
                                     overlay::PeerId origin,
-                                    std::uint64_t payload_id) {
+                                    std::uint64_t payload_id,
+                                    std::uint32_t hops) {
   if (!state.seen_payloads.insert(payload_key(origin, payload_id)).second) {
     trace::counters().incr(self_, trace::CounterId::kMessagesDropped);
     trace::tracer().emit(
@@ -840,18 +873,22 @@ void GroupCastNode::deliver_payload(GroupId group, GroupState& state,
         static_cast<std::uint64_t>(trace::DropReason::kDuplicate));
     return;  // duplicate
   }
+  trace::histograms().record(trace::HistogramId::kHopCount, hops);
+  trace::tracer().emit(now().as_micros(),
+                       trace::EventKind::kPayloadDelivered, self_, via,
+                       trace::pack_provenance(origin, payload_id, hops));
   if (state.subscribed && data_callback_) {
     data_callback_(group, payload_id, origin);
   }
   // Forward along the tree, away from the sender.
   if (state.tree_parent != self_ && state.tree_parent != via &&
       state.tree_parent != overlay::kNoPeer) {
-    send_data(group, state, state.tree_parent, origin, payload_id);
+    send_data(group, state, state.tree_parent, origin, payload_id, hops + 1);
     trace::counters().incr(self_, trace::CounterId::kMessagesForwarded);
   }
   for (const auto child : state.children) {
     if (child == via) continue;
-    send_data(group, state, child, origin, payload_id);
+    send_data(group, state, child, origin, payload_id, hops + 1);
     trace::counters().incr(self_, trace::CounterId::kMessagesForwarded);
   }
 }
@@ -872,9 +909,12 @@ sim::SimTime GroupCastNode::jittered(sim::SimTime base, double jitter) {
 
 void GroupCastNode::send_data(GroupId group, GroupState& state,
                               overlay::PeerId to, overlay::PeerId origin,
-                              std::uint64_t payload_id) {
+                              std::uint64_t payload_id, std::uint32_t hops) {
+  trace::tracer().emit(now().as_micros(), trace::EventKind::kPayloadSent,
+                       self_, to,
+                       trace::pack_provenance(origin, payload_id, hops));
   if (!options_.reliability.enabled) {
-    transport_->send(self_, to, DataMsg{group, origin, payload_id});
+    transport_->send(self_, to, DataMsg{group, origin, payload_id, hops});
     return;
   }
   auto it = state.tx_edges.find(to);
@@ -889,15 +929,16 @@ void GroupCastNode::send_data(GroupId group, GroupState& state,
     tx.buffer.pop_front();  // oldest unacked copy falls off
   }
   const std::uint64_t seq = tx.next_seq++;
-  tx.buffer.push_back(BufferedPayload{seq, origin, payload_id});
+  tx.buffer.push_back(BufferedPayload{seq, origin, hops, payload_id});
   if (tx.buffer.size() > send_buffer_high_water_) {
     trace::counters().incr(
         self_, trace::CounterId::kSendBufferHighWater,
         tx.buffer.size() - send_buffer_high_water_);
     send_buffer_high_water_ = tx.buffer.size();
   }
-  transport_->send(
-      self_, to, ReliableDataMsg{group, origin, payload_id, tx.epoch, seq});
+  transport_->send(self_, to,
+                   ReliableDataMsg{group, origin, payload_id, tx.epoch, seq,
+                                   hops});
   maybe_schedule_probe(group, to, tx);
 }
 
@@ -1003,6 +1044,7 @@ void GroupCastNode::on_nack_timer(GroupId group, overlay::PeerId peer) {
   }
   transport_->send(self_, peer, DataNackMsg{group, rx.epoch, base, mask});
   trace::counters().incr(self_, trace::CounterId::kNacksSent);
+  if (rx.nack_rounds == 0) rx.last_nack_at = now();  // repair clock starts
   ++rx.nack_rounds;
   // Re-arm on the (longer) retry cadence: no second NACK for this gap
   // while the requested retransmission is presumed in flight.
@@ -1058,7 +1100,8 @@ void GroupCastNode::drain_rx(GroupId group, GroupState& state,
     rx.stash.erase(rx.stash.begin());
     ++rx.expected;
     ++rx.delivered_since_ack;
-    deliver_payload(group, state, from, parked.origin, parked.payload_id);
+    deliver_payload(group, state, from, parked.origin, parked.payload_id,
+                    parked.hops);
   }
   if (rx.delivered_since_ack >= options_.reliability.ack_every) {
     rx.delivered_since_ack = 0;
@@ -1101,17 +1144,25 @@ void GroupCastNode::handle_reliable_data(const Envelope& envelope,
     return;
   }
   if (msg.seq == rx.expected) {
+    if (rx.nack_rounds > 0) {
+      // This in-order arrival closes a NACKed gap: record first-NACK to
+      // repair time for the self-tuning transport work.
+      trace::histograms().record(
+          trace::HistogramId::kNackRepairUs,
+          static_cast<std::uint64_t>(
+              (now() - rx.last_nack_at).as_micros()));
+    }
     ++rx.expected;
     ++rx.delivered_since_ack;
     rx.nack_rounds = 0;  // in-order progress
     deliver_payload(msg.group, state, envelope.from, msg.origin,
-                    msg.payload_id);
+                    msg.payload_id, msg.hops);
     drain_rx(msg.group, state, envelope.from, rx);
     return;
   }
   // Gap: park the payload and arm the batched NACK.
-  rx.stash.emplace(msg.seq,
-                   BufferedPayload{msg.seq, msg.origin, msg.payload_id});
+  rx.stash.emplace(msg.seq, BufferedPayload{msg.seq, msg.origin, msg.hops,
+                                            msg.payload_id});
   maybe_schedule_nack(msg.group, envelope.from, rx);
 }
 
@@ -1135,9 +1186,14 @@ void GroupCastNode::handle_data_nack(const Envelope& envelope,
     const std::uint64_t seq = msg.base_seq + i;
     if (seq < front || seq >= tx.next_seq) continue;  // fell off / unsent
     const auto& entry = tx.buffer[static_cast<std::size_t>(seq - front)];
+    trace::tracer().emit(
+        now().as_micros(), trace::EventKind::kPayloadRetransmit, self_,
+        envelope.from,
+        trace::pack_provenance(entry.origin, entry.payload_id, entry.hops));
     transport_->send(self_, envelope.from,
                      ReliableDataMsg{msg.group, entry.origin,
-                                     entry.payload_id, tx.epoch, entry.seq});
+                                     entry.payload_id, tx.epoch, entry.seq,
+                                     entry.hops});
     trace::counters().incr(self_, trace::CounterId::kRetransmits);
   }
 }
@@ -1186,7 +1242,7 @@ void GroupCastNode::handle_seq_sync(const Envelope& envelope,
       rx.stash.erase(rx.stash.begin());
       ++rx.delivered_since_ack;
       deliver_payload(msg.group, state, envelope.from, parked.origin,
-                      parked.payload_id);
+                      parked.payload_id, parked.hops);
     }
     rx.expected = msg.base_seq;
     rx.nack_rounds = 0;

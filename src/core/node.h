@@ -158,6 +158,11 @@ class GroupCastNode {
   std::size_t send_buffer_depth(GroupId group, overlay::PeerId peer) const;
   /// Sequence the reliable edge from `peer` expects next (0 when none).
   std::uint64_t expected_seq(GroupId group, overlay::PeerId peer) const;
+  /// Estimated resident bytes of this node's protocol state: the object
+  /// itself plus per-group dynamic state (children, dedup sets, reliable
+  /// edge buffers/stashes).  Container book-keeping is approximated with
+  /// a fixed per-entry overhead; feeds the bytes_per_peer gauge.
+  std::size_t memory_bytes() const;
 
  private:
   /// Ladder rungs, tried in order (skipping inapplicable ones).
@@ -168,6 +173,7 @@ class GroupCastNode {
   struct BufferedPayload {
     std::uint64_t seq = 0;
     overlay::PeerId origin = overlay::kNoPeer;
+    std::uint32_t hops = 0;  // provenance: tree depth of the copy
     std::uint64_t payload_id = 0;
   };
 
@@ -199,6 +205,9 @@ class GroupCastNode {
     sim::TimerHandle nack_timer;
     std::size_t nack_rounds = 0;
     std::size_t delivered_since_ack = 0;
+    /// When the current repair round's first NACK went out; feeds the
+    /// NACK-to-repair histogram once in-order progress resumes.
+    sim::SimTime last_nack_at;
   };
 
   struct GroupState {
@@ -263,13 +272,17 @@ class GroupCastNode {
 
   // --- reliable data plane ---
   /// Accepted payload (any path): dedup by (origin, id), deliver to the
-  /// application, and forward along the tree away from `via`.
+  /// application, and forward along the tree away from `via`.  `hops` is
+  /// the tree depth this copy traversed (provenance + hop histogram).
   void deliver_payload(GroupId group, GroupState& state, overlay::PeerId via,
-                       overlay::PeerId origin, std::uint64_t payload_id);
+                       overlay::PeerId origin, std::uint64_t payload_id,
+                       std::uint32_t hops);
   /// Sends one payload toward `to`: sequenced + buffered when reliability
-  /// is on, the legacy fire-and-forget DataMsg otherwise.
+  /// is on, the legacy fire-and-forget DataMsg otherwise.  `hops` is the
+  /// depth the copy will have on arrival.
   void send_data(GroupId group, GroupState& state, overlay::PeerId to,
-                 overlay::PeerId origin, std::uint64_t payload_id);
+                 overlay::PeerId origin, std::uint64_t payload_id,
+                 std::uint32_t hops);
   /// (Re)initializes the outbound edge to `peer`: bumps the epoch, resets
   /// the sequence space, drops the buffer, and announces via SeqSync —
   /// the join-handshake half of reattach re-sync.

@@ -101,6 +101,10 @@ void Transport::send(overlay::PeerId from, overlay::PeerId to,
   }
   const auto latency =
       sim::SimTime::millis(population_->latency_ms(from, to));
+  // Only messages that survived the loss/fault gauntlet count as edge
+  // deliveries; the histogram sees the latency they will experience.
+  trace::histograms().record(trace::HistogramId::kEdgeDelayUs,
+                             static_cast<std::uint64_t>(latency.as_micros()));
   const auto slot = allocate_slot();
   InFlight& record = inflight_[slot];
   record.from = from;

@@ -67,6 +67,12 @@ struct DataMsg {
   GroupId group = 0;
   overlay::PeerId origin = overlay::kNoPeer;
   std::uint64_t payload_id = 0;
+  // Tree edges this copy will have traversed on arrival (1 for a copy
+  // sent by the origin).  Provenance metadata for the dissemination
+  // tracer — deliberately *not* wire-encoded, so byte accounting and the
+  // encoded format are unchanged (a real deployment would fold it into
+  // an existing header byte).
+  std::uint32_t hops = 0;
 };
 
 /// Leave notification from a child to its tree parent.
@@ -105,6 +111,9 @@ struct ReliableDataMsg {
   std::uint64_t payload_id = 0;
   std::uint32_t epoch = 0;
   std::uint64_t seq = 0;
+  // Hop depth on arrival; provenance metadata, not wire-encoded (see
+  // DataMsg::hops).
+  std::uint32_t hops = 0;
 };
 
 /// Receiver-driven retransmit request for a batch of missing sequence
@@ -214,6 +223,15 @@ class Transport {
 
   sim::Simulator& simulator() { return *simulator_; }
   const overlay::PeerPopulation& population() const { return *population_; }
+
+  /// Resident bytes of transport state: handler/generation tables plus
+  /// the pooled in-flight slots.  Feeds the bytes_per_peer footprint
+  /// gauge in bench_micro.
+  std::size_t memory_bytes() const {
+    return handlers_.capacity() * sizeof(Handler) +
+           generation_.capacity() * sizeof(std::uint64_t) +
+           inflight_.capacity() * sizeof(InFlight);
+  }
 
   /// Installs (or, with nullptr, removes) the fault filter consulted on
   /// every send.  The filter must outlive its installation.

@@ -98,19 +98,29 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   if (trace::counters().enabled()) {
     result.counters = trace::counters().snapshot();
   }
+  if (trace::histograms().enabled()) {
+    result.histograms = trace::histograms().snapshot();
+  }
   return result;
 }
 
 namespace {
 
-/// One (point, repetition) work item.  The repetition runs against an
-/// isolated counter registry injected for exactly this call — workers
-/// never touch another thread's (or the caller's) registry, and the
-/// snapshot stored in the result covers exactly this run.
-ScenarioResult run_repetition(const ScenarioConfig& rep, bool with_counters) {
-  trace::CounterRegistry local;
-  if (with_counters) local.enable(rep.peer_count);
-  trace::ScopedCounterRegistry guard(local);
+/// One (point, repetition) work item.  The repetition runs against
+/// isolated trace facilities injected for exactly this call — workers
+/// never touch another thread's (or the caller's) registries, and the
+/// snapshots stored in the result cover exactly this run.
+ScenarioResult run_repetition(const ScenarioConfig& rep,
+                              const GridOptions& options) {
+  trace::CounterRegistry local_counters;
+  if (options.counters) local_counters.enable(rep.peer_count);
+  trace::ScopedCounterRegistry counter_guard(local_counters);
+  trace::HistogramRegistry local_histograms;
+  if (options.histograms) local_histograms.enable();
+  trace::ScopedHistogramRegistry histogram_guard(local_histograms);
+  trace::FlightRecorder local_recorder;
+  if (options.timeline) local_recorder.enable();
+  trace::ScopedFlightRecorder recorder_guard(local_recorder);
   return run_scenario(rep);
 }
 
@@ -197,6 +207,8 @@ ScenarioResult reduce_scenario_repetitions(
     total.lookup_latency_group_stddev +=
         one.lookup_latency_group_stddev / k;
     total.counters.merge(one.counters);
+    total.histograms.merge(one.histograms);
+    trace::merge_timelines(total.timeline, one.timeline);
   }
   total.delay_penalty_stddev = delay_samples.stddev();
   total.overload_index_stddev = overload_samples.stddev();
@@ -230,7 +242,7 @@ std::vector<ScenarioResult> run_scenario_grid(
   attach_shared_worlds(item_configs);
 
   auto run_item = [&](std::size_t i) {
-    runs[i] = run_repetition(item_configs[i], options.counters);
+    runs[i] = run_repetition(item_configs[i], options);
   };
 
   std::size_t jobs = options.jobs;
@@ -288,13 +300,17 @@ ScenarioResult run_scenario_averaged(ScenarioConfig config,
   options.jobs = jobs;
   options.repetitions = repetitions;
   options.counters = trace::counters().enabled();
+  options.histograms = trace::histograms().enabled();
+  options.timeline = trace::flight_recorder().enabled();
   auto reduced =
       run_scenario_grid(std::span<const ScenarioConfig>(&config, 1), options);
-  // Fold the isolated per-repetition counters back into the caller's
-  // registry (no-op while it is disabled): enable-run-export callers like
+  // Fold the isolated per-repetition facilities back into the caller's
+  // registries (no-ops while disabled): enable-run-export callers like
   // sim_driver --trace_out observe the same accumulated values the
   // pre-pool sequential harness produced.
   trace::counters().merge(reduced.front().counters);
+  trace::histograms().merge(reduced.front().histograms);
+  trace::flight_recorder().merge(reduced.front().timeline);
   return reduced.front();
 }
 

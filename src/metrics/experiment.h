@@ -18,6 +18,8 @@
 #include "core/middleware.h"
 #include "metrics/esm_metrics.h"
 #include "trace/counters.h"
+#include "trace/flight_recorder.h"
+#include "trace/histogram.h"
 
 namespace groupcast::metrics {
 
@@ -157,6 +159,17 @@ struct ScenarioResult {
   // per-run registry and store the order-independent merge of the
   // repetition snapshots here.
   trace::CounterSnapshot counters;
+
+  // Sim-time distributions (edge delay, hop count, end-to-end delay,
+  // NACK repair), captured like `counters` from the active
+  // trace::histograms() registry; log-binned integers, so repetition
+  // merges are order-independent and --jobs=N output is byte-identical.
+  trace::HistogramSnapshot histograms;
+
+  // Flight-recorder time series: one frame per recovery epoch (empty for
+  // engine-level scenarios or when the facility is off).  Repetition
+  // timelines merge keyed by sim time (trace::merge_timelines).
+  std::vector<trace::FlightFrame> timeline;
 };
 
 /// Builds one deployment and runs `config.groups` groups over it.
@@ -184,6 +197,14 @@ struct GridOptions {
   /// in ScenarioResult::counters.  Off by default — the benches then pay
   /// only the disabled one-branch incr().
   bool counters = false;
+  /// Collect sim-time histograms per repetition (isolated
+  /// trace::HistogramRegistry, merged into ScenarioResult::histograms).
+  /// Off by default, one-branch record() cost when off.
+  bool histograms = false;
+  /// Record a flight-recorder frame per recovery epoch (isolated
+  /// trace::FlightRecorder, merged into ScenarioResult::timeline).
+  /// Off by default; a disabled run schedules no recorder events.
+  bool timeline = false;
 };
 
 /// Runs every (point, repetition) work item of the grid — points[i] with

@@ -6,11 +6,14 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include <optional>
+
 #include "core/fault_injection.h"
 #include "core/invariants.h"
 #include "core/middleware.h"
 #include "core/node.h"
 #include "sim/fault_plan.h"
+#include "sim/recorder.h"
 #include "trace/trace.h"
 #include "util/require.h"
 
@@ -83,6 +86,16 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
     clock = clock + by;
     simulator.run_until(clock);
   };
+
+  // Flight recorder: one frame per protocol epoch, so recovery reports
+  // carry the delivery / repair trajectory across the fault window.  Only
+  // armed when the facility is on — a disabled run schedules no extra
+  // events and stays byte-identical to pre-recorder builds.
+  std::optional<sim::PeriodicRecorder> recorder;
+  if (trace::flight_recorder().enabled()) {
+    trace::flight_recorder().capture(simulator.now().as_micros());
+    recorder.emplace(simulator, epoch);
+  }
 
   // --- phase 1: establish the group ------------------------------------
   constexpr core::GroupId kGroup = 1;
@@ -244,11 +257,16 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
 
   // --- phase 4: delivery-ratio probe ------------------------------------
   std::size_t deliveries = 0;
+  const sim::SimTime published_at = simulator.now();
   for (const auto s : survivors) {
-    nodes[s]->on_data(
-        [&deliveries](core::GroupId, std::uint64_t, overlay::PeerId) {
-          ++deliveries;
-        });
+    nodes[s]->on_data([&deliveries, &simulator, published_at](
+                          core::GroupId, std::uint64_t, overlay::PeerId) {
+      ++deliveries;
+      trace::histograms().record(
+          trace::HistogramId::kEndToEndDelayUs,
+          static_cast<std::uint64_t>(
+              (simulator.now() - published_at).as_micros()));
+    });
   }
   for (std::uint64_t payload = 1; payload <= rec.speaking_payloads;
        ++payload) {
@@ -294,6 +312,15 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
   result.queue_high_water = simulator.queue_high_water();
   if (trace::counters().enabled()) {
     result.counters = trace::counters().snapshot();
+  }
+  if (trace::histograms().enabled()) {
+    result.histograms = trace::histograms().snapshot();
+  }
+  if (trace::flight_recorder().enabled()) {
+    // A final frame so the timeline's last point reflects the settled
+    // end state even when convergence beat the periodic capture.
+    trace::flight_recorder().capture(clock.as_micros());
+    result.timeline = trace::flight_recorder().frames();
   }
   return result;
 }

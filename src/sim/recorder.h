@@ -1,0 +1,48 @@
+// PeriodicRecorder: drives the trace flight recorder from simulated time.
+//
+// Arms a fixed-signature timer on a Simulator that captures one
+// FlightFrame per period into the calling thread's active
+// trace::flight_recorder().  Captures are pure reads of counter /
+// histogram totals stamped with the simulator clock, so the recorded
+// time series is deterministic for a fixed seed and merges
+// order-independently across repetitions.  When the recorder facility is
+// disabled each fire is a single branch, and construction with
+// `period <= 0` arms nothing at all.
+//
+// The instance must outlive neither the simulator nor the run: the
+// destructor cancels the pending timer, so scoping a PeriodicRecorder to
+// the harness function is enough.
+#pragma once
+
+#include "sim/simulator.h"
+#include "trace/flight_recorder.h"
+
+namespace groupcast::sim {
+
+class PeriodicRecorder {
+ public:
+  PeriodicRecorder(Simulator& simulator, SimTime period)
+      : simulator_(&simulator), period_(period) {
+    if (period_.as_micros() > 0) arm();
+  }
+  ~PeriodicRecorder() { simulator_->cancel(timer_); }
+  PeriodicRecorder(const PeriodicRecorder&) = delete;
+  PeriodicRecorder& operator=(const PeriodicRecorder&) = delete;
+
+ private:
+  static void fire_thunk(void* context, std::uint64_t /*arg*/) {
+    auto* self = static_cast<PeriodicRecorder*>(context);
+    trace::flight_recorder().capture(self->simulator_->now().as_micros());
+    self->arm();
+  }
+
+  void arm() {
+    timer_ = simulator_->schedule_timer(period_, &fire_thunk, this, 0);
+  }
+
+  Simulator* simulator_;
+  SimTime period_;
+  TimerHandle timer_;
+};
+
+}  // namespace groupcast::sim

@@ -127,6 +127,16 @@ class Simulator {
   /// Total events fired over the simulator's lifetime.
   std::size_t events_fired() const { return events_fired_; }
 
+  /// Resident bytes of timer state: the pooled event-node slab plus the
+  /// overflow heap and drain batch.  Sized by capacity, so it reflects
+  /// the high-water footprint, not the instantaneous queue depth.  Feeds
+  /// the bytes_per_peer gauge in bench_micro.
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + nodes_.capacity() * sizeof(EventNode) +
+           overflow_.capacity() * sizeof(OverflowRef) +
+           drain_.capacity() * sizeof(std::uint32_t);
+  }
+
   /// Drops all pending events (used by tests and teardown).  Every
   /// outstanding TimerHandle becomes stale.
   void clear();

@@ -51,7 +51,21 @@ class CliTracing {
     jobs_ = static_cast<std::size_t>(
         std::max<std::int64_t>(0, flags.get_int("jobs")));
     json_out_ = flags.get_string("json_out");
-    open(flags.get_string("trace_out"));
+    const auto trace_out = flags.get_string("trace_out");
+    // Per-event capture is thread-confined: worker threads have no sink,
+    // so a --jobs>1 trace would silently drop their events.  Refuse the
+    // combination instead (see docs/OBSERVABILITY.md, "Thread model").
+    if (!trace_out.empty() && jobs_ != 1) {
+      std::fprintf(stderr,
+                   "%s: --trace_out requires --jobs=1 (worker threads have "
+                   "no trace sink; their events would be dropped).\n"
+                   "Counters, histograms and the flight recorder merge "
+                   "deterministically at any job count — only the per-event "
+                   "stream needs a single thread.\n",
+                   argv[0]);
+      std::exit(2);
+    }
+    open(trace_out);
   }
 
   /// Direct form for binaries that pre-process argv themselves
@@ -62,7 +76,11 @@ class CliTracing {
   ~CliTracing() {
     if (sink_ == nullptr) return;
     emit_counter_snapshot();
+    emit_histogram_snapshot();
+    emit_timeline();
     counters().disable();
+    histograms().disable();
+    flight_recorder().disable();
     sink_.reset();  // flush + detach the global tracer
   }
   CliTracing(const CliTracing&) = delete;
@@ -84,6 +102,8 @@ class CliTracing {
     sink_ = std::make_unique<ScopedSink>(
         std::make_unique<JsonlFileSink>(path));
     counters().enable(0);
+    histograms().enable();
+    flight_recorder().enable();
   }
 
   std::unique_ptr<ScopedSink> sink_;

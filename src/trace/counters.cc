@@ -54,6 +54,8 @@ const char* to_string(CounterId id) {
       return "dups_suppressed";
     case CounterId::kSendBufferHighWater:
       return "send_buffer_high_water";
+    case CounterId::kBytesPerPeer:
+      return "bytes_per_peer";
     case CounterId::kCount_:
       break;
   }

@@ -49,6 +49,8 @@ enum class CounterId : std::uint8_t {
   kRetransmits,         // buffered payload copies re-sent on a NACK
   kDupsSuppressed,      // sequence-level duplicate payloads discarded
   kSendBufferHighWater, // deepest per-edge retransmit buffer on this node
+  kBytesPerPeer,        // memory-footprint gauge: resident state per peer
+                        // (node + edge + timer bytes; set by bench_micro)
   kCount_,
 };
 

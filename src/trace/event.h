@@ -65,6 +65,27 @@ enum class EventKind : std::uint8_t {
   /// Orphaned node `node` reattached to the tree under new parent `peer`;
   /// `value` = recovery attempts it took.
   kOrphanRecovered,
+  /// Origin `node` published a payload into a group; `value` = packed
+  /// provenance (see pack_provenance) with hop depth 0.
+  kPayloadPublished,
+  /// `node` transmitted a payload copy to `peer`; `value` = packed
+  /// provenance carrying the hop depth the copy will have on arrival.
+  kPayloadSent,
+  /// `node` re-sent a buffered payload copy to `peer` on a NACK; `value`
+  /// = packed provenance of the buffered copy.
+  kPayloadRetransmit,
+  /// `node` accepted a payload copy that arrived via `peer` (first
+  /// delivery, duplicates are kMessageDropped); `value` = packed
+  /// provenance with the realized hop depth.
+  kPayloadDelivered,
+  /// End-of-run histogram export: histogram `node` (a HistogramId), bin
+  /// `peer` — either a value bin [0, kHistogramBins) holding its count, or
+  /// a summary slot kHistogramBins + {0:count, 1:sum, 2:min, 3:max}.
+  kHistogramBin,
+  /// Flight-recorder frame row at sim time `t_us`: series `peer` (a
+  /// CounterId, or kCounterIds + a HistogramId for that histogram's
+  /// sample count) had cumulative total `value`.
+  kTimelineFrame,
   kCount_,
 };
 
@@ -109,5 +130,34 @@ struct TraceEvent {
 const char* to_string(EventKind kind);
 const char* to_string(Phase phase);
 const char* to_string(DropReason reason);
+
+/// Message provenance packed into the single TraceEvent value: the
+/// publishing origin, the payload id it chose, and the hop depth of this
+/// particular copy (tree edges traversed when it arrives).  Payload ids
+/// are truncated to 32 bits and hop depths to 8 — both far beyond what a
+/// dissemination tree over a bounded overlay produces.
+struct Provenance {
+  NodeId origin = kNoNode;
+  std::uint64_t payload_id = 0;
+  std::uint32_t hops = 0;
+
+  friend bool operator==(const Provenance&, const Provenance&) = default;
+};
+
+inline constexpr std::uint64_t pack_provenance(NodeId origin,
+                                               std::uint64_t payload_id,
+                                               std::uint32_t hops) {
+  return (static_cast<std::uint64_t>(origin) << 40) |
+         (static_cast<std::uint64_t>(hops & 0xFFu) << 32) |
+         (payload_id & 0xFFFFFFFFu);
+}
+
+inline constexpr Provenance unpack_provenance(std::uint64_t value) {
+  Provenance p;
+  p.origin = static_cast<NodeId>(value >> 40);
+  p.hops = static_cast<std::uint32_t>((value >> 32) & 0xFFu);
+  p.payload_id = value & 0xFFFFFFFFu;
+  return p;
+}
 
 }  // namespace groupcast::trace

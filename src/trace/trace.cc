@@ -36,6 +36,18 @@ const char* to_string(EventKind kind) {
       return "fault_injected";
     case EventKind::kOrphanRecovered:
       return "orphan_recovered";
+    case EventKind::kPayloadPublished:
+      return "payload_published";
+    case EventKind::kPayloadSent:
+      return "payload_sent";
+    case EventKind::kPayloadRetransmit:
+      return "payload_retransmit";
+    case EventKind::kPayloadDelivered:
+      return "payload_delivered";
+    case EventKind::kHistogramBin:
+      return "histogram_bin";
+    case EventKind::kTimelineFrame:
+      return "timeline_frame";
     case EventKind::kCount_:
       break;
   }
@@ -140,6 +152,46 @@ void emit_counter_snapshot(std::int64_t t_us) {
     if (v == 0) continue;
     t.emit(t_us, EventKind::kCounterSnapshot, kNoNode,
            static_cast<NodeId>(id), v);
+  }
+}
+
+void emit_histogram_snapshot(std::int64_t t_us) {
+  auto& t = tracer();
+  auto& h = histograms();
+  if (!t.enabled() || !h.enabled()) return;
+  for (std::size_t id = 0; id < kHistogramIds; ++id) {
+    const auto& data = h.of(static_cast<HistogramId>(id));
+    if (data.count == 0) continue;
+    for (std::size_t bin = 0; bin < kHistogramBins; ++bin) {
+      if (data.bins[bin] == 0) continue;
+      t.emit(t_us, EventKind::kHistogramBin, static_cast<NodeId>(id),
+             static_cast<NodeId>(bin), data.bins[bin]);
+    }
+    // Summary slots past the bin range: count, sum, min, max.
+    const std::uint64_t summary[4] = {data.count, data.sum, data.min,
+                                      data.max};
+    for (std::size_t s = 0; s < 4; ++s) {
+      t.emit(t_us, EventKind::kHistogramBin, static_cast<NodeId>(id),
+             static_cast<NodeId>(kHistogramBins + s), summary[s]);
+    }
+  }
+}
+
+void emit_timeline() {
+  auto& t = tracer();
+  auto& r = flight_recorder();
+  if (!t.enabled() || !r.enabled()) return;
+  for (const auto& frame : r.frames()) {
+    for (std::size_t id = 0; id < kCounterIds; ++id) {
+      if (frame.counters[id] == 0) continue;
+      t.emit(frame.t_us, EventKind::kTimelineFrame, kNoNode,
+             static_cast<NodeId>(id), frame.counters[id]);
+    }
+    for (std::size_t id = 0; id < kHistogramIds; ++id) {
+      if (frame.samples[id] == 0) continue;
+      t.emit(frame.t_us, EventKind::kTimelineFrame, kNoNode,
+             static_cast<NodeId>(kCounterIds + id), frame.samples[id]);
+    }
   }
 }
 

@@ -31,6 +31,8 @@
 
 #include "trace/counters.h"
 #include "trace/event.h"
+#include "trace/flight_recorder.h"
+#include "trace/histogram.h"
 #include "trace/sink.h"
 
 namespace groupcast::trace {
@@ -92,6 +94,18 @@ class ScopedSink {
 /// node == kNoNode), stamped at `t_us`.  No-op unless both the tracer and
 /// the counter registry are enabled.
 void emit_counter_snapshot(std::int64_t t_us = 0);
+
+/// Exports the current histograms into the trace as kHistogramBin events
+/// (one per non-zero bin, then count/sum/min/max summary slots), stamped
+/// at `t_us`.  No-op unless both the tracer and the histogram registry
+/// are enabled.
+void emit_histogram_snapshot(std::int64_t t_us = 0);
+
+/// Exports the flight recorder's frames into the trace as kTimelineFrame
+/// events — one event per non-zero series per frame, stamped with the
+/// frame's own capture time.  No-op unless both the tracer and the flight
+/// recorder are enabled.
+void emit_timeline();
 
 // -------------------------------------------------------------- timers
 

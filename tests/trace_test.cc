@@ -31,6 +31,10 @@ class GlobalTraceGuard {
     counters().reset();
     timers().disable();
     timers().reset();
+    histograms().disable();
+    histograms().reset();
+    flight_recorder().disable();
+    flight_recorder().reset();
   }
 };
 

@@ -5,16 +5,27 @@
 //                                        # counter table
 //   trace_report base.jsonl new.jsonl    # the same, plus a counter diff
 //                                        # (new - base)
+//   trace_report --histograms run.jsonl  # sim-time distributions rebuilt
+//                                        # from histogram_bin events
+//   trace_report --timeline run.jsonl    # flight-recorder time series
+//   trace_report --message=<origin:id> run.jsonl
+//                                        # dissemination tree, per-hop
+//                                        # latency and critical path of
+//                                        # one payload ("auto" = first
+//                                        # published payload in the trace)
 //
 // --top=K controls how many hotspot nodes are listed (default 5).
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "trace/event.h"
+#include "trace/flight_recorder.h"
+#include "trace/histogram.h"
 #include "trace/sink.h"
 #include "trace/counters.h"
 #include "util/flags.h"
@@ -179,6 +190,302 @@ void print_counters(const TraceSummary& s) {
   }
 }
 
+// ------------------------------------------------------------ histograms
+
+void print_histograms(const TraceSummary& s) {
+  // Rebuild each distribution from its kHistogramBin rows: `node` carries
+  // the HistogramId, `peer` the bin index (or a summary slot past the bin
+  // range: count, sum, min, max — see trace::emit_histogram_snapshot).
+  struct View {
+    trace::HistogramData data;
+    bool present = false;
+  };
+  std::array<View, trace::kHistogramIds> views{};
+  for (const auto& e : s.events) {
+    if (e.kind != EventKind::kHistogramBin) continue;
+    const auto id = static_cast<std::size_t>(e.node);
+    if (id >= trace::kHistogramIds) continue;
+    auto& v = views[id];
+    const auto slot = static_cast<std::size_t>(e.peer);
+    if (slot < trace::kHistogramBins) {
+      v.data.bins[slot] += e.value;
+    } else {
+      switch (slot - trace::kHistogramBins) {
+        case 0: v.data.count += e.value; break;
+        case 1: v.data.sum += e.value; break;
+        case 2: v.data.min = v.present ? std::min(v.data.min, e.value)
+                                       : e.value; break;
+        case 3: v.data.max = std::max(v.data.max, e.value); break;
+        default: break;
+      }
+    }
+    v.present = true;
+  }
+
+  std::printf("== sim-time histograms\n");
+  bool any = false;
+  for (std::size_t id = 0; id < trace::kHistogramIds; ++id) {
+    const auto& v = views[id];
+    if (!v.present || v.data.count == 0) continue;
+    any = true;
+    const auto& h = v.data;
+    std::printf("\n%s: %llu samples, mean %.1f, p50 %llu, p99 %llu, "
+                "min %llu, max %llu\n",
+                trace::to_string(static_cast<trace::HistogramId>(id)),
+                static_cast<unsigned long long>(h.count), h.mean(),
+                static_cast<unsigned long long>(h.percentile(0.50)),
+                static_cast<unsigned long long>(h.percentile(0.99)),
+                static_cast<unsigned long long>(h.min),
+                static_cast<unsigned long long>(h.max));
+    // One row per occupied bin, with a proportional bar.
+    std::uint64_t peak = 0;
+    for (const auto b : h.bins) peak = std::max(peak, b);
+    for (std::size_t bin = 0; bin < trace::kHistogramBins; ++bin) {
+      if (h.bins[bin] == 0) continue;
+      const auto width = static_cast<int>(
+          (40 * h.bins[bin] + peak - 1) / std::max<std::uint64_t>(1, peak));
+      std::printf("  >=%12llu %10llu %.*s\n",
+                  static_cast<unsigned long long>(
+                      trace::histogram_bin_floor(bin)),
+                  static_cast<unsigned long long>(h.bins[bin]), width,
+                  "########################################");
+    }
+  }
+  if (!any) {
+    std::printf("(no histogram snapshot in trace — run with histograms "
+                "enabled)\n");
+  }
+}
+
+// -------------------------------------------------------------- timeline
+
+void print_timeline(const TraceSummary& s) {
+  // kTimelineFrame rows: one per (frame, non-zero series); `peer` indexes
+  // the series — counters first, then histogram sample counts.
+  std::map<std::int64_t, std::array<std::uint64_t, trace::kTimelineSeries>>
+      frames;
+  std::array<bool, trace::kTimelineSeries> active{};
+  for (const auto& e : s.events) {
+    if (e.kind != EventKind::kTimelineFrame) continue;
+    const auto series = static_cast<std::size_t>(e.peer);
+    if (series >= trace::kTimelineSeries) continue;
+    frames[e.t_us][series] = e.value;
+    active[series] = true;
+  }
+  std::printf("== flight-recorder timeline\n");
+  if (frames.empty()) {
+    std::printf("(no timeline frames in trace — run with the flight "
+                "recorder enabled)\n");
+    return;
+  }
+  std::vector<std::size_t> columns;
+  for (std::size_t i = 0; i < trace::kTimelineSeries; ++i) {
+    if (active[i]) columns.push_back(i);
+  }
+  std::printf("%10s", "sim ms");
+  for (const auto c : columns) {
+    const char* label =
+        c < trace::kCounterIds
+            ? trace::to_string(static_cast<CounterId>(c))
+            : trace::to_string(
+                  static_cast<trace::HistogramId>(c - trace::kCounterIds));
+    std::printf(" %18s", label);
+  }
+  std::printf("\n");
+  for (const auto& [t_us, row] : frames) {
+    std::printf("%10.1f", static_cast<double>(t_us) / 1000.0);
+    for (const auto c : columns) {
+      std::printf(" %18llu", static_cast<unsigned long long>(row[c]));
+    }
+    std::printf("\n");
+  }
+  std::printf("(%zu frames; values are cumulative at each frame time)\n",
+              frames.size());
+}
+
+// --------------------------------------------------------------- message
+
+struct Delivery {
+  trace::NodeId via = trace::kNoNode;
+  std::int64_t t_us = 0;
+  std::uint32_t hops = 0;
+  std::int64_t sent_t_us = -1;   // matching payload_sent, -1 if unseen
+  std::uint64_t retransmits = 0; // retransmit rows for this edge
+};
+
+/// Reconstructs and prints the dissemination tree of one payload from its
+/// provenance events.  Returns false when the payload never appears.
+bool print_message(const TraceSummary& s, const std::string& spec) {
+  // Resolve the target (origin, payload_id).
+  trace::NodeId origin = trace::kNoNode;
+  std::uint64_t payload_id = 0;
+  if (spec == "auto") {
+    for (const auto& e : s.events) {
+      if (e.kind != EventKind::kPayloadPublished) continue;
+      const auto p = trace::unpack_provenance(e.value);
+      origin = p.origin;
+      payload_id = p.payload_id;
+      break;
+    }
+    if (origin == trace::kNoNode) {
+      std::printf("== message auto\n(no payload_published events in "
+                  "trace — run a recovery scenario with --trace_out)\n");
+      return false;
+    }
+  } else {
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr,
+                   "trace_report: --message wants <origin:id> or auto\n");
+      return false;
+    }
+    origin = static_cast<trace::NodeId>(
+        std::strtoull(spec.c_str(), nullptr, 10));
+    payload_id = std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+  }
+
+  // Collect this payload's provenance rows.  payload_id is truncated to
+  // 32 bits by the packing, so compare through the same mask.
+  const auto matches = [&](const trace::Provenance& p) {
+    return p.origin == origin &&
+           p.payload_id == (payload_id & 0xFFFFFFFFu);
+  };
+  std::int64_t published_t = -1;
+  std::map<trace::NodeId, Delivery> deliveries;  // receiver -> first copy
+  std::map<std::pair<trace::NodeId, trace::NodeId>, std::int64_t> sends;
+  std::uint64_t sent_rows = 0, retransmit_rows = 0;
+  for (const auto& e : s.events) {
+    switch (e.kind) {
+      case EventKind::kPayloadPublished: {
+        if (matches(trace::unpack_provenance(e.value)) && published_t < 0) {
+          published_t = e.t_us;
+        }
+        break;
+      }
+      case EventKind::kPayloadSent: {
+        if (!matches(trace::unpack_provenance(e.value))) break;
+        ++sent_rows;
+        const auto key = std::make_pair(e.node, e.peer);
+        if (sends.find(key) == sends.end()) sends[key] = e.t_us;
+        break;
+      }
+      case EventKind::kPayloadRetransmit: {
+        if (matches(trace::unpack_provenance(e.value))) ++retransmit_rows;
+        break;
+      }
+      case EventKind::kPayloadDelivered: {
+        const auto p = trace::unpack_provenance(e.value);
+        if (!matches(p)) break;
+        if (deliveries.find(e.node) == deliveries.end()) {
+          deliveries[e.node] = Delivery{e.peer, e.t_us, p.hops, -1, 0};
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // Retransmit rows can precede the delivery they repair in file order,
+  // so attribute them to tree edges in a second pass over the full map.
+  for (const auto& e : s.events) {
+    if (e.kind != EventKind::kPayloadRetransmit) continue;
+    if (!matches(trace::unpack_provenance(e.value))) continue;
+    auto it = deliveries.find(e.peer);
+    if (it != deliveries.end() && it->second.via == e.node) {
+      ++it->second.retransmits;
+    }
+  }
+  for (auto& [receiver, d] : deliveries) {
+    const auto it = sends.find(std::make_pair(d.via, receiver));
+    if (it != sends.end()) d.sent_t_us = it->second;
+  }
+
+  std::printf("== message %u:%llu dissemination\n", origin,
+              static_cast<unsigned long long>(payload_id));
+  if (published_t < 0 && deliveries.empty()) {
+    std::printf("(payload not found in trace)\n");
+    return false;
+  }
+  if (published_t >= 0) {
+    std::printf("published by node %u at %.3f ms\n", origin,
+                static_cast<double>(published_t) / 1000.0);
+  }
+  std::uint32_t max_depth = 0;
+  std::int64_t last_arrival = published_t;
+  trace::NodeId last_node = origin;
+  for (const auto& [receiver, d] : deliveries) {
+    max_depth = std::max(max_depth, d.hops);
+    if (d.t_us > last_arrival) {
+      last_arrival = d.t_us;
+      last_node = receiver;
+    }
+  }
+  std::printf("delivered to %zu nodes over %llu sends "
+              "(%llu retransmit rows), max depth %u\n",
+              deliveries.size(),
+              static_cast<unsigned long long>(sent_rows),
+              static_cast<unsigned long long>(retransmit_rows), max_depth);
+
+  // Per-depth arrival profile: how many copies arrived at each hop count
+  // and the mean edge latency at that depth.
+  std::map<std::uint32_t, std::pair<std::uint64_t, std::int64_t>> by_depth;
+  for (const auto& [receiver, d] : deliveries) {
+    auto& [n, latency] = by_depth[d.hops];
+    ++n;
+    if (d.sent_t_us >= 0) latency += d.t_us - d.sent_t_us;
+  }
+  std::printf("\nper-hop breakdown:\n");
+  std::printf("%6s %8s %16s\n", "depth", "arrived", "mean edge delay");
+  for (const auto& [depth, agg] : by_depth) {
+    std::printf("%6u %8llu %13.3f ms\n", depth,
+                static_cast<unsigned long long>(agg.first),
+                static_cast<double>(agg.second) /
+                    (1000.0 * static_cast<double>(agg.first)));
+  }
+
+  // Critical path: walk parents back from the last arrival.  Stalled
+  // edges (a retransmit before the copy landed) are flagged.
+  std::printf("\ncritical path (to node %u, arrived %.3f ms):\n", last_node,
+              static_cast<double>(last_arrival) / 1000.0);
+  std::vector<trace::NodeId> path;
+  for (trace::NodeId walk = last_node;;) {
+    path.push_back(walk);
+    if (walk == origin || path.size() > deliveries.size() + 1) break;
+    const auto it = deliveries.find(walk);
+    if (it == deliveries.end()) break;
+    walk = it->second.via;
+  }
+  std::reverse(path.begin(), path.end());
+  for (const auto node : path) {
+    if (node == origin) {
+      std::printf("  node %6u  (origin", node);
+      if (published_t >= 0) {
+        std::printf(", published %.3f ms",
+                    static_cast<double>(published_t) / 1000.0);
+      }
+      std::printf(")\n");
+      continue;
+    }
+    const auto it = deliveries.find(node);
+    if (it == deliveries.end()) break;
+    const auto& d = it->second;
+    std::printf("  node %6u  hop %2u  arrived %9.3f ms", node, d.hops,
+                static_cast<double>(d.t_us) / 1000.0);
+    if (d.sent_t_us >= 0) {
+      std::printf("  (+%.3f ms on edge %u -> %u)",
+                  static_cast<double>(d.t_us - d.sent_t_us) / 1000.0,
+                  d.via, node);
+    }
+    if (d.retransmits > 0) {
+      std::printf("  [stall: %llu retransmit%s]",
+                  static_cast<unsigned long long>(d.retransmits),
+                  d.retransmits == 1 ? "" : "s");
+    }
+    std::printf("\n");
+  }
+  return true;
+}
+
 void print_diff(const TraceSummary& base, const TraceSummary& next) {
   std::printf("\n== counter diff (%s - %s)\n", next.path.c_str(),
               base.path.c_str());
@@ -205,6 +512,17 @@ void print_diff(const TraceSummary& base, const TraceSummary& next) {
 int main(int argc, char** argv) {
   util::Flags flags;
   flags.declare("top", "hotspot nodes to list", "5");
+  flags.declare("histograms",
+                "print the sim-time histograms instead of the summary",
+                "false");
+  flags.declare("timeline",
+                "print the flight-recorder time series instead of the "
+                "summary",
+                "false");
+  flags.declare("message",
+                "reconstruct one payload's dissemination tree: "
+                "<origin:id>, or 'auto' for the first published payload",
+                "");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
                  flags.help(argv[0]).c_str());
@@ -212,7 +530,9 @@ int main(int argc, char** argv) {
   }
   if (flags.help_requested() || flags.positional().empty() ||
       flags.positional().size() > 2) {
-    std::printf("usage: %s [--top=K] <trace.jsonl> [other-trace.jsonl]\n%s",
+    std::printf("usage: %s [--top=K] [--histograms] [--timeline] "
+                "[--message=<origin:id>|auto] <trace.jsonl> "
+                "[other-trace.jsonl]\n%s",
                 argv[0], flags.help(argv[0]).c_str());
     return flags.help_requested() ? 0 : 2;
   }
@@ -228,6 +548,20 @@ int main(int argc, char** argv) {
     std::printf(", %zu malformed lines skipped", primary.malformed);
   }
   std::printf(")\n\n");
+
+  const std::string message = flags.get_string("message");
+  if (flags.get_bool("histograms")) {
+    print_histograms(primary);
+    return 0;
+  }
+  if (flags.get_bool("timeline")) {
+    print_timeline(primary);
+    return 0;
+  }
+  if (!message.empty()) {
+    return print_message(primary, message) ? 0 : 1;
+  }
+
   print_phase_breakdown(primary);
   print_hotspots(primary, top);
   print_counters(primary);
