@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
     double loss;
     const Churn* churn;
     bool reliable;
+    bool flow = false;
   };
   std::vector<Cell> cells;
   std::vector<metrics::ScenarioConfig> points;
@@ -81,6 +82,27 @@ int main(int argc, char** argv) {
                                         churn.graceful, reliable));
       }
     }
+  }
+  // Slow-child cells: every fifth subscriber acks at a tenth of the
+  // normal cadence, starving its parent's ack clock.  Run once without
+  // flow control (the sender buffer backs up to the cap) and once with
+  // flow control + adaptive detection (the backlog parks behind the
+  // window instead).  Static labels: `cells` keeps raw Churn pointers,
+  // so these must not live in the reallocating `churns` vector.
+  static const Churn kSlowChild{0.0, 0.0, "slow child (1-in-5)"};
+  static const Churn kSlowChildFlow{0.0, 0.0, "slow child + flow control"};
+  for (const bool flow : {false, true}) {
+    cells.push_back(Cell{0.0, flow ? &kSlowChildFlow : &kSlowChild,
+                         /*reliable=*/true, flow});
+    auto config = recovery_point(peers, 0.0, 0.0, 0.0, /*reliable_data=*/true);
+    config.recovery.slow_peer_stride = 5;
+    config.recovery.speaking_payloads = 32;
+    config.recovery.flow_control = flow;
+    // A window narrower than the speaking round, so the slow children's
+    // edges actually block and the throttle path shows up in the cell.
+    config.recovery.flow_window = 8;
+    config.recovery.adaptive = flow;
+    points.push_back(config);
   }
 
   metrics::GridOptions options;
@@ -138,7 +160,8 @@ int main(int argc, char** argv) {
     std::printf(
         "%-4s %-6.2f %-24s %8.1f%% %6.1f%% %9.1f%% %7.2f %6.1f %8llu "
         "%8llu %9llu %6.0f\n",
-        cell.reliable ? "on" : "off", cell.loss, cell.churn->label,
+        cell.reliable ? (cell.flow ? "flow" : "on") : "off", cell.loss,
+        cell.churn->label,
         100.0 * r.delivery_ratio, 100.0 * r.delivery_ratio_stddev,
         100.0 * r.reattached_fraction, r.mean_orphan_epochs,
         r.epochs_to_converge,

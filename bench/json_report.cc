@@ -190,6 +190,16 @@ void fill_scenario_cell(JsonObject& cell,
                  r.counters.total(trace::CounterId::kDupsSuppressed))
         .integer("send_buffer_high_water",
                  r.counters.total(trace::CounterId::kSendBufferHighWater));
+    if (r.config.recovery.flow_control || r.config.recovery.adaptive) {
+      // Self-tuning transport cells only: absent fields keep the legacy
+      // cells byte-identical to reports from before these flags existed.
+      cell.boolean("flow_control", r.config.recovery.flow_control)
+          .boolean("adaptive", r.config.recovery.adaptive)
+          .integer("flow_blocked",
+                   r.counters.total(trace::CounterId::kFlowBlocked))
+          .integer("flow_throttles",
+                   r.counters.total(trace::CounterId::kFlowThrottles));
+    }
   }
   fill_histogram_fields(cell, r.histograms);
   fill_timeline_field(cell, r.timeline);

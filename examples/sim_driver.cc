@@ -75,6 +75,16 @@ int main(int argc, char** argv) {
   flags.declare("reliable",
                 "recovery: NACK/retransmit reliability on tree edges",
                 "false");
+  flags.declare("flow-control",
+                "recovery: sender-side flow control on reliable edges "
+                "(requires --reliable)",
+                "false");
+  flags.declare("window",
+                "recovery: sender window per reliable edge, in sequences",
+                "32");
+  flags.declare("adaptive",
+                "recovery: adaptive failure detection and NACK cadence",
+                "false");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
@@ -108,6 +118,35 @@ int main(int argc, char** argv) {
   config.recovery.crash_fraction = flags.get_double("crash");
   config.recovery.graceful_fraction = flags.get_double("graceful");
   config.recovery.reliable_data = flags.get_bool("reliable");
+  config.recovery.flow_control = flags.get_bool("flow-control");
+  config.recovery.flow_window =
+      static_cast<std::size_t>(flags.get_int("window"));
+  config.recovery.adaptive = flags.get_bool("adaptive");
+  if (!config.recovery.enabled) {
+    // Recovery-only flags without --recovery would be silently ignored
+    // (the engine pipeline has no loss, churn, or reliable data path);
+    // refuse loudly so a sweep never mistakes the clean run for results.
+    const char* stray = nullptr;
+    if (config.recovery.loss_probability != 0.0) stray = "--loss";
+    if (config.recovery.crash_fraction != 0.0) stray = "--crash";
+    if (config.recovery.graceful_fraction != 0.0) stray = "--graceful";
+    if (config.recovery.reliable_data) stray = "--reliable";
+    if (config.recovery.flow_control) stray = "--flow-control";
+    if (config.recovery.adaptive) stray = "--adaptive";
+    if (stray != nullptr) {
+      std::fprintf(stderr,
+                   "sim_driver: %s only takes effect with --recovery (the "
+                   "engine pipeline would silently ignore it)\n",
+                   stray);
+      return 2;
+    }
+  }
+  if (config.recovery.flow_control && !config.recovery.reliable_data) {
+    std::fprintf(stderr,
+                 "sim_driver: --flow-control requires --reliable (the "
+                 "window rides on the reliable sequence space)\n");
+    return 2;
+  }
   const auto topologies =
       static_cast<std::size_t>(flags.get_int("topologies"));
   const auto jobs = static_cast<std::size_t>(

@@ -68,17 +68,22 @@ stage_fault() {
 # its own Release tree.  The google-benchmark suite itself is skipped
 # (filter matches nothing) — the gated number is the deterministic
 # event-loop probe behind --json_out, compared against the checked-in
-# baseline by scripts/perf_gate.cmake.
+# baseline by scripts/perf_gate.cmake.  The churn-recovery sweep also
+# runs here at Release speed so its JSON (including the slow-child /
+# flow-control cells) lands in the perf-smoke artifact upload.
 stage_perf() {
   local build_dir="${1:-${repo_root}/build-perf}"
   cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-  cmake --build "${build_dir}" -j "${jobs}" --target bench_micro
+  cmake --build "${build_dir}" -j "${jobs}" \
+    --target bench_micro bench_churn_recovery
   local perf_json="${build_dir}/BENCH_micro.json"
   "${build_dir}/bench/bench_micro" '--benchmark_filter=^$' \
     --json_out="${perf_json}" > /dev/null
   cmake -DBASELINE="${repo_root}/bench/baselines/micro_baseline.json" \
     -DCURRENT="${perf_json}" -DMAX_REGRESSION_PERCENT=25 \
     -P "${repo_root}/scripts/perf_gate.cmake"
+  "${build_dir}/bench/bench_churn_recovery" --jobs=4 \
+    --json_out="${build_dir}/BENCH_churn_recovery.json" > /dev/null
   echo "stages.sh: perf smoke within budget (bench_micro events/sec)"
 }
 
@@ -119,19 +124,21 @@ stage_lint_format() {
   echo "stages.sh: clang-format clean"
 }
 
-# Static analysis on the protocol core.  Only bugprone-* and
-# performance-* findings are promoted to errors (the rest of the .clang-tidy
-# checks report but do not gate) — see .clang-tidy for the check set.
+# Static analysis on the protocol core, the event loop, and the tracing
+# layer.  Only bugprone-* and performance-* findings are promoted to
+# errors (the rest of the .clang-tidy checks report but do not gate) —
+# see .clang-tidy for the check set.
 stage_lint_tidy() {
   local build_dir="${1:-${repo_root}/build-tidy}"
   cmake -B "${build_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
-  git -C "${repo_root}" ls-files 'src/core/*.cc' |
+  git -C "${repo_root}" ls-files 'src/core/*.cc' 'src/sim/*.cc' \
+    'src/trace/*.cc' |
     sed "s|^|${repo_root}/|" |
     xargs clang-tidy -p "${build_dir}" \
       --warnings-as-errors='bugprone-*,performance-*'
-  echo "stages.sh: clang-tidy clean on src/core"
+  echo "stages.sh: clang-tidy clean on src/core, src/sim, src/trace"
 }
 
 usage() {

@@ -26,6 +26,13 @@ void erase_value(std::vector<overlay::PeerId>& v, overlay::PeerId value) {
   const auto it = std::find(v.begin(), v.end(), value);
   if (it != v.end()) v.erase(it);
 }
+
+/// Adaptive failure detection (docs/ROBUSTNESS.md, "Flow control &
+/// adaptive detection"): the per-window false-positive budget the miss
+/// threshold is derived against, and the widest window the estimator may
+/// open (bounds worst-case failure-detection latency).
+constexpr double kFalsePositiveTarget = 1e-4;
+constexpr std::size_t kMaxAdaptiveMisses = 12;
 }  // namespace
 
 GroupCastNode::GroupCastNode(overlay::PeerId self, Transport& transport,
@@ -45,9 +52,23 @@ GroupCastNode::GroupCastNode(overlay::PeerId self, Transport& transport,
     GC_REQUIRE(options_.reliability.nack_delay > sim::SimTime::zero());
     GC_REQUIRE(options_.reliability.nack_retry_delay > sim::SimTime::zero());
     GC_REQUIRE(options_.reliability.probe_delay > sim::SimTime::zero());
-    GC_REQUIRE(options_.reliability.nack_jitter >= 0.0);
+    GC_REQUIRE_MSG(options_.reliability.nack_jitter >= 0.0 &&
+                       options_.reliability.nack_jitter <= 1.0,
+                   "reliability.nack_jitter must be in [0, 1]");
+    GC_REQUIRE_MSG(options_.reliability.max_nack_rounds >= 1,
+                   "reliability.max_nack_rounds must be >= 1");
+    GC_REQUIRE_MSG(options_.reliability.max_probe_rounds >= 1,
+                   "reliability.max_probe_rounds must be >= 1");
     GC_REQUIRE(options_.reliability.send_buffer_cap >= 1);
-    GC_REQUIRE(options_.reliability.ack_every >= 1);
+    GC_REQUIRE_MSG(options_.reliability.ack_every >= 1,
+                   "reliability.ack_every must be >= 1");
+    if (options_.reliability.flow_control) {
+      GC_REQUIRE_MSG(options_.reliability.window >= 1,
+                     "reliability.window must be >= 1");
+      GC_REQUIRE_MSG(
+          options_.reliability.window <= options_.reliability.send_buffer_cap,
+          "reliability.window must fit within send_buffer_cap");
+    }
   }
 }
 
@@ -300,6 +321,38 @@ std::size_t GroupCastNode::send_buffer_depth(GroupId group,
   return it != git->second.tx_edges.end() ? it->second.buffer.size() : 0;
 }
 
+std::size_t GroupCastNode::pending_depth(GroupId group,
+                                         overlay::PeerId peer) const {
+  const auto git = groups_.find(group);
+  if (git == groups_.end()) return 0;
+  const auto it = git->second.tx_edges.find(peer);
+  return it != git->second.tx_edges.end() ? it->second.pending.size() : 0;
+}
+
+std::size_t GroupCastNode::effective_heartbeat_misses(GroupId group) const {
+  const auto it = groups_.find(group);
+  if (!options_.adaptive || it == groups_.end()) {
+    return options_.missed_heartbeats_to_fail;
+  }
+  return adaptive_miss_threshold(it->second.hb_miss_ewma,
+                                 options_.missed_heartbeats_to_fail);
+}
+
+std::size_t GroupCastNode::adaptive_miss_threshold(double miss_ewma,
+                                                   std::size_t floor_misses) {
+  const std::size_t cap = std::max(floor_misses, kMaxAdaptiveMisses);
+  if (miss_ewma <= 0.0) return floor_misses;
+  if (miss_ewma >= 1.0) return cap;
+  // docs/ROBUSTNESS.md false-positive math: k consecutive misses are a
+  // false positive with probability miss^k, so the smallest k with
+  // miss^k <= target keeps the spurious-recovery rate under budget.
+  const double need =
+      std::log(kFalsePositiveTarget) / std::log(miss_ewma);
+  if (need >= static_cast<double>(cap)) return cap;
+  const auto k = static_cast<std::size_t>(std::ceil(need));
+  return std::min(std::max(k, floor_misses), cap);
+}
+
 std::uint64_t GroupCastNode::expected_seq(GroupId group,
                                           overlay::PeerId peer) const {
   const auto git = groups_.find(group);
@@ -328,6 +381,7 @@ std::size_t GroupCastNode::memory_bytes() const {
     for (const auto& [peer, tx] : state.tx_edges) {
       bytes += kPerEntry + sizeof(overlay::PeerId) + sizeof(EdgeTx);
       bytes += tx.buffer.size() * sizeof(BufferedPayload);
+      bytes += tx.pending.size() * sizeof(BufferedPayload);
     }
     for (const auto& [peer, rx] : state.rx_edges) {
       bytes += kPerEntry + sizeof(overlay::PeerId) + sizeof(EdgeRx);
@@ -474,6 +528,7 @@ void GroupCastNode::terminal_failure(GroupId group) {
     for (auto& [peer, rx] : state.rx_edges) simulator.cancel(rx.nack_timer);
     state.tx_edges.clear();
     state.rx_edges.clear();
+    state.blocked_edges = 0;  // every parked payload died with its edge
   }
   if (!state.children.empty() && !state.dissolved_once) {
     // Dissolve the tree position: the children re-attach on their own,
@@ -529,6 +584,10 @@ void GroupCastNode::complete_attach(GroupId group, overlay::PeerId parent,
   state.attach_depth_limit = kUnknownDepth;
   state.dissolved_once = false;
   state.parent_last_ack = now();
+  // A new parent means a new path: the failure-detector estimate learned
+  // on the old edge no longer describes this one.
+  state.hb_miss_ewma = 0.0;
+  state.hb_probe_outstanding = false;
   // Reattach re-sync, child side: whatever edge state a previous
   // incarnation of this parent link left behind is stale now.  The
   // parent's JoinAck is chased by its SeqSync (per-pair FIFO), which
@@ -633,23 +692,47 @@ void GroupCastNode::heartbeat_tick(GroupId group) {
   const auto interval = options_.heartbeat_interval;
   if (state.on_tree && state.tree_parent != self_ &&
       state.tree_parent != overlay::kNoPeer) {
-    const auto deadline =
-        interval *
-        static_cast<std::int64_t>(options_.missed_heartbeats_to_fail);
+    if (options_.adaptive && state.hb_probe_outstanding) {
+      // One miss sample per probed interval: did the previous heartbeat's
+      // ack make it back before this tick?
+      ewma_update(state.hb_miss_ewma,
+                  state.parent_last_ack >= state.last_hb_probe ? 0.0 : 1.0);
+      state.hb_probe_outstanding = false;
+      trace::histograms().record(
+          trace::HistogramId::kEstimatedLoss,
+          static_cast<std::uint64_t>(
+              std::llround(state.hb_miss_ewma * 1000.0)));
+    }
+    const std::size_t misses =
+        options_.adaptive
+            ? adaptive_miss_threshold(state.hb_miss_ewma,
+                                      options_.missed_heartbeats_to_fail)
+            : options_.missed_heartbeats_to_fail;
+    const auto deadline = interval * static_cast<std::int64_t>(misses);
     if (t - state.parent_last_ack > deadline) {
       begin_recovery(group, state.tree_parent);
     } else {
       transport_->send(self_, state.tree_parent, HeartbeatMsg{group});
       trace::counters().incr(self_, trace::CounterId::kHeartbeats);
+      if (options_.adaptive) {
+        state.last_hb_probe = t;
+        state.hb_probe_outstanding = true;
+      }
     }
   }
   if (!state.children.empty()) {
     // Prune children that went silent: one interval of slack beyond the
     // parent-side deadline so a child is never pruned before it would
-    // have declared us dead.
+    // have declared us dead.  Under adaptive detection a child may widen
+    // its own deadline up to kMaxAdaptiveMisses, so the slack must cover
+    // the widest window any child could be using.
+    const std::size_t child_misses =
+        options_.adaptive
+            ? std::max(options_.missed_heartbeats_to_fail,
+                       kMaxAdaptiveMisses)
+            : options_.missed_heartbeats_to_fail;
     const auto child_deadline =
-        interval * static_cast<std::int64_t>(
-                       options_.missed_heartbeats_to_fail + 1);
+        interval * static_cast<std::int64_t>(child_misses + 1);
     std::vector<overlay::PeerId> ghosts;
     for (const auto child : state.children) {
       const auto it = state.child_last_seen.find(child);
@@ -735,6 +818,8 @@ void GroupCastNode::handle(const Envelope& envelope) {
           handle_data_ack(envelope, msg);
         } else if constexpr (std::is_same_v<T, SeqSyncMsg>) {
           handle_seq_sync(envelope, msg);
+        } else if constexpr (std::is_same_v<T, FlowControlMsg>) {
+          handle_flow_control(envelope, msg);
         }
       },
       envelope.body);
@@ -907,48 +992,197 @@ sim::SimTime GroupCastNode::jittered(sim::SimTime base, double jitter) {
       static_cast<double>(base.as_micros()) * stretch));
 }
 
+void GroupCastNode::ewma_update(double& estimate, double sample) {
+  constexpr double kEwmaAlpha = 0.125;  // 1/8: roughly an 8-sample memory
+  estimate += kEwmaAlpha * (sample - estimate);
+}
+
+sim::SimTime GroupCastNode::nack_delay_for(const EdgeRx& rx) const {
+  const auto base = options_.reliability.nack_delay;
+  if (!options_.adaptive) return base;
+  // The higher the measured loss, the more likely a gap is a real hole
+  // rather than reordering in flight: shrink the batching delay, floored
+  // at a quarter of the configured base.
+  const double scale = std::max(0.25, 1.0 - rx.loss_ewma);
+  return sim::SimTime::micros(static_cast<std::int64_t>(
+      static_cast<double>(base.as_micros()) * scale));
+}
+
+sim::SimTime GroupCastNode::nack_retry_for(const EdgeRx& rx) const {
+  const auto base = options_.reliability.nack_retry_delay;
+  if (!options_.adaptive || rx.repair_ewma_us <= 0.0) return base;
+  // Pace retries by the measured repair time (2x covers the NACK plus
+  // retransmission round trip): never faster than the first-NACK delay,
+  // never slower than the configured retry constant.
+  const auto lo =
+      std::min(nack_delay_for(rx).as_micros(), base.as_micros());
+  const auto scaled = static_cast<std::int64_t>(2.0 * rx.repair_ewma_us);
+  return sim::SimTime::micros(std::clamp(scaled, lo, base.as_micros()));
+}
+
 void GroupCastNode::send_data(GroupId group, GroupState& state,
                               overlay::PeerId to, overlay::PeerId origin,
                               std::uint64_t payload_id, std::uint32_t hops) {
-  trace::tracer().emit(now().as_micros(), trace::EventKind::kPayloadSent,
-                       self_, to,
-                       trace::pack_provenance(origin, payload_id, hops));
   if (!options_.reliability.enabled) {
+    trace::tracer().emit(now().as_micros(), trace::EventKind::kPayloadSent,
+                         self_, to,
+                         trace::pack_provenance(origin, payload_id, hops));
     transport_->send(self_, to, DataMsg{group, origin, payload_id, hops});
     return;
   }
   auto it = state.tx_edges.find(to);
+  if (options_.reliability.flow_control && it != state.tx_edges.end()) {
+    // Window gate.  A payload parks when the window is full, the peer
+    // asked for quiet, or older payloads are already parked (FIFO: a new
+    // payload must never overtake a parked one).  A missing edge is
+    // trivially open: nothing is in flight yet and window >= 1.
+    auto& tx = it->second;
+    if (!tx.pending.empty() || tx.peer_throttled ||
+        tx.next_seq - tx.cum_acked >= options_.reliability.window) {
+      queue_blocked(group, state, to, tx,
+                    BufferedPayload{0, origin, hops, payload_id});
+      return;
+    }
+  }
+  trace::tracer().emit(now().as_micros(), trace::EventKind::kPayloadSent,
+                       self_, to,
+                       trace::pack_provenance(origin, payload_id, hops));
   if (it == state.tx_edges.end()) {
     // First payload over this directed edge: open the incarnation (the
     // SeqSync rides ahead of the data on the FIFO pair link).
     reset_tx_edge(group, state, to);
     it = state.tx_edges.find(to);
   }
-  auto& tx = it->second;
+  transmit_now(group, to, it->second,
+               BufferedPayload{0, origin, hops, payload_id});
+}
+
+void GroupCastNode::transmit_now(GroupId group, overlay::PeerId to,
+                                 EdgeTx& tx,
+                                 const BufferedPayload& payload) {
   if (tx.buffer.size() >= options_.reliability.send_buffer_cap) {
     tx.buffer.pop_front();  // oldest unacked copy falls off
   }
   const std::uint64_t seq = tx.next_seq++;
-  tx.buffer.push_back(BufferedPayload{seq, origin, hops, payload_id});
-  if (tx.buffer.size() > send_buffer_high_water_) {
-    trace::counters().incr(
-        self_, trace::CounterId::kSendBufferHighWater,
-        tx.buffer.size() - send_buffer_high_water_);
-    send_buffer_high_water_ = tx.buffer.size();
+  tx.buffer.push_back(
+      BufferedPayload{seq, payload.origin, payload.hops, payload.payload_id});
+  if (tx.buffer.size() > tx.high_water) {
+    // Watermark per directed edge: each edge contributes its own lifetime
+    // peak to the counter.  (A node-wide maximum used to swallow a second
+    // edge's growth until it beat the first edge's record, so the counter
+    // under-reported total retransmit-buffer memory.)
+    trace::counters().incr(self_, trace::CounterId::kSendBufferHighWater,
+                           tx.buffer.size() - tx.high_water);
+    tx.high_water = tx.buffer.size();
+  }
+  if (options_.reliability.flow_control) {
+    trace::histograms().record(trace::HistogramId::kWindowOccupancy,
+                               tx.next_seq - tx.cum_acked);
   }
   transport_->send(self_, to,
-                   ReliableDataMsg{group, origin, payload_id, tx.epoch, seq,
-                                   hops});
+                   ReliableDataMsg{group, payload.origin, payload.payload_id,
+                                   tx.epoch, seq, payload.hops});
   maybe_schedule_probe(group, to, tx);
+}
+
+void GroupCastNode::queue_blocked(GroupId group, GroupState& state,
+                                  overlay::PeerId to, EdgeTx& tx,
+                                  const BufferedPayload& payload) {
+  if (tx.pending.empty()) {
+    if (state.blocked_edges++ == 0) {
+      // First blocked edge in the group: the throttle episode starts now.
+      state.throttled_since = now();
+      signal_upstream(group, state, true);
+    }
+    // Keep an ack clock running even when everything in flight is already
+    // acked (pure peer throttle): the probe's re-announcement solicits the
+    // ack — or the resume — that reopens this window.
+    maybe_schedule_probe(group, to, tx);
+  }
+  tx.pending.push_back(payload);
+  trace::counters().incr(self_, trace::CounterId::kFlowBlocked);
+}
+
+void GroupCastNode::drain_tx(GroupId group, GroupState& state,
+                             overlay::PeerId to, EdgeTx& tx) {
+  if (!options_.reliability.flow_control || tx.pending.empty()) return;
+  bool drained = false;
+  while (!tx.pending.empty() && !tx.peer_throttled &&
+         tx.next_seq - tx.cum_acked < options_.reliability.window) {
+    const BufferedPayload payload = tx.pending.front();
+    tx.pending.pop_front();
+    trace::tracer().emit(
+        now().as_micros(), trace::EventKind::kPayloadSent, self_, to,
+        trace::pack_provenance(payload.origin, payload.payload_id,
+                               payload.hops));
+    transmit_now(group, to, tx, payload);
+    drained = true;
+  }
+  if (drained && tx.pending.empty()) {
+    if (--state.blocked_edges == 0) {
+      trace::histograms().record(
+          trace::HistogramId::kThrottleUs,
+          static_cast<std::uint64_t>(
+              (now() - state.throttled_since).as_micros()));
+      signal_upstream(group, state, false);
+    }
+  }
+}
+
+void GroupCastNode::discard_pending(GroupState& state, EdgeTx& tx) {
+  if (tx.pending.empty()) return;
+  tx.pending.clear();
+  // No resume signal and no throttle histogram sample: the edge is being
+  // torn down mid-episode; the upstream source recovers via its own probe.
+  if (state.blocked_edges > 0) --state.blocked_edges;
+}
+
+void GroupCastNode::signal_upstream(GroupId group, GroupState& state,
+                                    bool throttled) {
+  // The dominant data flow runs root-down, so this node's source is its
+  // tree parent.  The root (or an orphan) has no upstream; its publisher
+  // observes backpressure through the kFlowBlocked counter instead.
+  if (!state.on_tree || state.tree_parent == self_ ||
+      state.tree_parent == overlay::kNoPeer) {
+    return;
+  }
+  if (throttled) {
+    trace::counters().incr(self_, trace::CounterId::kFlowThrottles);
+  }
+  transport_->send(self_, state.tree_parent, FlowControlMsg{group, throttled});
+}
+
+void GroupCastNode::handle_flow_control(const Envelope& envelope,
+                                        const FlowControlMsg& msg) {
+  if (!options_.reliability.enabled || !options_.reliability.flow_control) {
+    return;
+  }
+  const auto git = groups_.find(msg.group);
+  if (git == groups_.end()) return;
+  auto& state = git->second;
+  const auto it = state.tx_edges.find(envelope.from);
+  if (it == state.tx_edges.end()) return;
+  auto& tx = it->second;
+  tx.peer_throttled = msg.throttled;
+  if (msg.throttled) {
+    // While paused, keep the probe alive: its next round doubles as the
+    // resume retry in case the peer's release signal gets lost.
+    maybe_schedule_probe(msg.group, envelope.from, tx);
+  } else {
+    drain_tx(msg.group, state, envelope.from, tx);
+  }
 }
 
 void GroupCastNode::reset_tx_edge(GroupId group, GroupState& state,
                                   overlay::PeerId peer) {
   auto& tx = state.tx_edges[peer];
   transport_->simulator().cancel(tx.probe_timer);
+  discard_pending(state, tx);
   const std::uint32_t epoch = tx.epoch + 1;
+  const std::size_t high_water = tx.high_water;
   tx = EdgeTx{};
   tx.epoch = epoch;
+  tx.high_water = high_water;  // lifetime peak, like the epoch
   transport_->send(self_, peer, SeqSyncMsg{group, epoch, 0, 0});
 }
 
@@ -963,9 +1197,12 @@ void GroupCastNode::drop_edge_state(GroupState& state,
     // receiver still synced to the old epoch 1 would silently swallow
     // the restarted sequence space as duplicates.)
     simulator.cancel(it->second.probe_timer);
+    discard_pending(state, it->second);
     const std::uint32_t epoch = it->second.epoch;
+    const std::size_t high_water = it->second.high_water;
     it->second = EdgeTx{};
     it->second.epoch = epoch;
+    it->second.high_water = high_water;  // lifetime peak, like the epoch
   }
   if (const auto it = state.rx_edges.find(peer);
       it != state.rx_edges.end()) {
@@ -979,8 +1216,7 @@ void GroupCastNode::maybe_schedule_nack(GroupId group, overlay::PeerId peer,
   auto& simulator = transport_->simulator();
   if (simulator.timer_pending(rx.nack_timer)) return;  // one in flight
   rx.nack_timer = simulator.schedule_timer(
-      jittered(options_.reliability.nack_delay,
-               options_.reliability.nack_jitter),
+      jittered(nack_delay_for(rx), options_.reliability.nack_jitter),
       &nack_thunk, this, pack_edge(group, peer));
 }
 
@@ -1044,13 +1280,17 @@ void GroupCastNode::on_nack_timer(GroupId group, overlay::PeerId peer) {
   }
   transport_->send(self_, peer, DataNackMsg{group, rx.epoch, base, mask});
   trace::counters().incr(self_, trace::CounterId::kNacksSent);
+  if (options_.adaptive) {
+    trace::histograms().record(
+        trace::HistogramId::kEstimatedLoss,
+        static_cast<std::uint64_t>(std::llround(rx.loss_ewma * 1000.0)));
+  }
   if (rx.nack_rounds == 0) rx.last_nack_at = now();  // repair clock starts
   ++rx.nack_rounds;
   // Re-arm on the (longer) retry cadence: no second NACK for this gap
   // while the requested retransmission is presumed in flight.
   rx.nack_timer = transport_->simulator().schedule_timer(
-      jittered(options_.reliability.nack_retry_delay,
-               options_.reliability.nack_jitter),
+      jittered(nack_retry_for(rx), options_.reliability.nack_jitter),
       &nack_thunk, this, pack_edge(group, peer));
 }
 
@@ -1062,7 +1302,14 @@ void GroupCastNode::on_probe_timer(GroupId group, overlay::PeerId peer) {
   const auto it = state.tx_edges.find(peer);
   if (it == state.tx_edges.end()) return;
   auto& tx = it->second;
-  if (tx.buffer.empty()) {
+  if (options_.reliability.flow_control && tx.peer_throttled) {
+    // The peer's resume may have been lost (or the peer died throttled):
+    // a full probe interval of silence is permission to retry.  The peer
+    // simply re-throttles if it is still congested.
+    tx.peer_throttled = false;
+    drain_tx(group, state, peer, tx);
+  }
+  if (tx.buffer.empty() && tx.pending.empty()) {
     tx.probe_rounds = 0;  // everything acked: go quiet
     return;
   }
@@ -1076,6 +1323,7 @@ void GroupCastNode::on_probe_timer(GroupId group, overlay::PeerId peer) {
     // Rounds of silence: the receiver is gone (heartbeats prune the tree
     // edge separately); stop holding its unacked tail.
     tx.buffer.clear();
+    discard_pending(state, tx);
     tx.probe_rounds = 0;
     return;
   }
@@ -1143,14 +1391,22 @@ void GroupCastNode::handle_reliable_data(const Envelope& envelope,
         static_cast<std::uint64_t>(trace::DropReason::kDuplicate));
     return;
   }
+  if (options_.adaptive) {
+    // One loss sample per accepted sequenced arrival: in-order is a hit,
+    // a gap means at least one copy ahead of us went missing.
+    ewma_update(rx.loss_ewma, msg.seq == rx.expected ? 0.0 : 1.0);
+  }
   if (msg.seq == rx.expected) {
     if (rx.nack_rounds > 0) {
       // This in-order arrival closes a NACKed gap: record first-NACK to
       // repair time for the self-tuning transport work.
-      trace::histograms().record(
-          trace::HistogramId::kNackRepairUs,
-          static_cast<std::uint64_t>(
-              (now() - rx.last_nack_at).as_micros()));
+      const auto repair_us =
+          static_cast<std::uint64_t>((now() - rx.last_nack_at).as_micros());
+      trace::histograms().record(trace::HistogramId::kNackRepairUs,
+                                 repair_us);
+      if (options_.adaptive) {
+        ewma_update(rx.repair_ewma_us, static_cast<double>(repair_us));
+      }
     }
     ++rx.expected;
     ++rx.delivered_since_ack;
@@ -1179,23 +1435,27 @@ void GroupCastNode::handle_data_nack(const Envelope& envelope,
   while (!tx.buffer.empty() && tx.buffer.front().seq < tx.cum_acked) {
     tx.buffer.pop_front();
   }
-  if (tx.buffer.empty()) return;
-  const std::uint64_t front = tx.buffer.front().seq;
-  for (std::uint64_t i = 0; i < 64; ++i) {
-    if ((msg.missing & (1ull << i)) == 0) continue;
-    const std::uint64_t seq = msg.base_seq + i;
-    if (seq < front || seq >= tx.next_seq) continue;  // fell off / unsent
-    const auto& entry = tx.buffer[static_cast<std::size_t>(seq - front)];
-    trace::tracer().emit(
-        now().as_micros(), trace::EventKind::kPayloadRetransmit, self_,
-        envelope.from,
-        trace::pack_provenance(entry.origin, entry.payload_id, entry.hops));
-    transport_->send(self_, envelope.from,
-                     ReliableDataMsg{msg.group, entry.origin,
-                                     entry.payload_id, tx.epoch, entry.seq,
-                                     entry.hops});
-    trace::counters().incr(self_, trace::CounterId::kRetransmits);
+  if (!tx.buffer.empty()) {
+    const std::uint64_t front = tx.buffer.front().seq;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      if ((msg.missing & (1ull << i)) == 0) continue;
+      const std::uint64_t seq = msg.base_seq + i;
+      if (seq < front || seq >= tx.next_seq) continue;  // fell off / unsent
+      const auto& entry = tx.buffer[static_cast<std::size_t>(seq - front)];
+      trace::tracer().emit(
+          now().as_micros(), trace::EventKind::kPayloadRetransmit, self_,
+          envelope.from,
+          trace::pack_provenance(entry.origin, entry.payload_id, entry.hops));
+      transport_->send(self_, envelope.from,
+                       ReliableDataMsg{msg.group, entry.origin,
+                                       entry.payload_id, tx.epoch, entry.seq,
+                                       entry.hops});
+      trace::counters().incr(self_, trace::CounterId::kRetransmits);
+    }
   }
+  // The advanced cumulative ack may have reopened the window; retransmits
+  // go first so the receiver's gap is filled before new data lands.
+  drain_tx(msg.group, state, envelope.from, tx);
 }
 
 void GroupCastNode::handle_data_ack(const Envelope& envelope,
@@ -1208,6 +1468,7 @@ void GroupCastNode::handle_data_ack(const Envelope& envelope,
   while (!tx.buffer.empty() && tx.buffer.front().seq < tx.cum_acked) {
     tx.buffer.pop_front();
   }
+  drain_tx(msg.group, state, envelope.from, tx);  // ack-clocked advancement
 }
 
 void GroupCastNode::handle_seq_sync(const Envelope& envelope,

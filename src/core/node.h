@@ -68,6 +68,16 @@ struct DataReliabilityOptions {
   /// silent rounds before it gives the receiver up and drops the buffer.
   sim::SimTime probe_delay = sim::SimTime::millis(400);
   std::size_t max_probe_rounds = 6;
+  /// Ack-clocked flow control (docs/ROBUSTNESS.md, "Flow control &
+  /// adaptive detection"): at most `window` unacked sequences in flight
+  /// per directed edge; further sends queue at the sender and drain as
+  /// cumulative acks advance, and a blocked edge signals its data source
+  /// (the tree parent) to pause via FlowControlMsg.  Off by default: the
+  /// legacy fire-into-the-buffer behaviour is then byte-identical.
+  bool flow_control = false;
+  /// Sender window per directed edge, in sequences (>= 1, <= the
+  /// retransmit-buffer cap so windowed data never falls off the buffer).
+  std::size_t window = 32;
 };
 
 struct NodeOptions {
@@ -89,6 +99,13 @@ struct NodeOptions {
   /// Heartbeat intervals without an ack before the parent is declared
   /// dead (the paper's two-miss rule).
   std::size_t missed_heartbeats_to_fail = 2;
+  /// Adaptive failure detection (docs/ROBUSTNESS.md, "Flow control &
+  /// adaptive detection"): derive the heartbeat-miss threshold and the
+  /// NACK cadence from online per-edge loss / repair-time EWMAs instead
+  /// of the fixed constants above.  `missed_heartbeats_to_fail` becomes
+  /// the floor the estimator widens from.  Off by default — detection
+  /// then uses exactly the configured constants, byte-identical.
+  bool adaptive = false;
   /// NACK/retransmit reliability for group data on tree edges.
   DataReliabilityOptions reliability;
 };
@@ -156,6 +173,18 @@ class GroupCastNode {
   /// Payload entries currently held for retransmission on the directed
   /// edge to `peer` (0 when reliability is off or no such edge exists).
   std::size_t send_buffer_depth(GroupId group, overlay::PeerId peer) const;
+  /// Payloads queued behind a closed flow-control window on the directed
+  /// edge to `peer` (always 0 with flow control off).
+  std::size_t pending_depth(GroupId group, overlay::PeerId peer) const;
+  /// Heartbeat intervals without an ack before this node's parent on
+  /// `group` is declared dead right now: the configured constant, or the
+  /// adaptive widening derived from the measured miss rate.
+  std::size_t effective_heartbeat_misses(GroupId group) const;
+  /// The adaptive widening rule (docs/ROBUSTNESS.md): smallest miss count
+  /// k with miss_ewma^k <= the false-positive target, clamped to
+  /// [floor_misses, 12].  Pure; exposed for tests.
+  static std::size_t adaptive_miss_threshold(double miss_ewma,
+                                             std::size_t floor_misses);
   /// Sequence the reliable edge from `peer` expects next (0 when none).
   std::uint64_t expected_seq(GroupId group, overlay::PeerId peer) const;
   /// Estimated resident bytes of this node's protocol state: the object
@@ -189,6 +218,16 @@ class GroupCastNode {
     sim::TimerHandle probe_timer;
     std::size_t probe_rounds = 0;
     std::uint64_t acked_at_last_probe = 0;
+    /// Flow control: payloads waiting for window space (seq assigned at
+    /// drain time, so wire sequences stay contiguous), and whether the
+    /// receiver asked us to pause (its own downstream edge is blocked).
+    std::deque<BufferedPayload> pending;
+    bool peer_throttled = false;
+    /// Lifetime peak of `buffer` on this directed edge; the
+    /// kSendBufferHighWater counter mirrors it via delta increments.
+    /// Survives tombstoning (like `epoch`), so re-incarnations only add
+    /// new peaks beyond the old one.
+    std::size_t high_water = 0;
   };
 
   /// Receiver half of one directed reliable edge.  `synced` flips on the
@@ -208,6 +247,12 @@ class GroupCastNode {
     /// When the current repair round's first NACK went out; feeds the
     /// NACK-to-repair histogram once in-order progress resumes.
     sim::SimTime last_nack_at;
+    /// Adaptive detection (NodeOptions::adaptive): EWMA of the per-arrival
+    /// gap indicator (1 = arrived out of order, 0 = in order) and of the
+    /// measured NACK-to-repair time.  Purely observational when the flag
+    /// is off (never updated, never read).
+    double loss_ewma = 0.0;
+    double repair_ewma_us = 0.0;
   };
 
   struct GroupState {
@@ -242,6 +287,19 @@ class GroupCastNode {
     bool heartbeat_scheduled = false;
     sim::SimTime parent_last_ack;
     std::unordered_map<overlay::PeerId, sim::SimTime> child_last_seen;
+    /// Adaptive detection: EWMA of per-window heartbeat-ack misses toward
+    /// the current parent (sampled each tick a probe was outstanding),
+    /// and the probe bookkeeping that feeds it.  Reset on re-attach.
+    double hb_miss_ewma = 0.0;
+    sim::SimTime last_hb_probe;
+    bool hb_probe_outstanding = false;
+
+    // --- flow control ---
+    /// Outbound edges of this group whose window is currently closed
+    /// (pending queue non-empty); the 0 -> 1 transition throttles the
+    /// upstream source, the return to 0 resumes it.
+    std::size_t blocked_edges = 0;
+    sim::SimTime throttled_since;
 
     // --- reliable data plane (ordered so teardown is deterministic) ---
     std::map<overlay::PeerId, EdgeTx> tx_edges;
@@ -269,6 +327,8 @@ class GroupCastNode {
   void handle_data_nack(const Envelope& envelope, const DataNackMsg& msg);
   void handle_data_ack(const Envelope& envelope, const DataAckMsg& msg);
   void handle_seq_sync(const Envelope& envelope, const SeqSyncMsg& msg);
+  void handle_flow_control(const Envelope& envelope,
+                           const FlowControlMsg& msg);
 
   // --- reliable data plane ---
   /// Accepted payload (any path): dedup by (origin, id), deliver to the
@@ -303,6 +363,34 @@ class GroupCastNode {
   /// sends the cumulative ack when the cadence is due.
   void drain_rx(GroupId group, GroupState& state, overlay::PeerId from,
                 EdgeRx& rx);
+
+  // --- flow control (all no-ops unless reliability.flow_control) ---
+  /// Assigns the next sequence, buffers, and transmits one payload on an
+  /// open edge (the tail half of send_data, shared with drain_tx).
+  void transmit_now(GroupId group, overlay::PeerId to, EdgeTx& tx,
+                    const BufferedPayload& payload);
+  /// Parks a payload behind a closed window; the edge's first parked
+  /// payload may throttle the upstream source.
+  void queue_blocked(GroupId group, GroupState& state, overlay::PeerId to,
+                     EdgeTx& tx, const BufferedPayload& payload);
+  /// Moves parked payloads onto the wire while the window has room; a
+  /// fully drained edge may resume the upstream source.
+  void drain_tx(GroupId group, GroupState& state, overlay::PeerId to,
+                EdgeTx& tx);
+  /// Drops an edge's parked payloads without draining them (edge torn
+  /// down or given up): fixes the blocked-edge accounting silently.
+  void discard_pending(GroupState& state, EdgeTx& tx);
+  /// Sends the throttle (or resume) signal to this node's data source —
+  /// the tree parent — if it has one.
+  void signal_upstream(GroupId group, GroupState& state, bool throttled);
+
+  // --- adaptive failure detection (NodeOptions::adaptive) ---
+  /// EWMA update toward `sample` with the fixed alpha.
+  static void ewma_update(double& estimate, double sample);
+  /// NACK delay / retry cadence for one rx edge: the configured constants,
+  /// shortened (delay) or repair-time-paced (retry) when adaptive.
+  sim::SimTime nack_delay_for(const EdgeRx& rx) const;
+  sim::SimTime nack_retry_for(const EdgeRx& rx) const;
   /// `base` stretched by a uniform factor in [1, 1 + jitter) drawn from
   /// this node's RNG stream (the reliable_exchange jitter idiom).
   sim::SimTime jittered(sim::SimTime base, double jitter);
@@ -374,9 +462,6 @@ class GroupCastNode {
   /// tick so re-enrolment during the tick is safe without allocating).
   std::vector<GroupId> heartbeat_scratch_;
   sim::TimerHandle heartbeat_timer_;
-  /// Deepest retransmit buffer any edge of this node has reached; the
-  /// kSendBufferHighWater counter mirrors it via delta increments.
-  std::size_t send_buffer_high_water_ = 0;
   std::unordered_map<GroupId, GroupState> groups_;
   DataCallback data_callback_;
   SubscribeCallback subscribe_callback_;

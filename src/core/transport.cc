@@ -61,7 +61,8 @@ MessageKind Transport::kind_of(const MessageBody& body) {
       std::holds_alternative<ParentLostMsg>(body) ||
       std::holds_alternative<DataNackMsg>(body) ||
       std::holds_alternative<DataAckMsg>(body) ||
-      std::holds_alternative<SeqSyncMsg>(body)) {
+      std::holds_alternative<SeqSyncMsg>(body) ||
+      std::holds_alternative<FlowControlMsg>(body)) {
     return MessageKind::kMaintenance;
   }
   return MessageKind::kPayload;

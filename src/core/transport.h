@@ -149,11 +149,22 @@ struct SeqSyncMsg {
   std::uint64_t next_seq = 0;
 };
 
+/// Backpressure notice travelling one hop against the data flow (child to
+/// tree parent): the sender's window toward some downstream edge closed
+/// (`throttled`) or fully drained (`!throttled`), so the parent should
+/// pause / resume feeding this node.  Sent only with flow control enabled
+/// (DataReliabilityOptions::flow_control); a lost resume is healed by the
+/// sender's ack-overdue probe, which doubles as a throttle-release retry.
+struct FlowControlMsg {
+  GroupId group = 0;
+  bool throttled = false;
+};
+
 using MessageBody =
     std::variant<AdvertiseMsg, JoinMsg, JoinAckMsg, RippleQueryMsg,
                  RippleHitMsg, DataMsg, LeaveMsg, HeartbeatMsg,
                  HeartbeatAckMsg, ParentLostMsg, ReliableDataMsg,
-                 DataNackMsg, DataAckMsg, SeqSyncMsg>;
+                 DataNackMsg, DataAckMsg, SeqSyncMsg, FlowControlMsg>;
 
 struct Envelope {
   overlay::PeerId from = overlay::kNoPeer;

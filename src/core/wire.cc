@@ -63,6 +63,7 @@ enum class Tag : std::uint8_t {
   kDataNack = 12,
   kDataAck = 13,
   kSeqSync = 14,
+  kFlowControl = 15,
 };
 
 }  // namespace
@@ -141,6 +142,10 @@ std::vector<std::uint8_t> encode_message(const MessageBody& body) {
           w.u32(msg.epoch);
           w.u64(msg.base_seq);
           w.u64(msg.next_seq);
+        } else if constexpr (std::is_same_v<T, FlowControlMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kFlowControl));
+          w.u32(msg.group);
+          w.u8(msg.throttled ? 1 : 0);
         }
       },
       body);
@@ -177,6 +182,8 @@ std::size_t encoded_size(const MessageBody& body) {
           return 1 + 4 + 4 + 8;
         } else if constexpr (std::is_same_v<T, SeqSyncMsg>) {
           return 1 + 4 + 4 + 8 + 8;
+        } else if constexpr (std::is_same_v<T, FlowControlMsg>) {
+          return 1 + 4 + 1;
         } else {
           static_assert(std::is_same_v<T, LeaveMsg>);
           return 1 + 4 + 4;
@@ -296,6 +303,17 @@ MessageBody decode_message(std::span<const std::uint8_t> buffer) {
       msg.epoch = r.u32();
       msg.base_seq = r.u64();
       msg.next_seq = r.u64();
+      body = msg;
+      break;
+    }
+    case Tag::kFlowControl: {
+      FlowControlMsg msg;
+      msg.group = r.u32();
+      // Canonical bool: only 0/1 re-encode byte-identically, so anything
+      // else is a corrupt frame, not a truthy value.
+      const std::uint8_t throttled = r.u8();
+      if (throttled > 1) throw WireError("non-canonical flow-control flag");
+      msg.throttled = throttled == 1;
       body = msg;
       break;
     }

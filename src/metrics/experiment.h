@@ -55,6 +55,22 @@ struct RecoveryOptions {
   /// (core::DataReliabilityOptions, defaults).  Off keeps group data on
   /// the legacy fire-and-forget path, byte-identical to before.
   bool reliable_data = false;
+  /// Sender-side flow control on reliable edges
+  /// (core::DataReliabilityOptions::flow_control): data beyond the window
+  /// parks at the sender and a throttle signal propagates up the tree.
+  /// Requires reliable_data.
+  bool flow_control = false;
+  /// Sender window per directed edge, in sequences (flow_control only).
+  std::size_t flow_window = 32;
+  /// Adaptive failure detection and NACK cadence
+  /// (core::NodeOptions::adaptive): per-edge loss/RTT estimators widen
+  /// heartbeat_misses and shorten NACK delays online.
+  bool adaptive = false;
+  /// Every slow_peer_stride-th peer acks at a slow_ack_factor-times
+  /// coarser cadence (a "slow child"); 0 disables the impairment.
+  std::size_t slow_peer_stride = 0;
+  /// Multiplier applied to the slow peers' reliability.ack_every (>= 1).
+  std::size_t slow_ack_factor = 10;
   /// Extra fault-plan clauses (sim/fault_plan.h grammar; absolute sim
   /// times) merged into the derived churn plan.  Empty = none.
   std::string fault_plan;

@@ -40,6 +40,9 @@ void validate(const RecoveryOptions& rec) {
                  "recovery.epoch_seconds must be > 0");
   GC_REQUIRE(rec.convergence_epochs >= 1);
   GC_REQUIRE(rec.speaking_payloads >= 1);
+  GC_REQUIRE_MSG(!rec.flow_control || rec.reliable_data,
+                 "recovery.flow_control requires reliable_data");
+  GC_REQUIRE(rec.slow_ack_factor >= 1);
 }
 
 }  // namespace
@@ -72,11 +75,21 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
       sim::SimTime::seconds(rec.heartbeat_seconds);
   node_options.missed_heartbeats_to_fail = rec.heartbeat_misses;
   node_options.reliability.enabled = rec.reliable_data;
+  node_options.reliability.flow_control = rec.flow_control;
+  if (rec.flow_control) node_options.reliability.window = rec.flow_window;
+  node_options.adaptive = rec.adaptive;
   std::vector<std::unique_ptr<core::GroupCastNode>> nodes;
   nodes.reserve(config.peer_count);
   for (overlay::PeerId p = 0; p < config.peer_count; ++p) {
+    auto per_node = node_options;
+    if (rec.reliable_data && rec.slow_peer_stride != 0 &&
+        p % rec.slow_peer_stride == 0) {
+      // Slow child impairment: a coarser ack cadence starves the parent's
+      // ack clock, backing data up in its per-edge sender buffer.
+      per_node.reliability.ack_every *= rec.slow_ack_factor;
+    }
     nodes.push_back(std::make_unique<core::GroupCastNode>(
-        p, transport, middleware.graph(), node_options, rng));
+        p, transport, middleware.graph(), per_node, rng));
     nodes.back()->start();
   }
 

@@ -56,6 +56,10 @@ const char* to_string(CounterId id) {
       return "send_buffer_high_water";
     case CounterId::kBytesPerPeer:
       return "bytes_per_peer";
+    case CounterId::kFlowBlocked:
+      return "flow_blocked";
+    case CounterId::kFlowThrottles:
+      return "flow_throttles";
     case CounterId::kCount_:
       break;
   }

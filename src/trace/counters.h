@@ -48,9 +48,12 @@ enum class CounterId : std::uint8_t {
   kNacksSent,           // data-plane retransmit requests this node issued
   kRetransmits,         // buffered payload copies re-sent on a NACK
   kDupsSuppressed,      // sequence-level duplicate payloads discarded
-  kSendBufferHighWater, // deepest per-edge retransmit buffer on this node
+  kSendBufferHighWater, // sum over directed edges of each edge's lifetime
+                        // peak retransmit-buffer depth (delta increments)
   kBytesPerPeer,        // memory-footprint gauge: resident state per peer
                         // (node + edge + timer bytes; set by bench_micro)
+  kFlowBlocked,         // payloads parked behind a closed sender window
+  kFlowThrottles,       // throttle signals sent upstream (edge went blocked)
   kCount_,
 };
 

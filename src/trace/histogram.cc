@@ -12,6 +12,12 @@ const char* to_string(HistogramId id) {
       return "end_to_end_delay_us";
     case HistogramId::kNackRepairUs:
       return "nack_repair_us";
+    case HistogramId::kWindowOccupancy:
+      return "window_occupancy";
+    case HistogramId::kEstimatedLoss:
+      return "estimated_loss";
+    case HistogramId::kThrottleUs:
+      return "throttle_us";
     case HistogramId::kCount_:
       break;
   }

@@ -28,6 +28,9 @@ enum class HistogramId : std::uint8_t {
   kHopCount,          // tree edges traversed by each accepted payload copy
   kEndToEndDelayUs,   // publish-to-deliver delay per probe payload, µs
   kNackRepairUs,      // first NACK to in-order repair per rx-edge gap, µs
+  kWindowOccupancy,   // in-flight seqs per windowed send (flow control on)
+  kEstimatedLoss,     // adaptive per-edge loss estimate, permille (EWMA)
+  kThrottleUs,        // duration of each sender throttle episode, µs
   kCount_,
 };
 

@@ -24,6 +24,7 @@ std::vector<MessageBody> all_message_kinds() {
       DataNackMsg{7, 3, 64, 0x8000000000000001ULL},
       DataAckMsg{7, 3, 65},
       SeqSyncMsg{7, 3, 12, 66},
+      FlowControlMsg{7, true},
   };
 }
 
@@ -89,6 +90,21 @@ TEST(Wire, ReliableDataPlaneFieldsSurviveRoundTrip) {
   EXPECT_EQ(sync.epoch, 5u);
   EXPECT_EQ(sync.base_seq, 90u);
   EXPECT_EQ(sync.next_seq, 102u);
+
+  for (const bool throttled : {false, true}) {
+    const auto fc = std::get<FlowControlMsg>(
+        decode_message(encode_message(FlowControlMsg{9, throttled})));
+    EXPECT_EQ(fc.group, 9u);
+    EXPECT_EQ(fc.throttled, throttled);
+  }
+}
+
+TEST(Wire, RejectsNonCanonicalFlowControlFlag) {
+  // The throttled byte is a canonical bool: 0 or 1 only.  A truthy 0xC8
+  // would decode and re-encode differently, breaking byte-stable replay.
+  auto bytes = encode_message(FlowControlMsg{9, true});
+  bytes.back() = 0xC8;
+  EXPECT_THROW(decode_message(bytes), WireError);
 }
 
 TEST(Wire, RejectsTruncatedBuffers) {
