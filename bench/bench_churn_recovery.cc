@@ -105,6 +105,25 @@ int main(int argc, char** argv) {
     points.push_back(config);
   }
 
+  // Partition-heal cells: a 30-second partition cuts the rendezvous point
+  // and a slice of its subtree off from the rest of the network while a
+  // 3-member replica quorum hands the lease to the majority side; both
+  // sides keep publishing and the heal must merge the divergent epoch
+  // logs (docs/ROBUSTNESS.md, "Rendezvous replication & quorum handoff").
+  // Static labels, same rule as the slow-child cells above.
+  static const Churn kPartition{0.0, 0.0, "30s RP-side partition"};
+  static const Churn kPartitionChurn{0.1, 0.0, "30s partition + 10% crash"};
+  const std::size_t first_partition_cell = cells.size();
+  for (const auto* churn : {&kPartition, &kPartitionChurn}) {
+    cells.push_back(Cell{0.0, churn, /*reliable=*/false});
+    auto config = recovery_point(peers, 0.0, churn->crash, churn->graceful,
+                                 /*reliable_data=*/false);
+    config.recovery.replication = true;
+    config.recovery.replicas = 3;
+    config.recovery.partition_seconds = 30.0;
+    points.push_back(config);
+  }
+
   metrics::GridOptions options;
   options.jobs = tracing.jobs();
   // Seed repetitions: the loss sweep must report seed-to-seed dispersion
@@ -177,5 +196,16 @@ int main(int argc, char** argv) {
               "= mean epochs survivors spent detached; conv = epochs to "
               "full re-convergence; viol = tree-invariant violations at "
               "the end — expect 0)\n");
+  std::printf("\nPartition-heal cells (both sides must keep delivering "
+              "through the cut):\n");
+  for (std::size_t i = first_partition_cell; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("  %-26s majority %5.1f%%  minority %5.1f%%  handoffs "
+                "%.1f  epoch_conflicts %.1f\n",
+                cells[i].churn->label,
+                100.0 * r.partition_majority_delivery,
+                100.0 * r.partition_minority_delivery, r.lease_handoffs,
+                r.epoch_conflicts);
+  }
   return 0;
 }

@@ -200,6 +200,24 @@ void fill_scenario_cell(JsonObject& cell,
           .integer("flow_throttles",
                    r.counters.total(trace::CounterId::kFlowThrottles));
     }
+    if (r.config.recovery.replication) {
+      // Replicated-rendezvous cells only, same byte-identity rule.
+      cell.integer("replicas", r.config.recovery.replicas)
+          .number("lease_seconds", r.config.recovery.lease_seconds)
+          .number("partition_seconds", r.config.recovery.partition_seconds)
+          .number("lease_handoffs", r.lease_handoffs)
+          .number("epoch_conflicts", r.epoch_conflicts)
+          .integer("lease_renewals",
+                   r.counters.total(trace::CounterId::kLeaseRenewals))
+          .integer("backup_attaches",
+                   r.counters.total(trace::CounterId::kBackupAttaches));
+      if (r.config.recovery.partition_seconds > 0.0) {
+        cell.number("partition_majority_delivery",
+                    r.partition_majority_delivery)
+            .number("partition_minority_delivery",
+                    r.partition_minority_delivery);
+      }
+    }
   }
   fill_histogram_fields(cell, r.histograms);
   fill_timeline_field(cell, r.timeline);

@@ -85,6 +85,18 @@ int main(int argc, char** argv) {
   flags.declare("adaptive",
                 "recovery: adaptive failure detection and NACK cadence",
                 "false");
+  flags.declare("replicas",
+                "recovery: rendezvous replica-set size; > 0 enables leased "
+                "leadership and quorum handoff",
+                "0");
+  flags.declare("lease-ms",
+                "recovery: lease renewal interval in milliseconds "
+                "(requires --replicas)",
+                "500");
+  flags.declare("partition",
+                "recovery: cut the rendezvous-side subtree off for this "
+                "many seconds mid-run (requires --replicas)",
+                "0");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
@@ -122,6 +134,13 @@ int main(int argc, char** argv) {
   config.recovery.flow_window =
       static_cast<std::size_t>(flags.get_int("window"));
   config.recovery.adaptive = flags.get_bool("adaptive");
+  const auto replicas =
+      static_cast<std::size_t>(std::max<std::int64_t>(0,
+                                                      flags.get_int("replicas")));
+  config.recovery.replication = replicas > 0;
+  if (replicas > 0) config.recovery.replicas = replicas;
+  config.recovery.lease_seconds = flags.get_double("lease-ms") / 1000.0;
+  config.recovery.partition_seconds = flags.get_double("partition");
   if (!config.recovery.enabled) {
     // Recovery-only flags without --recovery would be silently ignored
     // (the engine pipeline has no loss, churn, or reliable data path);
@@ -133,6 +152,8 @@ int main(int argc, char** argv) {
     if (config.recovery.reliable_data) stray = "--reliable";
     if (config.recovery.flow_control) stray = "--flow-control";
     if (config.recovery.adaptive) stray = "--adaptive";
+    if (config.recovery.replication) stray = "--replicas";
+    if (config.recovery.partition_seconds != 0.0) stray = "--partition";
     if (stray != nullptr) {
       std::fprintf(stderr,
                    "sim_driver: %s only takes effect with --recovery (the "
@@ -145,6 +166,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "sim_driver: --flow-control requires --reliable (the "
                  "window rides on the reliable sequence space)\n");
+    return 2;
+  }
+  if (config.recovery.partition_seconds != 0.0 &&
+      !config.recovery.replication) {
+    std::fprintf(stderr,
+                 "sim_driver: --partition requires --replicas (without a "
+                 "replica set the minority side has no rendezvous to fail "
+                 "over to)\n");
+    return 2;
+  }
+  if (config.recovery.replication && config.recovery.lease_seconds <= 0.0) {
+    std::fprintf(stderr,
+                 "sim_driver: --lease-ms must be positive when --replicas "
+                 "is set\n");
     return 2;
   }
   const auto topologies =
@@ -229,6 +264,16 @@ int main(int argc, char** argv) {
                 100.0 * r.delivery_ratio, 100.0 * r.reattached_fraction,
                 r.mean_orphan_epochs, r.epochs_to_converge,
                 r.invariant_violations);
+    if (config.recovery.replication) {
+      std::printf("  replication: handoffs %.1f, epoch conflicts %.1f\n",
+                  r.lease_handoffs, r.epoch_conflicts);
+      if (config.recovery.partition_seconds > 0.0) {
+        std::printf("  partition: majority delivery %.1f%%, minority "
+                    "delivery %.1f%%\n",
+                    100.0 * r.partition_majority_delivery,
+                    100.0 * r.partition_minority_delivery);
+      }
+    }
   }
   if (!trace_path.empty()) {
     std::printf("  trace: %s (%zu events)\n", trace_path.c_str(),

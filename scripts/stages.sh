@@ -54,14 +54,29 @@ stage_tsan() {
 }
 
 # Fault injection: drive the full recovery sweep (deterministic crashes +
-# loss grid, both data-plane variants, 4 grid workers) under the ASan
-# build from stage_asan.
+# loss grid, both data-plane variants, partition-heal cells, 4 grid
+# workers) under the ASan build from stage_asan, then a pinned
+# partition-heal run: a 30 s RP-side partition with a 3-replica quorum
+# must keep BOTH sides delivering (majority via lease handoff, minority
+# via the caretaker rendezvous) and the heal must merge the divergent
+# epoch logs without conflicts.  The runs are deterministic, so the
+# ratios are pinned exactly.
 stage_fault() {
   local build_dir="${1:-${repo_root}/build-asan}"
-  cmake --build "${build_dir}" -j "${jobs}" --target bench_churn_recovery
+  cmake --build "${build_dir}" -j "${jobs}" \
+    --target bench_churn_recovery sim_driver
   "${build_dir}/bench/bench_churn_recovery" --jobs=4 \
     --json_out="${build_dir}/BENCH_churn_recovery.json" > /dev/null
-  echo "stages.sh: churn-recovery sweep clean under ASan (--jobs=4)"
+  local partition_out
+  partition_out="$("${build_dir}/examples/sim_driver" --peers=300 \
+    --groups=1 --seed=1 --recovery=true --crash=0.1 --replicas=3 \
+    --partition=30)"
+  grep -q "partition: majority delivery 100.0%, minority delivery 100.0%" \
+    <<< "${partition_out}"
+  grep -q "epoch conflicts 0.0" <<< "${partition_out}"
+  grep -q "violations 0" <<< "${partition_out}"
+  echo "stages.sh: churn-recovery sweep + partition-heal sweep clean under" \
+    "ASan (--jobs=4; both partition sides pinned at 100% delivery)"
 }
 
 # Perf smoke: sanitizer trees are useless for timing, so bench_micro gets

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace groupcast::core {
@@ -128,6 +129,82 @@ InvariantReport check_tree_invariants(
                          subscriber, rendezvous));
     }
   }
+  return report;
+}
+
+ReplicationInvariantReport check_replication_invariants(
+    const std::vector<const GroupCastNode*>& nodes, GroupId group,
+    const std::vector<std::vector<overlay::PeerId>>& sides) {
+  ReplicationInvariantReport report;
+  const auto violation = [&report](std::string text) {
+    report.violations.push_back(std::move(text));
+  };
+  const bool healed = sides.empty();
+
+  std::vector<overlay::PeerId> members;
+  for (overlay::PeerId p = 0; p < nodes.size(); ++p) {
+    if (!alive(nodes, p) || !nodes[p]->replication_member(group)) continue;
+    members.push_back(p);
+    report.max_epoch = std::max(report.max_epoch, nodes[p]->lease_epoch(group));
+  }
+
+  // --- at most one leaseholder per partition side -----------------------
+  const auto side_of = [&sides](overlay::PeerId p) -> std::size_t {
+    for (std::size_t s = 0; s < sides.size(); ++s) {
+      if (std::find(sides[s].begin(), sides[s].end(), p) != sides[s].end()) {
+        return s;
+      }
+    }
+    return sides.size();  // not listed: shared bucket
+  };
+  std::vector<overlay::PeerId> holder_of_side(sides.size() + 1,
+                                              overlay::kNoPeer);
+  for (const auto p : members) {
+    if (!nodes[p]->is_leaseholder(group)) continue;
+    ++report.leaseholders;
+    auto& holder = holder_of_side[side_of(p)];
+    if (holder != overlay::kNoPeer) {
+      violation(describe(healed ? "two leaseholders after heal"
+                                : "two leaseholders on one partition side",
+                         holder, p));
+    }
+    holder = p;
+  }
+
+  // --- healed network: one agreed (epoch, leader), identical logs -------
+  if (healed && !members.empty()) {
+    const auto reference = members.front();
+    const auto ref_epoch = nodes[reference]->lease_epoch(group);
+    const auto ref_leader = nodes[reference]->lease_leader(group);
+    const auto ref_log = nodes[reference]->lease_log(group);
+    for (const auto p : members) {
+      if (nodes[p]->lease_epoch(group) != ref_epoch ||
+          nodes[p]->lease_leader(group) != ref_leader) {
+        violation(describe("members disagree on (epoch, leader) after heal",
+                           reference, p));
+      }
+      if (nodes[p]->lease_log(group) != ref_log) {
+        violation(describe("lease logs diverge after heal", reference, p));
+      }
+    }
+  }
+
+  // --- union of logs: every epoch has exactly one leader ----------------
+  std::unordered_map<std::uint32_t, overlay::PeerId> union_log;
+  std::unordered_set<std::uint32_t> conflicted;
+  for (const auto p : members) {
+    for (const auto& record : nodes[p]->lease_log(group)) {
+      const auto [it, inserted] = union_log.emplace(record.epoch,
+                                                    record.leader);
+      if (!inserted && it->second != record.leader &&
+          conflicted.insert(record.epoch).second) {
+        violation(describe("epoch committed under two leaders", it->second,
+                           record.leader));
+      }
+    }
+  }
+  report.union_records = union_log.size();
+  report.conflicting_records = conflicted.size();
   return report;
 }
 

@@ -44,4 +44,33 @@ InvariantReport check_tree_invariants(
     overlay::PeerId rendezvous,
     const std::vector<overlay::PeerId>& expected_subscribers = {});
 
+struct ReplicationInvariantReport {
+  std::vector<std::string> violations;
+  /// Live replication members currently claiming the group lease.
+  std::size_t leaseholders = 0;
+  /// Highest committed epoch among live members.
+  std::uint32_t max_epoch = 0;
+  /// Distinct epochs across the union of live members' lease logs.
+  std::size_t union_records = 0;
+  /// Epochs whose records name different leaders on different members.
+  std::size_t conflicting_records = 0;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// RP-consistency of `group`'s rendezvous replica set
+/// (docs/ROBUSTNESS.md, "Rendezvous replication & quorum handoff").
+///
+/// `sides` partitions the live members for the mid-partition check: at
+/// most one leaseholder may exist *per side* (each inner vector lists the
+/// peers of one side; members absent from every side are grouped
+/// together).  Pass no sides for the healed-network check, which is
+/// stricter: at most one leaseholder overall, every live member on the
+/// same (epoch, leader), identical lease logs, and no epoch claimed by
+/// two leaders anywhere in the union of logs — i.e. the heal merged the
+/// divergent histories without duplicating or losing an epoch.
+ReplicationInvariantReport check_replication_invariants(
+    const std::vector<const GroupCastNode*>& nodes, GroupId group,
+    const std::vector<std::vector<overlay::PeerId>>& sides = {});
+
 }  // namespace groupcast::core

@@ -70,6 +70,24 @@ GroupCastNode::GroupCastNode(overlay::PeerId self, Transport& transport,
           "reliability.window must fit within send_buffer_cap");
     }
   }
+  if (options_.replication.enabled) {
+    GC_REQUIRE_MSG(options_.replication.replicas >= 1,
+                   "replication.replicas must be >= 1");
+    GC_REQUIRE_MSG(options_.replication.lease_interval > sim::SimTime::zero(),
+                   "replication.lease_interval must be positive");
+    GC_REQUIRE_MSG(
+        options_.replication.lease_duration >
+            options_.replication.lease_interval,
+        "replication.lease_duration must exceed the renewal interval");
+    // The quorum-round exchange is constructed only behind the flag: its
+    // construction splits rng_, which would shift every downstream draw of
+    // a replication-off run.  Retries pace at the lease interval and stop
+    // by the lease duration — a round still open then has lost its quorum.
+    RetryPolicy lease_retry;
+    lease_retry.base_timeout = options_.replication.lease_interval;
+    lease_retry.max_timeout = options_.replication.lease_duration;
+    repl_exchange_.emplace(transport.simulator(), self, lease_retry, rng_);
+  }
 }
 
 GroupCastNode::~GroupCastNode() {
@@ -91,9 +109,11 @@ void GroupCastNode::detach(DetachMode mode) {
   GC_REQUIRE_MSG(running_, "node not running");
   transport_->unregister_node(self_, mode);
   exchange_.cancel_all();
+  if (repl_exchange_) repl_exchange_->cancel_all();
   auto& simulator = transport_->simulator();
   for (auto& [group, state] : groups_) {
     state.exchange = ReliableExchange::kNoToken;
+    state.repl.round = ReliableExchange::kNoToken;
     // A departed node's edge timers must not fire into a dead runtime.
     for (auto& [peer, tx] : state.tx_edges) simulator.cancel(tx.probe_timer);
     for (auto& [peer, rx] : state.rx_edges) simulator.cancel(rx.nack_timer);
@@ -105,6 +125,11 @@ void GroupCastNode::detach(DetachMode mode) {
     groups_[group].heartbeat_scheduled = false;
   }
   heartbeat_groups_.clear();
+  transport_->simulator().cancel(repl_timer_);
+  for (const auto group : repl_groups_) {
+    groups_[group].repl.tick_scheduled = false;
+  }
+  repl_groups_.clear();
   running_ = false;
 }
 
@@ -210,6 +235,14 @@ void GroupCastNode::create_group(GroupId group) {
         AdvertiseMsg{group, self_,
                      static_cast<std::uint32_t>(
                          options_.advertisement.ttl - 1)});
+  }
+  // The creator starts as leaseholder of epoch 1 and majority-acks the
+  // group's creation (the epoch-1 advert write) before the lease cycle
+  // takes over renewals.
+  if (ensure_repl_member(group, self_)) {
+    auto& repl = state_of(group).repl;
+    repl.leaseholder = true;
+    start_repl_round(group, /*handoff=*/false, repl.epoch);
   }
 }
 
@@ -361,6 +394,37 @@ std::uint64_t GroupCastNode::expected_seq(GroupId group,
   return it != git->second.rx_edges.end() ? it->second.expected : 0;
 }
 
+bool GroupCastNode::replication_member(GroupId group) const {
+  const auto it = groups_.find(group);
+  return it != groups_.end() && it->second.repl.member;
+}
+
+bool GroupCastNode::is_leaseholder(GroupId group) const {
+  const auto it = groups_.find(group);
+  return it != groups_.end() && it->second.repl.leaseholder;
+}
+
+std::uint32_t GroupCastNode::lease_epoch(GroupId group) const {
+  const auto it = groups_.find(group);
+  return it != groups_.end() ? it->second.repl.epoch : 0;
+}
+
+overlay::PeerId GroupCastNode::lease_leader(GroupId group) const {
+  const auto it = groups_.find(group);
+  return it != groups_.end() ? it->second.repl.leader : overlay::kNoPeer;
+}
+
+std::vector<LeaseRecord> GroupCastNode::lease_log(GroupId group) const {
+  const auto it = groups_.find(group);
+  return it != groups_.end() ? it->second.repl.log
+                             : std::vector<LeaseRecord>{};
+}
+
+overlay::PeerId GroupCastNode::backup_parent(GroupId group) const {
+  const auto it = groups_.find(group);
+  return it != groups_.end() ? it->second.backup_parent : overlay::kNoPeer;
+}
+
 std::size_t GroupCastNode::memory_bytes() const {
   // Node- and map-based containers pay roughly three pointers of
   // book-keeping per entry on mainstream allocators; hash sets amortize
@@ -387,6 +451,9 @@ std::size_t GroupCastNode::memory_bytes() const {
       bytes += kPerEntry + sizeof(overlay::PeerId) + sizeof(EdgeRx);
       bytes += rx.stash.size() * (sizeof(BufferedPayload) + kPerEntry);
     }
+    bytes += state.repl.members.capacity() * sizeof(overlay::PeerId);
+    bytes += state.repl.round_acked.capacity() * sizeof(overlay::PeerId);
+    bytes += state.repl.log.capacity() * sizeof(LeaseRecord);
   }
   return bytes;
 }
@@ -413,7 +480,17 @@ void GroupCastNode::start_ladder(GroupId group) {
                               state.advert_parent != self_ &&
                               state.advert_parent != overlay::kNoPeer &&
                               state.advert_parent != state.avoid;
-  state.rung = advert_rung_ok ? Rung::kAdvertParent : Rung::kRipple;
+  // Rung 0 (replication only): the backup parent precomputed by our old
+  // parent — its own parent, so provably outside our subtree — is tried
+  // before the regular ladder; a live backup re-adopts the orphan within
+  // one round trip.
+  const bool backup_rung_ok =
+      options_.replication.enabled && state.recovering &&
+      state.backup_parent != overlay::kNoPeer &&
+      state.backup_parent != self_ && state.backup_parent != state.avoid;
+  state.rung = backup_rung_ok   ? Rung::kBackup
+               : advert_rung_ok ? Rung::kAdvertParent
+                                : Rung::kRipple;
   run_rung(group);
 }
 
@@ -424,6 +501,15 @@ void GroupCastNode::run_rung(GroupId group) {
     advance_rung(group);
   };
   switch (state.rung) {
+    case Rung::kBackup:
+      state.exchange = exchange_.begin(
+          [this, group](std::size_t) {
+            auto& st = state_of(group);
+            ++st.ladder_attempts;
+            transport_->send(self_, st.backup_parent, JoinMsg{group, self_});
+          },
+          give_up);
+      break;
     case Rung::kAdvertParent:
       state.exchange = exchange_.begin(
           [this, group](std::size_t) {
@@ -471,10 +557,23 @@ void GroupCastNode::run_rung(GroupId group) {
             if (st.rendezvous != self_ && st.rendezvous != st.avoid) {
               targets.push_back(st.rendezvous);
             }
-            for (const auto replica : rendezvous_replicas(
-                     group, st.rendezvous,
-                     transport_->population().size(),
-                     options_.rendezvous_replicas)) {
+            const auto population = transport_->population().size();
+            const std::size_t replica_count =
+                std::min(options_.rendezvous_replicas,
+                         population > 0 ? population - 1 : 0);
+            // With replication on, skip replicas that have departed so the
+            // round-robin lands on a live (possibly acting-root) member;
+            // the filter stays off otherwise to preserve the legacy
+            // target order.
+            LivenessFilter alive;
+            if (options_.replication.enabled) {
+              alive = [this](overlay::PeerId p) {
+                return transport_->is_registered(p);
+              };
+            }
+            for (const auto replica :
+                 rendezvous_replicas(group, st.rendezvous, population,
+                                     replica_count, alive)) {
               if (replica != self_ && replica != st.avoid) {
                 targets.push_back(replica);
               }
@@ -496,6 +595,16 @@ void GroupCastNode::advance_rung(GroupId group) {
     return;
   }
   switch (state.rung) {
+    case Rung::kBackup: {
+      // The backup was dead too: fall through to the regular first rung.
+      const bool advert_rung_ok = state.has_advert &&
+                                  state.advert_parent != self_ &&
+                                  state.advert_parent != overlay::kNoPeer &&
+                                  state.advert_parent != state.avoid;
+      state.rung = advert_rung_ok ? Rung::kAdvertParent : Rung::kRipple;
+      run_rung(group);
+      return;
+    }
     case Rung::kAdvertParent:
       state.rung = Rung::kRipple;
       run_rung(group);
@@ -569,12 +678,20 @@ void GroupCastNode::terminal_failure(GroupId group) {
 }
 
 void GroupCastNode::complete_attach(GroupId group, overlay::PeerId parent,
-                                    std::uint32_t parent_depth) {
+                                    std::uint32_t parent_depth,
+                                    overlay::PeerId backup) {
   auto& state = state_of(group);
   if (state.exchange != ReliableExchange::kNoToken) {
     exchange_.settle(state.exchange);
     state.exchange = ReliableExchange::kNoToken;
   }
+  if (options_.replication.enabled && state.recovering &&
+      state.rung == Rung::kBackup) {
+    trace::counters().incr(self_, trace::CounterId::kBackupAttaches);
+  }
+  state.backup_parent = options_.replication.enabled && backup != self_
+                            ? backup
+                            : overlay::kNoPeer;
   state.on_tree = true;
   state.search_pending = false;
   state.tree_parent = parent;
@@ -607,7 +724,8 @@ void GroupCastNode::complete_attach(GroupId group, overlay::PeerId parent,
   // Children whose joins we accepted before being attached ourselves get
   // their deferred acks now, carrying our freshly-known depth.
   for (const auto child : state.pending_acks) {
-    transport_->send(self_, child, JoinAckMsg{group, state.depth});
+    transport_->send(self_, child,
+                     JoinAckMsg{group, state.depth, offered_backup(state)});
     if (options_.reliability.enabled) {
       // The deferred ack completes the join handshake: give the child a
       // fresh edge incarnation so its expected sequence starts in sync.
@@ -624,7 +742,9 @@ void GroupCastNode::complete_attach(GroupId group, overlay::PeerId parent,
                     child) != state.pending_acks.end()) {
         continue;  // its JoinAck above already carries the depth
       }
-      transport_->send(self_, child, HeartbeatAckMsg{group, state.depth});
+      transport_->send(
+          self_, child,
+          HeartbeatAckMsg{group, state.depth, offered_backup(state)});
     }
   }
   state.pending_acks.clear();
@@ -820,6 +940,16 @@ void GroupCastNode::handle(const Envelope& envelope) {
           handle_seq_sync(envelope, msg);
         } else if constexpr (std::is_same_v<T, FlowControlMsg>) {
           handle_flow_control(envelope, msg);
+        } else if constexpr (std::is_same_v<T, LeaseMsg>) {
+          handle_lease(envelope, msg);
+        } else if constexpr (std::is_same_v<T, LeaseAckMsg>) {
+          handle_lease_ack(envelope, msg);
+        } else if constexpr (std::is_same_v<T, ReplicateMsg>) {
+          handle_replicate(envelope, msg);
+        } else if constexpr (std::is_same_v<T, ReplicateAckMsg>) {
+          handle_replicate_ack(envelope, msg);
+        } else if constexpr (std::is_same_v<T, HandoffMsg>) {
+          handle_handoff(envelope, msg);
         }
       },
       envelope.body);
@@ -863,7 +993,9 @@ void GroupCastNode::handle_join(const Envelope& /*envelope*/,
   }
   state.child_last_seen[msg.child] = now();
   if (state.on_tree) {
-    transport_->send(self_, msg.child, JoinAckMsg{msg.group, state.depth});
+    transport_->send(
+        self_, msg.child,
+        JoinAckMsg{msg.group, state.depth, offered_backup(state)});
     if (options_.reliability.enabled) {
       // The join handshake is where a (re)attaching child re-syncs its
       // expected sequence: a fresh edge incarnation rides right behind
@@ -901,7 +1033,7 @@ void GroupCastNode::handle_join_ack(const Envelope& envelope,
     transport_->send(self_, envelope.from, LeaveMsg{msg.group, self_});
     return;
   }
-  complete_attach(msg.group, envelope.from, msg.depth);
+  complete_attach(msg.group, envelope.from, msg.depth, msg.backup);
 }
 
 void GroupCastNode::handle_ripple_query(const Envelope& envelope,
@@ -1557,7 +1689,8 @@ void GroupCastNode::handle_heartbeat(const Envelope& envelope,
   transport_->send(
       self_, envelope.from,
       HeartbeatAckMsg{msg.group,
-                      state.on_tree ? state.depth : kUnknownDepth});
+                      state.on_tree ? state.depth : kUnknownDepth,
+                      offered_backup(state)});
 }
 
 void GroupCastNode::handle_heartbeat_ack(const Envelope& envelope,
@@ -1566,6 +1699,11 @@ void GroupCastNode::handle_heartbeat_ack(const Envelope& envelope,
   if (!state.on_tree || envelope.from != state.tree_parent) return;
   state.parent_last_ack = now();
   if (msg.depth != kUnknownDepth) state.depth = msg.depth + 1;
+  if (options_.replication.enabled && msg.backup != self_) {
+    // The parent's own parent may have changed since the join: every ack
+    // refreshes the rung-0 backup.
+    state.backup_parent = msg.backup;
+  }
 }
 
 void GroupCastNode::handle_parent_lost(const Envelope& envelope,
@@ -1573,6 +1711,433 @@ void GroupCastNode::handle_parent_lost(const Envelope& envelope,
   auto& state = state_of(msg.group);
   if (!state.on_tree || envelope.from != state.tree_parent) return;
   begin_recovery(msg.group, envelope.from);
+}
+
+// -------------------------------------------- rendezvous replication
+// docs/ROBUSTNESS.md, "Rendezvous replication & quorum handoff".
+
+bool GroupCastNode::ensure_repl_member(GroupId group,
+                                       overlay::PeerId rendezvous) {
+  if (!options_.replication.enabled) return false;
+  if (rendezvous == overlay::kNoPeer) return false;
+  auto& repl = state_of(group).repl;
+  if (repl.member) return repl.origin == rendezvous;
+  const auto population = transport_->population().size();
+  const std::size_t count =
+      std::min(options_.replication.replicas,
+               population > 0 ? population - 1 : 0);
+  // The member set is always derived *unfiltered*: every member — and any
+  // subscriber climbing the rendezvous rung — must name the same peers no
+  // matter how its liveness view has drifted.
+  std::vector<overlay::PeerId> members{rendezvous};
+  for (const auto replica :
+       rendezvous_replicas(group, rendezvous, population, count)) {
+    members.push_back(replica);
+  }
+  if (std::find(members.begin(), members.end(), self_) == members.end()) {
+    return false;
+  }
+  repl.member = true;
+  repl.origin = rendezvous;
+  repl.members = std::move(members);
+  repl.epoch = 1;
+  repl.promised = 1;
+  repl.leader = rendezvous;
+  repl.log.push_back(LeaseRecord{1, rendezvous});
+  repl.last_lease_seen = now();
+  maybe_schedule_repl_tick(group);
+  return true;
+}
+
+overlay::PeerId GroupCastNode::offered_backup(const GroupState& state) const {
+  if (!options_.replication.enabled || !state.on_tree) {
+    return overlay::kNoPeer;
+  }
+  if (state.tree_parent == self_ || state.tree_parent == overlay::kNoPeer) {
+    return overlay::kNoPeer;  // roots have no grandparent to offer
+  }
+  return state.tree_parent;
+}
+
+void GroupCastNode::maybe_schedule_repl_tick(GroupId group) {
+  if (!options_.replication.enabled || !running_) return;
+  auto& repl = state_of(group).repl;
+  if (!repl.member || repl.tick_scheduled) return;
+  repl.tick_scheduled = true;
+  repl_groups_.insert(
+      std::upper_bound(repl_groups_.begin(), repl_groups_.end(), group),
+      group);
+  // Same wheel-timer shape as the heartbeat tick: one shared cancellable
+  // timer per node, groups enrol for the next round.  The cadence is a
+  // fixed lease_interval with no jitter, so renewal traffic is a pure
+  // function of the scenario, not of RNG interleaving.
+  auto& simulator = transport_->simulator();
+  if (!simulator.timer_pending(repl_timer_)) {
+    repl_timer_ = simulator.schedule_timer(
+        options_.replication.lease_interval, &repl_thunk, this);
+  }
+}
+
+void GroupCastNode::repl_thunk(void* context, std::uint64_t) {
+  static_cast<GroupCastNode*>(context)->node_repl_tick();
+}
+
+void GroupCastNode::node_repl_tick() {
+  if (!running_) return;
+  repl_scratch_.clear();
+  repl_scratch_.swap(repl_groups_);
+  if (repl_scratch_.size() > 1) {
+    trace::counters().incr(self_, trace::CounterId::kTimersCoalesced,
+                           repl_scratch_.size() - 1);
+  }
+  for (const auto group : repl_scratch_) {
+    if (!running_) break;
+    repl_tick(group);
+  }
+}
+
+void GroupCastNode::repl_tick(GroupId group) {
+  auto& repl = state_of(group).repl;
+  repl.tick_scheduled = false;
+  if (!running_ || !repl.member) return;
+  if (repl.leaseholder) {
+    if (repl.round == ReliableExchange::kNoToken) {
+      start_repl_round(group, /*handoff=*/false, repl.epoch);
+    }
+  } else if (repl.round == ReliableExchange::kNoToken) {
+    // Takeover: member rank staggers the patience window, so the lowest
+    // surviving rank proposes first and concurrent proposals are the
+    // partition-race exception, not the norm.
+    const auto rank = static_cast<std::int64_t>(
+        std::find(repl.members.begin(), repl.members.end(), self_) -
+        repl.members.begin());
+    const auto patience = options_.replication.lease_duration +
+                          options_.replication.lease_interval * rank;
+    if (now() - repl.last_lease_seen > patience) {
+      start_repl_round(group, /*handoff=*/true,
+                       std::max(repl.epoch, repl.promised) + 1);
+    }
+  }
+  maybe_schedule_repl_tick(group);
+}
+
+void GroupCastNode::start_repl_round(GroupId group, bool handoff,
+                                     std::uint32_t epoch) {
+  auto& repl = state_of(group).repl;
+  GC_REQUIRE(repl.member && repl_exchange_.has_value());
+  repl.round_epoch = epoch;
+  repl.round_is_handoff = handoff;
+  repl.round_started = now();
+  repl.round_acked.clear();
+  if (handoff) {
+    repl.promised = std::max(repl.promised, epoch);
+    repl.promised_to = self_;  // our own proposal holds our promise
+  }
+  repl.round = repl_exchange_->begin(
+      [this, group](std::size_t) {
+        auto& repl = state_of(group).repl;
+        for (const auto member : repl.members) {
+          if (member == self_) continue;
+          if (repl.round_is_handoff) {
+            transport_->send(self_, member,
+                             HandoffMsg{group, repl.round_epoch, self_,
+                                        repl.origin});
+          } else {
+            transport_->send(self_, member,
+                             LeaseMsg{group, repl.round_epoch, self_,
+                                      repl.origin});
+          }
+        }
+      },
+      [this, group] {
+        // Quorum unreachable.  A renewing leaseholder demotes itself to
+        // caretaker: it keeps serving its (minority-side) subtree as tree
+        // root but stops claiming the lease, so the majority side can
+        // elect without a competing claim surviving the heal.  A takeover
+        // candidate simply waits for its next patience window.
+        auto& repl = state_of(group).repl;
+        repl.round = ReliableExchange::kNoToken;
+        if (!repl.round_is_handoff) repl.leaseholder = false;
+      });
+  maybe_commit_round(group);
+}
+
+void GroupCastNode::note_round_ack(GroupId group, overlay::PeerId from,
+                                   std::uint32_t acked_epoch) {
+  auto& repl = state_of(group).repl;
+  if (repl.round == ReliableExchange::kNoToken) return;
+  if (acked_epoch != repl.round_epoch) return;
+  if (std::find(repl.members.begin(), repl.members.end(), from) ==
+      repl.members.end()) {
+    return;
+  }
+  if (std::find(repl.round_acked.begin(), repl.round_acked.end(), from) !=
+      repl.round_acked.end()) {
+    return;  // a retry broadcast re-collected this member
+  }
+  repl.round_acked.push_back(from);
+  maybe_commit_round(group);
+}
+
+void GroupCastNode::maybe_commit_round(GroupId group) {
+  auto& repl = state_of(group).repl;
+  if (repl.round == ReliableExchange::kNoToken) return;
+  const std::size_t majority = repl.members.size() / 2 + 1;
+  if (repl.round_acked.size() + 1 < majority) return;  // +1: our own vote
+  repl_exchange_->settle(repl.round);
+  repl.round = ReliableExchange::kNoToken;
+  if (repl.round_is_handoff) {
+    commit_handoff(group);
+    return;
+  }
+  trace::counters().incr(self_, trace::CounterId::kLeaseRenewals);
+  trace::tracer().emit(now().as_micros(), trace::EventKind::kLeaseRenewed,
+                       self_, trace::kNoNode, repl.round_epoch);
+  repl.last_lease_seen = now();
+}
+
+void GroupCastNode::commit_handoff(GroupId group) {
+  auto& state = state_of(group);
+  auto& repl = state.repl;
+  const auto previous = repl.leader;
+  repl.epoch = repl.round_epoch;
+  repl.promised = std::max(repl.promised, repl.epoch);
+  repl.leader = self_;
+  repl.leaseholder = true;
+  repl.last_lease_seen = now();
+  merge_lease_record(repl, LeaseRecord{repl.epoch, self_});
+  trace::counters().incr(self_, trace::CounterId::kLeaseHandoffs);
+  trace::histograms().record(
+      trace::HistogramId::kHandoffUs,
+      static_cast<std::uint64_t>((now() - repl.round_started).as_micros()));
+  trace::tracer().emit(now().as_micros(), trace::EventKind::kLeaseHandoff,
+                       self_, previous == self_ ? trace::kNoNode : previous,
+                       repl.epoch);
+  // The new leaseholder becomes the group's acting tree root: its side's
+  // orphans re-ladder onto it via the (liveness-filtered) rendezvous rung.
+  root_self(group);
+  // Push the merged log right away so the quorum converges without
+  // waiting for the anti-entropy sweep of the next renewal.
+  for (const auto member : repl.members) {
+    if (member == self_) continue;
+    transport_->send(self_, member,
+                     ReplicateMsg{group, repl.epoch, self_, repl.origin,
+                                  repl.log});
+  }
+}
+
+void GroupCastNode::merge_lease_record(ReplState& repl,
+                                       const LeaseRecord& record) {
+  if (record.epoch == 0 || record.leader == overlay::kNoPeer) return;
+  const auto it = std::lower_bound(
+      repl.log.begin(), repl.log.end(), record,
+      [](const LeaseRecord& a, const LeaseRecord& b) {
+        return a.epoch < b.epoch;
+      });
+  if (it != repl.log.end() && it->epoch == record.epoch) {
+    if (it->leader != record.leader) {
+      // Two leaders for one epoch cannot both have committed under
+      // intersecting majorities; counting (instead of crashing) lets the
+      // invariant checker pin the counter at zero.
+      trace::counters().incr(self_, trace::CounterId::kEpochConflicts);
+    }
+    return;
+  }
+  repl.log.insert(it, record);
+}
+
+void GroupCastNode::adopt_epoch(GroupId group, std::uint32_t epoch,
+                                overlay::PeerId leader) {
+  auto& state = state_of(group);
+  auto& repl = state.repl;
+  if (epoch < repl.epoch) return;
+  if (epoch == repl.epoch) {
+    if (leader == repl.leader) {
+      if (leader != self_) repl.last_lease_seen = now();
+      return;
+    }
+    trace::counters().incr(self_, trace::CounterId::kEpochConflicts);
+    return;
+  }
+  repl.epoch = epoch;
+  repl.promised = std::max(repl.promised, epoch);
+  repl.leader = leader;
+  merge_lease_record(repl, LeaseRecord{epoch, leader});
+  repl.last_lease_seen = now();
+  if (leader == self_) return;
+  repl.leaseholder = false;
+  if (repl.round != ReliableExchange::kNoToken) {
+    repl_exchange_->cancel(repl.round);
+    repl.round = ReliableExchange::kNoToken;
+  }
+  // Heal reconciliation, tree half: a superseded acting root folds its
+  // whole subtree back under the new leader by re-running the ladder
+  // (its depth-0 guard keeps it from attaching below its own
+  // descendants).
+  if (state.on_tree && state.tree_parent == self_) {
+    begin_recovery(group, overlay::kNoPeer);
+  }
+}
+
+void GroupCastNode::maybe_push_log(GroupId group, overlay::PeerId to,
+                                   std::uint32_t peer_head,
+                                   std::uint32_t peer_size) {
+  auto& repl = state_of(group).repl;
+  if (!repl.leaseholder) return;
+  const auto head = repl.log.empty() ? 0u : repl.log.back().epoch;
+  // Push only to members provably *behind* us; a peer reporting a log we
+  // do not dominate converges through its own leader-side push instead
+  // (pushing at it would ping-pong forever).
+  if (peer_head >= head && peer_size >= repl.log.size()) return;
+  transport_->send(self_, to,
+                   ReplicateMsg{group, repl.epoch, repl.leader, repl.origin,
+                                repl.log});
+}
+
+void GroupCastNode::root_self(GroupId group) {
+  auto& state = state_of(group);
+  if (state.on_tree && state.tree_parent == self_) return;
+  if (state.exchange != ReliableExchange::kNoToken) {
+    exchange_.cancel(state.exchange);
+    state.exchange = ReliableExchange::kNoToken;
+  }
+  if (state.on_tree && state.tree_parent != overlay::kNoPeer &&
+      state.tree_parent != self_) {
+    transport_->send(self_, state.tree_parent, LeaveMsg{group, self_});
+    drop_edge_state(state, state.tree_parent);
+  }
+  state.on_tree = true;
+  state.search_pending = false;
+  state.recovering = false;
+  state.tree_parent = self_;
+  state.depth = 0;
+  state.avoid = overlay::kNoPeer;
+  state.attach_depth_limit = kUnknownDepth;
+  state.dissolved_once = false;
+  state.backup_parent = overlay::kNoPeer;
+  // Deferred joiners and retained children learn the new depth root-style.
+  for (const auto child : state.pending_acks) {
+    transport_->send(self_, child,
+                     JoinAckMsg{group, state.depth, offered_backup(state)});
+    if (options_.reliability.enabled) {
+      drop_edge_state(state, child);
+      reset_tx_edge(group, state, child);
+    }
+  }
+  for (const auto child : state.children) {
+    if (std::find(state.pending_acks.begin(), state.pending_acks.end(),
+                  child) != state.pending_acks.end()) {
+      continue;
+    }
+    transport_->send(
+        self_, child,
+        HeartbeatAckMsg{group, state.depth, offered_backup(state)});
+  }
+  state.pending_acks.clear();
+  maybe_schedule_heartbeat(group);
+}
+
+void GroupCastNode::handle_lease(const Envelope& envelope,
+                                 const LeaseMsg& msg) {
+  if (!ensure_repl_member(msg.group, msg.rendezvous)) return;
+  auto& repl = state_of(msg.group).repl;
+  if (msg.epoch < repl.epoch) {
+    // A stale leader surfacing across a healed partition: push our log so
+    // it adopts the newer epoch and steps down.
+    transport_->send(self_, envelope.from,
+                     ReplicateMsg{msg.group, repl.epoch, repl.leader,
+                                  repl.origin, repl.log});
+    return;
+  }
+  adopt_epoch(msg.group, msg.epoch, msg.leader);
+  if (repl.epoch == msg.epoch && repl.leader == msg.leader) {
+    const auto head = repl.log.empty() ? 0u : repl.log.back().epoch;
+    transport_->send(
+        self_, envelope.from,
+        LeaseAckMsg{msg.group, msg.epoch, head,
+                    static_cast<std::uint32_t>(repl.log.size())});
+  }
+}
+
+void GroupCastNode::handle_lease_ack(const Envelope& envelope,
+                                     const LeaseAckMsg& msg) {
+  if (!options_.replication.enabled) return;
+  auto& repl = state_of(msg.group).repl;
+  if (!repl.member) return;
+  note_round_ack(msg.group, envelope.from, msg.epoch);
+  maybe_push_log(msg.group, envelope.from, msg.head_epoch, msg.log_size);
+}
+
+void GroupCastNode::handle_replicate(const Envelope& envelope,
+                                     const ReplicateMsg& msg) {
+  if (!ensure_repl_member(msg.group, msg.rendezvous)) return;
+  auto& repl = state_of(msg.group).repl;
+  if (repl.round != ReliableExchange::kNoToken && repl.round_is_handoff &&
+      msg.epoch == repl.round_epoch && msg.leader == self_) {
+    // A grant for our open takeover proposal, Paxos prepare-style: it
+    // carries the granter's whole log, so by commit time our log holds
+    // every record any majority ever committed — no epoch can be lost to
+    // the heal.
+    for (const auto& record : msg.records) merge_lease_record(repl, record);
+    note_round_ack(msg.group, envelope.from, msg.epoch);
+    return;
+  }
+  // Log push from a (possibly newer) leader: union-merge, adopt, report
+  // back our log summary so the leader can re-push if we stayed behind.
+  // Adoption takes the highest *record* in the push, never the header —
+  // a grant's header names the proposed (uncommitted) epoch, and a
+  // candidate whose round already closed must not mistake a late grant
+  // for a commit of its own failed proposal.
+  LeaseRecord newest{0, overlay::kNoPeer};
+  for (const auto& record : msg.records) {
+    merge_lease_record(repl, record);
+    if (record.epoch > newest.epoch) newest = record;
+  }
+  if (newest.epoch > 0) adopt_epoch(msg.group, newest.epoch, newest.leader);
+  const auto head = repl.log.empty() ? 0u : repl.log.back().epoch;
+  transport_->send(
+      self_, envelope.from,
+      ReplicateAckMsg{msg.group, msg.epoch, head,
+                      static_cast<std::uint32_t>(repl.log.size())});
+}
+
+void GroupCastNode::handle_replicate_ack(const Envelope& envelope,
+                                         const ReplicateAckMsg& msg) {
+  if (!options_.replication.enabled) return;
+  auto& repl = state_of(msg.group).repl;
+  if (!repl.member) return;
+  note_round_ack(msg.group, envelope.from, msg.epoch);
+  maybe_push_log(msg.group, envelope.from, msg.head_epoch, msg.log_size);
+}
+
+void GroupCastNode::handle_handoff(const Envelope& envelope,
+                                   const HandoffMsg& msg) {
+  if (!ensure_repl_member(msg.group, msg.rendezvous)) return;
+  if (msg.candidate != envelope.from) return;  // garbled proposal
+  auto& repl = state_of(msg.group).repl;
+  const bool fresh = msg.epoch > repl.promised && msg.epoch > repl.epoch;
+  const bool retry = msg.epoch == repl.promised && msg.epoch > repl.epoch &&
+                     repl.promised_to == msg.candidate;
+  if (fresh || retry) {
+    repl.promised = msg.epoch;
+    repl.promised_to = msg.candidate;
+    // A higher proposal supersedes our own in-flight one (majorities
+    // would overlap; yielding here is what makes the race converge).
+    if (repl.round != ReliableExchange::kNoToken && repl.round_is_handoff &&
+        repl.round_epoch < msg.epoch) {
+      repl_exchange_->cancel(repl.round);
+      repl.round = ReliableExchange::kNoToken;
+    }
+    transport_->send(self_, envelope.from,
+                     ReplicateMsg{msg.group, msg.epoch, msg.candidate,
+                                  repl.origin, repl.log});
+    return;
+  }
+  // Reject by pushing our committed view: a candidate proposing below an
+  // epoch we promised or committed catches up and re-proposes higher.
+  transport_->send(self_, envelope.from,
+                   ReplicateMsg{msg.group, repl.epoch, repl.leader,
+                                repl.origin, repl.log});
 }
 
 }  // namespace groupcast::core

@@ -80,6 +80,30 @@ struct DataReliabilityOptions {
   std::size_t window = 32;
 };
 
+/// Rendezvous replication with leased leadership (docs/ROBUSTNESS.md,
+/// "Rendezvous replication & quorum handoff").  The rendezvous point and
+/// its `rendezvous_replicas` form a fixed member set holding a replicated
+/// epoch log of leadership records: the leaseholder renews its lease to a
+/// majority over the ReliableExchange retry ladder, a member whose lease
+/// view expires takes over with a monotonically higher epoch once a
+/// majority grants it, and divergent logs reconcile by epoch union on
+/// partition heal.  Also arms rung 0 of the recovery ladder: parents
+/// piggyback their own parent on Join/Heartbeat acks so an orphan can try
+/// its grandparent before the advert-parent/ripple/rendezvous ladder.
+/// Off by default: no timers, no RNG draws, no messages — byte-identical.
+struct ReplicationOptions {
+  bool enabled = false;
+  /// Replica count beside the rendezvous point (member set = 1 + this;
+  /// the default gives a 3-member set with majority 2).
+  std::size_t replicas = 2;
+  /// Leaseholder renewal period; also the stagger unit for takeover
+  /// candidates (member rank * interval) so proposals do not collide.
+  sim::SimTime lease_interval = sim::SimTime::millis(500);
+  /// How long a member tolerates lease silence before proposing a
+  /// takeover.  Must exceed the renewal period by enough retry headroom.
+  sim::SimTime lease_duration = sim::SimTime::seconds(2.0);
+};
+
 struct NodeOptions {
   /// Scheme + fan-out the node uses when forwarding advertisements.
   AdvertisementOptions advertisement;
@@ -108,6 +132,8 @@ struct NodeOptions {
   bool adaptive = false;
   /// NACK/retransmit reliability for group data on tree edges.
   DataReliabilityOptions reliability;
+  /// Rendezvous replication: leased leadership with quorum handoff.
+  ReplicationOptions replication;
 };
 
 class GroupCastNode {
@@ -193,9 +219,29 @@ class GroupCastNode {
   /// a fixed per-entry overhead; feeds the bytes_per_peer gauge.
   std::size_t memory_bytes() const;
 
+  // ------------------------------------------- replication inspection
+  /// True if this node is in the group's replication member set (the
+  /// rendezvous + its deterministic replicas); always false with
+  /// ReplicationOptions off or before the node has heard of the group.
+  bool replication_member(GroupId group) const;
+  /// True while this member holds (believes it holds) the group lease.
+  bool is_leaseholder(GroupId group) const;
+  /// Highest committed leadership epoch this member knows (0 = none).
+  std::uint32_t lease_epoch(GroupId group) const;
+  /// Leader of lease_epoch (kNoPeer when none).
+  overlay::PeerId lease_leader(GroupId group) const;
+  /// Copy of this member's replication log, sorted by epoch.
+  std::vector<LeaseRecord> lease_log(GroupId group) const;
+  /// Rung-0 backup attach target learned from Join/Heartbeat acks
+  /// (kNoPeer when replication is off or none was offered).
+  overlay::PeerId backup_parent(GroupId group) const;
+
  private:
-  /// Ladder rungs, tried in order (skipping inapplicable ones).
-  enum class Rung : std::uint8_t { kAdvertParent, kRipple, kRendezvous };
+  /// Ladder rungs, tried in order (skipping inapplicable ones).  kBackup
+  /// (the precomputed grandparent, ReplicationOptions only) is rung 0 —
+  /// one message instead of a search, targeting sub-heartbeat orphan time.
+  enum class Rung : std::uint8_t { kBackup, kAdvertParent, kRipple,
+                                   kRendezvous };
 
   /// One payload held for retransmission (EdgeTx) or parked ahead of a
   /// gap (EdgeRx).
@@ -255,6 +301,38 @@ class GroupCastNode {
     double repair_ewma_us = 0.0;
   };
 
+  /// Per-member replication state (ReplicationOptions): the fixed member
+  /// set, the committed epoch/leader view, the promise floor for takeover
+  /// proposals, and the epoch log that reconciles on heal.  Inert (all
+  /// defaults, no timers) unless this node is in the member set.
+  struct ReplState {
+    bool member = false;
+    /// The group's original rendezvous point — the seed the member set is
+    /// derived from, carried on every replication message so receivers
+    /// can verify membership statelessly.
+    overlay::PeerId origin = overlay::kNoPeer;
+    /// {origin} + rendezvous_replicas(group, origin, ...), in derivation
+    /// order; a member's takeover stagger rank is its index here.
+    std::vector<overlay::PeerId> members;
+    std::uint32_t epoch = 0;     // highest committed epoch known
+    std::uint32_t promised = 0;  // highest epoch promised to a candidate
+    overlay::PeerId leader = overlay::kNoPeer;
+    bool leaseholder = false;
+    sim::SimTime last_lease_seen;
+    /// Committed leadership records, sorted by epoch (union-merged).
+    std::vector<LeaseRecord> log;
+    /// One in-flight quorum round (renewal, initial write, or handoff).
+    ReliableExchange::Token round = ReliableExchange::kNoToken;
+    std::uint32_t round_epoch = 0;
+    bool round_is_handoff = false;
+    sim::SimTime round_started;
+    std::vector<overlay::PeerId> round_acked;  // unique acking members
+    bool tick_scheduled = false;  // enrolled in the shared lease tick
+    /// Candidate the `promised` epoch was granted to — a lost grant can be
+    /// re-issued to the same candidate on retry, never to a rival.
+    overlay::PeerId promised_to = overlay::kNoPeer;
+  };
+
   struct GroupState {
     overlay::PeerId rendezvous = overlay::kNoPeer;
     overlay::PeerId advert_parent = overlay::kNoPeer;  // self at rendezvous
@@ -304,6 +382,12 @@ class GroupCastNode {
     // --- reliable data plane (ordered so teardown is deterministic) ---
     std::map<overlay::PeerId, EdgeTx> tx_edges;
     std::map<overlay::PeerId, EdgeRx> rx_edges;
+
+    // --- rendezvous replication (ReplicationOptions) ---
+    ReplState repl;
+    /// Rung-0 attach target: this node's grandparent, as last offered on
+    /// a Join/Heartbeat ack (kNoPeer with replication off).
+    overlay::PeerId backup_parent = overlay::kNoPeer;
   };
 
   /// Shared teardown behind stop() / crash().
@@ -329,6 +413,12 @@ class GroupCastNode {
   void handle_seq_sync(const Envelope& envelope, const SeqSyncMsg& msg);
   void handle_flow_control(const Envelope& envelope,
                            const FlowControlMsg& msg);
+  void handle_lease(const Envelope& envelope, const LeaseMsg& msg);
+  void handle_lease_ack(const Envelope& envelope, const LeaseAckMsg& msg);
+  void handle_replicate(const Envelope& envelope, const ReplicateMsg& msg);
+  void handle_replicate_ack(const Envelope& envelope,
+                            const ReplicateAckMsg& msg);
+  void handle_handoff(const Envelope& envelope, const HandoffMsg& msg);
 
   // --- reliable data plane ---
   /// Accepted payload (any path): dedup by (origin, id), deliver to the
@@ -406,9 +496,12 @@ class GroupCastNode {
   /// True if the ladder may attach under `target` at `target_depth`.
   bool attach_allowed(const GroupState& state, overlay::PeerId target,
                       std::uint32_t target_depth) const;
-  /// Successful attach bookkeeping shared by every ack path.
+  /// Successful attach bookkeeping shared by every ack path.  `backup` is
+  /// the grandparent the acking parent offered for rung 0 (kNoPeer when
+  /// replication is off or the parent is the root).
   void complete_attach(GroupId group, overlay::PeerId parent,
-                       std::uint32_t parent_depth);
+                       std::uint32_t parent_depth,
+                       overlay::PeerId backup = overlay::kNoPeer);
 
   // --- heartbeats / failure detection ---
   /// Enrols `group` in the shared per-node heartbeat tick (arming the
@@ -422,6 +515,51 @@ class GroupCastNode {
   void heartbeat_tick(GroupId group);
   /// The parent is gone: become an orphan and re-run the ladder.
   void begin_recovery(GroupId group, overlay::PeerId dead_parent);
+
+  // --- rendezvous replication (all no-ops unless replication.enabled) ---
+  /// Derives the member set for (`group`, `rendezvous`) and, if this node
+  /// belongs to it, initializes its ReplState (baseline epoch-1 record)
+  /// and enrols it in the lease tick.  Returns the member flag.
+  bool ensure_repl_member(GroupId group, overlay::PeerId rendezvous);
+  /// The grandparent this node offers children as a rung-0 backup:
+  /// its own tree parent, or kNoPeer when it is the root / replication
+  /// is off (a root's child has no live grandparent to fall back on).
+  overlay::PeerId offered_backup(const GroupState& state) const;
+  /// Enrols `group` in the shared per-node lease tick (heartbeat-wheel
+  /// pattern: one cancellable timer services every replicated group).
+  void maybe_schedule_repl_tick(GroupId group);
+  void node_repl_tick();
+  static void repl_thunk(void* context, std::uint64_t);
+  void repl_tick(GroupId group);
+  /// Opens a quorum round: a lease renewal / initial-write broadcast, or
+  /// a takeover proposal for `epoch` (round_is_handoff).
+  void start_repl_round(GroupId group, bool handoff, std::uint32_t epoch);
+  /// Records one member's ack for the open round; commits on majority.
+  void note_round_ack(GroupId group, overlay::PeerId from,
+                      std::uint32_t acked_epoch);
+  /// Settles the open round once acks (+ self) reach a majority — also
+  /// called right after opening, which is what lets a degenerate
+  /// one-member set commit on its own vote.
+  void maybe_commit_round(GroupId group);
+  /// Majority granted the takeover: adopt the epoch, become leaseholder
+  /// and acting tree root, append + push the new record.
+  void commit_handoff(GroupId group);
+  /// Inserts one record into the epoch log (union merge); a mismatched
+  /// leader for an existing epoch counts kEpochConflicts and keeps the
+  /// incumbent record.
+  void merge_lease_record(ReplState& repl, const LeaseRecord& record);
+  /// Adopts a higher committed (epoch, leader) view: steps down if this
+  /// node was leaseholder, and rejoins the tree under the new structure
+  /// if it was the acting root (the heal reconciliation step).
+  void adopt_epoch(GroupId group, std::uint32_t epoch,
+                   overlay::PeerId leader);
+  /// Pushes this member's full log to `to` when `head`/`size` show the
+  /// peer has diverged (anti-entropy sweep).
+  void maybe_push_log(GroupId group, overlay::PeerId to,
+                      std::uint32_t peer_head, std::uint32_t peer_size);
+  /// Makes this node the group's acting tree root (leaving any current
+  /// parent, refreshing children) — the tree half of a committed handoff.
+  void root_self(GroupId group);
 
   /// Forwarding subset for an advertisement, per the configured scheme.
   std::vector<overlay::PeerId> select_forward_targets(
@@ -462,6 +600,15 @@ class GroupCastNode {
   /// tick so re-enrolment during the tick is safe without allocating).
   std::vector<GroupId> heartbeat_scratch_;
   sim::TimerHandle heartbeat_timer_;
+  /// Quorum rounds run on their own exchange so the retry cadence can
+  /// follow the lease timing instead of the control-plane policy.
+  /// Constructed only with replication enabled — constructing it splits
+  /// the node's RNG stream, which must not happen when the flag is off.
+  std::optional<ReliableExchange> repl_exchange_;
+  /// Groups enrolled in the shared lease tick (heartbeat-wheel pattern).
+  std::vector<GroupId> repl_groups_;
+  std::vector<GroupId> repl_scratch_;
+  sim::TimerHandle repl_timer_;
   std::unordered_map<GroupId, GroupState> groups_;
   DataCallback data_callback_;
   SubscribeCallback subscribe_callback_;

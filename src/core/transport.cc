@@ -62,7 +62,12 @@ MessageKind Transport::kind_of(const MessageBody& body) {
       std::holds_alternative<DataNackMsg>(body) ||
       std::holds_alternative<DataAckMsg>(body) ||
       std::holds_alternative<SeqSyncMsg>(body) ||
-      std::holds_alternative<FlowControlMsg>(body)) {
+      std::holds_alternative<FlowControlMsg>(body) ||
+      std::holds_alternative<LeaseMsg>(body) ||
+      std::holds_alternative<LeaseAckMsg>(body) ||
+      std::holds_alternative<ReplicateMsg>(body) ||
+      std::holds_alternative<ReplicateAckMsg>(body) ||
+      std::holds_alternative<HandoffMsg>(body)) {
     return MessageKind::kMaintenance;
   }
   return MessageKind::kPayload;

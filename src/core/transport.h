@@ -42,6 +42,12 @@ struct JoinMsg {
 struct JoinAckMsg {
   GroupId group = 0;
   std::uint32_t depth = 0;
+  // The acker's own tree parent (the new child's grandparent), offered as
+  // a precomputed backup attach target for rung 0 of the recovery ladder.
+  // Populated only with ReplicationOptions enabled and deliberately *not*
+  // wire-encoded, so byte accounting and the encoded format are unchanged
+  // (a real deployment would piggyback it on the ack header).
+  overlay::PeerId backup = overlay::kNoPeer;
 };
 
 /// Scoped subscription lookup (ripple search), Section 2.2 step 3.
@@ -92,6 +98,9 @@ struct HeartbeatMsg {
 struct HeartbeatAckMsg {
   GroupId group = 0;
   std::uint32_t depth = 0;
+  // Backup attach target refresh (the parent's own parent); in-memory
+  // only, like JoinAckMsg::backup.
+  overlay::PeerId backup = overlay::kNoPeer;
 };
 
 /// A node dissolving its tree position tells its children to re-attach.
@@ -160,11 +169,81 @@ struct FlowControlMsg {
   bool throttled = false;
 };
 
+// --- rendezvous replication (docs/ROBUSTNESS.md, "Rendezvous replication
+// & quorum handoff") ---
+
+/// One committed leadership record: `leader` held the lease for `epoch`.
+/// The per-group replication log is a set of these, keyed by epoch; logs
+/// merge by epoch union, which is what makes partition heal reconcile
+/// without duplicate or lost epochs.
+struct LeaseRecord {
+  std::uint32_t epoch = 0;
+  overlay::PeerId leader = overlay::kNoPeer;
+
+  friend bool operator==(const LeaseRecord&, const LeaseRecord&) = default;
+};
+
+/// Lease renewal broadcast from the current leaseholder to the other
+/// replica-set members.  `rendezvous` is the group's *original* RP — the
+/// member set is derived from it (`rendezvous_replicas`), so any receiver
+/// can verify its own membership without prior state.
+struct LeaseMsg {
+  GroupId group = 0;
+  std::uint32_t epoch = 0;
+  overlay::PeerId leader = overlay::kNoPeer;
+  overlay::PeerId rendezvous = overlay::kNoPeer;
+};
+
+/// A member's answer to a LeaseMsg or HandoffMsg: it accepts `epoch`.
+/// `head_epoch`/`log_size` summarize the member's replication log so the
+/// leaseholder can push a full ReplicateMsg when the member has diverged
+/// (anti-entropy on heal).
+struct LeaseAckMsg {
+  GroupId group = 0;
+  std::uint32_t epoch = 0;
+  std::uint32_t head_epoch = 0;
+  std::uint32_t log_size = 0;
+};
+
+/// Replicated advert/leadership state push: the sender's full epoch log.
+/// Doubles as the grant reply to a HandoffMsg (then `epoch`/`leader` echo
+/// the proposal and `records` carry the granter's log, so the candidate
+/// learns every record committed under earlier epochs — the Paxos
+/// prepare-phase read).
+struct ReplicateMsg {
+  GroupId group = 0;
+  std::uint32_t epoch = 0;
+  overlay::PeerId leader = overlay::kNoPeer;
+  overlay::PeerId rendezvous = overlay::kNoPeer;
+  std::vector<LeaseRecord> records;
+};
+
+/// Acknowledges a ReplicateMsg push; same log summary as LeaseAckMsg.
+struct ReplicateAckMsg {
+  GroupId group = 0;
+  std::uint32_t epoch = 0;
+  std::uint32_t head_epoch = 0;
+  std::uint32_t log_size = 0;
+};
+
+/// Leadership takeover proposal from `candidate` for (monotonic) `epoch`.
+/// A member grants iff the epoch is above both its committed epoch and
+/// anything it already promised; the candidate commits on a majority of
+/// grants, which is what keeps a minority side from ever handing off.
+struct HandoffMsg {
+  GroupId group = 0;
+  std::uint32_t epoch = 0;
+  overlay::PeerId candidate = overlay::kNoPeer;
+  overlay::PeerId rendezvous = overlay::kNoPeer;
+};
+
 using MessageBody =
     std::variant<AdvertiseMsg, JoinMsg, JoinAckMsg, RippleQueryMsg,
                  RippleHitMsg, DataMsg, LeaveMsg, HeartbeatMsg,
                  HeartbeatAckMsg, ParentLostMsg, ReliableDataMsg,
-                 DataNackMsg, DataAckMsg, SeqSyncMsg, FlowControlMsg>;
+                 DataNackMsg, DataAckMsg, SeqSyncMsg, FlowControlMsg,
+                 LeaseMsg, LeaseAckMsg, ReplicateMsg, ReplicateAckMsg,
+                 HandoffMsg>;
 
 struct Envelope {
   overlay::PeerId from = overlay::kNoPeer;

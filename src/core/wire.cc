@@ -64,7 +64,17 @@ enum class Tag : std::uint8_t {
   kDataAck = 13,
   kSeqSync = 14,
   kFlowControl = 15,
+  kLease = 16,
+  kLeaseAck = 17,
+  kReplicate = 18,
+  kReplicateAck = 19,
+  kHandoff = 20,
 };
+
+// A replication log grows by one record per committed handoff, so any
+// real log is tiny; the decode bound only protects against corrupt or
+// hostile frames claiming absurd lengths.
+constexpr std::uint32_t kMaxLeaseRecords = 1024;
 
 }  // namespace
 
@@ -146,6 +156,41 @@ std::vector<std::uint8_t> encode_message(const MessageBody& body) {
           w.u8(static_cast<std::uint8_t>(Tag::kFlowControl));
           w.u32(msg.group);
           w.u8(msg.throttled ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, LeaseMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kLease));
+          w.u32(msg.group);
+          w.u32(msg.epoch);
+          w.u32(msg.leader);
+          w.u32(msg.rendezvous);
+        } else if constexpr (std::is_same_v<T, LeaseAckMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kLeaseAck));
+          w.u32(msg.group);
+          w.u32(msg.epoch);
+          w.u32(msg.head_epoch);
+          w.u32(msg.log_size);
+        } else if constexpr (std::is_same_v<T, ReplicateMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kReplicate));
+          w.u32(msg.group);
+          w.u32(msg.epoch);
+          w.u32(msg.leader);
+          w.u32(msg.rendezvous);
+          w.u32(static_cast<std::uint32_t>(msg.records.size()));
+          for (const auto& record : msg.records) {
+            w.u32(record.epoch);
+            w.u32(record.leader);
+          }
+        } else if constexpr (std::is_same_v<T, ReplicateAckMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kReplicateAck));
+          w.u32(msg.group);
+          w.u32(msg.epoch);
+          w.u32(msg.head_epoch);
+          w.u32(msg.log_size);
+        } else if constexpr (std::is_same_v<T, HandoffMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kHandoff));
+          w.u32(msg.group);
+          w.u32(msg.epoch);
+          w.u32(msg.candidate);
+          w.u32(msg.rendezvous);
         }
       },
       body);
@@ -184,6 +229,16 @@ std::size_t encoded_size(const MessageBody& body) {
           return 1 + 4 + 4 + 8 + 8;
         } else if constexpr (std::is_same_v<T, FlowControlMsg>) {
           return 1 + 4 + 1;
+        } else if constexpr (std::is_same_v<T, LeaseMsg>) {
+          return 1 + 4 + 4 + 4 + 4;
+        } else if constexpr (std::is_same_v<T, LeaseAckMsg>) {
+          return 1 + 4 + 4 + 4 + 4;
+        } else if constexpr (std::is_same_v<T, ReplicateMsg>) {
+          return 1 + 4 + 4 + 4 + 4 + 4 + msg.records.size() * (4 + 4);
+        } else if constexpr (std::is_same_v<T, ReplicateAckMsg>) {
+          return 1 + 4 + 4 + 4 + 4;
+        } else if constexpr (std::is_same_v<T, HandoffMsg>) {
+          return 1 + 4 + 4 + 4 + 4;
         } else {
           static_assert(std::is_same_v<T, LeaveMsg>);
           return 1 + 4 + 4;
@@ -314,6 +369,60 @@ MessageBody decode_message(std::span<const std::uint8_t> buffer) {
       const std::uint8_t throttled = r.u8();
       if (throttled > 1) throw WireError("non-canonical flow-control flag");
       msg.throttled = throttled == 1;
+      body = msg;
+      break;
+    }
+    case Tag::kLease: {
+      LeaseMsg msg;
+      msg.group = r.u32();
+      msg.epoch = r.u32();
+      msg.leader = r.u32();
+      msg.rendezvous = r.u32();
+      body = msg;
+      break;
+    }
+    case Tag::kLeaseAck: {
+      LeaseAckMsg msg;
+      msg.group = r.u32();
+      msg.epoch = r.u32();
+      msg.head_epoch = r.u32();
+      msg.log_size = r.u32();
+      body = msg;
+      break;
+    }
+    case Tag::kReplicate: {
+      ReplicateMsg msg;
+      msg.group = r.u32();
+      msg.epoch = r.u32();
+      msg.leader = r.u32();
+      msg.rendezvous = r.u32();
+      const std::uint32_t count = r.u32();
+      if (count > kMaxLeaseRecords) throw WireError("oversized lease log");
+      msg.records.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        LeaseRecord record;
+        record.epoch = r.u32();
+        record.leader = r.u32();
+        msg.records.push_back(record);
+      }
+      body = msg;
+      break;
+    }
+    case Tag::kReplicateAck: {
+      ReplicateAckMsg msg;
+      msg.group = r.u32();
+      msg.epoch = r.u32();
+      msg.head_epoch = r.u32();
+      msg.log_size = r.u32();
+      body = msg;
+      break;
+    }
+    case Tag::kHandoff: {
+      HandoffMsg msg;
+      msg.group = r.u32();
+      msg.epoch = r.u32();
+      msg.candidate = r.u32();
+      msg.rendezvous = r.u32();
       body = msg;
       break;
     }

@@ -194,6 +194,10 @@ ScenarioResult reduce_scenario_repetitions(
     total.epochs_to_converge += one.epochs_to_converge / k;
     total.control_overhead += one.control_overhead / k;
     total.invariant_violations += one.invariant_violations / k;
+    total.partition_majority_delivery += one.partition_majority_delivery / k;
+    total.partition_minority_delivery += one.partition_minority_delivery / k;
+    total.lease_handoffs += one.lease_handoffs / k;
+    total.epoch_conflicts += one.epoch_conflicts / k;
     total.avg_tree_depth += one.avg_tree_depth / k;
     total.avg_tree_nodes += one.avg_tree_nodes / k;
     total.repair_edges += one.repair_edges;

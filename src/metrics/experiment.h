@@ -74,6 +74,25 @@ struct RecoveryOptions {
   /// Extra fault-plan clauses (sim/fault_plan.h grammar; absolute sim
   /// times) merged into the derived churn plan.  Empty = none.
   std::string fault_plan;
+  /// Rendezvous replication with leased leadership and quorum handoff
+  /// (core::ReplicationOptions).  Off keeps every message, timer and RNG
+  /// draw byte-identical to before.
+  bool replication = false;
+  /// Replica count beside the rendezvous point (replication only).
+  std::size_t replicas = 2;
+  /// Lease renewal interval, seconds (> 0, replication only); the lease
+  /// duration — takeover patience — is four renewal intervals.
+  double lease_seconds = 0.5;
+  /// Length of the RP-side partition window injected after recovery has
+  /// converged, seconds; 0 disables the partition phase.  Requires
+  /// replication: the phase exists to measure leased failover.
+  double partition_seconds = 0.0;
+  /// Fraction of survivors isolated with the rendezvous point on the
+  /// minority side, (0, 0.5] when partition_seconds > 0.  Every replica
+  /// stays on the majority side so a quorum can elect.
+  double partition_fraction = 0.2;
+  /// Payloads published *per side* during the partition window.
+  std::size_t partition_payloads = 4;
 };
 
 struct ScenarioConfig {
@@ -140,6 +159,15 @@ struct ScenarioResult {
   double epochs_to_converge = 0.0;    // convergence_epochs if never
   double control_overhead = 0.0;      // recovery-window msgs / survivor
   double invariant_violations = 0.0;  // core/invariants.h at the end
+
+  // Partition-heal sweep (recovery.replication + partition_seconds > 0;
+  // all zero otherwise).  Delivery ratios are measured per partition side
+  // during the window: the majority side is served by the elected
+  // leaseholder, the minority side by its caretaker subtree.
+  double partition_majority_delivery = 0.0;
+  double partition_minority_delivery = 0.0;
+  double lease_handoffs = 0.0;        // committed takeovers (counter sum)
+  double epoch_conflicts = 0.0;       // must stay 0: quorum intersection
 
   // Dispersion across the groups of one deployment — populated by
   // run_scenario when groups >= 2 (sample stddev over the per-group

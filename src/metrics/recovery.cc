@@ -12,6 +12,7 @@
 #include "core/invariants.h"
 #include "core/middleware.h"
 #include "core/node.h"
+#include "core/replication.h"
 #include "sim/fault_plan.h"
 #include "sim/recorder.h"
 #include "trace/trace.h"
@@ -43,7 +44,27 @@ void validate(const RecoveryOptions& rec) {
   GC_REQUIRE_MSG(!rec.flow_control || rec.reliable_data,
                  "recovery.flow_control requires reliable_data");
   GC_REQUIRE(rec.slow_ack_factor >= 1);
+  GC_REQUIRE_MSG(rec.partition_seconds >= 0.0,
+                 "recovery.partition_seconds must be >= 0");
+  GC_REQUIRE_MSG(rec.partition_seconds == 0.0 || rec.replication,
+                 "recovery.partition_seconds requires replication");
+  if (rec.replication) {
+    GC_REQUIRE_MSG(rec.replicas >= 1, "recovery.replicas must be >= 1");
+    GC_REQUIRE_MSG(rec.lease_seconds > 0.0,
+                   "recovery.lease_seconds must be > 0");
+  }
+  if (rec.partition_seconds > 0.0) {
+    GC_REQUIRE_MSG(
+        rec.partition_fraction > 0.0 && rec.partition_fraction <= 0.5,
+        "recovery.partition_fraction must be in (0, 0.5]");
+    GC_REQUIRE(rec.partition_payloads >= 1);
+  }
 }
+
+/// Payload-id bases of the per-side partition probes; far above anything
+/// the speaking rounds use, so side counters never alias.
+constexpr std::uint64_t kMinorityProbeBase = 1'000'000;
+constexpr std::uint64_t kMajorityProbeBase = 2'000'000;
 
 }  // namespace
 
@@ -78,6 +99,18 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
   node_options.reliability.flow_control = rec.flow_control;
   if (rec.flow_control) node_options.reliability.window = rec.flow_window;
   node_options.adaptive = rec.adaptive;
+  if (rec.replication) {
+    node_options.replication.enabled = true;
+    node_options.replication.replicas = rec.replicas;
+    node_options.replication.lease_interval =
+        sim::SimTime::seconds(rec.lease_seconds);
+    node_options.replication.lease_duration =
+        sim::SimTime::seconds(rec.lease_seconds * 4.0);
+    // Ladder targeting must round-robin over at least the replica quorum,
+    // or an orphan could never reach the elected leaseholder.
+    node_options.rendezvous_replicas =
+        std::max(node_options.rendezvous_replicas, rec.replicas);
+  }
   std::vector<std::unique_ptr<core::GroupCastNode>> nodes;
   nodes.reserve(config.peer_count);
   for (overlay::PeerId p = 0; p < config.peer_count; ++p) {
@@ -268,6 +301,175 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
                           messages_before_recovery) /
       static_cast<double>(std::max<std::size_t>(1, survivors.size()));
 
+  std::vector<const core::GroupCastNode*> views;
+  views.reserve(nodes.size());
+  for (const auto& node : nodes) views.push_back(node.get());
+
+  // --- phase 3b: RP-side partition window and heal ----------------------
+  // The rendezvous point plus a slice of its own subtree are cut off from
+  // the rest of the network (every replica stays on the majority side, so
+  // the quorum can elect).  Both sides publish mid-window; delivery is
+  // counted per side, and the heal must merge the divergent lease logs
+  // with neither duplicate nor lost epochs.
+  if (rec.replication && rec.partition_seconds > 0.0) {
+    const auto replica_set = core::rendezvous_replicas(
+        kGroup, rendezvous, config.peer_count,
+        std::min(rec.replicas, config.peer_count - 1));
+    const std::unordered_set<overlay::PeerId> replica_members(
+        replica_set.begin(), replica_set.end());
+    const std::unordered_set<overlay::PeerId> survivor_set(survivors.begin(),
+                                                           survivors.end());
+    // The minority side is a connected subtree: BFS from the rendezvous
+    // root, parents before children, until the target share of surviving
+    // subscribers is isolated.  Replicas are never enqueued — they (and
+    // everything below them) belong to the majority.
+    const std::size_t n_minority = std::max<std::size_t>(
+        1, static_cast<std::size_t>(rec.partition_fraction *
+                                    static_cast<double>(survivors.size())));
+    std::unordered_set<overlay::PeerId> minority_set{rendezvous};
+    std::vector<overlay::PeerId> frontier{rendezvous};
+    std::size_t minority_subscribers = 0;
+    for (std::size_t i = 0;
+         i < frontier.size() && minority_subscribers < n_minority; ++i) {
+      for (const auto child : nodes[frontier[i]]->tree_children(kGroup)) {
+        if (minority_subscribers >= n_minority) break;
+        if (child >= nodes.size() || !nodes[child]->running()) continue;
+        if (replica_members.count(child)) continue;
+        if (!minority_set.insert(child).second) continue;
+        frontier.push_back(child);
+        if (survivor_set.count(child)) ++minority_subscribers;
+      }
+    }
+    std::vector<overlay::PeerId> minority(minority_set.begin(),
+                                          minority_set.end());
+    std::sort(minority.begin(), minority.end());
+    std::vector<overlay::PeerId> majority;
+    for (overlay::PeerId p = 0; p < config.peer_count; ++p) {
+      if (!minority_set.count(p)) majority.push_back(p);
+    }
+    // Sides cover every peer: traffic touching a peer listed on neither
+    // side would pass the filter and tunnel across the cut.
+    sim::FaultPlan partition_plan;
+    partition_plan.partitions.push_back(sim::PartitionWindow{
+        clock, clock + sim::SimTime::seconds(rec.partition_seconds),
+        std::vector<sim::FaultNodeId>(minority.begin(), minority.end()),
+        std::vector<sim::FaultNodeId>(majority.begin(), majority.end())});
+    {
+      // Scoped: constructing the injector replaces the churn injector as
+      // the transport's fault filter; it is restored below.
+      core::FaultInjector partition_injector(std::move(partition_plan),
+                                             transport);
+      // Probe late in the window: the majority side's cut subtree heads
+      // walk the full recovery ladder (each partitioned rung candidate
+      // burns a whole retry ladder) before they reach the elected
+      // replica, so the delivery probe measures the *steady* partitioned
+      // state, not the failover transient.
+      advance(sim::SimTime::seconds(rec.partition_seconds * 0.8));
+
+      // The majority must have elected by now, and each side may hold at
+      // most one leaseholder.
+      const auto mid = core::check_replication_invariants(
+          views, kGroup, {minority, majority});
+      result.invariant_violations +=
+          static_cast<double>(mid.violations.size());
+
+      overlay::PeerId majority_leader = overlay::kNoPeer;
+      for (const auto r : replica_set) {
+        if (nodes[r]->running() && nodes[r]->is_leaseholder(kGroup)) {
+          majority_leader = r;
+          break;
+        }
+      }
+      std::size_t minority_deliveries = 0;
+      std::size_t majority_deliveries = 0;
+      for (const auto s : survivors) {
+        const bool minority_side = minority_set.count(s) != 0;
+        nodes[s]->on_data([&minority_deliveries, &majority_deliveries,
+                           minority_side](core::GroupId, std::uint64_t id,
+                                          overlay::PeerId) {
+          if (id >= kMinorityProbeBase && id < kMajorityProbeBase) {
+            if (minority_side) ++minority_deliveries;
+          } else if (id >= kMajorityProbeBase) {
+            if (!minority_side) ++majority_deliveries;
+          }
+        });
+      }
+      if (nodes[rendezvous]->running() &&
+          nodes[rendezvous]->on_tree(kGroup)) {
+        for (std::uint64_t i = 0; i < rec.partition_payloads; ++i) {
+          nodes[rendezvous]->publish(kGroup, kMinorityProbeBase + i);
+        }
+      }
+      if (majority_leader != overlay::kNoPeer &&
+          nodes[majority_leader]->on_tree(kGroup)) {
+        for (std::uint64_t i = 0; i < rec.partition_payloads; ++i) {
+          nodes[majority_leader]->publish(kGroup, kMajorityProbeBase + i);
+        }
+      }
+      advance(sim::SimTime::seconds(rec.partition_seconds * 0.2));
+      for (const auto s : survivors) nodes[s]->on_data(nullptr);
+
+      std::size_t minority_probe_nodes = 0;
+      std::size_t majority_probe_nodes = 0;
+      for (const auto s : survivors) {
+        if (minority_set.count(s)) {
+          ++minority_probe_nodes;
+        } else if (s != majority_leader) {
+          ++majority_probe_nodes;
+        }
+      }
+      result.partition_minority_delivery =
+          minority_probe_nodes == 0
+              ? 1.0
+              : static_cast<double>(minority_deliveries) /
+                    static_cast<double>(minority_probe_nodes *
+                                        rec.partition_payloads);
+      result.partition_majority_delivery =
+          majority_probe_nodes == 0
+              ? 1.0
+              : static_cast<double>(majority_deliveries) /
+                    static_cast<double>(majority_probe_nodes *
+                                        rec.partition_payloads);
+    }
+    transport.set_fault_filter(&injector);  // restore the churn plan
+
+    // Heal: members reconcile their epoch logs and the deposed caretaker
+    // folds its subtree back under the elected leader.
+    auto healed = core::check_replication_invariants(views, kGroup);
+    for (std::size_t e = 0;
+         e < rec.convergence_epochs &&
+         (!healed.ok() || !nodes[rendezvous]->on_tree(kGroup));
+         ++e) {
+      advance(epoch);
+      healed = core::check_replication_invariants(views, kGroup);
+    }
+    result.invariant_violations +=
+        static_cast<double>(healed.violations.size());
+    result.lease_handoffs =
+        healed.union_records > 0
+            ? static_cast<double>(healed.union_records - 1)
+            : 0.0;
+    result.epoch_conflicts =
+        static_cast<double>(healed.conflicting_records);
+  }
+
+  // After a lease handoff the tree re-roots at the acting leaseholder, so
+  // the delivery probe and reachability checks anchor there, not at the
+  // original rendezvous point.
+  const auto acting_root = [&]() -> overlay::PeerId {
+    if (!rec.replication) return rendezvous;
+    if (nodes[rendezvous]->running() &&
+        nodes[rendezvous]->is_leaseholder(kGroup)) {
+      return rendezvous;
+    }
+    for (const auto r : core::rendezvous_replicas(
+             kGroup, rendezvous, config.peer_count,
+             std::min(rec.replicas, config.peer_count - 1))) {
+      if (nodes[r]->running() && nodes[r]->is_leaseholder(kGroup)) return r;
+    }
+    return rendezvous;
+  };
+
   // --- phase 4: delivery-ratio probe ------------------------------------
   std::size_t deliveries = 0;
   const sim::SimTime published_at = simulator.now();
@@ -281,9 +483,13 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
               (simulator.now() - published_at).as_micros()));
     });
   }
+  const overlay::PeerId speaker =
+      nodes[rendezvous]->running() && nodes[rendezvous]->on_tree(kGroup)
+          ? rendezvous
+          : acting_root();
   for (std::uint64_t payload = 1; payload <= rec.speaking_payloads;
        ++payload) {
-    nodes[rendezvous]->publish(kGroup, payload);
+    nodes[speaker]->publish(kGroup, payload);
   }
   advance(epoch);
   const std::size_t expected = survivors.size() * rec.speaking_payloads;
@@ -298,17 +504,14 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
   // parent relay in turn), so give the structure the same convergence
   // budget before the final verdict instead of judging a mid-cascade
   // snapshot.
-  std::vector<const core::GroupCastNode*> views;
-  views.reserve(nodes.size());
-  for (const auto& node : nodes) views.push_back(node.get());
   auto report =
-      core::check_tree_invariants(views, kGroup, rendezvous, survivors);
+      core::check_tree_invariants(views, kGroup, acting_root(), survivors);
   for (std::size_t e = 0; e < rec.convergence_epochs && !report.ok(); ++e) {
     advance(epoch);
     report =
-        core::check_tree_invariants(views, kGroup, rendezvous, survivors);
+        core::check_tree_invariants(views, kGroup, acting_root(), survivors);
   }
-  result.invariant_violations =
+  result.invariant_violations +=
       static_cast<double>(report.violations.size());
   result.avg_tree_nodes = static_cast<double>(report.tree_nodes);
 

@@ -60,6 +60,14 @@ const char* to_string(CounterId id) {
       return "flow_blocked";
     case CounterId::kFlowThrottles:
       return "flow_throttles";
+    case CounterId::kLeaseRenewals:
+      return "lease_renewals";
+    case CounterId::kLeaseHandoffs:
+      return "lease_handoffs";
+    case CounterId::kEpochConflicts:
+      return "epoch_conflicts";
+    case CounterId::kBackupAttaches:
+      return "backup_attaches";
     case CounterId::kCount_:
       break;
   }

@@ -54,6 +54,10 @@ enum class CounterId : std::uint8_t {
                         // (node + edge + timer bytes; set by bench_micro)
   kFlowBlocked,         // payloads parked behind a closed sender window
   kFlowThrottles,       // throttle signals sent upstream (edge went blocked)
+  kLeaseRenewals,       // lease renewals the leaseholder committed (majority)
+  kLeaseHandoffs,       // leadership takeovers committed by this node
+  kEpochConflicts,      // lease records merged with mismatched leaders
+  kBackupAttaches,      // orphans reattached via the rung-0 backup parent
   kCount_,
 };
 

@@ -86,6 +86,12 @@ enum class EventKind : std::uint8_t {
   /// CounterId, or kCounterIds + a HistogramId for that histogram's
   /// sample count) had cumulative total `value`.
   kTimelineFrame,
+  /// Leaseholder `node` committed a lease renewal for its rendezvous
+  /// replica set; `value` = the renewed epoch.
+  kLeaseRenewed,
+  /// `node` took the group lease over from `peer` (the previous leader,
+  /// kNoNode when unknown); `value` = the new epoch.
+  kLeaseHandoff,
   kCount_,
 };
 

@@ -18,6 +18,8 @@ const char* to_string(HistogramId id) {
       return "estimated_loss";
     case HistogramId::kThrottleUs:
       return "throttle_us";
+    case HistogramId::kHandoffUs:
+      return "handoff_us";
     case HistogramId::kCount_:
       break;
   }

@@ -31,6 +31,7 @@ enum class HistogramId : std::uint8_t {
   kWindowOccupancy,   // in-flight seqs per windowed send (flow control on)
   kEstimatedLoss,     // adaptive per-edge loss estimate, permille (EWMA)
   kThrottleUs,        // duration of each sender throttle episode, µs
+  kHandoffUs,         // lease-expiry detection to committed takeover, µs
   kCount_,
 };
 

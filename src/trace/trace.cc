@@ -48,6 +48,10 @@ const char* to_string(EventKind kind) {
       return "histogram_bin";
     case EventKind::kTimelineFrame:
       return "timeline_frame";
+    case EventKind::kLeaseRenewed:
+      return "lease_renewed";
+    case EventKind::kLeaseHandoff:
+      return "lease_handoff";
     case EventKind::kCount_:
       break;
   }

@@ -111,6 +111,83 @@ TEST(Recovery, ReliableDataPlaneRecoversLossyDelivery) {
   EXPECT_LT(on.delivery_ratio_stddev, 0.05);
 }
 
+metrics::ScenarioConfig partition_point() {
+  metrics::ScenarioConfig point;
+  point.peer_count = 300;
+  point.groups = 1;
+  point.seed = 1;
+  point.recovery.enabled = true;
+  point.recovery.crash_fraction = 0.1;
+  point.recovery.replication = true;
+  point.recovery.replicas = 3;
+  point.recovery.partition_seconds = 30.0;
+  return point;
+}
+
+// The partition-heal acceptance bar: a 30 s partition that isolates the
+// rendezvous point with a minority of subscribers.  The majority side
+// must elect a replica via quorum handoff and keep delivering; the
+// minority side keeps its caretaker subtree.  The heal must merge the
+// divergent epoch logs with no conflicting records and a coherent tree.
+// The run is deterministic, so both sides are pinned at full delivery.
+TEST(Recovery, PartitionServesBothSidesAndHealsCleanly) {
+  const auto result = metrics::run_scenario(partition_point());
+  EXPECT_DOUBLE_EQ(result.partition_majority_delivery, 1.0);
+  EXPECT_DOUBLE_EQ(result.partition_minority_delivery, 1.0);
+  EXPECT_GE(result.lease_handoffs, 1.0);  // the majority actually elected
+  EXPECT_DOUBLE_EQ(result.epoch_conflicts, 0.0);
+  EXPECT_DOUBLE_EQ(result.invariant_violations, 0.0);
+  EXPECT_DOUBLE_EQ(result.reattached_fraction, 1.0);
+}
+
+// The determinism contract extends to the partition-heal sweep: the new
+// per-side ratios and lease accounting must be byte-identical whatever
+// GridOptions::jobs is.
+TEST(Recovery, PartitionGridIdenticalAcrossJobCounts) {
+  const std::vector<metrics::ScenarioConfig> points{partition_point()};
+  metrics::GridOptions sequential;
+  sequential.jobs = 1;
+  sequential.repetitions = 2;
+  sequential.counters = true;
+  metrics::GridOptions parallel = sequential;
+  parallel.jobs = 4;
+
+  const auto a = metrics::run_scenario_grid(points, sequential);
+  const auto b = metrics::run_scenario_grid(points, parallel);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+
+  EXPECT_EQ(a[0].partition_majority_delivery, b[0].partition_majority_delivery);
+  EXPECT_EQ(a[0].partition_minority_delivery, b[0].partition_minority_delivery);
+  EXPECT_EQ(a[0].lease_handoffs, b[0].lease_handoffs);
+  EXPECT_EQ(a[0].epoch_conflicts, b[0].epoch_conflicts);
+  EXPECT_EQ(a[0].delivery_ratio, b[0].delivery_ratio);
+  EXPECT_EQ(a[0].invariant_violations, b[0].invariant_violations);
+  EXPECT_EQ(a[0].counters.totals, b[0].counters.totals);
+  EXPECT_EQ(a[0].counters.per_node, b[0].counters.per_node);
+  // The leased-leadership machinery actually ran.
+  EXPECT_GT(a[0].counters.total(trace::CounterId::kLeaseRenewals), 0u);
+  EXPECT_GT(a[0].counters.total(trace::CounterId::kLeaseHandoffs), 0u);
+}
+
+// Backup-parent failover is rung 0 of the recovery ladder when
+// replication is on: under crash churn at least some orphans must
+// re-attach through their pre-arranged backup instead of the slower
+// advert-parent / rendezvous / ripple rungs.
+TEST(Recovery, BackupParentRungFiresUnderChurn) {
+  auto point = hostile_point();
+  point.recovery.replication = true;
+  metrics::GridOptions options;
+  options.jobs = 1;
+  options.counters = true;
+  const std::vector<metrics::ScenarioConfig> points{point};
+  const auto results = metrics::run_scenario_grid(points, options);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].counters.total(trace::CounterId::kBackupAttaches), 0u);
+  EXPECT_DOUBLE_EQ(results[0].reattached_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(results[0].invariant_violations, 0.0);
+}
+
 // Deployment driving one subscriber through a total outage of the control
 // plane: a burst-loss window with probability 1 swallows the JOIN and its
 // ack, exactly the dropped-JoinAck scenario that used to strand the

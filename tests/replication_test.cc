@@ -188,5 +188,85 @@ TEST(Replication, RejectsRootFailure) {
   EXPECT_THROW(replicated.failover(f.group.tree.root()), PreconditionError);
 }
 
+TEST(Replication, CascadingFailuresKeepTreeConsistent) {
+  // Fail relays one after another, always picking the busiest surviving
+  // relay — including backups that just absorbed an orphaned subtree.
+  // Every intermediate tree must stay structurally consistent, and no
+  // failed peer may linger on it.
+  ReplicationFixture f(47);
+  ReplicatedTree replicated(f.middleware.population(), f.middleware.graph(),
+                            f.group.advert, f.group.tree);
+  std::vector<PeerId> failed;
+  for (int wave = 0; wave < 5; ++wave) {
+    PeerId victim = overlay::kNoPeer;
+    std::size_t most = 0;
+    for (const auto node : f.group.tree.nodes()) {
+      if (node == f.group.tree.root()) continue;
+      if (f.group.tree.children(node).size() >= most) {
+        most = f.group.tree.children(node).size();
+        victim = node;
+      }
+    }
+    if (victim == overlay::kNoPeer) break;
+    const auto report = replicated.failover(victim);
+    failed.push_back(victim);
+    ASSERT_TRUE(f.group.tree.is_consistent()) << "after wave " << wave;
+    for (const auto gone : failed) {
+      EXPECT_FALSE(f.group.tree.contains(gone));
+    }
+    EXPECT_EQ(report.recovered_subscribers + report.lost_subscribers,
+              report.orphaned_subscribers);
+  }
+  EXPECT_EQ(failed.size(), 5u);
+}
+
+// ---------------------------------------------------- replica-set hashing
+
+TEST(Replication, ReplicaSetIsDeterministicAndDistinct) {
+  for (const std::uint32_t group : {1u, 7u, 999u}) {
+    for (const std::size_t population :
+         {std::size_t{16}, std::size_t{300}, std::size_t{4096}}) {
+      const PeerId primary = group % population;
+      const auto a = rendezvous_replicas(group, primary, population, 3);
+      const auto b = rendezvous_replicas(group, primary, population, 3);
+      EXPECT_EQ(a, b);  // same inputs, same set — on every node
+      ASSERT_EQ(a.size(), 3u);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NE(a[i], primary);
+        EXPECT_LT(a[i], population);
+        for (std::size_t j = i + 1; j < a.size(); ++j) {
+          EXPECT_NE(a[i], a[j]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Replication, ReplicaSetVariesByGroup) {
+  // Different groups must not pile their replicas onto the same peers.
+  const auto a = rendezvous_replicas(1, 0, 1000, 3);
+  const auto b = rendezvous_replicas(2, 0, 1000, 3);
+  EXPECT_NE(a, b);
+}
+
+TEST(Replication, ReplicaSetSkipsDepartedPeersUnderLivenessFilter) {
+  const auto unfiltered = rendezvous_replicas(7, 0, 300, 3);
+  const PeerId dead = unfiltered.front();
+  const auto filtered = rendezvous_replicas(
+      7, 0, 300, 3, [dead](PeerId p) { return p != dead; });
+  ASSERT_EQ(filtered.size(), 3u);
+  for (const auto p : filtered) EXPECT_NE(p, dead);
+  // Survivors keep their agreed order; only the departed peer is
+  // replaced (by the next peer along the same probe sequence).
+  EXPECT_EQ(filtered[0], unfiltered[1]);
+  EXPECT_EQ(filtered[1], unfiltered[2]);
+}
+
+TEST(Replication, ReplicaSetValidatesCount) {
+  EXPECT_THROW(rendezvous_replicas(7, 0, 4, 4), PreconditionError);
+  EXPECT_THROW(rendezvous_replicas(7, 0, 0, 0), PreconditionError);
+  EXPECT_TRUE(rendezvous_replicas(7, 0, 1, 0).empty());
+}
+
 }  // namespace
 }  // namespace groupcast::core

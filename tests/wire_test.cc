@@ -25,6 +25,11 @@ std::vector<MessageBody> all_message_kinds() {
       DataAckMsg{7, 3, 65},
       SeqSyncMsg{7, 3, 12, 66},
       FlowControlMsg{7, true},
+      LeaseMsg{7, 4, 6006, 1001},
+      LeaseAckMsg{7, 4, 4, 3},
+      ReplicateMsg{7, 4, 6006, 1001, {{1, 1001}, {2, 6006}, {4, 6006}}},
+      ReplicateAckMsg{7, 4, 4, 3},
+      HandoffMsg{7, 5, 7007, 1001},
   };
 }
 
@@ -97,6 +102,47 @@ TEST(Wire, ReliableDataPlaneFieldsSurviveRoundTrip) {
     EXPECT_EQ(fc.group, 9u);
     EXPECT_EQ(fc.throttled, throttled);
   }
+}
+
+TEST(Wire, ReplicationFieldsSurviveRoundTrip) {
+  const auto lease = std::get<LeaseMsg>(
+      decode_message(encode_message(LeaseMsg{9, 4, 77, 12})));
+  EXPECT_EQ(lease.group, 9u);
+  EXPECT_EQ(lease.epoch, 4u);
+  EXPECT_EQ(lease.leader, 77u);
+  EXPECT_EQ(lease.rendezvous, 12u);
+
+  const auto ack = std::get<LeaseAckMsg>(
+      decode_message(encode_message(LeaseAckMsg{9, 4, 6, 5})));
+  EXPECT_EQ(ack.epoch, 4u);
+  EXPECT_EQ(ack.head_epoch, 6u);
+  EXPECT_EQ(ack.log_size, 5u);
+
+  const auto push = std::get<ReplicateMsg>(decode_message(encode_message(
+      ReplicateMsg{9, 4, 77, 12, {{1, 12}, {3, 88}, {4, 77}}})));
+  EXPECT_EQ(push.leader, 77u);
+  ASSERT_EQ(push.records.size(), 3u);
+  EXPECT_EQ(push.records[1], (LeaseRecord{3, 88}));
+
+  const auto empty_push = std::get<ReplicateMsg>(
+      decode_message(encode_message(ReplicateMsg{9, 1, 12, 12, {}})));
+  EXPECT_TRUE(empty_push.records.empty());
+
+  const auto handoff = std::get<HandoffMsg>(
+      decode_message(encode_message(HandoffMsg{9, 5, 88, 12})));
+  EXPECT_EQ(handoff.epoch, 5u);
+  EXPECT_EQ(handoff.candidate, 88u);
+  EXPECT_EQ(handoff.rendezvous, 12u);
+}
+
+TEST(Wire, RejectsOversizedLeaseLog) {
+  // The record-count bound caps what a decoder will allocate; an epoch
+  // log can only grow by one record per committed handoff, so any count
+  // beyond the bound is a garbled or hostile frame.
+  ReplicateMsg msg{9, 1, 12, 12, {}};
+  msg.records.resize(1025, LeaseRecord{1, 12});
+  auto bytes = encode_message(msg);
+  EXPECT_THROW(decode_message(bytes), WireError);
 }
 
 TEST(Wire, RejectsNonCanonicalFlowControlFlag) {
