@@ -48,6 +48,7 @@ metrics::ScenarioConfig recovery_point(std::size_t peers, double loss,
 
 int main(int argc, char** argv) {
   const trace::CliTracing tracing(argc, argv);
+  const std::size_t shards = tracing.shards();
   const double scale = metrics::bench_scale();
   // Scale ladder (ROADMAP: "GROUPCAST_BENCH_SCALE=4 recovery runs at 8k+
   // peers"): 400 -> 800 -> 8192 peers.
@@ -124,6 +125,8 @@ int main(int argc, char** argv) {
     points.push_back(config);
   }
 
+  for (auto& point : points) point.shards = shards;
+
   metrics::GridOptions options;
   options.jobs = tracing.jobs();
   // Seed repetitions: the loss sweep must report seed-to-seed dispersion
@@ -135,7 +138,10 @@ int main(int argc, char** argv) {
   // per-epoch timeline in each JSON cell); merged order-independently,
   // so the report stays byte-identical at every --jobs count.
   options.histograms = true;
-  options.timeline = true;
+  // The per-epoch timeline snapshots global counters from an event handler,
+  // which has no safe home on a sharded run (docs/PERFORMANCE.md, "Sharded
+  // execution"); sharded reports omit the timeline field instead.
+  options.timeline = shards == 1;
   const auto start = std::chrono::steady_clock::now();
   const auto results = metrics::run_scenario_grid(points, options);
   const double wall_seconds =
@@ -157,6 +163,31 @@ int main(int argc, char** argv) {
         .integer("jobs", options.jobs)
         .integer("repetitions", options.repetitions)
         .integer("peers", peers);
+    if (shards > 1) {
+      // Sharded-kernel runs only: absent fields keep --shards=1 reports
+      // byte-identical to pre-shard builds.  Imbalance is max/min of the
+      // element-wise per-shard event totals across every grid cell.
+      std::vector<std::uint64_t> per_shard(shards, 0);
+      for (const auto& r : results) {
+        for (std::size_t s = 0;
+             s < std::min(per_shard.size(), r.events_per_shard.size()); ++s) {
+          per_shard[s] += r.events_per_shard[s];
+        }
+      }
+      const auto [min_it, max_it] =
+          std::minmax_element(per_shard.begin(), per_shard.end());
+      report.root()
+          .integer("shards", shards)
+          .number("events_per_second_per_shard",
+                  wall_seconds > 0.0
+                      ? static_cast<double>(events) / wall_seconds /
+                            static_cast<double>(shards)
+                      : 0.0)
+          .number("shard_imbalance",
+                  *min_it > 0 ? static_cast<double>(*max_it) /
+                                    static_cast<double>(*min_it)
+                              : 0.0);
+    }
     for (std::size_t i = 0; i < results.size(); ++i) {
       auto& cell = report.add_cell();
       cell.text("churn", cells[i].churn->label);

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -20,6 +21,7 @@
 #include "core/wire.h"
 #include "net/routing.h"
 #include "net/topology.h"
+#include "sim/shard_set.h"
 #include "sim/simulator.h"
 #include "trace/cli.h"
 #include "trace/counters.h"
@@ -183,6 +185,74 @@ ProbeStats probe_event_loop(std::size_t count) {
   return stats;
 }
 
+// Sharded flavour of the probe, active behind --shards=N (N >= 2): the
+// same deterministic workload split round-robin across the shard wheels
+// of a ShardSet with no cross-shard traffic, so the number isolates the
+// kernel's barrier + per-wheel drain cost from Transport merge costs.
+struct ShardedProbeStats {
+  std::size_t fired = 0;
+  double seconds = 0.0;
+  double events_per_second = 0.0;
+  double events_per_second_per_shard = 0.0;
+  double imbalance = 0.0;  // max/min events per shard (1.0 = even)
+};
+
+/// No cross-shard traffic: the probe measures the bare kernel.
+class NullShardClient : public groupcast::sim::ShardSet::Client {
+ public:
+  void merge_inbound(std::size_t) override {}
+  std::int64_t next_arrival_us(std::size_t) override { return -1; }
+  std::size_t deliver_arrivals_at(std::size_t, std::int64_t) override {
+    return 0;
+  }
+};
+
+ShardedProbeStats probe_sharded_event_loop(std::size_t shards,
+                                           std::size_t count) {
+  util::Rng rng(99);
+  sim::ShardSet set(shards, /*lookahead_us=*/1000);
+  NullShardClient client;
+  set.set_client(&client);
+  std::atomic<std::uint64_t> consumed{0};  // timers fire on worker threads
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto when = sim::SimTime::micros(
+        static_cast<std::int64_t>(rng.uniform_index(1000000)));
+    auto& wheel = set.shard(i % shards);
+    if ((i & 1) == 0) {
+      const auto handle = wheel.schedule_timer_at(
+          when,
+          [](void* context, std::uint64_t arg) {
+            static_cast<std::atomic<std::uint64_t>*>(context)->fetch_add(
+                arg, std::memory_order_relaxed);
+          },
+          &consumed, i);
+      if ((i & 15) == 0) wheel.cancel(handle);
+    } else {
+      wheel.schedule_at(when, [] {});
+    }
+  }
+  set.run_until(sim::SimTime::seconds(2));
+  ShardedProbeStats stats;
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  stats.fired = set.events_fired();
+  stats.events_per_second =
+      stats.seconds > 0.0 ? static_cast<double>(stats.fired) / stats.seconds
+                          : 0.0;
+  stats.events_per_second_per_shard =
+      stats.events_per_second / static_cast<double>(shards);
+  const auto per_shard = set.events_per_shard();
+  const auto [min_it, max_it] =
+      std::minmax_element(per_shard.begin(), per_shard.end());
+  stats.imbalance = *min_it > 0 ? static_cast<double>(*max_it) /
+                                      static_cast<double>(*min_it)
+                                : 0.0;
+  benchmark::DoNotOptimize(consumed);
+  return stats;
+}
+
 // Memory-footprint gauge (kBytesPerPeer): builds a small deterministic
 // node-runtime deployment (overlay + transport + one established group
 // with active subscribers), lets it settle, then sums the self-reported
@@ -196,7 +266,7 @@ struct FootprintStats {
   std::size_t node_bytes = 0;       // sum of GroupCastNode::memory_bytes()
   std::size_t transport_bytes = 0;  // handler/generation/in-flight slots
   std::size_t timer_bytes = 0;      // simulator wheel + overflow capacity
-  std::size_t graph_bytes = 0;      // overlay adjacency (2 ends per edge)
+  std::size_t graph_bytes = 0;      // overlay adjacency arena + spans
   std::size_t bytes_per_peer = 0;   // total / peers
 };
 
@@ -242,8 +312,7 @@ FootprintStats probe_memory_footprint() {
   for (const auto& node : nodes) stats.node_bytes += node->memory_bytes();
   stats.transport_bytes = transport.memory_bytes();
   stats.timer_bytes = simulator.memory_bytes();
-  stats.graph_bytes =
-      middleware.graph().edge_count() * 2 * sizeof(overlay::PeerId);
+  stats.graph_bytes = middleware.graph().memory_bytes();
   const std::size_t total = stats.node_bytes + stats.transport_bytes +
                             stats.timer_bytes + stats.graph_bytes;
   stats.bytes_per_peer = total / stats.peers;
@@ -254,7 +323,7 @@ FootprintStats probe_memory_footprint() {
   return stats;
 }
 
-void write_micro_json(const std::string& path) {
+void write_micro_json(const std::string& path, std::size_t shards) {
   bench::JsonReport report("micro");
   const auto start = std::chrono::steady_clock::now();
   probe_event_loop(100000);  // warm-up: slab growth, first-touch faults
@@ -275,6 +344,25 @@ void write_micro_json(const std::string& path) {
         .number("wall_clock_seconds", stats.seconds)
         .number("events_per_second", stats.events_per_second);
   }
+  ShardedProbeStats sharded;
+  if (shards > 1) {
+    // Sharded-kernel runs only: absent cells/fields keep --shards=1
+    // reports byte-identical to pre-shard builds.
+    auto stats = probe_sharded_event_loop(shards, 2000000);
+    const auto again = probe_sharded_event_loop(shards, 2000000);
+    if (again.events_per_second > stats.events_per_second) stats = again;
+    sharded = stats;
+    report.add_cell()
+        .text("probe", "sharded_event_loop")
+        .integer("shards", shards)
+        .integer("scheduled", 2000000)
+        .integer("events_fired", sharded.fired)
+        .number("wall_clock_seconds", sharded.seconds)
+        .number("events_per_second", sharded.events_per_second)
+        .number("events_per_second_per_shard",
+                sharded.events_per_second_per_shard)
+        .number("shard_imbalance", sharded.imbalance);
+  }
   const auto footprint = probe_memory_footprint();
   report.add_cell()
       .text("probe", "memory_footprint")
@@ -294,23 +382,32 @@ void write_micro_json(const std::string& path) {
       .integer("events_fired", events)
       .number("events_per_second", best_rate)
       .integer("bytes_per_peer", footprint.bytes_per_peer);
+  if (shards > 1) {
+    report.root()
+        .integer("shards", shards)
+        .number("events_per_second_per_shard",
+                sharded.events_per_second_per_shard)
+        .number("shard_imbalance", sharded.imbalance);
+  }
   report.write_file(path);
 }
 
 }  // namespace
 
 // Custom main: google-benchmark rejects flags it does not know, so
-// --trace_out=<path> and --json_out=<path> are peeled off argv before
-// Initialize sees them.
+// --trace_out=<path>, --json_out=<path> and --shards=<n> are peeled off
+// argv before Initialize sees them.
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string json_path;
+  std::size_t shards = 1;
   std::vector<char*> passthrough;
   passthrough.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     constexpr const char* kTracePrefix = "--trace_out=";
     constexpr const char* kJsonPrefix = "--json_out=";
+    constexpr const char* kShardsPrefix = "--shards=";
     if (arg.rfind(kTracePrefix, 0) == 0) {
       trace_path = arg.substr(std::string(kTracePrefix).size());
       continue;
@@ -319,7 +416,25 @@ int main(int argc, char** argv) {
       json_path = arg.substr(std::string(kJsonPrefix).size());
       continue;
     }
+    if (arg.rfind(kShardsPrefix, 0) == 0) {
+      shards = static_cast<std::size_t>(std::strtoull(
+          arg.c_str() + std::string(kShardsPrefix).size(), nullptr, 10));
+      if (shards == 0) {
+        std::fprintf(stderr, "%s: --shards must be >= 1\n", argv[0]);
+        return 2;
+      }
+      continue;
+    }
     passthrough.push_back(argv[i]);
+  }
+  // Same thread-confinement rule as the other binaries: a sharded run has
+  // no single totally-ordered event stream for the JSONL sink to record.
+  if (!trace_path.empty() && shards != 1) {
+    std::fprintf(stderr,
+                 "%s: --trace_out requires --shards=1 (a sharded run has no "
+                 "single totally-ordered event stream to trace).\n",
+                 argv[0]);
+    return 2;
   }
   const groupcast::trace::CliTracing tracing(trace_path);
 
@@ -331,6 +446,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!json_path.empty()) write_micro_json(json_path);
+  if (!json_path.empty()) write_micro_json(json_path, shards);
   return 0;
 }

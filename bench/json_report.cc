@@ -1,5 +1,6 @@
 #include "json_report.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <utility>
@@ -218,6 +219,24 @@ void fill_scenario_cell(JsonObject& cell,
                     r.partition_minority_delivery);
       }
     }
+  }
+  if (r.config.shards > 1 && !r.events_per_shard.empty()) {
+    // Sharded-kernel cells only (absent fields keep --shards=1 reports
+    // byte-identical to pre-shard builds).  The imbalance ratio is
+    // max/min events per shard — 1.0 is a perfectly even split.
+    std::uint64_t min_events = r.events_per_shard.front();
+    std::uint64_t max_events = r.events_per_shard.front();
+    for (const auto events : r.events_per_shard) {
+      min_events = std::min(min_events, events);
+      max_events = std::max(max_events, events);
+    }
+    cell.integer("shards", r.config.shards)
+        .integer("events_per_shard_min", min_events)
+        .integer("events_per_shard_max", max_events)
+        .number("shard_imbalance",
+                min_events > 0 ? static_cast<double>(max_events) /
+                                     static_cast<double>(min_events)
+                               : 0.0);
   }
   fill_histogram_fields(cell, r.histograms);
   fill_timeline_field(cell, r.timeline);

@@ -97,6 +97,11 @@ int main(int argc, char** argv) {
                 "recovery: cut the rendezvous-side subtree off for this "
                 "many seconds mid-run (requires --replicas)",
                 "0");
+  flags.declare("shards",
+                "recovery: worker shards for the event kernel (1 = the "
+                "classic single wheel; >= 2 runs router-sharded, "
+                "byte-identical at every shard count >= 2)",
+                "1");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
@@ -182,12 +187,38 @@ int main(int argc, char** argv) {
                  "is set\n");
     return 2;
   }
+  const std::int64_t shards_raw = flags.get_int("shards");
+  if (shards_raw < 1 ||
+      static_cast<std::size_t>(shards_raw) > config.peer_count) {
+    std::fprintf(stderr,
+                 "sim_driver: --shards must be between 1 and --peers "
+                 "(got %lld for %zu peers)\n",
+                 static_cast<long long>(shards_raw), config.peer_count);
+    return 2;
+  }
+  config.shards = static_cast<std::size_t>(shards_raw);
+  if (config.shards > 1 && !config.recovery.enabled) {
+    std::fprintf(stderr,
+                 "sim_driver: --shards only takes effect with --recovery "
+                 "(the engine pipeline runs on the single wheel)\n");
+    return 2;
+  }
   const auto topologies =
       static_cast<std::size_t>(flags.get_int("topologies"));
   const auto jobs = static_cast<std::size_t>(
       std::max<std::int64_t>(0, flags.get_int("jobs")));
 
   const std::string trace_path = flags.get_string("trace_out");
+  if (!trace_path.empty() && config.shards > 1) {
+    // A JSONL trace is one thread's totally-ordered event stream; a
+    // sharded run fires events on several workers at once and has no
+    // such stream to record.  Refuse loudly (mirrors the --jobs rule).
+    std::fprintf(stderr,
+                 "sim_driver: --trace_out requires --shards=1 (a sharded "
+                 "run has no single totally-ordered event stream to "
+                 "trace)\n");
+    return 2;
+  }
   if (!trace_path.empty() && jobs != 1) {
     // A JSONL trace records one run's event stream through the calling
     // thread's sink; worker-pool repetitions run against isolated

@@ -5,11 +5,19 @@
 # Usage:
 #   cmake -DBASELINE=bench/baselines/micro_baseline.json \
 #         -DCURRENT=build-perf/BENCH_micro.json \
-#         -DMAX_REGRESSION_PERCENT=25 -P scripts/perf_gate.cmake
+#         -DMAX_REGRESSION_PERCENT=25 \
+#         [-DMEMORY_BASELINE=bench/baselines/memory_baseline.json \
+#          -DMAX_MEMORY_REGRESSION_PERCENT=10] \
+#         -P scripts/perf_gate.cmake
 #
 # Both files are bench_micro --json_out output; the gated number is the
 # root "events_per_second" (best-of-sizes, see docs/PERFORMANCE.md).
 # Comparison is integer events/sec — plenty of resolution at 10^6/s.
+#
+# With MEMORY_BASELINE set, the root "bytes_per_peer" gauge is gated too.
+# Unlike throughput it is fully deterministic (capacity-based accounting
+# at a fixed seed), so the allowed drift only covers intentional container
+# tuning, not machine noise — keep it tight.
 cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
 
 foreach(var BASELINE CURRENT MAX_REGRESSION_PERCENT)
@@ -48,3 +56,32 @@ endif()
 message(STATUS
   "perf_gate: ${current_int} events/s vs baseline ${baseline_int} "
   "(floor ${floor_rate}) - ok")
+
+if(DEFINED MEMORY_BASELINE)
+  if(NOT DEFINED MAX_MEMORY_REGRESSION_PERCENT)
+    message(FATAL_ERROR
+      "perf_gate: MEMORY_BASELINE requires -DMAX_MEMORY_REGRESSION_PERCENT=...")
+  endif()
+  file(READ "${MEMORY_BASELINE}" memory_json)
+  string(JSON baseline_bytes GET "${memory_json}" bytes_per_peer)
+  string(JSON current_bytes GET "${current_json}" bytes_per_peer)
+  if(NOT baseline_bytes MATCHES "^[0-9]+$" OR NOT current_bytes MATCHES "^[0-9]+$")
+    message(FATAL_ERROR
+      "perf_gate: non-numeric bytes_per_peer "
+      "(baseline '${baseline_bytes}', current '${current_bytes}')")
+  endif()
+  math(EXPR ceiling_bytes
+    "(${baseline_bytes} * (100 + ${MAX_MEMORY_REGRESSION_PERCENT})) / 100")
+  if(current_bytes GREATER ceiling_bytes)
+    message(FATAL_ERROR
+      "perf_gate: per-peer memory regressed more than "
+      "${MAX_MEMORY_REGRESSION_PERCENT}%: ${current_bytes} bytes/peer vs "
+      "baseline ${baseline_bytes} (ceiling ${ceiling_bytes}).  If the new "
+      "state is intentional, re-baseline "
+      "bench/baselines/memory_baseline.json and explain the growth in the "
+      "commit.")
+  endif()
+  message(STATUS
+    "perf_gate: ${current_bytes} bytes/peer vs baseline ${baseline_bytes} "
+    "(ceiling ${ceiling_bytes}) - ok")
+endif()

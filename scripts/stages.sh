@@ -8,6 +8,9 @@
 #   scripts/stages.sh tsan  [build-dir]   # TSan build + parallel-runner tests
 #   scripts/stages.sh fault [build-dir]   # churn-recovery sweep under ASan
 #   scripts/stages.sh perf  [build-dir]   # Release perf smoke vs baseline
+#   scripts/stages.sh scale [build-dir]   # Release 100k-peer churn cell,
+#                                         # sharded, byte-compared across
+#                                         # shard counts
 #   scripts/stages.sh trace [build-dir]   # observability smoke: capture a
 #                                         # recovery trace, run every
 #                                         # trace_report mode
@@ -49,7 +52,7 @@ stage_tsan() {
     -DCMAKE_CXX_FLAGS=-Werror
   cmake --build "${build_dir}" -j "${jobs}" --target groupcast_tests
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
-    -R 'Experiment|ExperimentGrid|Counter|Tracer|Trace|Recovery|FaultPlan|FaultInjector|ReliableExchange|DataPlane|Histogram|FlightRecorder|GridDeterminism|Provenance'
+    -R 'Experiment|ExperimentGrid|Counter|Tracer|Trace|Recovery|FaultPlan|FaultInjector|ReliableExchange|DataPlane|Histogram|FlightRecorder|GridDeterminism|Provenance|ShardSet|ShardDeterminism'
   echo "stages.sh: parallel-runner tests clean under TSan"
 }
 
@@ -96,10 +99,35 @@ stage_perf() {
     --json_out="${perf_json}" > /dev/null
   cmake -DBASELINE="${repo_root}/bench/baselines/micro_baseline.json" \
     -DCURRENT="${perf_json}" -DMAX_REGRESSION_PERCENT=25 \
+    -DMEMORY_BASELINE="${repo_root}/bench/baselines/memory_baseline.json" \
+    -DMAX_MEMORY_REGRESSION_PERCENT=10 \
     -P "${repo_root}/scripts/perf_gate.cmake"
   "${build_dir}/bench/bench_churn_recovery" --jobs=4 \
     --json_out="${build_dir}/BENCH_churn_recovery.json" > /dev/null
   echo "stages.sh: perf smoke within budget (bench_micro events/sec)"
+}
+
+# Scale smoke: the sharded event kernel at six figures of peers.  One
+# 100k-peer churn cell through the recovery harness at --shards=2 and
+# --shards=4; the runs must finish (that alone was out of reach for the
+# single wheel's per-peer footprint before the memory diet) and their
+# stdout must be byte-identical — the summary deliberately omits the
+# shard count, so a straight diff proves the determinism contract at
+# scale (docs/PERFORMANCE.md, "Sharded execution & memory budget").
+stage_scale() {
+  local build_dir="${1:-${repo_root}/build-perf}"
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" -j "${jobs}" --target sim_driver
+  local out2="${build_dir}/scale_smoke_shards2.txt"
+  local out4="${build_dir}/scale_smoke_shards4.txt"
+  "${build_dir}/examples/sim_driver" --peers=100000 --groups=1 --seed=1 \
+    --recovery=true --crash=0.15 --shards=2 > "${out2}"
+  "${build_dir}/examples/sim_driver" --peers=100000 --groups=1 --seed=1 \
+    --recovery=true --crash=0.15 --shards=4 > "${out4}"
+  diff "${out2}" "${out4}"
+  grep -q "violations 0" "${out2}"
+  echo "stages.sh: 100k-peer scale smoke clean (shards 2 and 4" \
+    "byte-identical)"
 }
 
 # Observability smoke: capture a seeded recovery trace with sim_driver,
@@ -157,7 +185,7 @@ stage_lint_tidy() {
 }
 
 usage() {
-  echo "usage: scripts/stages.sh {asan|tsan|fault|perf|trace|lint-format|lint-tidy} [build-dir]" >&2
+  echo "usage: scripts/stages.sh {asan|tsan|fault|perf|scale|trace|lint-format|lint-tidy} [build-dir]" >&2
   exit 2
 }
 
@@ -169,6 +197,7 @@ case "${stage}" in
   tsan) stage_tsan "$@" ;;
   fault) stage_fault "$@" ;;
   perf) stage_perf "$@" ;;
+  scale) stage_scale "$@" ;;
   trace) stage_trace "$@" ;;
   lint-format) stage_lint_format "$@" ;;
   lint-tidy) stage_lint_tidy "$@" ;;

@@ -8,7 +8,9 @@
 // (seed, plan) pair always yields the identical fault sequence.
 #pragma once
 
+#include <algorithm>
 #include <functional>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -36,8 +38,16 @@ class FaultInjector final : public FaultFilter {
   /// before running; `on_crash` fires at each crash instant.
   void arm(CrashHook on_crash);
 
-  /// Peers crashed by the plan so far.
-  const std::vector<overlay::PeerId>& crashed() const { return crashed_; }
+  /// Peers crashed by the plan so far.  In sharded mode crashes land from
+  /// several worker threads, so the list is sorted by peer id before it
+  /// is returned (call only while the shard workers are parked); in
+  /// single-wheel mode it is in firing order, as before.
+  const std::vector<overlay::PeerId>& crashed() const {
+    if (transport_->sharded()) {
+      std::sort(crashed_.begin(), crashed_.end());
+    }
+    return crashed_;
+  }
 
   const sim::FaultPlan& plan() const { return plan_; }
 
@@ -55,7 +65,8 @@ class FaultInjector final : public FaultFilter {
     std::unordered_set<overlay::PeerId> side_b;
   };
   std::vector<WindowSets> window_sets_;
-  std::vector<overlay::PeerId> crashed_;
+  mutable std::vector<overlay::PeerId> crashed_;
+  std::mutex crashed_mu_;
   bool armed_ = false;
 };
 

@@ -183,6 +183,9 @@ void GroupCastMiddleware::build_overlay() {
       break;
     }
   }
+  // The join storm leaves doubling slop and relocation garbage in the
+  // adjacency arena; the overlay is long-lived from here, so pack it.
+  graph_->compact();
 }
 
 std::size_t GroupCastMiddleware::ensure_connected() {

@@ -43,7 +43,7 @@ GroupCastNode::GroupCastNode(overlay::PeerId self, Transport& transport,
       graph_(&graph),
       options_(options),
       rng_(rng.split()),
-      exchange_(transport.simulator(), self, options.retry, rng_) {
+      exchange_(transport.simulator_for(self), self, options.retry, rng_) {
   GC_REQUIRE(self < transport.population().size());
   GC_REQUIRE(options_.ripple_ttl >= 1);
   GC_REQUIRE(options_.missed_heartbeats_to_fail >= 1);
@@ -86,7 +86,7 @@ GroupCastNode::GroupCastNode(overlay::PeerId self, Transport& transport,
     RetryPolicy lease_retry;
     lease_retry.base_timeout = options_.replication.lease_interval;
     lease_retry.max_timeout = options_.replication.lease_duration;
-    repl_exchange_.emplace(transport.simulator(), self, lease_retry, rng_);
+    repl_exchange_.emplace(transport.simulator_for(self), self, lease_retry, rng_);
   }
 }
 
@@ -110,7 +110,7 @@ void GroupCastNode::detach(DetachMode mode) {
   transport_->unregister_node(self_, mode);
   exchange_.cancel_all();
   if (repl_exchange_) repl_exchange_->cancel_all();
-  auto& simulator = transport_->simulator();
+  auto& simulator = transport_->simulator_for(self_);
   for (auto& [group, state] : groups_) {
     state.exchange = ReliableExchange::kNoToken;
     state.repl.round = ReliableExchange::kNoToken;
@@ -120,12 +120,12 @@ void GroupCastNode::detach(DetachMode mode) {
   }
   // A departed node stops probing: cancel the shared tick instead of
   // letting it fire into a dead runtime.
-  transport_->simulator().cancel(heartbeat_timer_);
+  transport_->simulator_for(self_).cancel(heartbeat_timer_);
   for (const auto group : heartbeat_groups_) {
     groups_[group].heartbeat_scheduled = false;
   }
   heartbeat_groups_.clear();
-  transport_->simulator().cancel(repl_timer_);
+  transport_->simulator_for(self_).cancel(repl_timer_);
   for (const auto group : repl_groups_) {
     groups_[group].repl.tick_scheduled = false;
   }
@@ -134,7 +134,7 @@ void GroupCastNode::detach(DetachMode mode) {
 }
 
 sim::SimTime GroupCastNode::now() const {
-  return transport_->simulator().now();
+  return transport_->simulator_for(self_).now();
 }
 
 double GroupCastNode::resource_level() {
@@ -435,10 +435,8 @@ std::size_t GroupCastNode::memory_bytes() const {
     bytes += kPerEntry + sizeof(GroupId) + sizeof(GroupState);
     bytes += state.children.capacity() * sizeof(overlay::PeerId);
     bytes += state.pending_acks.capacity() * sizeof(overlay::PeerId);
-    bytes += state.seen_payloads.bucket_count() * sizeof(void*) +
-             state.seen_payloads.size() * (sizeof(std::uint64_t) + kPerEntry);
-    bytes += state.seen_queries.bucket_count() * sizeof(void*) +
-             state.seen_queries.size() * (sizeof(std::uint64_t) + kPerEntry);
+    bytes += state.seen_payloads.memory_bytes();
+    bytes += state.seen_queries.memory_bytes();
     bytes += state.child_last_seen.bucket_count() * sizeof(void*) +
              state.child_last_seen.size() *
                  (sizeof(overlay::PeerId) + sizeof(sim::SimTime) + kPerEntry);
@@ -632,7 +630,7 @@ void GroupCastNode::terminal_failure(GroupId group) {
   // this group survives it (children are told to re-attach, and a later
   // re-attach starts fresh incarnations via the join handshake).
   {
-    auto& simulator = transport_->simulator();
+    auto& simulator = transport_->simulator_for(self_);
     for (auto& [peer, tx] : state.tx_edges) simulator.cancel(tx.probe_timer);
     for (auto& [peer, rx] : state.rx_edges) simulator.cancel(rx.nack_timer);
     state.tx_edges.clear();
@@ -776,7 +774,7 @@ void GroupCastNode::maybe_schedule_heartbeat(GroupId group) {
   // All enrolled groups share one cancellable wheel timer per node; a
   // group enrolling between ticks joins the next one (its liveness
   // deadlines are timestamp-based, so an early first service is safe).
-  auto& simulator = transport_->simulator();
+  auto& simulator = transport_->simulator_for(self_);
   if (!simulator.timer_pending(heartbeat_timer_)) {
     heartbeat_timer_ = simulator.schedule_timer(options_.heartbeat_interval,
                                                 &heartbeat_thunk, this);
@@ -1039,7 +1037,7 @@ void GroupCastNode::handle_join_ack(const Envelope& envelope,
 void GroupCastNode::handle_ripple_query(const Envelope& envelope,
                                         const RippleQueryMsg& msg) {
   auto& state = state_of(msg.group);
-  if (!state.seen_queries.insert(query_key(msg.origin, msg.round)).second) {
+  if (!state.seen_queries.insert(query_key(msg.origin, msg.round))) {
     return;  // duplicate within this search round
   }
   if (state.has_advert || state.on_tree) {
@@ -1083,7 +1081,7 @@ void GroupCastNode::deliver_payload(GroupId group, GroupState& state,
                                     overlay::PeerId origin,
                                     std::uint64_t payload_id,
                                     std::uint32_t hops) {
-  if (!state.seen_payloads.insert(payload_key(origin, payload_id)).second) {
+  if (!state.seen_payloads.insert(payload_key(origin, payload_id))) {
     trace::counters().incr(self_, trace::CounterId::kMessagesDropped);
     trace::tracer().emit(
         now().as_micros(), trace::EventKind::kMessageDropped, self_, via,
@@ -1308,7 +1306,7 @@ void GroupCastNode::handle_flow_control(const Envelope& envelope,
 void GroupCastNode::reset_tx_edge(GroupId group, GroupState& state,
                                   overlay::PeerId peer) {
   auto& tx = state.tx_edges[peer];
-  transport_->simulator().cancel(tx.probe_timer);
+  transport_->simulator_for(self_).cancel(tx.probe_timer);
   discard_pending(state, tx);
   const std::uint32_t epoch = tx.epoch + 1;
   const std::size_t high_water = tx.high_water;
@@ -1320,7 +1318,7 @@ void GroupCastNode::reset_tx_edge(GroupId group, GroupState& state,
 
 void GroupCastNode::drop_edge_state(GroupState& state,
                                     overlay::PeerId peer) {
-  auto& simulator = transport_->simulator();
+  auto& simulator = transport_->simulator_for(self_);
   if (const auto it = state.tx_edges.find(peer);
       it != state.tx_edges.end()) {
     // Tombstone, not erase: the epoch counter must survive the teardown
@@ -1345,7 +1343,7 @@ void GroupCastNode::drop_edge_state(GroupState& state,
 
 void GroupCastNode::maybe_schedule_nack(GroupId group, overlay::PeerId peer,
                                         EdgeRx& rx) {
-  auto& simulator = transport_->simulator();
+  auto& simulator = transport_->simulator_for(self_);
   if (simulator.timer_pending(rx.nack_timer)) return;  // one in flight
   rx.nack_timer = simulator.schedule_timer(
       jittered(nack_delay_for(rx), options_.reliability.nack_jitter),
@@ -1354,7 +1352,7 @@ void GroupCastNode::maybe_schedule_nack(GroupId group, overlay::PeerId peer,
 
 void GroupCastNode::maybe_schedule_probe(GroupId group,
                                          overlay::PeerId peer, EdgeTx& tx) {
-  auto& simulator = transport_->simulator();
+  auto& simulator = transport_->simulator_for(self_);
   if (simulator.timer_pending(tx.probe_timer)) return;
   tx.probe_rounds = 0;
   tx.acked_at_last_probe = tx.cum_acked;
@@ -1421,7 +1419,7 @@ void GroupCastNode::on_nack_timer(GroupId group, overlay::PeerId peer) {
   ++rx.nack_rounds;
   // Re-arm on the (longer) retry cadence: no second NACK for this gap
   // while the requested retransmission is presumed in flight.
-  rx.nack_timer = transport_->simulator().schedule_timer(
+  rx.nack_timer = transport_->simulator_for(self_).schedule_timer(
       jittered(nack_retry_for(rx), options_.reliability.nack_jitter),
       &nack_thunk, this, pack_edge(group, peer));
 }
@@ -1467,7 +1465,7 @@ void GroupCastNode::on_probe_timer(GroupId group, overlay::PeerId peer) {
   const std::uint64_t base =
       tx.buffer.empty() ? tx.next_seq : tx.buffer.front().seq;
   transport_->send(self_, peer, SeqSyncMsg{group, tx.epoch, base, tx.next_seq});
-  tx.probe_timer = transport_->simulator().schedule_timer(
+  tx.probe_timer = transport_->simulator_for(self_).schedule_timer(
       jittered(options_.reliability.probe_delay,
                options_.reliability.nack_jitter),
       &probe_thunk, this, pack_edge(group, peer));
@@ -1615,7 +1613,7 @@ void GroupCastNode::handle_seq_sync(const Envelope& envelope,
     // and when the handshake SeqSync itself was lost, aligning to the
     // probe's base (the sender's buffer front) recovers the buffered
     // backlog instead of skipping it.
-    transport_->simulator().cancel(rx.nack_timer);
+    transport_->simulator_for(self_).cancel(rx.nack_timer);
     rx = EdgeRx{};
     rx.epoch = msg.epoch;
     rx.synced = true;
@@ -1771,7 +1769,7 @@ void GroupCastNode::maybe_schedule_repl_tick(GroupId group) {
   // timer per node, groups enrol for the next round.  The cadence is a
   // fixed lease_interval with no jitter, so renewal traffic is a pure
   // function of the scenario, not of RNG interleaving.
-  auto& simulator = transport_->simulator();
+  auto& simulator = transport_->simulator_for(self_);
   if (!simulator.timer_pending(repl_timer_)) {
     repl_timer_ = simulator.schedule_timer(
         options_.replication.lease_interval, &repl_thunk, this);

@@ -34,6 +34,7 @@
 #include "core/reliable_exchange.h"
 #include "core/transport.h"
 #include "overlay/graph.h"
+#include "util/flat_set.h"
 
 namespace groupcast::core {
 
@@ -343,8 +344,11 @@ class GroupCastNode {
     overlay::PeerId tree_parent = overlay::kNoPeer;
     std::uint32_t depth = kUnknownDepth;
     std::vector<overlay::PeerId> children;
-    std::unordered_set<std::uint64_t> seen_payloads;
-    std::unordered_set<std::uint64_t> seen_queries;  // origin<<32 | round
+    // Flat open-addressing dedup tables: one 8-byte slot per entry
+    // instead of a heap node each (util/flat_set.h); these grow with
+    // every payload seen, so they dominate a long run's per-peer bytes.
+    util::FlatSet64 seen_payloads;
+    util::FlatSet64 seen_queries;  // origin<<32 | round
 
     // --- retry ladder (subscribe + orphan recovery share it) ---
     ReliableExchange::Token exchange = ReliableExchange::kNoToken;

@@ -1,5 +1,7 @@
 #include "core/transport.h"
 
+#include <algorithm>
+
 #include "core/wire.h"
 #include "trace/trace.h"
 #include "util/require.h"
@@ -17,6 +19,92 @@ Transport::Transport(sim::Simulator& simulator,
       generation_(population.size(), 0) {
   GC_REQUIRE(options_.loss_probability >= 0.0 &&
              options_.loss_probability <= 1.0);
+}
+
+Transport::Transport(sim::ShardSet& shards,
+                     const overlay::PeerPopulation& population,
+                     TransportOptions options, util::Rng& rng)
+    : simulator_(nullptr),
+      population_(&population),
+      options_(options),
+      rng_(rng.split()),
+      handlers_(population.size()),
+      generation_(population.size(), 0),
+      shards_(&shards),
+      peer_shard_(population.size(), 0),
+      send_counter_(population.size(), 0),
+      crash_at_us_(population.size(), -1),
+      shard_state_(shards.num_shards()) {
+  GC_REQUIRE(options_.loss_probability >= 0.0 &&
+             options_.loss_probability <= 1.0);
+  loss_seed_ = rng_();
+  const auto num_shards = shards.num_shards();
+  for (overlay::PeerId p = 0; p < population.size(); ++p) {
+    // Shard by access router: every peer pair split across shards is then
+    // separated by at least one inter-router hop, which is what lets the
+    // lookahead window include the router-to-router latency floor instead
+    // of just two access latencies.
+    std::uint64_t state = population.info(p).router + 1;
+    util::splitmix64(state);
+    peer_shard_[p] = static_cast<std::uint32_t>(
+        util::splitmix64(state) % num_shards);
+  }
+  for (auto& state : shard_state_) state.outbox.resize(num_shards);
+  shards.set_client(this);
+}
+
+Transport::~Transport() {
+  if (shards_ != nullptr) shards_->set_client(nullptr);
+}
+
+const MessageStats& Transport::stats() const {
+  if (shards_ == nullptr) return stats_;
+  aggregated_stats_ = MessageStats{};
+  for (const auto& state : shard_state_) aggregated_stats_ += state.stats;
+  return aggregated_stats_;
+}
+
+std::size_t Transport::messages_sent() const {
+  if (shards_ == nullptr) return sent_;
+  std::size_t total = 0;
+  for (const auto& state : shard_state_) total += state.sent;
+  return total;
+}
+
+std::size_t Transport::messages_lost() const {
+  if (shards_ == nullptr) return lost_;
+  std::size_t total = 0;
+  for (const auto& state : shard_state_) total += state.lost;
+  return total;
+}
+
+std::size_t Transport::bytes_sent() const {
+  if (shards_ == nullptr) return bytes_sent_;
+  std::size_t total = 0;
+  for (const auto& state : shard_state_) total += state.bytes_sent;
+  return total;
+}
+
+std::size_t Transport::memory_bytes() const {
+  std::size_t total = handlers_.capacity() * sizeof(Handler) +
+                      generation_.capacity() * sizeof(std::uint64_t) +
+                      inflight_.capacity() * sizeof(InFlight);
+  total += peer_shard_.capacity() * sizeof(std::uint32_t) +
+           send_counter_.capacity() * sizeof(std::uint64_t) +
+           crash_at_us_.capacity() * sizeof(std::int64_t);
+  for (const auto& state : shard_state_) {
+    total += sizeof(ShardState) +
+             state.arrivals.capacity() * sizeof(ShardRecord);
+    for (const auto& box : state.outbox) {
+      total += box.capacity() * sizeof(ShardRecord);
+    }
+  }
+  return total;
+}
+
+void Transport::declare_crash(overlay::PeerId peer, sim::SimTime at) {
+  GC_REQUIRE(shards_ != nullptr && peer < crash_at_us_.size());
+  crash_at_us_[peer] = at.as_micros();
 }
 
 void Transport::register_node(overlay::PeerId peer, Handler handler) {
@@ -77,6 +165,10 @@ void Transport::send(overlay::PeerId from, overlay::PeerId to,
                      MessageBody body) {
   GC_REQUIRE(from < handlers_.size() && to < handlers_.size());
   GC_REQUIRE_MSG(from != to, "loopback sends are a protocol bug");
+  if (shards_ != nullptr) {
+    sharded_send(from, to, std::move(body));
+    return;
+  }
   ++sent_;
   stats_.count(kind_of(body));
   bytes_sent_ += encoded_size(body);
@@ -164,6 +256,132 @@ void Transport::deliver(std::uint32_t slot) {
   }
   trace::counters().incr(to, trace::CounterId::kMessagesReceived);
   handler(Envelope{from, to, std::move(body)});
+}
+
+// ------------------------------------------------------------- sharded mode
+
+bool Transport::hashed_chance(double p, std::uint64_t stream,
+                              std::uint64_t counter) const {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::uint64_t state = loss_seed_ ^ (stream * 0x9E3779B97F4A7C15ULL);
+  util::splitmix64(state);
+  state += counter;
+  const std::uint64_t bits = util::splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53 < p;
+}
+
+void Transport::sharded_send(overlay::PeerId from, overlay::PeerId to,
+                             MessageBody body) {
+  const auto src = peer_shard_[from];
+  ShardState& state = shard_state_[src];
+  ++state.sent;
+  state.stats.count(kind_of(body));
+  state.bytes_sent += encoded_size(body);
+  trace::counters().incr(from, trace::CounterId::kMessagesSent);
+  const std::uint64_t counter = send_counter_[from]++;
+  sim::Simulator& src_simulator = shards_->shard(src);
+  const auto now = src_simulator.now();
+  const auto drop = [&](overlay::PeerId node, overlay::PeerId peer,
+                        trace::DropReason reason) {
+    ++state.lost;
+    trace::counters().incr(node, trace::CounterId::kMessagesDropped);
+    trace::tracer().emit(now.as_micros(), trace::EventKind::kMessageDropped,
+                         node, peer, static_cast<std::uint64_t>(reason));
+  };
+  if (fault_filter_ != nullptr) {
+    if (fault_filter_->blocked(from, to, now)) {
+      drop(from, to, trace::DropReason::kPartitioned);
+      return;
+    }
+    const double burst = fault_filter_->extra_loss(now);
+    if (hashed_chance(burst, from * 2 + 1, counter)) {
+      drop(from, to, trace::DropReason::kBurstLoss);
+      return;
+    }
+  }
+  if (hashed_chance(options_.loss_probability, from * 2, counter)) {
+    drop(from, to, trace::DropReason::kLoss);
+    return;
+  }
+  const auto latency =
+      sim::SimTime::millis(population_->latency_ms(from, to));
+  trace::histograms().record(trace::HistogramId::kEdgeDelayUs,
+                             static_cast<std::uint64_t>(latency.as_micros()));
+  ShardRecord record;
+  record.send_us = now.as_micros();
+  record.arrival_us = (now + latency).as_micros();
+  record.counter = counter;
+  record.from = from;
+  record.to = to;
+  record.body = std::move(body);
+  const auto dst = peer_shard_[to];
+  if (dst == src) {
+    // Same shard (same access router): deliver through the shard's own
+    // arrival queue, which keeps delivery order a pure function of
+    // (arrival, src, counter) whatever the shard count.
+    state.arrivals.push_back(std::move(record));
+    std::push_heap(state.arrivals.begin(), state.arrivals.end(),
+                   LaterRecord{});
+  } else {
+    state.outbox[dst].push_back(std::move(record));
+  }
+}
+
+void Transport::merge_inbound(std::size_t shard) {
+  ShardState& state = shard_state_[shard];
+  for (auto& src : shard_state_) {
+    auto& box = src.outbox[shard];
+    for (auto& record : box) {
+      state.arrivals.push_back(std::move(record));
+      std::push_heap(state.arrivals.begin(), state.arrivals.end(),
+                     LaterRecord{});
+    }
+    box.clear();
+  }
+}
+
+std::int64_t Transport::next_arrival_us(std::size_t shard) {
+  const ShardState& state = shard_state_[shard];
+  return state.arrivals.empty() ? -1 : state.arrivals.front().arrival_us;
+}
+
+std::size_t Transport::deliver_arrivals_at(std::size_t shard,
+                                           std::int64_t t_us) {
+  ShardState& state = shard_state_[shard];
+  std::size_t fired = 0;
+  while (!state.arrivals.empty() && state.arrivals.front().arrival_us <= t_us) {
+    std::pop_heap(state.arrivals.begin(), state.arrivals.end(), LaterRecord{});
+    ShardRecord record = std::move(state.arrivals.back());
+    state.arrivals.pop_back();
+    ++fired;
+    deliver_record(shard, std::move(record));
+  }
+  return fired;
+}
+
+void Transport::deliver_record(std::size_t shard, ShardRecord&& record) {
+  const auto now_us = shards_->shard(shard).now().as_micros();
+  const auto crash_us = crash_at_us_[record.from];
+  if (crash_us >= record.send_us && crash_us <= record.arrival_us) {
+    // Sender crashed while the message was in flight; mirrors the
+    // single-wheel generation check without a cross-thread read.
+    trace::counters().incr(record.from, trace::CounterId::kMessagesDropped);
+    trace::tracer().emit(
+        now_us, trace::EventKind::kMessageDropped, record.from, record.to,
+        static_cast<std::uint64_t>(trace::DropReason::kOriginDeparted));
+    return;
+  }
+  const auto& handler = handlers_[record.to];
+  if (handler == nullptr) {  // receiver departed in flight
+    trace::counters().incr(record.to, trace::CounterId::kMessagesDropped);
+    trace::tracer().emit(
+        now_us, trace::EventKind::kMessageDropped, record.to, record.from,
+        static_cast<std::uint64_t>(trace::DropReason::kNoReceiver));
+    return;
+  }
+  trace::counters().incr(record.to, trace::CounterId::kMessagesReceived);
+  handler(Envelope{record.from, record.to, std::move(record.body)});
 }
 
 }  // namespace groupcast::core

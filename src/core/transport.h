@@ -14,6 +14,7 @@
 
 #include "core/message.h"
 #include "overlay/population.h"
+#include "sim/shard_set.h"
 #include "sim/simulator.h"
 
 namespace groupcast::core {
@@ -282,13 +283,24 @@ class FaultFilter {
   virtual double extra_loss(sim::SimTime now) const = 0;
 };
 
-class Transport {
+class Transport final : public sim::ShardSet::Client {
  public:
   using Handler = std::function<void(const Envelope&)>;
 
   Transport(sim::Simulator& simulator,
             const overlay::PeerPopulation& population,
             TransportOptions options, util::Rng& rng);
+
+  /// Sharded mode: peers are partitioned by *access router* (all peers on
+  /// one stub router share a shard), deliveries run through per-shard
+  /// arrival queues in (arrival, src, per-src send counter) order, and
+  /// loss/burst draws are stateless hashes of (seed, src, counter) — all
+  /// of which makes the execution byte-identical at every shard count
+  /// >= 2.  Installs itself as the shard set's client.
+  Transport(sim::ShardSet& shards, const overlay::PeerPopulation& population,
+            TransportOptions options, util::Rng& rng);
+
+  ~Transport() override;
 
   /// Attaches a node; messages to `peer` are delivered to `handler`.
   void register_node(overlay::PeerId peer, Handler handler);
@@ -305,23 +317,45 @@ class Transport {
   /// Every send is counted, including ones that are later lost.
   void send(overlay::PeerId from, overlay::PeerId to, MessageBody body);
 
-  const MessageStats& stats() const { return stats_; }
-  std::size_t messages_sent() const { return sent_; }
-  std::size_t messages_lost() const { return lost_; }
+  const MessageStats& stats() const;
+  std::size_t messages_sent() const;
+  std::size_t messages_lost() const;
   /// Total wire bytes of every message sent (per the encoding in wire.h).
-  std::size_t bytes_sent() const { return bytes_sent_; }
+  std::size_t bytes_sent() const;
 
+  /// The single-wheel simulator; only valid outside sharded mode.
   sim::Simulator& simulator() { return *simulator_; }
+  /// The simulator that owns `peer`'s events: the shard it hashes to in
+  /// sharded mode, the single wheel otherwise.  Node code resolves its
+  /// clock and timers through this so it runs unchanged in both modes.
+  sim::Simulator& simulator_for(overlay::PeerId peer) {
+    return shards_ != nullptr ? shards_->shard(peer_shard_[peer])
+                              : *simulator_;
+  }
+  bool sharded() const { return shards_ != nullptr; }
+  std::size_t shard_of(overlay::PeerId peer) const {
+    return shards_ != nullptr ? peer_shard_[peer] : 0;
+  }
+
+  /// Pre-declares an ungraceful crash at `at` (sharded mode only): a
+  /// message is suppressed in flight iff its sender has a declared crash
+  /// in [send, arrival].  Replaces the single-wheel generation check,
+  /// which a delivering shard could not read race-free.
+  void declare_crash(overlay::PeerId peer, sim::SimTime at);
+
   const overlay::PeerPopulation& population() const { return *population_; }
 
   /// Resident bytes of transport state: handler/generation tables plus
-  /// the pooled in-flight slots.  Feeds the bytes_per_peer footprint
+  /// the pooled in-flight slots (single-wheel) or the per-shard arrival
+  /// queues and mailboxes (sharded).  Feeds the bytes_per_peer footprint
   /// gauge in bench_micro.
-  std::size_t memory_bytes() const {
-    return handlers_.capacity() * sizeof(Handler) +
-           generation_.capacity() * sizeof(std::uint64_t) +
-           inflight_.capacity() * sizeof(InFlight);
-  }
+  std::size_t memory_bytes() const;
+
+  // sim::ShardSet::Client:
+  void merge_inbound(std::size_t shard) override;
+  std::int64_t next_arrival_us(std::size_t shard) override;
+  std::size_t deliver_arrivals_at(std::size_t shard,
+                                  std::int64_t t_us) override;
 
   /// Installs (or, with nullptr, removes) the fault filter consulted on
   /// every send.  The filter must outlive its installation.
@@ -349,6 +383,46 @@ class Transport {
   void deliver(std::uint32_t slot);
   std::uint32_t allocate_slot();
 
+  /// One cross-shard (or same-shard) delivery in flight.  Arrival queues
+  /// pop in ascending (arrival_us, from, counter) — a total order, since
+  /// (from, counter) is unique — so delivery order does not depend on
+  /// which epoch barrier merged the record.
+  struct ShardRecord {
+    std::int64_t send_us = 0;
+    std::int64_t arrival_us = 0;
+    std::uint64_t counter = 0;
+    overlay::PeerId from = overlay::kNoPeer;
+    overlay::PeerId to = overlay::kNoPeer;
+    MessageBody body;
+  };
+  struct LaterRecord {
+    bool operator()(const ShardRecord& a, const ShardRecord& b) const {
+      if (a.arrival_us != b.arrival_us) return a.arrival_us > b.arrival_us;
+      if (a.from != b.from) return a.from > b.from;
+      return a.counter > b.counter;
+    }
+  };
+  /// Per-shard message-plane state, owned by the shard's worker thread
+  /// (outboxes hand over at epoch barriers; the main thread may touch any
+  /// shard while the workers are parked).
+  struct alignas(64) ShardState {
+    MessageStats stats;
+    std::size_t sent = 0;
+    std::size_t lost = 0;
+    std::size_t bytes_sent = 0;
+    std::vector<ShardRecord> arrivals;               // min-heap, LaterRecord
+    std::vector<std::vector<ShardRecord>> outbox;    // indexed by dst shard
+  };
+
+  void sharded_send(overlay::PeerId from, overlay::PeerId to,
+                    MessageBody body);
+  void deliver_record(std::size_t shard, ShardRecord&& record);
+  /// Stateless Bernoulli draw: a splitmix64 hash of (seed, stream,
+  /// counter) mapped to [0, 1), compared against p.  Independent of
+  /// thread interleaving and shard count.
+  bool hashed_chance(double p, std::uint64_t stream,
+                     std::uint64_t counter) const;
+
   sim::Simulator* simulator_;
   const overlay::PeerPopulation* population_;
   TransportOptions options_;
@@ -364,6 +438,16 @@ class Transport {
   std::size_t bytes_sent_ = 0;
   std::vector<InFlight> inflight_;
   std::uint32_t free_head_ = kNoSlot;
+
+  // Sharded-mode state (empty in single-wheel mode).
+  sim::ShardSet* shards_ = nullptr;
+  std::uint64_t loss_seed_ = 0;
+  std::vector<std::uint32_t> peer_shard_;
+  std::vector<std::uint64_t> send_counter_;
+  /// Declared crash instant per peer, or -1 (none).
+  std::vector<std::int64_t> crash_at_us_;
+  std::vector<ShardState> shard_state_;
+  mutable MessageStats aggregated_stats_;
 };
 
 }  // namespace groupcast::core

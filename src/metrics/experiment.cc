@@ -46,7 +46,11 @@ std::unique_ptr<core::GroupCastMiddleware> make_scenario_middleware(
 
 ScenarioResult run_scenario(const ScenarioConfig& config) {
   GC_REQUIRE(config.groups >= 1);
+  GC_REQUIRE_MSG(config.shards >= 1, "config.shards must be >= 1");
   if (config.recovery.enabled) return run_recovery_scenario(config);
+  GC_REQUIRE_MSG(config.shards == 1,
+                 "shards > 1 requires the recovery harness "
+                 "(engine-level scenarios run on the single wheel)");
   ScenarioResult result;
   result.config = config;
 
@@ -204,6 +208,12 @@ ScenarioResult reduce_scenario_repetitions(
     total.events_fired += one.events_fired;
     total.queue_high_water = std::max(total.queue_high_water,
                                       one.queue_high_water);
+    if (total.events_per_shard.size() < one.events_per_shard.size()) {
+      total.events_per_shard.resize(one.events_per_shard.size(), 0);
+    }
+    for (std::size_t s = 0; s < one.events_per_shard.size(); ++s) {
+      total.events_per_shard[s] += one.events_per_shard[s];
+    }
     total.delay_penalty_group_stddev += one.delay_penalty_group_stddev / k;
     total.overload_index_group_stddev +=
         one.overload_index_group_stddev / k;

@@ -111,6 +111,14 @@ struct ScenarioConfig {
   /// Node-runtime churn harness; inert unless recovery.enabled.
   RecoveryOptions recovery;
 
+  /// Worker shards for the recovery harness's event kernel (sim/shard_set.h).
+  /// 1 (the default) runs on the classic single-wheel simulator and stays
+  /// byte-identical to pre-shard builds; N >= 2 partitions peers by access
+  /// router across N conservative-lookahead shards, byte-identical across
+  /// every N >= 2.  Only meaningful with recovery.enabled; must not exceed
+  /// peer_count.  Engine-level scenarios reject shards > 1.
+  std::size_t shards = 1;
+
   /// Pre-built deployment to fork instead of constructing one from
   /// middleware_config() (see core::DeploymentSnapshot).  Normally left
   /// null by callers: run_scenario_grid fills it in automatically for
@@ -196,6 +204,13 @@ struct ScenarioResult {
   // depth, so the numbers describe the whole point, not one topology.
   std::uint64_t events_fired = 0;
   std::uint64_t queue_high_water = 0;
+
+  // Per-shard event counts of the sharded kernel (config.shards entries
+  // when shards >= 2, empty otherwise).  events_fired is their sum, which
+  // is shard-count invariant; the per-shard split exposes load imbalance.
+  // The averaged/grid runners sum the vectors element-wise across
+  // repetitions.
+  std::vector<std::uint64_t> events_per_shard;
 
   // Protocol counters, captured from the calling thread's active registry
   // (trace::counters()) when it is enabled — empty otherwise.  The

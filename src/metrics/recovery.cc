@@ -1,7 +1,9 @@
 #include "metrics/recovery.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -15,6 +17,9 @@
 #include "core/replication.h"
 #include "sim/fault_plan.h"
 #include "sim/recorder.h"
+#include "sim/shard_set.h"
+#include "trace/counters.h"
+#include "trace/histogram.h"
 #include "trace/trace.h"
 #include "util/require.h"
 
@@ -66,11 +71,58 @@ void validate(const RecoveryOptions& rec) {
 constexpr std::uint64_t kMinorityProbeBase = 1'000'000;
 constexpr std::uint64_t kMajorityProbeBase = 2'000'000;
 
+/// Conservative lookahead of the sharded kernel, in microseconds.  Peers
+/// are sharded by access router, so every cross-shard message crosses at
+/// least one underlay link and pays two (distinct) access latencies: its
+/// delay is bounded below by the two smallest access latencies in the
+/// population plus the cheapest physical link.  One microsecond of
+/// headroom absorbs the float-sum rounding between this bound and the
+/// per-pair latency the transport actually converts.
+std::int64_t shard_lookahead_us(const net::UnderlayTopology& underlay,
+                                const overlay::PeerPopulation& population) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double first = kInf, second = kInf;
+  for (const auto& peer : population.peers()) {
+    const double access = peer.access_latency_ms;
+    if (access < first) {
+      second = first;
+      first = access;
+    } else if (access < second) {
+      second = access;
+    }
+  }
+  double min_link = kInf;
+  for (net::LinkId l = 0; l < underlay.link_count(); ++l) {
+    min_link = std::min(min_link, underlay.link(l).latency_ms);
+  }
+  const double bound_ms = first + second + min_link;
+  GC_REQUIRE_MSG(bound_ms > 0.0 && bound_ms < kInf,
+                 "sharded execution needs a positive cross-router latency "
+                 "floor (>= 2 peers and >= 1 underlay link)");
+  return std::max<std::int64_t>(
+      1, sim::SimTime::millis(bound_ms).as_micros() - 1);
+}
+
+/// Per-shard trace facilities: worker threads resolve trace::counters() /
+/// trace::histograms() thread-locally, so each shard gets its own
+/// registry (installed on the worker via exec_on_shards) and the
+/// snapshots merge into the caller's registry at the end — integer sums,
+/// hence shard-count invariant.
+struct ShardTrace {
+  trace::CounterRegistry counters;
+  trace::HistogramRegistry histograms;
+  std::unique_ptr<trace::ScopedCounterRegistry> counter_guard;
+  std::unique_ptr<trace::ScopedHistogramRegistry> histogram_guard;
+};
+
 }  // namespace
 
 ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
   const RecoveryOptions& rec = config.recovery;
   validate(rec);
+  GC_REQUIRE_MSG(config.shards >= 1, "config.shards must be >= 1");
+  GC_REQUIRE_MSG(config.shards <= config.peer_count,
+                 "config.shards must not exceed peer_count");
   ScenarioResult result;
   result.config = config;
 
@@ -86,8 +138,51 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
 
   core::TransportOptions transport_options;
   transport_options.loss_probability = rec.loss_probability;
-  core::Transport transport(simulator, middleware.population(),
-                            transport_options, rng);
+  // Sharded kernel: with config.shards >= 2 the run executes on a
+  // ShardSet of per-shard wheels advancing in conservative-lookahead
+  // epochs instead of the middleware's single wheel.  The engine is
+  // declared before the transport so the transport (the ShardSet client)
+  // is torn down first.
+  std::optional<sim::ShardSet> engine;
+  if (config.shards > 1) {
+    engine.emplace(config.shards,
+                   shard_lookahead_us(middleware.underlay(),
+                                      middleware.population()),
+                   simulator.now());
+  }
+  std::optional<core::Transport> transport_storage;
+  if (engine) {
+    transport_storage.emplace(*engine, middleware.population(),
+                              transport_options, rng);
+  } else {
+    transport_storage.emplace(simulator, middleware.population(),
+                              transport_options, rng);
+  }
+  core::Transport& transport = *transport_storage;
+
+  // Worker threads resolve the trace facilities thread-locally; give each
+  // shard its own registries whenever the caller collects anything, and
+  // fold the snapshots back in before the result captures them.
+  std::vector<std::unique_ptr<ShardTrace>> shard_trace;
+  if (engine &&
+      (trace::counters().enabled() || trace::histograms().enabled())) {
+    for (std::size_t i = 0; i < config.shards; ++i) {
+      auto per_shard = std::make_unique<ShardTrace>();
+      if (trace::counters().enabled()) {
+        per_shard->counters.enable(config.peer_count);
+      }
+      if (trace::histograms().enabled()) per_shard->histograms.enable();
+      shard_trace.push_back(std::move(per_shard));
+    }
+    engine->exec_on_shards([&](std::size_t i) {
+      shard_trace[i]->counter_guard =
+          std::make_unique<trace::ScopedCounterRegistry>(
+              shard_trace[i]->counters);
+      shard_trace[i]->histogram_guard =
+          std::make_unique<trace::ScopedHistogramRegistry>(
+              shard_trace[i]->histograms);
+    });
+  }
 
   core::NodeOptions node_options;
   node_options.advertisement = config.middleware_config().advertisement;
@@ -130,15 +225,24 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
   sim::SimTime clock = sim::SimTime::zero();
   const auto advance = [&](sim::SimTime by) {
     clock = clock + by;
-    simulator.run_until(clock);
+    if (engine) {
+      engine->run_until(clock);
+    } else {
+      simulator.run_until(clock);
+    }
   };
 
   // Flight recorder: one frame per protocol epoch, so recovery reports
   // carry the delivery / repair trajectory across the fault window.  Only
   // armed when the facility is on — a disabled run schedules no extra
-  // events and stays byte-identical to pre-recorder builds.
+  // events and stays byte-identical to pre-recorder builds.  The recorder
+  // snapshots global state from an event handler, which has no safe home
+  // on a sharded run — require the single wheel.
   std::optional<sim::PeriodicRecorder> recorder;
   if (trace::flight_recorder().enabled()) {
+    GC_REQUIRE_MSG(!engine,
+                   "the flight recorder requires the single-wheel engine "
+                   "(run with shards == 1)");
     trace::flight_recorder().capture(simulator.now().as_micros());
     recorder.emplace(simulator, epoch);
   }
@@ -161,13 +265,17 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
   // Application-level retry loop: a node that reports terminal subscribe
   // failure (the ladder's give-up callback) re-subscribes one epoch later,
   // as a real client would.  `want` tracks which peers still want the
-  // group — graceful leavers drop out below.
-  std::unordered_set<overlay::PeerId> want(subscribers.begin(),
-                                           subscribers.end());
+  // group — graceful leavers drop out below.  A per-peer byte vector
+  // instead of a shared set: every entry is only touched by closures of
+  // that one peer, which all run on its own shard, so the sharded run
+  // needs no lock around it.
+  std::vector<char> want(config.peer_count, 0);
+  for (const auto s : subscribers) want[s] = 1;
   std::function<void(overlay::PeerId)> resubscribe_later =
       [&](overlay::PeerId s) {
-        simulator.schedule_at(simulator.now() + epoch, [&, s] {
-          if (want.count(s) && nodes[s]->running() &&
+        auto& node_sim = transport.simulator_for(s);
+        node_sim.schedule_at(node_sim.now() + epoch, [&, s] {
+          if (want[s] != 0 && nodes[s]->running() &&
               !nodes[s]->is_subscribed(kGroup)) {
             nodes[s]->subscribe(kGroup);
           }
@@ -176,7 +284,7 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
   for (const auto s : subscribers) {
     nodes[s]->on_subscribe_result(
         [&, s](core::GroupId, bool success) {
-          if (!success && want.count(s)) resubscribe_later(s);
+          if (!success && want[s] != 0) resubscribe_later(s);
         });
   }
   for (const auto s : subscribers) nodes[s]->subscribe(kGroup);
@@ -223,10 +331,11 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
           sim::CrashEvent{at, static_cast<sim::FaultNodeId>(victims[i])});
     } else {
       const auto leaver = victims[i];
-      simulator.schedule_at(at, [&nodes, &want, leaver] {
+      transport.simulator_for(leaver).schedule_at(at, [&nodes, &want,
+                                                       leaver] {
         // The leaver may have given its subscription up (lossy retries
         // exhausted) between scheduling and firing; nothing to leave then.
-        want.erase(leaver);
+        want[leaver] = 0;
         if (nodes[leaver]->running() &&
             nodes[leaver]->is_subscribed(kGroup)) {
           nodes[leaver]->unsubscribe(kGroup);
@@ -380,17 +489,24 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
           break;
         }
       }
-      std::size_t minority_deliveries = 0;
-      std::size_t majority_deliveries = 0;
+      // Atomic tallies: in sharded mode the probes land on whatever shard
+      // owns the receiver.  Relaxed is enough — totals are read only
+      // after the workers park at the epoch barrier.
+      std::atomic<std::size_t> minority_deliveries{0};
+      std::atomic<std::size_t> majority_deliveries{0};
       for (const auto s : survivors) {
         const bool minority_side = minority_set.count(s) != 0;
         nodes[s]->on_data([&minority_deliveries, &majority_deliveries,
                            minority_side](core::GroupId, std::uint64_t id,
                                           overlay::PeerId) {
           if (id >= kMinorityProbeBase && id < kMajorityProbeBase) {
-            if (minority_side) ++minority_deliveries;
+            if (minority_side) {
+              minority_deliveries.fetch_add(1, std::memory_order_relaxed);
+            }
           } else if (id >= kMajorityProbeBase) {
-            if (!minority_side) ++majority_deliveries;
+            if (!minority_side) {
+              majority_deliveries.fetch_add(1, std::memory_order_relaxed);
+            }
           }
         });
       }
@@ -421,13 +537,13 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
       result.partition_minority_delivery =
           minority_probe_nodes == 0
               ? 1.0
-              : static_cast<double>(minority_deliveries) /
+              : static_cast<double>(minority_deliveries.load()) /
                     static_cast<double>(minority_probe_nodes *
                                         rec.partition_payloads);
       result.partition_majority_delivery =
           majority_probe_nodes == 0
               ? 1.0
-              : static_cast<double>(majority_deliveries) /
+              : static_cast<double>(majority_deliveries.load()) /
                     static_cast<double>(majority_probe_nodes *
                                         rec.partition_payloads);
     }
@@ -471,16 +587,20 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
   };
 
   // --- phase 4: delivery-ratio probe ------------------------------------
-  std::size_t deliveries = 0;
-  const sim::SimTime published_at = simulator.now();
+  std::atomic<std::size_t> deliveries{0};
+  const sim::SimTime published_at = engine ? engine->now() : simulator.now();
   for (const auto s : survivors) {
-    nodes[s]->on_data([&deliveries, &simulator, published_at](
+    // The delay sample reads the receiver's own clock: on the single
+    // wheel that is the shared simulator (same object as before), on a
+    // sharded run the receiver's shard.
+    sim::Simulator& node_sim = transport.simulator_for(s);
+    nodes[s]->on_data([&deliveries, &node_sim, published_at](
                           core::GroupId, std::uint64_t, overlay::PeerId) {
-      ++deliveries;
+      deliveries.fetch_add(1, std::memory_order_relaxed);
       trace::histograms().record(
           trace::HistogramId::kEndToEndDelayUs,
           static_cast<std::uint64_t>(
-              (simulator.now() - published_at).as_micros()));
+              (node_sim.now() - published_at).as_micros()));
     });
   }
   const overlay::PeerId speaker =
@@ -494,9 +614,9 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
   advance(epoch);
   const std::size_t expected = survivors.size() * rec.speaking_payloads;
   result.delivery_ratio =
-      expected == 0
-          ? 1.0
-          : static_cast<double>(deliveries) / static_cast<double>(expected);
+      expected == 0 ? 1.0
+                    : static_cast<double>(deliveries.load()) /
+                          static_cast<double>(expected);
 
   // --- phase 5: structural invariants -----------------------------------
   // Stale relay edges collapse in heartbeat-paced cascades (a lost
@@ -524,8 +644,29 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
   result.subscription_messages =
       static_cast<double>(transport.messages_sent());
 
-  result.events_fired = simulator.events_fired();
-  result.queue_high_water = simulator.queue_high_water();
+  if (engine) {
+    result.events_fired = engine->events_fired();
+    // Per-shard wheels each track a high-water mark; a cross-shard
+    // maximum would vary with the shard count, so the sharded engine
+    // reports 0 here (documented in PERFORMANCE.md).
+    result.queue_high_water = 0;
+    result.events_per_shard = engine->events_per_shard();
+    // Park the workers' registries and fold the per-shard snapshots into
+    // the caller's (merge is a no-op while the caller's are disabled).
+    if (!shard_trace.empty()) {
+      engine->exec_on_shards([&](std::size_t i) {
+        shard_trace[i]->histogram_guard.reset();
+        shard_trace[i]->counter_guard.reset();
+      });
+      for (const auto& per_shard : shard_trace) {
+        trace::counters().merge(per_shard->counters.snapshot());
+        trace::histograms().merge(per_shard->histograms.snapshot());
+      }
+    }
+  } else {
+    result.events_fired = simulator.events_fired();
+    result.queue_high_water = simulator.queue_high_water();
+  }
   if (trace::counters().enabled()) {
     result.counters = trace::counters().snapshot();
   }

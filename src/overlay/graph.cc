@@ -7,15 +7,76 @@
 
 namespace groupcast::overlay {
 
+namespace {
+
+// Compaction trigger: once relocation garbage exceeds the live half of a
+// non-trivial arena, rebuild.  Amortized O(1) per append — every relocated
+// slot is copied at most once more before enough garbage accrues again.
+constexpr std::size_t kCompactionFloor = 1024;
+
+}  // namespace
+
 OverlayGraph::OverlayGraph(std::size_t peer_count)
     : out_(peer_count), in_(peer_count), generation_(peer_count, 0) {}
+
+void OverlayGraph::append(Span& span, PeerId value) {
+  if (span.size == span.capacity) {
+    // Relocate the span to the arena tail with doubled capacity; the old
+    // run becomes garbage until the next compaction.
+    const std::uint32_t grown = span.capacity == 0 ? 4 : span.capacity * 2;
+    const std::size_t at = arena_.size();
+    arena_.resize(at + grown, kNoPeer);
+    std::copy(arena_.begin() + span.offset,
+              arena_.begin() + span.offset + span.size, arena_.begin() + at);
+    live_ += grown - span.capacity;
+    span.offset = static_cast<std::uint32_t>(at);
+    span.capacity = grown;
+  }
+  arena_[span.offset + span.size] = value;
+  ++span.size;
+  if (arena_.size() > kCompactionFloor && arena_.size() - live_ > live_) {
+    compact();
+  }
+}
+
+bool OverlayGraph::erase(Span& span, PeerId value) {
+  const auto begin = arena_.begin() + span.offset;
+  const auto end = begin + span.size;
+  const auto it = std::find(begin, end, value);
+  if (it == end) return false;
+  std::copy(it + 1, end, it);  // ordered erase, exactly like vector::erase
+  --span.size;
+  return true;
+}
+
+void OverlayGraph::compact() {
+  std::vector<PeerId> packed;
+  packed.reserve(edge_count_ * 2);
+  const auto repack = [&](Span& span) {
+    const auto at = static_cast<std::uint32_t>(packed.size());
+    packed.insert(packed.end(), arena_.begin() + span.offset,
+                  arena_.begin() + span.offset + span.size);
+    span.offset = at;
+    span.capacity = span.size;
+  };
+  for (auto& span : out_) repack(span);
+  for (auto& span : in_) repack(span);
+  arena_ = std::move(packed);
+  live_ = arena_.size();
+}
+
+std::size_t OverlayGraph::memory_bytes() const {
+  return sizeof(*this) + arena_.capacity() * sizeof(PeerId) +
+         (out_.capacity() + in_.capacity()) * sizeof(Span) +
+         generation_.capacity() * sizeof(std::uint64_t);
+}
 
 bool OverlayGraph::add_edge(PeerId from, PeerId to) {
   GC_REQUIRE(from < out_.size() && to < out_.size());
   GC_REQUIRE_MSG(from != to, "self edges are not allowed");
   if (has_edge(from, to)) return false;
-  out_[from].push_back(to);
-  in_[to].push_back(from);
+  append(out_[from], to);
+  append(in_[to], from);
   // Nbr() is the union of both directions, so either endpoint's cached
   // neighbour view goes stale.
   ++generation_[from];
@@ -26,12 +87,8 @@ bool OverlayGraph::add_edge(PeerId from, PeerId to) {
 
 bool OverlayGraph::remove_edge(PeerId from, PeerId to) {
   GC_REQUIRE(from < out_.size() && to < out_.size());
-  auto& outs = out_[from];
-  const auto it = std::find(outs.begin(), outs.end(), to);
-  if (it == outs.end()) return false;
-  outs.erase(it);
-  auto& ins = in_[to];
-  ins.erase(std::find(ins.begin(), ins.end(), from));
+  if (!erase(out_[from], to)) return false;
+  erase(in_[to], from);
   ++generation_[from];
   ++generation_[to];
   --edge_count_;
@@ -40,23 +97,26 @@ bool OverlayGraph::remove_edge(PeerId from, PeerId to) {
 
 void OverlayGraph::isolate(PeerId peer) {
   GC_REQUIRE(peer < out_.size());
-  // Copy: remove_edge mutates the adjacency lists we iterate.
-  const auto outs = out_[peer];
+  // Copy: remove_edge mutates the adjacency runs we iterate.
+  const auto out_view = view(out_[peer]);
+  const std::vector<PeerId> outs(out_view.begin(), out_view.end());
   for (const PeerId to : outs) remove_edge(peer, to);
-  const auto ins = in_[peer];
+  const auto in_view = view(in_[peer]);
+  const std::vector<PeerId> ins(in_view.begin(), in_view.end());
   for (const PeerId from : ins) remove_edge(from, peer);
 }
 
 bool OverlayGraph::has_edge(PeerId from, PeerId to) const {
   GC_REQUIRE(from < out_.size() && to < out_.size());
-  const auto& outs = out_[from];
+  const auto outs = view(out_[from]);
   return std::find(outs.begin(), outs.end(), to) != outs.end();
 }
 
 std::vector<PeerId> OverlayGraph::neighbors(PeerId p) const {
   GC_REQUIRE(p < out_.size());
-  std::vector<PeerId> result = out_[p];
-  for (const PeerId q : in_[p]) {
+  const auto outs = view(out_[p]);
+  std::vector<PeerId> result(outs.begin(), outs.end());
+  for (const PeerId q : view(in_[p])) {
     if (std::find(result.begin(), result.end(), q) == result.end()) {
       result.push_back(q);
     }
@@ -66,9 +126,9 @@ std::vector<PeerId> OverlayGraph::neighbors(PeerId p) const {
 
 std::size_t OverlayGraph::degree(PeerId p) const {
   GC_REQUIRE(p < out_.size());
-  std::size_t count = out_[p].size();
-  for (const PeerId q : in_[p]) {
-    const auto& outs = out_[p];
+  const auto outs = view(out_[p]);
+  std::size_t count = outs.size();
+  for (const PeerId q : view(in_[p])) {
     if (std::find(outs.begin(), outs.end(), q) == outs.end()) ++count;
   }
   return count;
@@ -81,7 +141,7 @@ OverlayGraph::Connectivity OverlayGraph::connectivity() const {
   std::size_t active = 0;
   PeerId start = kNoPeer;
   for (PeerId p = 0; p < n; ++p) {
-    if (!out_[p].empty() || !in_[p].empty()) {
+    if (out_[p].size != 0 || in_[p].size != 0) {
       ++active;
       if (start == kNoPeer) start = p;
     } else {

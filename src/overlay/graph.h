@@ -5,17 +5,45 @@
 // target (Section 3.3).  Messages flow over the union of both directions —
 // the links are long-lived transport connections, as in Gnutella — but the
 // distinction matters for how the topology forms, so the graph keeps it.
+//
+// Storage: both adjacency directions live in one shared PeerId arena with a
+// 12-byte {offset, size, capacity} span per peer per direction, instead of
+// a std::vector (24-byte header + its own heap block) each.  At 100k peers
+// that is the difference between ~5 MB of vector headers plus 200k small
+// allocations and one flat array — see docs/PERFORMANCE.md, "Sharded
+// execution & memory budget".  Appends relocate a full span to the arena
+// tail (amortized O(1)); the garbage this leaves behind is compacted away
+// once it exceeds half the arena.  Per-span element order is exactly the
+// order std::vector kept — append at the back, erase shifts left — so
+// neighbour iteration, and everything seeded from it, is byte-identical.
 #pragma once
 
-#include <unordered_set>
 #include <vector>
 
 #include "overlay/peer.h"
+#include "util/require.h"
 
 namespace groupcast::overlay {
 
 class OverlayGraph {
  public:
+  /// Read-only view of one peer's adjacency run in the arena.  Invalidated
+  /// by any edge mutation (like the vector iterators it replaced).
+  class NeighborSpan {
+   public:
+    NeighborSpan(const PeerId* data, std::size_t size)
+        : data_(data), size_(size) {}
+    const PeerId* begin() const { return data_; }
+    const PeerId* end() const { return data_ + size_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    PeerId operator[](std::size_t i) const { return data_[i]; }
+
+   private:
+    const PeerId* data_;
+    std::size_t size_;
+  };
+
   explicit OverlayGraph(std::size_t peer_count);
 
   std::size_t peer_count() const { return out_.size(); }
@@ -38,10 +66,14 @@ class OverlayGraph {
     return has_edge(a, b) || has_edge(b, a);
   }
 
-  const std::vector<PeerId>& out_neighbors(PeerId p) const {
-    return out_.at(p);
+  NeighborSpan out_neighbors(PeerId p) const {
+    GC_REQUIRE(p < out_.size());
+    return view(out_[p]);
   }
-  const std::vector<PeerId>& in_neighbors(PeerId p) const { return in_.at(p); }
+  NeighborSpan in_neighbors(PeerId p) const {
+    GC_REQUIRE(p < in_.size());
+    return view(in_[p]);
+  }
 
   /// All peers connected to `p` in either direction, deduplicated.
   /// This is Nbr(p) in the paper: the set messages can be exchanged with.
@@ -55,8 +87,18 @@ class OverlayGraph {
   /// utility-selection caches detect staleness in O(1) instead of
   /// re-deriving Nbr(p) — see docs/PERFORMANCE.md.
   std::uint64_t neighbor_generation(PeerId p) const {
-    return generation_.at(p);
+    GC_REQUIRE(p < generation_.size());
+    return generation_[p];
   }
+
+  /// Retained bytes of the adjacency store (arena + spans + generations),
+  /// capacity-based and deterministic for a fixed edge history.
+  std::size_t memory_bytes() const;
+
+  /// Rebuilds the arena with zero garbage and per-span capacity == size.
+  /// Called automatically when relocation garbage piles up; exposed for
+  /// long-lived graphs that just finished a churn storm.
+  void compact();
 
   /// True if the union (undirected view) of the graph is connected over
   /// the peers that have at least one edge; isolated peers are reported via
@@ -77,10 +119,24 @@ class OverlayGraph {
   double clustering_coefficient() const;
 
  private:
-  std::vector<std::vector<PeerId>> out_;
-  std::vector<std::vector<PeerId>> in_;
+  struct Span {
+    std::uint32_t offset = 0;
+    std::uint32_t size = 0;
+    std::uint32_t capacity = 0;
+  };
+
+  NeighborSpan view(const Span& span) const {
+    return {arena_.data() + span.offset, span.size};
+  }
+  void append(Span& span, PeerId value);
+  bool erase(Span& span, PeerId value);
+
+  std::vector<PeerId> arena_;  // shared by both directions of every peer
+  std::vector<Span> out_;
+  std::vector<Span> in_;
   std::vector<std::uint64_t> generation_;
   std::size_t edge_count_ = 0;
+  std::size_t live_ = 0;  // arena slots inside some span's capacity
 };
 
 }  // namespace groupcast::overlay

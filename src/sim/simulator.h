@@ -137,6 +137,24 @@ class Simulator {
            drain_.capacity() * sizeof(std::uint32_t);
   }
 
+  /// Earliest pending event time; false when nothing is queued.  Public
+  /// peek for the sharded epoch scheduler (sim/shard_set.h), which needs
+  /// the global minimum over every shard's wheel to size the next
+  /// lookahead epoch.  May migrate overflow entries but never fires
+  /// events or advances the clock.
+  bool peek_next_event(std::int64_t& when_us) {
+    return next_event_time(when_us);
+  }
+
+  /// Fast-forwards now() to `when` without firing anything — the sharded
+  /// runner uses it so cross-shard deliveries at instant `when` observe
+  /// now() == when before any wheel event at that instant runs.  Requires
+  /// that no pending event is scheduled strictly before `when`; a `when`
+  /// in the past is a no-op.
+  void advance_now(SimTime when) {
+    if (when > now_) now_ = when;
+  }
+
   /// Drops all pending events (used by tests and teardown).  Every
   /// outstanding TimerHandle becomes stale.
   void clear();

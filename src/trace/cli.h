@@ -39,6 +39,10 @@ class CliTracing {
     flags.declare("jobs",
                   "experiment-grid worker threads (0 = all hardware threads)",
                   "1");
+    flags.declare("shards",
+                  "event-kernel worker shards per run (1 = the classic "
+                  "single wheel; >= 2 runs router-sharded)",
+                  "1");
     if (!flags.parse(argc, argv)) {
       std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
                    flags.help(argv[0]).c_str());
@@ -62,6 +66,25 @@ class CliTracing {
                    "Counters, histograms and the flight recorder merge "
                    "deterministically at any job count — only the per-event "
                    "stream needs a single thread.\n",
+                   argv[0]);
+      std::exit(2);
+    }
+    shards_ = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, flags.get_int("shards")));
+    if (shards_ == 0) {
+      std::fprintf(stderr, "%s: --shards must be >= 1\n", argv[0]);
+      std::exit(2);
+    }
+    // Same thread-confinement rule as --jobs: a sharded run fires events
+    // on several workers at once, so there is no single totally-ordered
+    // event stream for the JSONL sink to record.
+    if (!trace_out.empty() && shards_ != 1) {
+      std::fprintf(stderr,
+                   "%s: --trace_out requires --shards=1 (a sharded run has "
+                   "no single totally-ordered event stream to trace).\n"
+                   "Counters and histograms merge deterministically at any "
+                   "shard count — only the per-event stream needs a single "
+                   "wheel.\n",
                    argv[0]);
       std::exit(2);
     }
@@ -92,6 +115,10 @@ class CliTracing {
   /// the path constructor was used; 0 means "all hardware threads").
   std::size_t jobs() const { return jobs_; }
 
+  /// Event-kernel shards requested via --shards (1 when absent or when
+  /// the path constructor was used).
+  std::size_t shards() const { return shards_; }
+
   /// --json_out destination for the bench's machine-readable report
   /// (bench/json_report.h); empty when the flag was absent.
   const std::string& json_out() const { return json_out_; }
@@ -108,6 +135,7 @@ class CliTracing {
 
   std::unique_ptr<ScopedSink> sink_;
   std::size_t jobs_ = 1;
+  std::size_t shards_ = 1;
   std::string json_out_;
 };
 
