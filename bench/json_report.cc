@@ -220,6 +220,44 @@ void fill_scenario_cell(JsonObject& cell,
       }
     }
   }
+  if (r.config.streaming.enabled) {
+    // Streaming-harness cells only: absent fields keep every other
+    // report byte-identical to pre-streaming builds.
+    const auto& str = r.config.streaming;
+    cell.number("loss_probability", str.loss_probability)
+        .boolean("reliable_data", str.reliable_data)
+        .integer("chunk_publishers", str.sources.publishers)
+        .text("multi_source_mode",
+              str.sources.mode == metrics::MultiSourceOptions::Mode::
+                                      kPerSourceTrees
+                  ? "per-source"
+                  : "shared")
+        .integer("chunks_per_publisher", str.chunks)
+        .integer("chunk_bytes", str.chunk_bytes)
+        .number("chunk_deadline_seconds", str.deadline_seconds)
+        .number("uplink_kbps", str.uplink_kbps)
+        .number("downlink_kbps", str.downlink_kbps)
+        .number("chunk_miss_ratio", r.chunk_miss_ratio)
+        .number("chunk_miss_ratio_stddev", r.chunk_miss_ratio_stddev)
+        .number("startup_delay_ms", r.startup_delay_ms)
+        .number("rebuffer_events", r.rebuffer_events)
+        .number("chunks_played_per_viewer", r.chunks_played_per_viewer)
+        .integer("chunks_published",
+                 r.counters.total(trace::CounterId::kChunksPublished))
+        .integer("chunks_delivered",
+                 r.counters.total(trace::CounterId::kChunksDelivered))
+        .integer("chunks_late",
+                 r.counters.total(trace::CounterId::kChunksLate))
+        .integer("nacks_sent",
+                 r.counters.total(trace::CounterId::kNacksSent))
+        .integer("retransmits",
+                 r.counters.total(trace::CounterId::kRetransmits));
+    if (str.flash_crowd_joins > 0) {
+      cell.integer("flash_crowd_joins", str.flash_crowd_joins)
+          .number("flash_crowd_seconds", str.flash_crowd_seconds)
+          .number("flash_attach_fraction", r.flash_attach_fraction);
+    }
+  }
   if (r.config.shards > 1 && !r.events_per_shard.empty()) {
     // Sharded-kernel cells only (absent fields keep --shards=1 reports
     // byte-identical to pre-shard builds).  The imbalance ratio is

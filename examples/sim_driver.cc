@@ -98,10 +98,42 @@ int main(int argc, char** argv) {
                 "many seconds mid-run (requires --replicas)",
                 "0");
   flags.declare("shards",
-                "recovery: worker shards for the event kernel (1 = the "
-                "classic single wheel; >= 2 runs router-sharded, "
+                "recovery/streaming: worker shards for the event kernel "
+                "(1 = the classic single wheel; >= 2 runs router-sharded, "
                 "byte-identical at every shard count >= 2)",
                 "1");
+  flags.declare("streaming",
+                "run the live-streaming workload harness instead of the "
+                "engine pipeline (--loss/--reliable/--flow-control/"
+                "--adaptive ride along)",
+                "false");
+  flags.declare("chunks", "streaming: chunks per publisher", "50");
+  flags.declare("chunk-interval-ms", "streaming: publisher cadence", "100");
+  flags.declare("chunk-bytes", "streaming: simulated chunk size", "16384");
+  flags.declare("chunk-deadline-ms",
+                "streaming: playback deadline after each chunk's publish "
+                "instant",
+                "2000");
+  flags.declare("uplink-kbps",
+                "streaming: per-peer uplink cap in kbit/s (0 = uncapped)",
+                "0");
+  flags.declare("downlink-kbps",
+                "streaming: per-peer downlink cap in kbit/s (0 = uncapped)",
+                "0");
+  flags.declare("cap-capacity",
+                "streaming: scale both caps by each peer's capacity class",
+                "false");
+  flags.declare("publishers", "streaming: concurrent sources (streams)",
+                "1");
+  flags.declare("multi-source",
+                "streaming: tree layout for k publishers "
+                "(shared | per-source)",
+                "shared");
+  flags.declare("flash-joins",
+                "streaming: peers joining mid-stream against the warm tree",
+                "0");
+  flags.declare("flash-seconds",
+                "streaming: window the flash joins spread over", "1");
 
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
@@ -146,24 +178,104 @@ int main(int argc, char** argv) {
   if (replicas > 0) config.recovery.replicas = replicas;
   config.recovery.lease_seconds = flags.get_double("lease-ms") / 1000.0;
   config.recovery.partition_seconds = flags.get_double("partition");
-  if (!config.recovery.enabled) {
-    // Recovery-only flags without --recovery would be silently ignored
-    // (the engine pipeline has no loss, churn, or reliable data path);
+  config.streaming.enabled = flags.get_bool("streaming");
+  if (config.recovery.enabled && config.streaming.enabled) {
+    std::fprintf(stderr,
+                 "sim_driver: --recovery and --streaming are mutually "
+                 "exclusive harnesses\n");
+    return 2;
+  }
+  if (config.streaming.enabled) {
+    // The node-runtime riders migrate over: the streaming harness shares
+    // the loss / reliability / flow-control / adaptive knobs.
+    config.streaming.loss_probability = config.recovery.loss_probability;
+    config.streaming.reliable_data = config.recovery.reliable_data;
+    config.streaming.flow_control = config.recovery.flow_control;
+    config.streaming.adaptive = config.recovery.adaptive;
+    config.streaming.chunks =
+        static_cast<std::size_t>(flags.get_int("chunks"));
+    config.streaming.chunk_interval_seconds =
+        flags.get_double("chunk-interval-ms") / 1000.0;
+    config.streaming.chunk_bytes =
+        static_cast<std::size_t>(flags.get_int("chunk-bytes"));
+    config.streaming.deadline_seconds =
+        flags.get_double("chunk-deadline-ms") / 1000.0;
+    config.streaming.uplink_kbps = flags.get_double("uplink-kbps");
+    config.streaming.downlink_kbps = flags.get_double("downlink-kbps");
+    config.streaming.scale_caps_with_capacity =
+        flags.get_bool("cap-capacity");
+    config.streaming.sources.publishers =
+        static_cast<std::size_t>(flags.get_int("publishers"));
+    const std::string layout = flags.get_string("multi-source");
+    if (layout == "shared") {
+      config.streaming.sources.mode =
+          metrics::MultiSourceOptions::Mode::kSharedTree;
+    } else if (layout == "per-source") {
+      config.streaming.sources.mode =
+          metrics::MultiSourceOptions::Mode::kPerSourceTrees;
+    } else {
+      std::fprintf(stderr,
+                   "sim_driver: unknown --multi-source '%s' "
+                   "(shared | per-source)\n",
+                   layout.c_str());
+      return 2;
+    }
+    config.streaming.flash_crowd_joins =
+        static_cast<std::size_t>(flags.get_int("flash-joins"));
+    config.streaming.flash_crowd_seconds = flags.get_double("flash-seconds");
+  } else {
+    // Streaming-only flags without --streaming would be silently ignored;
     // refuse loudly so a sweep never mistakes the clean run for results.
     const char* stray = nullptr;
-    if (config.recovery.loss_probability != 0.0) stray = "--loss";
+    if (flags.get_int("chunks") != 50) stray = "--chunks";
+    if (flags.get_double("chunk-interval-ms") != 100.0) {
+      stray = "--chunk-interval-ms";
+    }
+    if (flags.get_int("chunk-bytes") != 16384) stray = "--chunk-bytes";
+    if (flags.get_double("chunk-deadline-ms") != 2000.0) {
+      stray = "--chunk-deadline-ms";
+    }
+    if (flags.get_double("uplink-kbps") != 0.0) stray = "--uplink-kbps";
+    if (flags.get_double("downlink-kbps") != 0.0) stray = "--downlink-kbps";
+    if (flags.get_bool("cap-capacity")) stray = "--cap-capacity";
+    if (flags.get_int("publishers") != 1) stray = "--publishers";
+    if (flags.get_string("multi-source") != "shared") {
+      stray = "--multi-source";
+    }
+    if (flags.get_int("flash-joins") != 0) stray = "--flash-joins";
+    if (flags.get_double("flash-seconds") != 1.0) stray = "--flash-seconds";
+    if (stray != nullptr) {
+      std::fprintf(stderr,
+                   "sim_driver: %s only takes effect with --streaming (the "
+                   "other pipelines would silently ignore it)\n",
+                   stray);
+      return 2;
+    }
+  }
+  if (!config.recovery.enabled) {
+    // Node-runtime flags without --recovery (or --streaming for the
+    // shared riders) would be silently ignored — the engine pipeline has
+    // no loss, churn, or reliable data path; refuse loudly so a sweep
+    // never mistakes the clean run for results.
+    const char* stray = nullptr;
+    if (!config.streaming.enabled) {
+      if (config.recovery.loss_probability != 0.0) stray = "--loss";
+      if (config.recovery.reliable_data) stray = "--reliable";
+      if (config.recovery.flow_control) stray = "--flow-control";
+      if (config.recovery.adaptive) stray = "--adaptive";
+    }
     if (config.recovery.crash_fraction != 0.0) stray = "--crash";
     if (config.recovery.graceful_fraction != 0.0) stray = "--graceful";
-    if (config.recovery.reliable_data) stray = "--reliable";
-    if (config.recovery.flow_control) stray = "--flow-control";
-    if (config.recovery.adaptive) stray = "--adaptive";
     if (config.recovery.replication) stray = "--replicas";
     if (config.recovery.partition_seconds != 0.0) stray = "--partition";
     if (stray != nullptr) {
       std::fprintf(stderr,
-                   "sim_driver: %s only takes effect with --recovery (the "
-                   "engine pipeline would silently ignore it)\n",
-                   stray);
+                   "sim_driver: %s only takes effect with --recovery%s\n",
+                   stray,
+                   config.streaming.enabled
+                       ? ""
+                       : " or --streaming (the engine pipeline would "
+                         "silently ignore it)");
       return 2;
     }
   }
@@ -197,10 +309,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.shards = static_cast<std::size_t>(shards_raw);
-  if (config.shards > 1 && !config.recovery.enabled) {
+  if (config.shards > 1 && !config.recovery.enabled &&
+      !config.streaming.enabled) {
     std::fprintf(stderr,
                  "sim_driver: --shards only takes effect with --recovery "
-                 "(the engine pipeline runs on the single wheel)\n");
+                 "or --streaming (the engine pipeline runs on the single "
+                 "wheel)\n");
     return 2;
   }
   const auto topologies =
@@ -304,6 +418,19 @@ int main(int argc, char** argv) {
                     100.0 * r.partition_majority_delivery,
                     100.0 * r.partition_minority_delivery);
       }
+    }
+  }
+  if (config.streaming.enabled) {
+    std::printf("  streaming: miss %.2f%% (stddev %.2f%%), startup %.0f ms, "
+                "rebuffers %.2f, played %.1f chunks/viewer\n",
+                100.0 * r.chunk_miss_ratio,
+                100.0 * r.chunk_miss_ratio_stddev, r.startup_delay_ms,
+                r.rebuffer_events, r.chunks_played_per_viewer);
+    if (config.streaming.flash_crowd_joins > 0) {
+      std::printf("  flash crowd: %zu joins over %.1f s, %.1f%% attached\n",
+                  config.streaming.flash_crowd_joins,
+                  config.streaming.flash_crowd_seconds,
+                  100.0 * r.flash_attach_fraction);
     }
   }
   if (!trace_path.empty()) {

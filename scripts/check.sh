@@ -15,6 +15,9 @@
 #  4b. trace: observability smoke — a seeded recovery capture piped
 #            through every trace_report mode (summary / histograms /
 #            timeline / message), failing on missing markers.
+#  4c. streaming: the live-streaming sweep (bench_streaming) byte-compared
+#            across --jobs, plus a pinned miss-ratio / flash-crowd
+#            acceptance run at 5% loss with the reliable data plane.
 #  5. lint:  clang-format --dry-run --Werror plus clang-tidy on src/core —
 #            skipped with a notice when the binaries are not installed
 #            (CI always runs them).
@@ -29,11 +32,20 @@ build_dir="${1:-${repo_root}/build-asan}"
 tsan_build_dir="${2:-${repo_root}/build-tsan}"
 perf_build_dir="${3:-${repo_root}/build-perf}"
 
+# Fail loudly up front instead of letting a stage silently no-op: every
+# stage's own binaries are guarded by require_binary inside stages.sh,
+# and the stage runner itself must exist and be executable here.
+if [[ ! -x "${stages}" ]]; then
+  echo "check.sh: stage runner missing or not executable: ${stages}" >&2
+  exit 1
+fi
+
 "${stages}" asan "${build_dir}"
 "${stages}" tsan "${tsan_build_dir}"
 "${stages}" fault "${build_dir}"
 "${stages}" perf "${perf_build_dir}"
 "${stages}" trace "${perf_build_dir}"
+"${stages}" streaming "${perf_build_dir}"
 
 if command -v clang-format > /dev/null; then
   "${stages}" lint-format

@@ -14,6 +14,12 @@
 #   scripts/stages.sh trace [build-dir]   # observability smoke: capture a
 #                                         # recovery trace, run every
 #                                         # trace_report mode
+#   scripts/stages.sh streaming [build-dir]  # Release streaming sweep,
+#                                         # --jobs byte-compared, pinned
+#                                         # miss-ratio / flash acceptance
+#   scripts/stages.sh nightly-scale [build-dir]  # 100k peers, shards 2/4/8
+#   scripts/stages.sh nightly-tsan  [build-dir]  # full ctest under TSan
+#   scripts/stages.sh nightly-bench [build-dir]  # scale-4 sweeps + perf gate
 #   scripts/stages.sh lint-format         # clang-format --dry-run --Werror
 #   scripts/stages.sh lint-tidy [build-dir]  # clang-tidy over src/core
 #
@@ -24,6 +30,21 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+# Every stage invokes its binaries through this guard: a missing or
+# non-executable stage binary must fail the stage loudly instead of
+# slipping through (a stale build dir once let check.sh report success
+# with nothing actually run).
+require_binary() {
+  local binary
+  for binary in "$@"; do
+    if [[ ! -x "${binary}" ]]; then
+      echo "stages.sh: required binary missing or not executable:" \
+        "${binary} (wrong build dir, or the build target failed?)" >&2
+      exit 1
+    fi
+  done
+}
 
 # ASan/UBSan: configure with -Wall -Wextra (always on via the top-level
 # CMakeLists) plus AddressSanitizer + UBSan, build everything, run the
@@ -36,7 +57,8 @@ stage_asan() {
     -DGROUPCAST_ASAN=ON \
     -DCMAKE_CXX_FLAGS=-Werror
   cmake --build "${build_dir}" -j "${jobs}"
-  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+  ctest --test-dir "${build_dir}" --no-tests=error \
+    --output-on-failure -j "${jobs}"
   echo "stages.sh: all tests passed under ASan/UBSan"
 }
 
@@ -51,8 +73,9 @@ stage_tsan() {
     -DGROUPCAST_TSAN=ON \
     -DCMAKE_CXX_FLAGS=-Werror
   cmake --build "${build_dir}" -j "${jobs}" --target groupcast_tests
-  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
-    -R 'Experiment|ExperimentGrid|Counter|Tracer|Trace|Recovery|FaultPlan|FaultInjector|ReliableExchange|DataPlane|Histogram|FlightRecorder|GridDeterminism|Provenance|ShardSet|ShardDeterminism'
+  ctest --test-dir "${build_dir}" --no-tests=error \
+    --output-on-failure -j "${jobs}" \
+    -R 'Experiment|ExperimentGrid|Counter|Tracer|Trace|Recovery|FaultPlan|FaultInjector|ReliableExchange|DataPlane|Histogram|FlightRecorder|GridDeterminism|Provenance|ShardSet|ShardDeterminism|Streaming'
   echo "stages.sh: parallel-runner tests clean under TSan"
 }
 
@@ -68,6 +91,8 @@ stage_fault() {
   local build_dir="${1:-${repo_root}/build-asan}"
   cmake --build "${build_dir}" -j "${jobs}" \
     --target bench_churn_recovery sim_driver
+  require_binary "${build_dir}/bench/bench_churn_recovery" \
+    "${build_dir}/examples/sim_driver"
   "${build_dir}/bench/bench_churn_recovery" --jobs=4 \
     --json_out="${build_dir}/BENCH_churn_recovery.json" > /dev/null
   local partition_out
@@ -94,6 +119,8 @@ stage_perf() {
   cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
   cmake --build "${build_dir}" -j "${jobs}" \
     --target bench_micro bench_churn_recovery
+  require_binary "${build_dir}/bench/bench_micro" \
+    "${build_dir}/bench/bench_churn_recovery"
   local perf_json="${build_dir}/BENCH_micro.json"
   "${build_dir}/bench/bench_micro" '--benchmark_filter=^$' \
     --json_out="${perf_json}" > /dev/null
@@ -118,6 +145,7 @@ stage_scale() {
   local build_dir="${1:-${repo_root}/build-perf}"
   cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
   cmake --build "${build_dir}" -j "${jobs}" --target sim_driver
+  require_binary "${build_dir}/examples/sim_driver"
   local out2="${build_dir}/scale_smoke_shards2.txt"
   local out4="${build_dir}/scale_smoke_shards4.txt"
   "${build_dir}/examples/sim_driver" --peers=100000 --groups=1 --seed=1 \
@@ -138,6 +166,8 @@ stage_trace() {
   local build_dir="${1:-${repo_root}/build-perf}"
   cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
   cmake --build "${build_dir}" -j "${jobs}" --target sim_driver trace_report
+  require_binary "${build_dir}/examples/sim_driver" \
+    "${build_dir}/tools/trace_report"
   local trace="${build_dir}/trace_smoke_recovery.jsonl"
   "${build_dir}/examples/sim_driver" --peers=300 --groups=1 --seed=11 \
     --recovery=true --loss=0.2 --crash=0.15 --reliable=true \
@@ -154,6 +184,105 @@ stage_trace() {
   grep -q "edge_delay_us" "${report}"
   grep -q "flight-recorder timeline" "${report}"
   echo "stages.sh: trace smoke clean (report: ${report})"
+}
+
+# Streaming workloads: the live-streaming sweep (loss x reliability,
+# bandwidth-capped, multi-source, flash-crowd cells) at Release speed,
+# byte-compared between --jobs=1 and --jobs=4 (the summary's jobs= token
+# is the only allowed difference), then a pinned acceptance run: at 5%
+# loss with the reliable data plane and 20 Mbit/s caps, the chunk miss
+# ratio must stay under 5% and the whole 50-peer flash crowd must attach.
+# The run is deterministic, so the ratios are pinned exactly.
+stage_streaming() {
+  local build_dir="${1:-${repo_root}/build-perf}"
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" -j "${jobs}" \
+    --target bench_streaming sim_driver
+  require_binary "${build_dir}/bench/bench_streaming" \
+    "${build_dir}/examples/sim_driver"
+  local out1="${build_dir}/streaming_jobs1.txt"
+  local out4="${build_dir}/streaming_jobs4.txt"
+  "${build_dir}/bench/bench_streaming" --jobs=1 > "${out1}"
+  "${build_dir}/bench/bench_streaming" --jobs=4 \
+    --json_out="${build_dir}/BENCH_streaming.json" > "${out4}"
+  diff <(sed 's/jobs=[0-9]*/jobs=N/' "${out1}") \
+    <(sed 's/jobs=[0-9]*/jobs=N/' "${out4}")
+  local streaming_out
+  streaming_out="$("${build_dir}/examples/sim_driver" --peers=300 \
+    --groups=1 --seed=1 --streaming --loss=0.05 --reliable \
+    --flash-joins=50 --uplink-kbps=20000 --downlink-kbps=20000)"
+  grep -q "streaming: miss 2.23%" <<< "${streaming_out}"
+  grep -q "flash crowd: 50 joins over 1.0 s, 100.0% attached" \
+    <<< "${streaming_out}"
+  echo "stages.sh: streaming sweep clean (--jobs byte-identical; miss" \
+    "ratio pinned under 5% at 5% loss; flash crowd fully attached)"
+}
+
+# Nightly scale: the 100k-peer churn cell across shards 2, 4, AND 8 —
+# the pre-merge scale stage stops at two counts; the nightly proves the
+# full ladder stays byte-identical.
+stage_nightly_scale() {
+  local build_dir="${1:-${repo_root}/build-perf}"
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" -j "${jobs}" --target sim_driver
+  require_binary "${build_dir}/examples/sim_driver"
+  local shard_count out ref=""
+  for shard_count in 2 4 8; do
+    out="${build_dir}/nightly_scale_shards${shard_count}.txt"
+    "${build_dir}/examples/sim_driver" --peers=100000 --groups=1 --seed=1 \
+      --recovery=true --crash=0.15 --shards="${shard_count}" > "${out}"
+    if [[ -n "${ref}" ]]; then diff "${ref}" "${out}"; fi
+    ref="${out}"
+  done
+  grep -q "violations 0" "${ref}"
+  echo "stages.sh: nightly 100k-peer scale ladder clean (shards 2/4/8" \
+    "byte-identical)"
+}
+
+# Nightly TSan: the FULL ctest suite under ThreadSanitizer.  The
+# pre-merge tsan stage filters to the parallel-runner subset for latency;
+# the nightly pays for everything.
+stage_nightly_tsan() {
+  local build_dir="${1:-${repo_root}/build-tsan}"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGROUPCAST_TSAN=ON \
+    -DCMAKE_CXX_FLAGS=-Werror
+  cmake --build "${build_dir}" -j "${jobs}"
+  ctest --test-dir "${build_dir}" --no-tests=error \
+    --output-on-failure -j "${jobs}"
+  echo "stages.sh: full test suite clean under TSan"
+}
+
+# Nightly bench: the recovery and streaming sweeps at
+# GROUPCAST_BENCH_SCALE=4 (8k+ peers, the wall-clock-bounded scale
+# probes), plus the bench_micro perf gate against bench/baselines/ via
+# scripts/perf_gate.cmake — the same floor as pre-merge, re-checked at
+# nightly cadence so slow drift cannot hide between PRs.
+stage_nightly_bench() {
+  local build_dir="${1:-${repo_root}/build-perf}"
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" -j "${jobs}" \
+    --target bench_micro bench_churn_recovery bench_streaming
+  require_binary "${build_dir}/bench/bench_micro" \
+    "${build_dir}/bench/bench_churn_recovery" \
+    "${build_dir}/bench/bench_streaming"
+  local perf_json="${build_dir}/BENCH_micro.json"
+  "${build_dir}/bench/bench_micro" '--benchmark_filter=^$' \
+    --json_out="${perf_json}" > /dev/null
+  cmake -DBASELINE="${repo_root}/bench/baselines/micro_baseline.json" \
+    -DCURRENT="${perf_json}" -DMAX_REGRESSION_PERCENT=25 \
+    -DMEMORY_BASELINE="${repo_root}/bench/baselines/memory_baseline.json" \
+    -DMAX_MEMORY_REGRESSION_PERCENT=10 \
+    -P "${repo_root}/scripts/perf_gate.cmake"
+  GROUPCAST_BENCH_SCALE=4 "${build_dir}/bench/bench_churn_recovery" \
+    --jobs=0 --json_out="${build_dir}/BENCH_churn_recovery_scale4.json" \
+    > /dev/null
+  GROUPCAST_BENCH_SCALE=4 "${build_dir}/bench/bench_streaming" \
+    --jobs=0 --json_out="${build_dir}/BENCH_streaming_scale4.json" \
+    > /dev/null
+  echo "stages.sh: nightly bench sweeps clean (perf gate + scale-4" \
+    "recovery and streaming JSONs)"
 }
 
 # Formatting gate: every tracked C++ file must match .clang-format
@@ -185,7 +314,7 @@ stage_lint_tidy() {
 }
 
 usage() {
-  echo "usage: scripts/stages.sh {asan|tsan|fault|perf|scale|trace|lint-format|lint-tidy} [build-dir]" >&2
+  echo "usage: scripts/stages.sh {asan|tsan|fault|perf|scale|trace|streaming|nightly-scale|nightly-tsan|nightly-bench|lint-format|lint-tidy} [build-dir]" >&2
   exit 2
 }
 
@@ -199,6 +328,10 @@ case "${stage}" in
   perf) stage_perf "$@" ;;
   scale) stage_scale "$@" ;;
   trace) stage_trace "$@" ;;
+  streaming) stage_streaming "$@" ;;
+  nightly-scale) stage_nightly_scale "$@" ;;
+  nightly-tsan) stage_nightly_tsan "$@" ;;
+  nightly-bench) stage_nightly_bench "$@" ;;
   lint-format) stage_lint_format "$@" ;;
   lint-tidy) stage_lint_tidy "$@" ;;
   *) usage ;;

@@ -294,12 +294,47 @@ void GroupCastNode::publish(GroupId group, std::uint64_t payload_id) {
   trace::tracer().emit(now().as_micros(), trace::EventKind::kPayloadPublished,
                        self_, trace::kNoNode,
                        trace::pack_provenance(self_, payload_id, 0));
+  BufferedPayload payload;
+  payload.origin = self_;
+  payload.payload_id = payload_id;
+  payload.hops = 1;
   if (state.tree_parent != self_ &&
       state.tree_parent != overlay::kNoPeer) {
-    send_data(group, state, state.tree_parent, self_, payload_id, 1);
+    send_data(group, state, state.tree_parent, payload);
   }
   for (const auto child : state.children) {
-    send_data(group, state, child, self_, payload_id, 1);
+    send_data(group, state, child, payload);
+  }
+}
+
+void GroupCastNode::publish_chunk(GroupId group, std::uint32_t stream,
+                                  std::uint32_t chunk_id,
+                                  sim::SimTime deadline,
+                                  std::uint32_t payload_bytes) {
+  GC_REQUIRE(running_);
+  GC_REQUIRE_MSG(stream < (1u << 31), "stream id must fit in 31 bits");
+  const auto it = groups_.find(group);
+  GC_REQUIRE_MSG(it != groups_.end() && it->second.on_tree,
+                 "publish requires tree membership");
+  auto& state = it->second;
+  BufferedPayload payload;
+  payload.origin = self_;
+  payload.payload_id = chunk_payload_id(stream, chunk_id);
+  payload.hops = 1;
+  payload.chunk = true;
+  payload.deadline_us = deadline.as_micros();
+  payload.chunk_bytes = payload_bytes;
+  state.seen_payloads.insert(payload_key(self_, payload.payload_id));
+  trace::counters().incr(self_, trace::CounterId::kChunksPublished);
+  trace::tracer().emit(now().as_micros(), trace::EventKind::kPayloadPublished,
+                       self_, trace::kNoNode,
+                       trace::pack_provenance(self_, payload.payload_id, 0));
+  if (state.tree_parent != self_ &&
+      state.tree_parent != overlay::kNoPeer) {
+    send_data(group, state, state.tree_parent, payload);
+  }
+  for (const auto child : state.children) {
+    send_data(group, state, child, payload);
   }
 }
 
@@ -920,6 +955,8 @@ void GroupCastNode::handle(const Envelope& envelope) {
           handle_ripple_hit(envelope, msg);
         } else if constexpr (std::is_same_v<T, DataMsg>) {
           handle_data(envelope, msg);
+        } else if constexpr (std::is_same_v<T, ChunkMsg>) {
+          handle_chunk(envelope, msg);
         } else if constexpr (std::is_same_v<T, LeaveMsg>) {
           handle_leave(envelope, msg);
         } else if constexpr (std::is_same_v<T, HeartbeatMsg>) {
@@ -1072,38 +1109,87 @@ void GroupCastNode::handle_data(const Envelope& envelope,
                                 const DataMsg& msg) {
   auto& state = state_of(msg.group);
   if (!state.on_tree) return;
-  deliver_payload(msg.group, state, envelope.from, msg.origin,
-                  msg.payload_id, msg.hops);
+  BufferedPayload payload;
+  payload.origin = msg.origin;
+  payload.payload_id = msg.payload_id;
+  payload.hops = msg.hops;
+  deliver_payload(msg.group, state, envelope.from, payload);
+}
+
+void GroupCastNode::handle_chunk(const Envelope& envelope,
+                                 const ChunkMsg& msg) {
+  auto& state = state_of(msg.group);
+  if (!state.on_tree) return;
+  BufferedPayload payload;
+  payload.seq = msg.seq;
+  payload.origin = msg.origin;
+  payload.payload_id = chunk_payload_id(msg.stream, msg.chunk_id);
+  payload.hops = msg.hops;
+  payload.chunk = true;
+  payload.deadline_us = msg.deadline_us;
+  payload.chunk_bytes = msg.payload_bytes;
+  if (msg.epoch == 0) {
+    // Fire-and-forget chunk (reliability off at the sender): the DataMsg
+    // path, with the chunk descriptor riding along.
+    deliver_payload(msg.group, state, envelope.from, payload);
+    return;
+  }
+  accept_sequenced(envelope, msg.group, state, msg.epoch, msg.seq, payload);
 }
 
 void GroupCastNode::deliver_payload(GroupId group, GroupState& state,
                                     overlay::PeerId via,
-                                    overlay::PeerId origin,
-                                    std::uint64_t payload_id,
-                                    std::uint32_t hops) {
-  if (!state.seen_payloads.insert(payload_key(origin, payload_id))) {
+                                    const BufferedPayload& payload) {
+  if (!state.seen_payloads.insert(
+          payload_key(payload.origin, payload.payload_id))) {
     trace::counters().incr(self_, trace::CounterId::kMessagesDropped);
     trace::tracer().emit(
         now().as_micros(), trace::EventKind::kMessageDropped, self_, via,
         static_cast<std::uint64_t>(trace::DropReason::kDuplicate));
     return;  // duplicate
   }
-  trace::histograms().record(trace::HistogramId::kHopCount, hops);
-  trace::tracer().emit(now().as_micros(),
-                       trace::EventKind::kPayloadDelivered, self_, via,
-                       trace::pack_provenance(origin, payload_id, hops));
-  if (state.subscribed && data_callback_) {
-    data_callback_(group, payload_id, origin);
+  trace::histograms().record(trace::HistogramId::kHopCount, payload.hops);
+  trace::tracer().emit(
+      now().as_micros(), trace::EventKind::kPayloadDelivered, self_, via,
+      trace::pack_provenance(payload.origin, payload.payload_id,
+                             payload.hops));
+  if (state.subscribed) {
+    if (payload.chunk) {
+      // Chunk delivery metrics are viewer-side: relays forward without
+      // judging deadlines.
+      const auto now_us = now().as_micros();
+      if (now_us <= payload.deadline_us) {
+        trace::counters().incr(self_, trace::CounterId::kChunksDelivered);
+        trace::histograms().record(
+            trace::HistogramId::kChunkSlackUs,
+            static_cast<std::uint64_t>(payload.deadline_us - now_us));
+      } else {
+        trace::counters().incr(self_, trace::CounterId::kChunksLate);
+      }
+      if (chunk_callback_) {
+        chunk_callback_(group,
+                        ChunkMsg{group, payload.origin,
+                                 chunk_stream(payload.payload_id),
+                                 chunk_index(payload.payload_id),
+                                 payload.deadline_us, payload.chunk_bytes, 0,
+                                 0, payload.hops});
+      }
+    } else if (data_callback_) {
+      data_callback_(group, payload.payload_id, payload.origin);
+    }
   }
   // Forward along the tree, away from the sender.
+  BufferedPayload forward = payload;
+  forward.seq = 0;  // sequences are edge-local; assigned at transmit
+  ++forward.hops;
   if (state.tree_parent != self_ && state.tree_parent != via &&
       state.tree_parent != overlay::kNoPeer) {
-    send_data(group, state, state.tree_parent, origin, payload_id, hops + 1);
+    send_data(group, state, state.tree_parent, forward);
     trace::counters().incr(self_, trace::CounterId::kMessagesForwarded);
   }
   for (const auto child : state.children) {
     if (child == via) continue;
-    send_data(group, state, child, origin, payload_id, hops + 1);
+    send_data(group, state, child, forward);
     trace::counters().incr(self_, trace::CounterId::kMessagesForwarded);
   }
 }
@@ -1150,14 +1236,36 @@ sim::SimTime GroupCastNode::nack_retry_for(const EdgeRx& rx) const {
   return sim::SimTime::micros(std::clamp(scaled, lo, base.as_micros()));
 }
 
+MessageBody GroupCastNode::payload_msg(GroupId group, std::uint32_t epoch,
+                                       std::uint64_t seq,
+                                       const BufferedPayload& payload) const {
+  if (payload.chunk) {
+    return ChunkMsg{group,
+                    payload.origin,
+                    chunk_stream(payload.payload_id),
+                    chunk_index(payload.payload_id),
+                    payload.deadline_us,
+                    payload.chunk_bytes,
+                    epoch,
+                    seq,
+                    payload.hops};
+  }
+  if (epoch == 0) {
+    return DataMsg{group, payload.origin, payload.payload_id, payload.hops};
+  }
+  return ReliableDataMsg{group,        payload.origin, payload.payload_id,
+                         epoch,        seq,            payload.hops};
+}
+
 void GroupCastNode::send_data(GroupId group, GroupState& state,
-                              overlay::PeerId to, overlay::PeerId origin,
-                              std::uint64_t payload_id, std::uint32_t hops) {
+                              overlay::PeerId to,
+                              const BufferedPayload& payload) {
   if (!options_.reliability.enabled) {
-    trace::tracer().emit(now().as_micros(), trace::EventKind::kPayloadSent,
-                         self_, to,
-                         trace::pack_provenance(origin, payload_id, hops));
-    transport_->send(self_, to, DataMsg{group, origin, payload_id, hops});
+    trace::tracer().emit(
+        now().as_micros(), trace::EventKind::kPayloadSent, self_, to,
+        trace::pack_provenance(payload.origin, payload.payload_id,
+                               payload.hops));
+    transport_->send(self_, to, payload_msg(group, 0, 0, payload));
     return;
   }
   auto it = state.tx_edges.find(to);
@@ -1169,22 +1277,22 @@ void GroupCastNode::send_data(GroupId group, GroupState& state,
     auto& tx = it->second;
     if (!tx.pending.empty() || tx.peer_throttled ||
         tx.next_seq - tx.cum_acked >= options_.reliability.window) {
-      queue_blocked(group, state, to, tx,
-                    BufferedPayload{0, origin, hops, payload_id});
+      queue_blocked(group, state, to, tx, payload);
       return;
     }
   }
   trace::tracer().emit(now().as_micros(), trace::EventKind::kPayloadSent,
                        self_, to,
-                       trace::pack_provenance(origin, payload_id, hops));
+                       trace::pack_provenance(payload.origin,
+                                              payload.payload_id,
+                                              payload.hops));
   if (it == state.tx_edges.end()) {
     // First payload over this directed edge: open the incarnation (the
     // SeqSync rides ahead of the data on the FIFO pair link).
     reset_tx_edge(group, state, to);
     it = state.tx_edges.find(to);
   }
-  transmit_now(group, to, it->second,
-               BufferedPayload{0, origin, hops, payload_id});
+  transmit_now(group, to, it->second, payload);
 }
 
 void GroupCastNode::transmit_now(GroupId group, overlay::PeerId to,
@@ -1194,8 +1302,9 @@ void GroupCastNode::transmit_now(GroupId group, overlay::PeerId to,
     tx.buffer.pop_front();  // oldest unacked copy falls off
   }
   const std::uint64_t seq = tx.next_seq++;
-  tx.buffer.push_back(
-      BufferedPayload{seq, payload.origin, payload.hops, payload.payload_id});
+  BufferedPayload entry = payload;
+  entry.seq = seq;
+  tx.buffer.push_back(entry);
   if (tx.buffer.size() > tx.high_water) {
     // Watermark per directed edge: each edge contributes its own lifetime
     // peak to the counter.  (A node-wide maximum used to swallow a second
@@ -1209,9 +1318,7 @@ void GroupCastNode::transmit_now(GroupId group, overlay::PeerId to,
     trace::histograms().record(trace::HistogramId::kWindowOccupancy,
                                tx.next_seq - tx.cum_acked);
   }
-  transport_->send(self_, to,
-                   ReliableDataMsg{group, payload.origin, payload.payload_id,
-                                   tx.epoch, seq, payload.hops});
+  transport_->send(self_, to, payload_msg(group, tx.epoch, seq, payload));
   maybe_schedule_probe(group, to, tx);
 }
 
@@ -1478,8 +1585,7 @@ void GroupCastNode::drain_rx(GroupId group, GroupState& state,
     rx.stash.erase(rx.stash.begin());
     ++rx.expected;
     ++rx.delivered_since_ack;
-    deliver_payload(group, state, from, parked.origin, parked.payload_id,
-                    parked.hops);
+    deliver_payload(group, state, from, parked);
   }
   if (rx.delivered_since_ack >= options_.reliability.ack_every) {
     rx.delivered_since_ack = 0;
@@ -1494,9 +1600,21 @@ void GroupCastNode::handle_reliable_data(const Envelope& envelope,
                                          const ReliableDataMsg& msg) {
   auto& state = state_of(msg.group);
   if (!state.on_tree) return;
+  BufferedPayload payload;
+  payload.seq = msg.seq;
+  payload.origin = msg.origin;
+  payload.payload_id = msg.payload_id;
+  payload.hops = msg.hops;
+  accept_sequenced(envelope, msg.group, state, msg.epoch, msg.seq, payload);
+}
+
+void GroupCastNode::accept_sequenced(const Envelope& envelope, GroupId group,
+                                     GroupState& state, std::uint32_t epoch,
+                                     std::uint64_t seq,
+                                     const BufferedPayload& payload) {
   const auto it = state.rx_edges.find(envelope.from);
   if (it == state.rx_edges.end() || !it->second.synced ||
-      it->second.epoch != msg.epoch) {
+      it->second.epoch != epoch) {
     // No synced incarnation matches (the SeqSync was lost, or this copy
     // belongs to a torn-down incarnation): drop it — the sender's probe
     // re-announces the sync, and resuming mid-stream by guessing the
@@ -1509,8 +1627,8 @@ void GroupCastNode::handle_reliable_data(const Envelope& envelope,
     return;
   }
   auto& rx = it->second;
-  if (rx.tail_next < msg.seq + 1) rx.tail_next = msg.seq + 1;
-  if (msg.seq < rx.expected || rx.stash.count(msg.seq) != 0) {
+  if (rx.tail_next < seq + 1) rx.tail_next = seq + 1;
+  if (seq < rx.expected || rx.stash.count(seq) != 0) {
     // Retransmission raced the original (or a second NACK round): the
     // sequence layer absorbs the duplicate before payload dedup sees it.
     trace::counters().incr(self_, trace::CounterId::kDupsSuppressed);
@@ -1524,9 +1642,9 @@ void GroupCastNode::handle_reliable_data(const Envelope& envelope,
   if (options_.adaptive) {
     // One loss sample per accepted sequenced arrival: in-order is a hit,
     // a gap means at least one copy ahead of us went missing.
-    ewma_update(rx.loss_ewma, msg.seq == rx.expected ? 0.0 : 1.0);
+    ewma_update(rx.loss_ewma, seq == rx.expected ? 0.0 : 1.0);
   }
-  if (msg.seq == rx.expected) {
+  if (seq == rx.expected) {
     if (rx.nack_rounds > 0) {
       // This in-order arrival closes a NACKed gap: record first-NACK to
       // repair time for the self-tuning transport work.
@@ -1541,15 +1659,13 @@ void GroupCastNode::handle_reliable_data(const Envelope& envelope,
     ++rx.expected;
     ++rx.delivered_since_ack;
     rx.nack_rounds = 0;  // in-order progress
-    deliver_payload(msg.group, state, envelope.from, msg.origin,
-                    msg.payload_id, msg.hops);
-    drain_rx(msg.group, state, envelope.from, rx);
+    deliver_payload(group, state, envelope.from, payload);
+    drain_rx(group, state, envelope.from, rx);
     return;
   }
   // Gap: park the payload and arm the batched NACK.
-  rx.stash.emplace(msg.seq, BufferedPayload{msg.seq, msg.origin, msg.hops,
-                                            msg.payload_id});
-  maybe_schedule_nack(msg.group, envelope.from, rx);
+  rx.stash.emplace(seq, payload);
+  maybe_schedule_nack(group, envelope.from, rx);
 }
 
 void GroupCastNode::handle_data_nack(const Envelope& envelope,
@@ -1577,9 +1693,7 @@ void GroupCastNode::handle_data_nack(const Envelope& envelope,
           envelope.from,
           trace::pack_provenance(entry.origin, entry.payload_id, entry.hops));
       transport_->send(self_, envelope.from,
-                       ReliableDataMsg{msg.group, entry.origin,
-                                       entry.payload_id, tx.epoch, entry.seq,
-                                       entry.hops});
+                       payload_msg(msg.group, tx.epoch, entry.seq, entry));
       trace::counters().incr(self_, trace::CounterId::kRetransmits);
     }
   }
@@ -1632,8 +1746,7 @@ void GroupCastNode::handle_seq_sync(const Envelope& envelope,
       const BufferedPayload parked = rx.stash.begin()->second;
       rx.stash.erase(rx.stash.begin());
       ++rx.delivered_since_ack;
-      deliver_payload(msg.group, state, envelope.from, parked.origin,
-                      parked.payload_id, parked.hops);
+      deliver_payload(msg.group, state, envelope.from, parked);
     }
     rx.expected = msg.base_seq;
     rx.nack_rounds = 0;

@@ -137,11 +137,33 @@ struct NodeOptions {
   ReplicationOptions replication;
 };
 
+/// Internal payload id of a stream chunk: the top bit marks the chunk
+/// namespace (so chunk ids never collide with application payload ids),
+/// the stream occupies the upper half and the chunk index the lower.
+/// Streams are limited to 31 bits.
+inline constexpr std::uint64_t chunk_payload_id(std::uint32_t stream,
+                                                std::uint32_t chunk_id) {
+  return (std::uint64_t{1} << 63) |
+         (static_cast<std::uint64_t>(stream) << 32) | chunk_id;
+}
+
+inline constexpr std::uint32_t chunk_stream(std::uint64_t payload_id) {
+  return static_cast<std::uint32_t>((payload_id >> 32) & 0x7FFFFFFFu);
+}
+
+inline constexpr std::uint32_t chunk_index(std::uint64_t payload_id) {
+  return static_cast<std::uint32_t>(payload_id);
+}
+
 class GroupCastNode {
  public:
   using DataCallback =
       std::function<void(GroupId, std::uint64_t payload_id,
                          overlay::PeerId origin)>;
+  /// Chunk delivery: the ChunkMsg carries stream / chunk_id / deadline /
+  /// size; epoch and seq are zeroed (sequencing is edge-local transport
+  /// detail, not application-visible).  `hops` holds the arrival depth.
+  using ChunkCallback = std::function<void(GroupId, const ChunkMsg&)>;
   using SubscribeCallback = std::function<void(GroupId, bool success)>;
 
   GroupCastNode(overlay::PeerId self, Transport& transport,
@@ -181,7 +203,20 @@ class GroupCastNode {
   /// tree (subscribed, or the rendezvous).
   void publish(GroupId group, std::uint64_t payload_id);
 
+  /// Publishes one stream chunk into the group's tree (streaming
+  /// workloads).  Same tree-membership requirement as publish().  The
+  /// chunk rides the reliable data plane when reliability is enabled and
+  /// the fire-and-forget path otherwise; `deadline` is the absolute sim
+  /// time after which delivery counts as late, and `payload_bytes` is the
+  /// simulated chunk size (drives bandwidth pacing, no bytes carried).
+  void publish_chunk(GroupId group, std::uint32_t stream,
+                     std::uint32_t chunk_id, sim::SimTime deadline,
+                     std::uint32_t payload_bytes);
+
   void on_data(DataCallback callback) { data_callback_ = std::move(callback); }
+  void on_chunk(ChunkCallback callback) {
+    chunk_callback_ = std::move(callback);
+  }
   void on_subscribe_result(SubscribeCallback callback) {
     subscribe_callback_ = std::move(callback);
   }
@@ -251,6 +286,13 @@ class GroupCastNode {
     overlay::PeerId origin = overlay::kNoPeer;
     std::uint32_t hops = 0;  // provenance: tree depth of the copy
     std::uint64_t payload_id = 0;
+    /// Stream-chunk descriptor: when `chunk` is set, payload_id encodes
+    /// chunk_payload_id(stream, chunk_id) and the copy travels as a
+    /// ChunkMsg (deadline + size preserved across buffering, parking,
+    /// and retransmission).
+    bool chunk = false;
+    std::int64_t deadline_us = 0;
+    std::uint32_t chunk_bytes = 0;
   };
 
   /// Sender half of one directed reliable edge.  The buffer holds
@@ -405,6 +447,10 @@ class GroupCastNode {
                            const RippleQueryMsg& msg);
   void handle_ripple_hit(const Envelope& envelope, const RippleHitMsg& msg);
   void handle_data(const Envelope& envelope, const DataMsg& msg);
+  /// Chunk arrival: epoch 0 is the fire-and-forget path (mirrors
+  /// handle_data); epoch >= 1 joins the edge's sequenced stream exactly
+  /// like ReliableDataMsg (reliable-edge epochs start at 1).
+  void handle_chunk(const Envelope& envelope, const ChunkMsg& msg);
   void handle_leave(const Envelope& envelope, const LeaveMsg& msg);
   void handle_heartbeat(const Envelope& envelope, const HeartbeatMsg& msg);
   void handle_heartbeat_ack(const Envelope& envelope,
@@ -429,14 +475,23 @@ class GroupCastNode {
   /// application, and forward along the tree away from `via`.  `hops` is
   /// the tree depth this copy traversed (provenance + hop histogram).
   void deliver_payload(GroupId group, GroupState& state, overlay::PeerId via,
-                       overlay::PeerId origin, std::uint64_t payload_id,
-                       std::uint32_t hops);
+                       const BufferedPayload& payload);
+  /// Epoch/sequence acceptance shared by ReliableDataMsg and sequenced
+  /// ChunkMsg arrivals: duplicate suppression, in-order delivery, gap
+  /// parking, and NACK scheduling.
+  void accept_sequenced(const Envelope& envelope, GroupId group,
+                        GroupState& state, std::uint32_t epoch,
+                        std::uint64_t seq, const BufferedPayload& payload);
+  /// The wire form of one payload copy: ChunkMsg for chunks (epoch 0 =
+  /// fire-and-forget), otherwise DataMsg (epoch 0) or ReliableDataMsg.
+  MessageBody payload_msg(GroupId group, std::uint32_t epoch,
+                          std::uint64_t seq,
+                          const BufferedPayload& payload) const;
   /// Sends one payload toward `to`: sequenced + buffered when reliability
   /// is on, the legacy fire-and-forget DataMsg otherwise.  `hops` is the
   /// depth the copy will have on arrival.
   void send_data(GroupId group, GroupState& state, overlay::PeerId to,
-                 overlay::PeerId origin, std::uint64_t payload_id,
-                 std::uint32_t hops);
+                 const BufferedPayload& payload);
   /// (Re)initializes the outbound edge to `peer`: bumps the epoch, resets
   /// the sequence space, drops the buffer, and announces via SeqSync —
   /// the join-handshake half of reattach re-sync.
@@ -615,6 +670,7 @@ class GroupCastNode {
   sim::TimerHandle repl_timer_;
   std::unordered_map<GroupId, GroupState> groups_;
   DataCallback data_callback_;
+  ChunkCallback chunk_callback_;
   SubscribeCallback subscribe_callback_;
 };
 

@@ -8,12 +8,30 @@
 
 namespace groupcast::core {
 
+namespace {
+
+// The per-peer uplink buckets are built once per transport; capacity
+// multipliers come from the population's Table 1 capacities.
+std::unique_ptr<net::BandwidthModel> make_bandwidth_model(
+    const net::BandwidthCaps& caps, const overlay::PeerPopulation& population) {
+  if (!caps.any()) return nullptr;
+  std::vector<double> capacities;
+  capacities.reserve(population.size());
+  for (const auto& peer : population.peers()) {
+    capacities.push_back(peer.capacity);
+  }
+  return std::make_unique<net::BandwidthModel>(caps, capacities);
+}
+
+}  // namespace
+
 Transport::Transport(sim::Simulator& simulator,
                      const overlay::PeerPopulation& population,
                      TransportOptions options, util::Rng& rng)
     : simulator_(&simulator),
       population_(&population),
       options_(options),
+      bandwidth_(make_bandwidth_model(options.bandwidth, population)),
       rng_(rng.split()),
       handlers_(population.size()),
       generation_(population.size(), 0) {
@@ -27,6 +45,7 @@ Transport::Transport(sim::ShardSet& shards,
     : simulator_(nullptr),
       population_(&population),
       options_(options),
+      bandwidth_(make_bandwidth_model(options.bandwidth, population)),
       rng_(rng.split()),
       handlers_(population.size()),
       generation_(population.size(), 0),
@@ -89,6 +108,7 @@ std::size_t Transport::memory_bytes() const {
   std::size_t total = handlers_.capacity() * sizeof(Handler) +
                       generation_.capacity() * sizeof(std::uint64_t) +
                       inflight_.capacity() * sizeof(InFlight);
+  if (bandwidth_ != nullptr) total += bandwidth_->memory_bytes();
   total += peer_shard_.capacity() * sizeof(std::uint32_t) +
            send_counter_.capacity() * sizeof(std::uint64_t) +
            crash_at_us_.capacity() * sizeof(std::int64_t);
@@ -171,8 +191,18 @@ void Transport::send(overlay::PeerId from, overlay::PeerId to,
   }
   ++sent_;
   stats_.count(kind_of(body));
-  bytes_sent_ += encoded_size(body);
+  const std::size_t wire_bytes = encoded_size(body);
+  bytes_sent_ += wire_bytes;
   trace::counters().incr(from, trace::CounterId::kMessagesSent);
+  // Uplink pacing drains the sender's token bucket on *every* send — the
+  // frame is serialized onto the access link whether or not the network
+  // drops it downstream — so the bucket state is identical no matter
+  // where a message later dies.
+  std::int64_t pacing_us = 0;
+  if (bandwidth_ != nullptr) {
+    pacing_us = bandwidth_->acquire_uplink(from, wire_bytes,
+                                           simulator_->now().as_micros());
+  }
   const auto drop = [&](overlay::PeerId node, overlay::PeerId peer,
                         trace::DropReason reason) {
     ++lost_;
@@ -197,8 +227,11 @@ void Transport::send(overlay::PeerId from, overlay::PeerId to,
     drop(from, to, trace::DropReason::kLoss);
     return;
   }
-  const auto latency =
-      sim::SimTime::millis(population_->latency_ms(from, to));
+  auto latency = sim::SimTime::millis(population_->latency_ms(from, to));
+  if (bandwidth_ != nullptr) {
+    latency += sim::SimTime::micros(pacing_us +
+                                    bandwidth_->downlink_us(to, wire_bytes));
+  }
   // Only messages that survived the loss/fault gauntlet count as edge
   // deliveries; the histogram sees the latency they will experience.
   trace::histograms().record(trace::HistogramId::kEdgeDelayUs,
@@ -277,11 +310,21 @@ void Transport::sharded_send(overlay::PeerId from, overlay::PeerId to,
   ShardState& state = shard_state_[src];
   ++state.sent;
   state.stats.count(kind_of(body));
-  state.bytes_sent += encoded_size(body);
+  const std::size_t wire_bytes = encoded_size(body);
+  state.bytes_sent += wire_bytes;
   trace::counters().incr(from, trace::CounterId::kMessagesSent);
   const std::uint64_t counter = send_counter_[from]++;
   sim::Simulator& src_simulator = shards_->shard(src);
   const auto now = src_simulator.now();
+  // Uplink buckets are safe without synchronization: each peer's bucket
+  // is only touched here, on the sending peer's own shard, in the
+  // deterministic (arrival, src, counter) execution order.  Pacing only
+  // ever *adds* delay, so the conservative lookahead bound still holds.
+  std::int64_t pacing_us = 0;
+  if (bandwidth_ != nullptr) {
+    pacing_us =
+        bandwidth_->acquire_uplink(from, wire_bytes, now.as_micros());
+  }
   const auto drop = [&](overlay::PeerId node, overlay::PeerId peer,
                         trace::DropReason reason) {
     ++state.lost;
@@ -304,8 +347,11 @@ void Transport::sharded_send(overlay::PeerId from, overlay::PeerId to,
     drop(from, to, trace::DropReason::kLoss);
     return;
   }
-  const auto latency =
-      sim::SimTime::millis(population_->latency_ms(from, to));
+  auto latency = sim::SimTime::millis(population_->latency_ms(from, to));
+  if (bandwidth_ != nullptr) {
+    latency += sim::SimTime::micros(pacing_us +
+                                    bandwidth_->downlink_us(to, wire_bytes));
+  }
   trace::histograms().record(trace::HistogramId::kEdgeDelayUs,
                              static_cast<std::uint64_t>(latency.as_micros()));
   ShardRecord record;

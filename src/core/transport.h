@@ -9,10 +9,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <variant>
 #include <vector>
 
 #include "core/message.h"
+#include "net/bandwidth.h"
 #include "overlay/population.h"
 #include "sim/shard_set.h"
 #include "sim/simulator.h"
@@ -107,6 +109,31 @@ struct HeartbeatAckMsg {
 /// A node dissolving its tree position tells its children to re-attach.
 struct ParentLostMsg {
   GroupId group = 0;
+};
+
+/// One chunk of a live stream on a tree edge (docs: EXPERIMENTS.md,
+/// "Streaming workloads").  `stream` identifies the source stream within
+/// the group (multi-source groups carry several), `chunk_id` the chunk's
+/// position in it, and `deadline_us` the absolute sim time after which
+/// delivery no longer helps the player — receivers count a late chunk
+/// against the miss ratio.  `payload_bytes` is the chunk body size: the
+/// wire encoding carries (and encoded_size() counts) that many bytes, so
+/// bandwidth-capped transports see streaming load as bytes/sec, which is
+/// the whole point of the workload.  With data-plane reliability on,
+/// `epoch`/`seq` carry the same per-edge sequencing as ReliableDataMsg;
+/// on the fire-and-forget path both stay 0 (edge epochs start at 1).
+struct ChunkMsg {
+  GroupId group = 0;
+  overlay::PeerId origin = overlay::kNoPeer;
+  std::uint32_t stream = 0;
+  std::uint32_t chunk_id = 0;
+  std::int64_t deadline_us = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t seq = 0;
+  // Hop depth on arrival; provenance metadata, not wire-encoded (see
+  // DataMsg::hops).
+  std::uint32_t hops = 0;
 };
 
 // --- reliable data plane (docs/ROBUSTNESS.md, "Data-plane reliability") ---
@@ -244,7 +271,7 @@ using MessageBody =
                  HeartbeatAckMsg, ParentLostMsg, ReliableDataMsg,
                  DataNackMsg, DataAckMsg, SeqSyncMsg, FlowControlMsg,
                  LeaseMsg, LeaseAckMsg, ReplicateMsg, ReplicateAckMsg,
-                 HandoffMsg>;
+                 HandoffMsg, ChunkMsg>;
 
 struct Envelope {
   overlay::PeerId from = overlay::kNoPeer;
@@ -257,6 +284,10 @@ struct Envelope {
 struct TransportOptions {
   /// Independent per-message drop probability (0 = reliable).
   double loss_probability = 0.0;
+  /// Per-peer access-link caps (net/bandwidth.h).  Both at 0 — the
+  /// default — skips the model entirely: no pacing state is built and
+  /// every delivery time stays byte-identical to before.
+  net::BandwidthCaps bandwidth;
 };
 
 /// How a node comes off the transport (see unregister_node).
@@ -426,6 +457,10 @@ class Transport final : public sim::ShardSet::Client {
   sim::Simulator* simulator_;
   const overlay::PeerPopulation* population_;
   TransportOptions options_;
+  /// Access-link pacing (null when both caps are 0).  Uplink buckets are
+  /// only touched from the owning sender's send path, so the model needs
+  /// no synchronization even in sharded mode.
+  std::unique_ptr<net::BandwidthModel> bandwidth_;
   util::Rng rng_;
   std::vector<Handler> handlers_;
   /// Bumped on every unregister; a delivery whose captured generation is

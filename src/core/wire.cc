@@ -43,6 +43,11 @@ std::uint64_t Reader::u64() {
   return v;
 }
 
+void Reader::skip(std::size_t n) {
+  need(n);
+  at_ += n;
+}
+
 }  // namespace wire
 
 namespace {
@@ -69,6 +74,7 @@ enum class Tag : std::uint8_t {
   kReplicate = 18,
   kReplicateAck = 19,
   kHandoff = 20,
+  kChunk = 21,
 };
 
 // A replication log grows by one record per committed handoff, so any
@@ -191,6 +197,21 @@ std::vector<std::uint8_t> encode_message(const MessageBody& body) {
           w.u32(msg.epoch);
           w.u32(msg.candidate);
           w.u32(msg.rendezvous);
+        } else if constexpr (std::is_same_v<T, ChunkMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kChunk));
+          w.u32(msg.group);
+          w.u32(msg.origin);
+          w.u32(msg.stream);
+          w.u32(msg.chunk_id);
+          w.u64(static_cast<std::uint64_t>(msg.deadline_us));
+          w.u32(msg.payload_bytes);
+          w.u32(msg.epoch);
+          w.u64(msg.seq);
+          // The chunk body: the simulation carries no application bytes,
+          // so the frame pads with zeros — what matters is that the
+          // frame's length (and encoded_size) include them, which is how
+          // bandwidth pacing sees the stream as bytes/sec.
+          for (std::uint32_t i = 0; i < msg.payload_bytes; ++i) w.u8(0);
         }
       },
       body);
@@ -239,6 +260,8 @@ std::size_t encoded_size(const MessageBody& body) {
           return 1 + 4 + 4 + 4 + 4;
         } else if constexpr (std::is_same_v<T, HandoffMsg>) {
           return 1 + 4 + 4 + 4 + 4;
+        } else if constexpr (std::is_same_v<T, ChunkMsg>) {
+          return 1 + 4 + 4 + 4 + 4 + 8 + 4 + 4 + 8 + msg.payload_bytes;
         } else {
           static_assert(std::is_same_v<T, LeaveMsg>);
           return 1 + 4 + 4;
@@ -423,6 +446,23 @@ MessageBody decode_message(std::span<const std::uint8_t> buffer) {
       msg.epoch = r.u32();
       msg.candidate = r.u32();
       msg.rendezvous = r.u32();
+      body = msg;
+      break;
+    }
+    case Tag::kChunk: {
+      ChunkMsg msg;
+      msg.group = r.u32();
+      msg.origin = r.u32();
+      msg.stream = r.u32();
+      msg.chunk_id = r.u32();
+      msg.deadline_us = static_cast<std::int64_t>(r.u64());
+      msg.payload_bytes = r.u32();
+      if (msg.payload_bytes > kMaxChunkBytes) {
+        throw WireError("oversized chunk body");
+      }
+      msg.epoch = r.u32();
+      msg.seq = r.u64();
+      r.skip(msg.payload_bytes);
       body = msg;
       break;
     }

@@ -26,6 +26,11 @@ class WireError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Decode-side bound on ChunkMsg::payload_bytes (the kMaxLeaseRecords
+/// idiom): live-streaming chunks are tens of KiB, so anything past 16 MiB
+/// is a corrupt frame, rejected before the reader skips its body.
+inline constexpr std::uint32_t kMaxChunkBytes = 16u << 20;
+
 /// Serializes a protocol message.
 std::vector<std::uint8_t> encode_message(const MessageBody& body);
 
@@ -57,6 +62,8 @@ class Reader {
   std::uint8_t u8();
   std::uint32_t u32();
   std::uint64_t u64();
+  /// Skips `n` opaque body bytes (chunk payloads); throws on truncation.
+  void skip(std::size_t n);
   bool exhausted() const { return at_ == buffer_.size(); }
   std::size_t remaining() const { return buffer_.size() - at_; }
 

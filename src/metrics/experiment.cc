@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "metrics/recovery.h"
+#include "metrics/streaming.h"
 #include "trace/trace.h"
 #include "util/require.h"
 #include "util/stats.h"
@@ -47,7 +48,10 @@ std::unique_ptr<core::GroupCastMiddleware> make_scenario_middleware(
 ScenarioResult run_scenario(const ScenarioConfig& config) {
   GC_REQUIRE(config.groups >= 1);
   GC_REQUIRE_MSG(config.shards >= 1, "config.shards must be >= 1");
+  GC_REQUIRE_MSG(!(config.recovery.enabled && config.streaming.enabled),
+                 "recovery and streaming harnesses are mutually exclusive");
   if (config.recovery.enabled) return run_recovery_scenario(config);
+  if (config.streaming.enabled) return run_streaming_scenario(config);
   GC_REQUIRE_MSG(config.shards == 1,
                  "shards > 1 requires the recovery harness "
                  "(engine-level scenarios run on the single wheel)");
@@ -176,13 +180,14 @@ ScenarioResult reduce_scenario_repetitions(
   total.config = config;
   const double k = static_cast<double>(repetitions.size());
   util::Summary delay_samples, overload_samples, link_samples;
-  util::Summary delivery_samples, reattach_samples;
+  util::Summary delivery_samples, reattach_samples, miss_samples;
   for (const ScenarioResult& one : repetitions) {
     delay_samples.add(one.delay_penalty);
     overload_samples.add(one.overload_index);
     link_samples.add(one.link_stress);
     delivery_samples.add(one.delivery_ratio);
     reattach_samples.add(one.reattached_fraction);
+    miss_samples.add(one.chunk_miss_ratio);
     total.advertisement_messages += one.advertisement_messages / k;
     total.subscription_messages += one.subscription_messages / k;
     total.receiving_rate += one.receiving_rate / k;
@@ -202,6 +207,11 @@ ScenarioResult reduce_scenario_repetitions(
     total.partition_minority_delivery += one.partition_minority_delivery / k;
     total.lease_handoffs += one.lease_handoffs / k;
     total.epoch_conflicts += one.epoch_conflicts / k;
+    total.chunk_miss_ratio += one.chunk_miss_ratio / k;
+    total.startup_delay_ms += one.startup_delay_ms / k;
+    total.rebuffer_events += one.rebuffer_events / k;
+    total.chunks_played_per_viewer += one.chunks_played_per_viewer / k;
+    total.flash_attach_fraction += one.flash_attach_fraction / k;
     total.avg_tree_depth += one.avg_tree_depth / k;
     total.avg_tree_nodes += one.avg_tree_nodes / k;
     total.repair_edges += one.repair_edges;
@@ -230,6 +240,9 @@ ScenarioResult reduce_scenario_repetitions(
   if (config.recovery.enabled) {
     total.delivery_ratio_stddev = delivery_samples.stddev();
     total.reattached_fraction_stddev = reattach_samples.stddev();
+  }
+  if (config.streaming.enabled) {
+    total.chunk_miss_ratio_stddev = miss_samples.stddev();
   }
   return total;
 }

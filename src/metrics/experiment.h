@@ -95,6 +95,70 @@ struct RecoveryOptions {
   std::size_t partition_payloads = 4;
 };
 
+/// Multi-source group layout for the streaming harness.
+struct MultiSourceOptions {
+  enum class Mode : std::uint8_t {
+    /// All publishers feed one shared dissemination tree (one group);
+    /// non-root sources publish up through their own attachment point.
+    kSharedTree = 0,
+    /// Every publisher roots its own tree (one group per source) with the
+    /// same viewer set subscribed to all of them.
+    kPerSourceTrees,
+  };
+  /// Concurrent publishers (streams), >= 1.
+  std::size_t publishers = 1;
+  Mode mode = Mode::kSharedTree;
+};
+
+/// Switches a scenario to the live-streaming workload harness
+/// (metrics/streaming.h): chunked payloads with playback deadlines over
+/// the (optionally reliable) data plane, per-peer bandwidth caps, multi-
+/// source groups, and an optional flash crowd joining mid-stream.  With
+/// `enabled == false` (the default) every other field is inert and
+/// run_scenario behaves exactly as before, keeping existing goldens
+/// byte-identical.
+struct StreamingOptions {
+  bool enabled = false;
+  /// Steady-state per-message loss probability of the transport, [0, 1].
+  double loss_probability = 0.0;
+  /// Chunks each publisher emits, >= 1.
+  std::size_t chunks = 50;
+  /// Publisher chunk cadence, seconds (> 0).  100 ms ~= a 10 fps
+  /// segmenter; one chunk per interval per stream.
+  double chunk_interval_seconds = 0.1;
+  /// Simulated chunk size, bytes (>= 1, <= core wire limit).  Drives the
+  /// transport's token-bucket pacing when caps are set.
+  std::size_t chunk_bytes = 16 * 1024;
+  /// Playback deadline after each chunk's publish instant, seconds (> 0):
+  /// a chunk arriving later counts as late/missed at the viewer.
+  double deadline_seconds = 2.0;
+  /// Per-peer access-link caps in kbit/s (0 = uncapped); forwarded to
+  /// core::TransportOptions::bandwidth.
+  double uplink_kbps = 0.0;
+  double downlink_kbps = 0.0;
+  /// Scale both caps by each peer's capacity class (Table 1 flows).
+  bool scale_caps_with_capacity = false;
+  /// Chunk transport: NACK/retransmit reliability on tree edges, plus the
+  /// usual flow-control / adaptive riders (recovery harness semantics).
+  bool reliable_data = false;
+  bool flow_control = false;
+  bool adaptive = false;
+  /// Publisher count and tree layout.
+  MultiSourceOptions sources;
+  /// Peers that join mid-stream against the warm tree (0 = no flash
+  /// crowd), spread uniformly over flash_crowd_seconds.
+  std::size_t flash_crowd_joins = 0;
+  double flash_crowd_seconds = 1.0;
+  /// Tree-edge heartbeat period, seconds (> 0); misses before a parent is
+  /// declared dead (recovery harness semantics).
+  double heartbeat_seconds = 0.5;
+  std::size_t heartbeat_misses = 6;
+  /// Length of one convergence epoch, seconds (> 0), and how many epochs
+  /// the harness waits for tree convergence before streaming starts.
+  double epoch_seconds = 4.0;
+  std::size_t convergence_epochs = 10;
+};
+
 struct ScenarioConfig {
   std::size_t peer_count = 1000;
   core::OverlayKind overlay = core::OverlayKind::kGroupCast;
@@ -110,6 +174,9 @@ struct ScenarioConfig {
   std::size_t ripple_ttl = 2;
   /// Node-runtime churn harness; inert unless recovery.enabled.
   RecoveryOptions recovery;
+  /// Live-streaming workload harness; inert unless streaming.enabled.
+  /// Mutually exclusive with recovery.enabled.
+  StreamingOptions streaming;
 
   /// Worker shards for the recovery harness's event kernel (sim/shard_set.h).
   /// 1 (the default) runs on the classic single-wheel simulator and stays
@@ -177,6 +244,16 @@ struct ScenarioResult {
   double lease_handoffs = 0.0;        // committed takeovers (counter sum)
   double epoch_conflicts = 0.0;       // must stay 0: quorum intersection
 
+  // Streaming harness (metrics/streaming.h) — populated only when
+  // config.streaming.enabled; all zero otherwise.  Viewer-eligible means
+  // a (viewer, chunk) pair where the chunk was published after the viewer
+  // joined (flash joiners are scored live, not against the back-catalog).
+  double chunk_miss_ratio = 0.0;      // eligible chunks not played on time
+  double startup_delay_ms = 0.0;      // mean join-to-first-played delay
+  double rebuffer_events = 0.0;       // mean missed-chunk runs per viewer
+  double chunks_played_per_viewer = 0.0;
+  double flash_attach_fraction = 0.0; // flash joiners on the tree at the end
+
   // Dispersion across the groups of one deployment — populated by
   // run_scenario when groups >= 2 (sample stddev over the per-group
   // values behind the means above).
@@ -197,6 +274,9 @@ struct ScenarioResult {
   /// lost half the probes or half the seeds lost everything.
   double delivery_ratio_stddev = 0.0;
   double reattached_fraction_stddev = 0.0;
+  /// Seed-to-seed spread of the streaming headline (zero when streaming
+  /// is off or repetitions < 2), for the same reason as delivery_ratio.
+  double chunk_miss_ratio_stddev = 0.0;
 
   // Event-loop workload of the deployment's simulator: how many events the
   // run fired and the deepest its queue ever got.  The averaged/grid

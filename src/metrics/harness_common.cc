@@ -1,0 +1,74 @@
+#include "metrics/harness_common.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/time.h"
+#include "util/require.h"
+
+namespace groupcast::metrics::detail {
+
+std::int64_t shard_lookahead_us(const net::UnderlayTopology& underlay,
+                                const overlay::PeerPopulation& population) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double first = kInf, second = kInf;
+  for (const auto& peer : population.peers()) {
+    const double access = peer.access_latency_ms;
+    if (access < first) {
+      second = first;
+      first = access;
+    } else if (access < second) {
+      second = access;
+    }
+  }
+  double min_link = kInf;
+  for (net::LinkId l = 0; l < underlay.link_count(); ++l) {
+    min_link = std::min(min_link, underlay.link(l).latency_ms);
+  }
+  const double bound_ms = first + second + min_link;
+  GC_REQUIRE_MSG(bound_ms > 0.0 && bound_ms < kInf,
+                 "sharded execution needs a positive cross-router latency "
+                 "floor (>= 2 peers and >= 1 underlay link)");
+  return std::max<std::int64_t>(
+      1, sim::SimTime::millis(bound_ms).as_micros() - 1);
+}
+
+std::vector<std::unique_ptr<ShardTrace>> install_shard_trace(
+    sim::ShardSet& engine, std::size_t shards, std::size_t peer_count) {
+  std::vector<std::unique_ptr<ShardTrace>> shard_trace;
+  if (!trace::counters().enabled() && !trace::histograms().enabled()) {
+    return shard_trace;
+  }
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto per_shard = std::make_unique<ShardTrace>();
+    if (trace::counters().enabled()) {
+      per_shard->counters.enable(peer_count);
+    }
+    if (trace::histograms().enabled()) per_shard->histograms.enable();
+    shard_trace.push_back(std::move(per_shard));
+  }
+  engine.exec_on_shards([&](std::size_t i) {
+    shard_trace[i]->counter_guard =
+        std::make_unique<trace::ScopedCounterRegistry>(
+            shard_trace[i]->counters);
+    shard_trace[i]->histogram_guard =
+        std::make_unique<trace::ScopedHistogramRegistry>(
+            shard_trace[i]->histograms);
+  });
+  return shard_trace;
+}
+
+void fold_shard_trace(sim::ShardSet& engine,
+                      std::vector<std::unique_ptr<ShardTrace>>& shard_trace) {
+  if (shard_trace.empty()) return;
+  engine.exec_on_shards([&](std::size_t i) {
+    shard_trace[i]->histogram_guard.reset();
+    shard_trace[i]->counter_guard.reset();
+  });
+  for (const auto& per_shard : shard_trace) {
+    trace::counters().merge(per_shard->counters.snapshot());
+    trace::histograms().merge(per_shard->histograms.snapshot());
+  }
+}
+
+}  // namespace groupcast::metrics::detail

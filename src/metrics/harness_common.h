@@ -1,0 +1,55 @@
+// Internals shared by the node-runtime harnesses (metrics/recovery.h and
+// metrics/streaming.h): the conservative-lookahead bound that lets a
+// scenario run on the sharded event kernel, and the per-shard trace
+// registries that keep counter/histogram collection shard-count
+// invariant.  Not part of the public metrics API.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/topology.h"
+#include "overlay/population.h"
+#include "sim/shard_set.h"
+#include "trace/counters.h"
+#include "trace/histogram.h"
+
+namespace groupcast::metrics::detail {
+
+/// Conservative lookahead of the sharded kernel, in microseconds.  Peers
+/// are sharded by access router, so every cross-shard message crosses at
+/// least one underlay link and pays two (distinct) access latencies: its
+/// delay is bounded below by the two smallest access latencies in the
+/// population plus the cheapest physical link.  One microsecond of
+/// headroom absorbs the float-sum rounding between this bound and the
+/// per-pair latency the transport actually converts.  (Bandwidth pacing
+/// only ever *adds* delay on top of that latency, so the bound holds
+/// unchanged for capped runs.)
+std::int64_t shard_lookahead_us(const net::UnderlayTopology& underlay,
+                                const overlay::PeerPopulation& population);
+
+/// Per-shard trace facilities: worker threads resolve trace::counters() /
+/// trace::histograms() thread-locally, so each shard gets its own
+/// registry (installed on the worker via exec_on_shards) and the
+/// snapshots merge into the caller's registry at the end — integer sums,
+/// hence shard-count invariant.
+struct ShardTrace {
+  trace::CounterRegistry counters;
+  trace::HistogramRegistry histograms;
+  std::unique_ptr<trace::ScopedCounterRegistry> counter_guard;
+  std::unique_ptr<trace::ScopedHistogramRegistry> histogram_guard;
+};
+
+/// Installs one ShardTrace per shard (empty when the caller collects
+/// nothing): each shard's worker thread gets isolated registries so the
+/// run's samples never contend and merge deterministically.
+std::vector<std::unique_ptr<ShardTrace>> install_shard_trace(
+    sim::ShardSet& engine, std::size_t shards, std::size_t peer_count);
+
+/// Parks the workers' registries and folds the per-shard snapshots into
+/// the caller's (merge is a no-op while the caller's are disabled).
+void fold_shard_trace(sim::ShardSet& engine,
+                      std::vector<std::unique_ptr<ShardTrace>>& shard_trace);
+
+}  // namespace groupcast::metrics::detail

@@ -15,6 +15,7 @@
 #include "core/middleware.h"
 #include "core/node.h"
 #include "core/replication.h"
+#include "metrics/harness_common.h"
 #include "sim/fault_plan.h"
 #include "sim/recorder.h"
 #include "sim/shard_set.h"
@@ -71,50 +72,6 @@ void validate(const RecoveryOptions& rec) {
 constexpr std::uint64_t kMinorityProbeBase = 1'000'000;
 constexpr std::uint64_t kMajorityProbeBase = 2'000'000;
 
-/// Conservative lookahead of the sharded kernel, in microseconds.  Peers
-/// are sharded by access router, so every cross-shard message crosses at
-/// least one underlay link and pays two (distinct) access latencies: its
-/// delay is bounded below by the two smallest access latencies in the
-/// population plus the cheapest physical link.  One microsecond of
-/// headroom absorbs the float-sum rounding between this bound and the
-/// per-pair latency the transport actually converts.
-std::int64_t shard_lookahead_us(const net::UnderlayTopology& underlay,
-                                const overlay::PeerPopulation& population) {
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  double first = kInf, second = kInf;
-  for (const auto& peer : population.peers()) {
-    const double access = peer.access_latency_ms;
-    if (access < first) {
-      second = first;
-      first = access;
-    } else if (access < second) {
-      second = access;
-    }
-  }
-  double min_link = kInf;
-  for (net::LinkId l = 0; l < underlay.link_count(); ++l) {
-    min_link = std::min(min_link, underlay.link(l).latency_ms);
-  }
-  const double bound_ms = first + second + min_link;
-  GC_REQUIRE_MSG(bound_ms > 0.0 && bound_ms < kInf,
-                 "sharded execution needs a positive cross-router latency "
-                 "floor (>= 2 peers and >= 1 underlay link)");
-  return std::max<std::int64_t>(
-      1, sim::SimTime::millis(bound_ms).as_micros() - 1);
-}
-
-/// Per-shard trace facilities: worker threads resolve trace::counters() /
-/// trace::histograms() thread-locally, so each shard gets its own
-/// registry (installed on the worker via exec_on_shards) and the
-/// snapshots merge into the caller's registry at the end — integer sums,
-/// hence shard-count invariant.
-struct ShardTrace {
-  trace::CounterRegistry counters;
-  trace::HistogramRegistry histograms;
-  std::unique_ptr<trace::ScopedCounterRegistry> counter_guard;
-  std::unique_ptr<trace::ScopedHistogramRegistry> histogram_guard;
-};
-
 }  // namespace
 
 ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
@@ -146,8 +103,8 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
   std::optional<sim::ShardSet> engine;
   if (config.shards > 1) {
     engine.emplace(config.shards,
-                   shard_lookahead_us(middleware.underlay(),
-                                      middleware.population()),
+                   detail::shard_lookahead_us(middleware.underlay(),
+                                              middleware.population()),
                    simulator.now());
   }
   std::optional<core::Transport> transport_storage;
@@ -163,25 +120,10 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
   // Worker threads resolve the trace facilities thread-locally; give each
   // shard its own registries whenever the caller collects anything, and
   // fold the snapshots back in before the result captures them.
-  std::vector<std::unique_ptr<ShardTrace>> shard_trace;
-  if (engine &&
-      (trace::counters().enabled() || trace::histograms().enabled())) {
-    for (std::size_t i = 0; i < config.shards; ++i) {
-      auto per_shard = std::make_unique<ShardTrace>();
-      if (trace::counters().enabled()) {
-        per_shard->counters.enable(config.peer_count);
-      }
-      if (trace::histograms().enabled()) per_shard->histograms.enable();
-      shard_trace.push_back(std::move(per_shard));
-    }
-    engine->exec_on_shards([&](std::size_t i) {
-      shard_trace[i]->counter_guard =
-          std::make_unique<trace::ScopedCounterRegistry>(
-              shard_trace[i]->counters);
-      shard_trace[i]->histogram_guard =
-          std::make_unique<trace::ScopedHistogramRegistry>(
-              shard_trace[i]->histograms);
-    });
+  std::vector<std::unique_ptr<detail::ShardTrace>> shard_trace;
+  if (engine) {
+    shard_trace =
+        detail::install_shard_trace(*engine, config.shards, config.peer_count);
   }
 
   core::NodeOptions node_options;
@@ -651,18 +593,7 @@ ScenarioResult run_recovery_scenario(const ScenarioConfig& config) {
     // reports 0 here (documented in PERFORMANCE.md).
     result.queue_high_water = 0;
     result.events_per_shard = engine->events_per_shard();
-    // Park the workers' registries and fold the per-shard snapshots into
-    // the caller's (merge is a no-op while the caller's are disabled).
-    if (!shard_trace.empty()) {
-      engine->exec_on_shards([&](std::size_t i) {
-        shard_trace[i]->histogram_guard.reset();
-        shard_trace[i]->counter_guard.reset();
-      });
-      for (const auto& per_shard : shard_trace) {
-        trace::counters().merge(per_shard->counters.snapshot());
-        trace::histograms().merge(per_shard->histograms.snapshot());
-      }
-    }
+    detail::fold_shard_trace(*engine, shard_trace);
   } else {
     result.events_fired = simulator.events_fired();
     result.queue_high_water = simulator.queue_high_water();

@@ -1,0 +1,66 @@
+#include "net/bandwidth.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace groupcast::net {
+
+namespace {
+
+// kbps -> bytes/sec, rounded to at least 1 so a tiny positive cap still
+// makes progress instead of dividing by zero.
+std::uint64_t to_bytes_per_sec(double kbps, double multiplier) {
+  if (kbps <= 0.0) return 0;
+  const double bps = kbps * multiplier * 1000.0 / 8.0;
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(bps));
+}
+
+// Ceiling of bytes * 1e6 / rate: the integer-µs serialization time of
+// `bytes` at `rate` bytes/sec.
+std::int64_t serialize_us(std::size_t bytes, std::uint64_t rate) {
+  const auto numer = static_cast<std::uint64_t>(bytes) * 1'000'000ull;
+  return static_cast<std::int64_t>((numer + rate - 1) / rate);
+}
+
+}  // namespace
+
+BandwidthModel::BandwidthModel(const BandwidthCaps& caps,
+                               const std::vector<double>& capacities) {
+  GC_REQUIRE_MSG(caps.uplink_kbps >= 0.0 && caps.downlink_kbps >= 0.0,
+                 "bandwidth caps must be non-negative");
+  const std::size_t n = capacities.size();
+  up_bytes_per_sec_.resize(n);
+  down_bytes_per_sec_.resize(n);
+  up_free_us_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mult = caps.scale_with_capacity ? capacities[i] : 1.0;
+    up_bytes_per_sec_[i] = to_bytes_per_sec(caps.uplink_kbps, mult);
+    down_bytes_per_sec_[i] = to_bytes_per_sec(caps.downlink_kbps, mult);
+  }
+}
+
+std::int64_t BandwidthModel::acquire_uplink(std::uint32_t from,
+                                            std::size_t bytes,
+                                            std::int64_t now_us) {
+  const auto rate = up_bytes_per_sec_[from];
+  if (rate == 0) return 0;
+  auto& free_us = up_free_us_[from];
+  const std::int64_t start = std::max(free_us, now_us);
+  free_us = start + serialize_us(bytes, rate);
+  return free_us - now_us;
+}
+
+std::int64_t BandwidthModel::downlink_us(std::uint32_t to,
+                                         std::size_t bytes) const {
+  const auto rate = down_bytes_per_sec_[to];
+  return rate == 0 ? 0 : serialize_us(bytes, rate);
+}
+
+std::size_t BandwidthModel::memory_bytes() const {
+  return up_bytes_per_sec_.capacity() * sizeof(std::uint64_t) +
+         down_bytes_per_sec_.capacity() * sizeof(std::uint64_t) +
+         up_free_us_.capacity() * sizeof(std::int64_t);
+}
+
+}  // namespace groupcast::net

@@ -1,0 +1,69 @@
+// Per-peer access-link bandwidth model for the streaming workloads.
+//
+// The underlay topology models propagation delay only; for chunked
+// streams the binding resource is the peer's access link, so this module
+// adds serialization delay on top of it.  Uplinks are paced with a
+// token-bucket whose refill rate is the configured cap: each send drains
+// `bytes` of credit and, when the bucket is empty, transmission start
+// slides to the instant enough credit has accrued (an integer
+// next-free-time per peer, so back-to-back sends queue behind each
+// other).  Downlinks are modelled as stateless serialization delay —
+// receivers in a dissemination tree fan *out*, so their inbound link
+// rarely queues and the stateless form keeps delivery order independent
+// of receiver-side state.
+//
+// Determinism: uplink state is only touched from the sending peer's send
+// path, which runs on the sender's shard in deterministic order (see
+// core/transport.cc), and all arithmetic is integer microseconds — so
+// results are byte-identical across --jobs and --shards.  With both caps
+// at 0 (the default) the model is never constructed and every delivery
+// time is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace groupcast::net {
+
+/// Access-link caps, in kilobits per second; 0 disables that direction.
+/// With `scale_with_capacity`, the caps are per capacity unit: a peer
+/// supporting k 64kbps flows (overlay::PeerInfo::capacity) gets k times
+/// the configured rate, so supernodes serve wider fan-out per the
+/// paper's Table 1 heterogeneity.
+struct BandwidthCaps {
+  double uplink_kbps = 0.0;
+  double downlink_kbps = 0.0;
+  bool scale_with_capacity = false;
+
+  bool any() const { return uplink_kbps > 0.0 || downlink_kbps > 0.0; }
+};
+
+class BandwidthModel {
+ public:
+  /// `capacities[i]` is peer i's capacity multiplier (ignored unless
+  /// caps.scale_with_capacity); one uplink bucket is kept per peer.
+  BandwidthModel(const BandwidthCaps& caps,
+                 const std::vector<double>& capacities);
+
+  /// Reserves uplink credit for `bytes` on peer `from` at sim time
+  /// `now_us` and returns the serialization delay (µs) until the last
+  /// byte has left the access link — 0 when the uplink is uncapped.
+  /// Mutates the peer's bucket: later sends queue behind this one.
+  std::int64_t acquire_uplink(std::uint32_t from, std::size_t bytes,
+                              std::int64_t now_us);
+
+  /// Stateless downlink serialization delay (µs) for `bytes` into peer
+  /// `to`; 0 when the downlink is uncapped.
+  std::int64_t downlink_us(std::uint32_t to, std::size_t bytes) const;
+
+  std::size_t memory_bytes() const;
+
+ private:
+  // Per-peer rates in bytes/second (0 = uncapped in that direction).
+  std::vector<std::uint64_t> up_bytes_per_sec_;
+  std::vector<std::uint64_t> down_bytes_per_sec_;
+  // Instant each peer's uplink finishes its last queued transmission.
+  std::vector<std::int64_t> up_free_us_;
+};
+
+}  // namespace groupcast::net

@@ -68,6 +68,16 @@ const char* to_string(CounterId id) {
       return "epoch_conflicts";
     case CounterId::kBackupAttaches:
       return "backup_attaches";
+    case CounterId::kChunksPublished:
+      return "chunks_published";
+    case CounterId::kChunksDelivered:
+      return "chunks_delivered";
+    case CounterId::kChunksLate:
+      return "chunks_late";
+    case CounterId::kChunksMissed:
+      return "chunks_missed";
+    case CounterId::kRebufferEvents:
+      return "rebuffer_events";
     case CounterId::kCount_:
       break;
   }

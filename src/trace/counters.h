@@ -58,6 +58,11 @@ enum class CounterId : std::uint8_t {
   kLeaseHandoffs,       // leadership takeovers committed by this node
   kEpochConflicts,      // lease records merged with mismatched leaders
   kBackupAttaches,      // orphans reattached via the rung-0 backup parent
+  kChunksPublished,     // stream chunks this node originated
+  kChunksDelivered,     // chunks accepted before their playback deadline
+  kChunksLate,          // chunks accepted after their playback deadline
+  kChunksMissed,        // viewer-eligible chunks never played (harness-side)
+  kRebufferEvents,      // maximal runs of missed chunks per viewer-stream
   kCount_,
 };
 

@@ -20,6 +20,10 @@ const char* to_string(HistogramId id) {
       return "throttle_us";
     case HistogramId::kHandoffUs:
       return "handoff_us";
+    case HistogramId::kChunkSlackUs:
+      return "chunk_slack_us";
+    case HistogramId::kStartupDelayUs:
+      return "startup_delay_us";
     case HistogramId::kCount_:
       break;
   }

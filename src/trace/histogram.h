@@ -32,6 +32,8 @@ enum class HistogramId : std::uint8_t {
   kEstimatedLoss,     // adaptive per-edge loss estimate, permille (EWMA)
   kThrottleUs,        // duration of each sender throttle episode, µs
   kHandoffUs,         // lease-expiry detection to committed takeover, µs
+  kChunkSlackUs,      // deadline minus arrival per on-time chunk, µs
+  kStartupDelayUs,    // stream start to first played chunk per viewer, µs
   kCount_,
 };
 

@@ -27,6 +27,12 @@ namespace {
 
 using overlay::PeerId;
 
+TransportOptions lossy_transport(double loss) {
+  TransportOptions options;
+  options.loss_probability = loss;
+  return options;
+}
+
 /// A full node deployment over a joined GroupCast overlay, with the
 /// reliable data plane switched on.
 struct ReliableDeployment {
@@ -40,8 +46,8 @@ struct ReliableDeployment {
                               double loss = 0.0, NodeOptions options = {})
       : world(peers, seed),
         graph(peers),
-        transport(simulator, *world.population, TransportOptions{loss},
-                  world.rng) {
+        transport(simulator, *world.population,
+                  lossy_transport(loss), world.rng) {
     options.reliability.enabled = true;
     overlay::HostCacheServer cache(*world.population,
                                    overlay::HostCacheOptions{}, world.rng);

@@ -98,6 +98,12 @@ TEST(Transport, StatsClassifyMessageKinds) {
 
 // ------------------------------------------------------------ node fixture
 
+TransportOptions lossy_transport(double loss) {
+  TransportOptions options;
+  options.loss_probability = loss;
+  return options;
+}
+
 /// A full node deployment over a joined GroupCast overlay.
 struct NodeDeployment {
   testing::SmallWorld world;
@@ -111,7 +117,7 @@ struct NodeDeployment {
       : world(peers, seed),
         graph(peers),
         transport(simulator, *world.population,
-                  TransportOptions{loss}, world.rng) {
+                  lossy_transport(loss), world.rng) {
     overlay::HostCacheServer cache(*world.population,
                                    overlay::HostCacheOptions{}, world.rng);
     overlay::GroupCastBootstrap bootstrap(*world.population, graph, cache,

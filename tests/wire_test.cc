@@ -30,6 +30,7 @@ std::vector<MessageBody> all_message_kinds() {
       ReplicateMsg{7, 4, 6006, 1001, {{1, 1001}, {2, 6006}, {4, 6006}}},
       ReplicateAckMsg{7, 4, 4, 3},
       HandoffMsg{7, 5, 7007, 1001},
+      ChunkMsg{7, 42, 3, 17, 123456789, 5, 2, 88},
   };
 }
 
@@ -133,6 +134,37 @@ TEST(Wire, ReplicationFieldsSurviveRoundTrip) {
   EXPECT_EQ(handoff.epoch, 5u);
   EXPECT_EQ(handoff.candidate, 88u);
   EXPECT_EQ(handoff.rendezvous, 12u);
+}
+
+TEST(Wire, ChunkFieldsSurviveRoundTrip) {
+  const ChunkMsg original{9, 77, 5, 123, 2'500'000, 6, 3, 456};
+  const auto bytes = encode_message(original);
+  // Header (tag + 5 u32 + 2 u64) plus the zero-padded body — the padding
+  // is what bandwidth pacing charges, so it must be on the wire and in
+  // encoded_size.
+  EXPECT_EQ(bytes.size(), 41u + original.payload_bytes);
+  EXPECT_EQ(encoded_size(original), bytes.size());
+  const auto chunk = std::get<ChunkMsg>(decode_message(bytes));
+  EXPECT_EQ(chunk.group, 9u);
+  EXPECT_EQ(chunk.origin, 77u);
+  EXPECT_EQ(chunk.stream, 5u);
+  EXPECT_EQ(chunk.chunk_id, 123u);
+  EXPECT_EQ(chunk.deadline_us, 2'500'000);
+  EXPECT_EQ(chunk.payload_bytes, 6u);
+  EXPECT_EQ(chunk.epoch, 3u);
+  EXPECT_EQ(chunk.seq, 456u);
+  // Hop depth is in-memory provenance, never wire-encoded.
+  EXPECT_EQ(chunk.hops, 0u);
+}
+
+TEST(Wire, RejectsOversizedChunkBody) {
+  // A frame claiming a body beyond kMaxChunkBytes is garbled or hostile;
+  // the decoder must reject it before trying to skip the body.  Patch
+  // the length field in place (offset 25: tag + group/origin/stream/
+  // chunk_id + deadline).
+  auto bytes = encode_message(ChunkMsg{9, 77, 5, 123, 1000, 2, 0, 0});
+  for (std::size_t i = 0; i < 4; ++i) bytes[25 + i] = 0xFF;
+  EXPECT_THROW(decode_message(bytes), WireError);
 }
 
 TEST(Wire, RejectsOversizedLeaseLog) {
